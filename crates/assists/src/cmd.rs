@@ -1,0 +1,101 @@
+//! The hardware/firmware contract: command and descriptor formats.
+//!
+//! Everything the firmware and the assists exchange lives in scratchpad
+//! rings with these layouts. All counters are free-running (monotonic
+//! `u32`); ring indices are `count % entries`.
+
+/// Words per DMA command.
+pub const DMA_CMD_WORDS: u32 = 4;
+/// Words per MAC TX ring entry (`sdram_addr`, `len`).
+pub const MACTX_ENTRY_WORDS: u32 = 2;
+/// Words per MAC RX descriptor (`sdram_addr`, `len`).
+pub const MACRX_ENTRY_WORDS: u32 = 2;
+
+/// Flag in the DMA command `len` word: the NIC-side address is in the
+/// scratchpad (otherwise it is in the frame memory).
+pub const FLAG_SP: u32 = 1 << 31;
+/// Flag in the DMA command `len` word (DMA write only): word 0 of the
+/// command is an immediate 32-bit value to write to the host address.
+pub const FLAG_IMM: u32 = 1 << 30;
+/// Mask extracting the byte length from the `len` word.
+pub const LEN_MASK: u32 = 0x00ff_ffff;
+
+/// A decoded DMA command.
+///
+/// Layout in the ring (4 words):
+///
+/// | word | DMA read             | DMA write                     |
+/// |------|----------------------|-------------------------------|
+/// | 0    | host source address  | NIC source address / immediate|
+/// | 1    | NIC dest address     | host destination address      |
+/// | 2    | `len \| flags`       | `len \| flags`                |
+/// | 3    | firmware tag         | firmware tag                  |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaCmd {
+    /// Word 0: host address (read) or NIC source / immediate (write).
+    pub w0: u32,
+    /// Word 1: NIC destination (read) or host destination (write).
+    pub w1: u32,
+    /// Byte length.
+    pub len: u32,
+    /// `FLAG_SP` / `FLAG_IMM` bits.
+    pub flags: u32,
+    /// Firmware tag (opaque to hardware).
+    pub tag: u32,
+}
+
+impl DmaCmd {
+    /// Decode from the four ring words.
+    pub fn decode(words: [u32; 4]) -> DmaCmd {
+        DmaCmd {
+            w0: words[0],
+            w1: words[1],
+            len: words[2] & LEN_MASK,
+            flags: words[2] & !LEN_MASK,
+            tag: words[3],
+        }
+    }
+
+    /// Encode into the four ring words.
+    pub fn encode(&self) -> [u32; 4] {
+        [self.w0, self.w1, self.len | self.flags, self.tag]
+    }
+
+    /// Whether the NIC-side address is a scratchpad address.
+    pub fn is_scratchpad(&self) -> bool {
+        self.flags & FLAG_SP != 0
+    }
+
+    /// Whether word 0 is an immediate value (DMA write only).
+    pub fn is_immediate(&self) -> bool {
+        self.flags & FLAG_IMM != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let c = DmaCmd {
+            w0: 0x1000,
+            w1: 0x2000,
+            len: 1518,
+            flags: FLAG_SP,
+            tag: 42,
+        };
+        assert_eq!(DmaCmd::decode(c.encode()), c);
+        assert!(c.is_scratchpad());
+        assert!(!c.is_immediate());
+    }
+
+    #[test]
+    fn flags_do_not_clobber_len() {
+        let words = [0, 0, 512 | FLAG_IMM, 7];
+        let c = DmaCmd::decode(words);
+        assert_eq!(c.len, 512);
+        assert!(c.is_immediate());
+        assert!(!c.is_scratchpad());
+    }
+}

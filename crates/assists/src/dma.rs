@@ -1,0 +1,563 @@
+//! The DMA read and DMA write engines.
+//!
+//! Firmware drives each engine through a command ring in the scratchpad
+//! plus a producer doorbell; the engine reports progress through a
+//! monotonic *done* counter it writes back to the scratchpad — one of the
+//! hardware-maintained pointers the frame-parallel dispatch loop inspects
+//! (Figure 5). Commands complete out of order internally (scratchpad
+//! copies vs. frame-memory bursts), but the done counter only advances
+//! over the contiguous prefix, so firmware can attribute completions by
+//! ring index.
+//!
+//! Per the paper's methodology (§5), the host-side interconnect is not
+//! modeled: the host-memory end of a transfer is instantaneous, and all
+//! timed cost is on the NIC side (scratchpad transactions through the
+//! crossbar, frame-memory bursts over the shared bus).
+
+use crate::cmd::{DmaCmd, DMA_CMD_WORDS};
+use crate::port::SpPort;
+use nicsim_host::HostMemory;
+use nicsim_mem::{Crossbar, FrameMemory, Scratchpad, SpOp, SpRequest, StreamId};
+use nicsim_sim::Ps;
+
+const TAG_CMD0: u32 = 1; // ..=4 for the four command words
+const TAG_DATA: u32 = 5;
+const TAG_DONE: u32 = 6;
+const TAG_SRC: u32 = 7;
+
+/// Configuration of one DMA engine.
+#[derive(Debug, Clone, Copy)]
+pub struct DmaConfig {
+    /// Crossbar port of this engine.
+    pub port: usize,
+    /// Scratchpad byte address of the command ring.
+    pub cmd_ring: u32,
+    /// Number of commands in the ring.
+    pub cmd_entries: u32,
+    /// Scratchpad word holding the firmware's producer count (doorbell).
+    pub prod_addr: u32,
+    /// Scratchpad word the engine writes its done count to.
+    pub done_addr: u32,
+}
+
+/// Completion tracking shared by both engines.
+#[derive(Debug)]
+struct DoneTracker {
+    done: u32,
+    done_written: u32,
+    write_inflight: bool,
+    completed: Vec<bool>,
+}
+
+impl DoneTracker {
+    fn new(entries: u32) -> DoneTracker {
+        DoneTracker {
+            done: 0,
+            done_written: 0,
+            write_inflight: false,
+            completed: vec![false; entries as usize],
+        }
+    }
+
+    fn complete(&mut self, idx: u32) {
+        let n = self.completed.len() as u32;
+        self.completed[(idx % n) as usize] = true;
+        while self.completed[(self.done % n) as usize] {
+            self.completed[(self.done % n) as usize] = false;
+            self.done += 1;
+        }
+    }
+
+    /// Queue a done-counter write if the value advanced.
+    fn flush(&mut self, sp_port: &mut SpPort, done_addr: u32) {
+        if !self.write_inflight && self.done != self.done_written {
+            sp_port.push(
+                SpRequest {
+                    addr: done_addr,
+                    op: SpOp::Write(self.done),
+                },
+                TAG_DONE,
+            );
+            self.done_written = self.done;
+            self.write_inflight = true;
+        }
+    }
+}
+
+/// State of the in-progress command fetch.
+#[derive(Debug, Default)]
+struct Fetch {
+    words: [u32; 4],
+    got: u8,
+    active: bool,
+}
+
+/// The DMA **read** engine: host memory → NIC.
+#[derive(Debug)]
+pub struct DmaRead {
+    cfg: DmaConfig,
+    sp: SpPort,
+    fetched: u32,
+    fetch: Fetch,
+    tracker: DoneTracker,
+    /// Scratchpad-destination command being executed (BD fetches).
+    sp_exec: Option<(u32, u32)>, // (cmd idx, remaining word writes)
+    sdram_outstanding: u32,
+}
+
+impl DmaRead {
+    /// Create the engine.
+    pub fn new(cfg: DmaConfig) -> DmaRead {
+        DmaRead {
+            cfg,
+            sp: SpPort::new(cfg.port),
+            fetched: 0,
+            fetch: Fetch::default(),
+            tracker: DoneTracker::new(cfg.cmd_entries),
+            sp_exec: None,
+            sdram_outstanding: 0,
+        }
+    }
+
+    /// Scratchpad accesses performed (Table 4 accounting).
+    pub fn sp_accesses(&self) -> u64 {
+        self.sp.accesses()
+    }
+
+    /// Zero counters.
+    pub fn reset_stats(&mut self) {
+        self.sp.reset_stats();
+    }
+
+    /// A frame-memory burst tagged `tag` completed.
+    pub fn on_sdram_complete(&mut self, tag: u64) {
+        self.sdram_outstanding -= 1;
+        self.tracker.complete(tag as u32);
+    }
+
+    fn start_command(&mut self, cmd: DmaCmd, idx: u32, host: &HostMemory, fm: &mut FrameMemory, now: Ps) {
+        let data = host.read(cmd.w0, cmd.len).to_vec();
+        if cmd.is_scratchpad() {
+            // Copy descriptor words into the scratchpad, one word-write
+            // per crossbar transaction.
+            let words = cmd.len.div_ceil(4);
+            for k in 0..words {
+                let b = (k * 4) as usize;
+                let mut w = [0u8; 4];
+                let n = (cmd.len as usize - b).min(4);
+                w[..n].copy_from_slice(&data[b..b + n]);
+                self.sp.push(
+                    SpRequest {
+                        addr: cmd.w1 + k * 4,
+                        op: SpOp::Write(u32::from_le_bytes(w)),
+                    },
+                    TAG_DATA,
+                );
+            }
+            self.sp_exec = Some((idx, words));
+        } else {
+            fm.submit_write(StreamId::DmaRead, cmd.w1, &data, idx as u64, now);
+            self.sdram_outstanding += 1;
+        }
+    }
+
+    /// Advance one CPU cycle.
+    pub fn tick(
+        &mut self,
+        now: Ps,
+        xbar: &mut Crossbar,
+        sp_mem: &Scratchpad,
+        host: &HostMemory,
+        fm: &mut FrameMemory,
+    ) {
+        if let Some((tag, value)) = self.sp.tick(xbar) {
+            match tag {
+                TAG_CMD0..=4 => {
+                    self.fetch.words[(tag - TAG_CMD0) as usize] = value;
+                    self.fetch.got += 1;
+                    if self.fetch.got == 4 {
+                        self.fetch.active = false;
+                        self.fetch.got = 0;
+                        let idx = self.fetched;
+                        self.fetched += 1;
+                        let cmd = DmaCmd::decode(self.fetch.words);
+                        self.start_command(cmd, idx, host, fm, now);
+                    }
+                }
+                TAG_DATA => {
+                    if let Some((idx, remaining)) = self.sp_exec {
+                        if remaining == 1 {
+                            self.sp_exec = None;
+                            self.tracker.complete(idx);
+                        } else {
+                            self.sp_exec = Some((idx, remaining - 1));
+                        }
+                    }
+                }
+                TAG_DONE => self.tracker.write_inflight = false,
+                _ => unreachable!("unknown tag {tag}"),
+            }
+        }
+        // Fetch the next command when capacity allows. The producer
+        // doorbell is a register visible without a crossbar transaction.
+        let prod = sp_mem.peek(self.cfg.prod_addr);
+        if !self.fetch.active
+            && self.fetched != prod
+            && self.sp_exec.is_none()
+            && self.sdram_outstanding < 2
+        {
+            self.fetch.active = true;
+            let base = self.cfg.cmd_ring + (self.fetched % self.cfg.cmd_entries) * DMA_CMD_WORDS * 4;
+            for k in 0..4 {
+                self.sp.push(
+                    SpRequest {
+                        addr: base + k * 4,
+                        op: SpOp::Read,
+                    },
+                    TAG_CMD0 + k,
+                );
+            }
+        }
+        self.tracker.flush(&mut self.sp, self.cfg.done_addr);
+    }
+}
+
+/// The DMA **write** engine: NIC → host memory.
+#[derive(Debug)]
+pub struct DmaWrite {
+    cfg: DmaConfig,
+    sp: SpPort,
+    fetched: u32,
+    fetch: Fetch,
+    tracker: DoneTracker,
+    /// Scratchpad-source command in progress: (idx, host addr, bytes
+    /// collected, total words).
+    sp_src: Option<(u32, u32, Vec<u8>, u32)>,
+    /// SDRAM-source commands in flight: host destination per tag.
+    sdram_dst: Vec<Option<u32>>,
+    sdram_outstanding: u32,
+    /// Debug: (src, dst, len) of every SDRAM-source command (capped).
+    pub dbg_payloads: Vec<(u32, u32, u32)>,
+}
+
+impl DmaWrite {
+    /// Create the engine.
+    pub fn new(cfg: DmaConfig) -> DmaWrite {
+        DmaWrite {
+            cfg,
+            sp: SpPort::new(cfg.port),
+            fetched: 0,
+            fetch: Fetch::default(),
+            tracker: DoneTracker::new(cfg.cmd_entries),
+            sp_src: None,
+            sdram_dst: vec![None; cfg.cmd_entries as usize],
+            sdram_outstanding: 0,
+            dbg_payloads: Vec::new(),
+        }
+    }
+
+    /// Scratchpad accesses performed.
+    pub fn sp_accesses(&self) -> u64 {
+        self.sp.accesses()
+    }
+
+    /// Zero counters.
+    pub fn reset_stats(&mut self) {
+        self.sp.reset_stats();
+    }
+
+    /// A frame-memory read burst completed; write its data to the host.
+    pub fn on_sdram_complete(&mut self, tag: u64, data: &[u8], host: &mut HostMemory) {
+        let idx = tag as u32;
+        let dst = self.sdram_dst[(idx % self.cfg.cmd_entries) as usize]
+            .take()
+            .expect("sdram completion for unknown command");
+        host.write(dst, data);
+        self.sdram_outstanding -= 1;
+        self.tracker.complete(idx);
+    }
+
+    fn start_command(&mut self, cmd: DmaCmd, idx: u32, host: &mut HostMemory, fm: &mut FrameMemory, now: Ps) {
+        if cmd.is_immediate() {
+            host.write_u32(cmd.w1, cmd.w0);
+            self.tracker.complete(idx);
+        } else if cmd.is_scratchpad() {
+            let words = cmd.len.div_ceil(4);
+            for k in 0..words {
+                self.sp.push(
+                    SpRequest {
+                        addr: cmd.w0 + k * 4,
+                        op: SpOp::Read,
+                    },
+                    TAG_SRC,
+                );
+            }
+            self.sp_src = Some((idx, cmd.w1, Vec::with_capacity(cmd.len as usize), cmd.len));
+        } else {
+            if self.dbg_payloads.len() < 8192 {
+                self.dbg_payloads.push((cmd.w0, cmd.w1, cmd.len));
+            }
+            self.sdram_dst[(idx % self.cfg.cmd_entries) as usize] = Some(cmd.w1);
+            fm.submit_read(StreamId::DmaWrite, cmd.w0, cmd.len, idx as u64, now);
+            self.sdram_outstanding += 1;
+        }
+    }
+
+    /// Advance one CPU cycle.
+    pub fn tick(
+        &mut self,
+        now: Ps,
+        xbar: &mut Crossbar,
+        sp_mem: &Scratchpad,
+        host: &mut HostMemory,
+        fm: &mut FrameMemory,
+    ) {
+        if let Some((tag, value)) = self.sp.tick(xbar) {
+            match tag {
+                TAG_CMD0..=4 => {
+                    self.fetch.words[(tag - TAG_CMD0) as usize] = value;
+                    self.fetch.got += 1;
+                    if self.fetch.got == 4 {
+                        self.fetch.active = false;
+                        self.fetch.got = 0;
+                        let idx = self.fetched;
+                        self.fetched += 1;
+                        let cmd = DmaCmd::decode(self.fetch.words);
+                        self.start_command(cmd, idx, host, fm, now);
+                    }
+                }
+                TAG_SRC => {
+                    let (idx, dst, mut buf, len) =
+                        self.sp_src.take().expect("source read without command");
+                    buf.extend_from_slice(&value.to_le_bytes());
+                    if buf.len() >= len as usize {
+                        buf.truncate(len as usize);
+                        host.write(dst, &buf);
+                        self.tracker.complete(idx);
+                    } else {
+                        self.sp_src = Some((idx, dst, buf, len));
+                    }
+                }
+                TAG_DONE => self.tracker.write_inflight = false,
+                _ => unreachable!("unknown tag {tag}"),
+            }
+        }
+        let prod = sp_mem.peek(self.cfg.prod_addr);
+        if !self.fetch.active
+            && self.fetched != prod
+            && self.sp_src.is_none()
+            && self.sdram_outstanding < 2
+        {
+            self.fetch.active = true;
+            let base = self.cfg.cmd_ring + (self.fetched % self.cfg.cmd_entries) * DMA_CMD_WORDS * 4;
+            for k in 0..4 {
+                self.sp.push(
+                    SpRequest {
+                        addr: base + k * 4,
+                        op: SpOp::Read,
+                    },
+                    TAG_CMD0 + k,
+                );
+            }
+        }
+        self.tracker.flush(&mut self.sp, self.cfg.done_addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::{FLAG_IMM, FLAG_SP};
+    use nicsim_mem::FrameMemoryConfig;
+
+    struct Rig {
+        sp: Scratchpad,
+        xbar: Crossbar,
+        host: HostMemory,
+        fm: FrameMemory,
+        now: Ps,
+    }
+
+    impl Rig {
+        fn new() -> Rig {
+            Rig {
+                sp: Scratchpad::new(64 * 1024, 4),
+                xbar: Crossbar::new(2, 4),
+                host: HostMemory::new(1 << 20),
+                fm: FrameMemory::new(FrameMemoryConfig::default()),
+                now: Ps::ZERO,
+            }
+        }
+
+        fn write_cmd(&mut self, ring: u32, idx: u32, cmd: DmaCmd) {
+            let base = ring + idx * 16;
+            for (k, w) in cmd.encode().iter().enumerate() {
+                self.sp.poke(base + k as u32 * 4, *w);
+            }
+        }
+    }
+
+    fn cfg() -> DmaConfig {
+        DmaConfig {
+            port: 0,
+            cmd_ring: 0x1000,
+            cmd_entries: 16,
+            prod_addr: 0x100,
+            done_addr: 0x104,
+        }
+    }
+
+    #[test]
+    fn read_engine_copies_descriptors_to_scratchpad() {
+        let mut rig = Rig::new();
+        let mut eng = DmaRead::new(cfg());
+        rig.host.write(0x500, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        rig.write_cmd(
+            0x1000,
+            0,
+            DmaCmd {
+                w0: 0x500,
+                w1: 0x2000,
+                len: 8,
+                flags: FLAG_SP,
+                tag: 0,
+            },
+        );
+        rig.sp.poke(0x100, 1); // doorbell
+        for _ in 0..100 {
+            rig.now += Ps(5000);
+            rig.xbar.tick(&mut rig.sp);
+            eng.tick(rig.now, &mut rig.xbar, &rig.sp, &rig.host, &mut rig.fm);
+            for c in rig.fm.advance(rig.now) {
+                eng.on_sdram_complete(c.tag);
+            }
+        }
+        assert_eq!(rig.sp.peek(0x2000), 0x0403_0201);
+        assert_eq!(rig.sp.peek(0x2004), 0x0807_0605);
+        assert_eq!(rig.sp.peek(0x104), 1, "done counter advanced");
+    }
+
+    #[test]
+    fn read_engine_moves_frame_data_to_sdram() {
+        let mut rig = Rig::new();
+        let mut eng = DmaRead::new(cfg());
+        let payload: Vec<u8> = (0..200u8).collect();
+        rig.host.write(0x800, &payload);
+        rig.write_cmd(
+            0x1000,
+            0,
+            DmaCmd {
+                w0: 0x800,
+                w1: 0x4000,
+                len: 200,
+                flags: 0,
+                tag: 0,
+            },
+        );
+        rig.sp.poke(0x100, 1);
+        for _ in 0..200 {
+            rig.now += Ps(5000);
+            rig.xbar.tick(&mut rig.sp);
+            eng.tick(rig.now, &mut rig.xbar, &rig.sp, &rig.host, &mut rig.fm);
+            for c in rig.fm.advance(rig.now) {
+                eng.on_sdram_complete(c.tag);
+            }
+        }
+        assert_eq!(rig.fm.peek(0x4000, 200), &payload[..]);
+        assert_eq!(rig.sp.peek(0x104), 1);
+    }
+
+    #[test]
+    fn write_engine_immediate_and_scratchpad_sources() {
+        let mut rig = Rig::new();
+        let wcfg = DmaConfig {
+            port: 1,
+            ..cfg()
+        };
+        let mut eng = DmaWrite::new(wcfg);
+        // Command 0: immediate write of 0xabcd to host 0x900.
+        rig.write_cmd(
+            0x1000,
+            0,
+            DmaCmd {
+                w0: 0xabcd,
+                w1: 0x900,
+                len: 4,
+                flags: FLAG_IMM,
+                tag: 0,
+            },
+        );
+        // Command 1: copy 8 bytes from scratchpad 0x3000 to host 0x910.
+        rig.sp.poke(0x3000, 0x1111_2222);
+        rig.sp.poke(0x3004, 0x3333_4444);
+        rig.write_cmd(
+            0x1000,
+            1,
+            DmaCmd {
+                w0: 0x3000,
+                w1: 0x910,
+                len: 8,
+                flags: FLAG_SP,
+                tag: 0,
+            },
+        );
+        rig.sp.poke(0x100, 2);
+        for _ in 0..200 {
+            rig.now += Ps(5000);
+            rig.xbar.tick(&mut rig.sp);
+            eng.tick(rig.now, &mut rig.xbar, &rig.sp, &mut rig.host, &mut rig.fm);
+            let comps = rig.fm.advance(rig.now);
+            for c in comps {
+                eng.on_sdram_complete(c.tag, c.data.as_deref().unwrap(), &mut rig.host);
+            }
+        }
+        assert_eq!(rig.host.read_u32(0x900), 0xabcd);
+        assert_eq!(rig.host.read_u32(0x910), 0x1111_2222);
+        assert_eq!(rig.host.read_u32(0x914), 0x3333_4444);
+        assert_eq!(rig.sp.peek(0x104), 2);
+    }
+
+    #[test]
+    fn write_engine_moves_sdram_to_host() {
+        let mut rig = Rig::new();
+        let mut eng = DmaWrite::new(cfg());
+        let frame: Vec<u8> = (0..255u8).cycle().take(1518).collect();
+        rig.fm.submit_write(StreamId::MacRx, 0x6000, &frame, 99, Ps::ZERO);
+        rig.fm.advance(Ps::from_us(2));
+        rig.write_cmd(
+            0x1000,
+            0,
+            DmaCmd {
+                w0: 0x6000,
+                w1: 0xa000,
+                len: 1518,
+                flags: 0,
+                tag: 0,
+            },
+        );
+        rig.sp.poke(0x100, 1);
+        rig.now = Ps::from_us(2);
+        for _ in 0..400 {
+            rig.now += Ps(5000);
+            rig.xbar.tick(&mut rig.sp);
+            eng.tick(rig.now, &mut rig.xbar, &rig.sp, &mut rig.host, &mut rig.fm);
+            let comps = rig.fm.advance(rig.now);
+            for c in comps {
+                eng.on_sdram_complete(c.tag, c.data.as_deref().unwrap(), &mut rig.host);
+            }
+        }
+        assert_eq!(rig.host.read(0xa000, 1518), &frame[..]);
+        assert_eq!(rig.sp.peek(0x104), 1);
+    }
+
+    #[test]
+    fn done_counter_is_contiguous_prefix() {
+        let mut t = DoneTracker::new(8);
+        t.complete(1);
+        assert_eq!(t.done, 0, "command 0 still outstanding");
+        t.complete(0);
+        assert_eq!(t.done, 2, "both now contiguous");
+        t.complete(2);
+        assert_eq!(t.done, 3);
+    }
+}

@@ -1,0 +1,467 @@
+//! The medium-access-control assists: MAC TX and MAC RX.
+//!
+//! "The MAC unit is responsible for implementing the link-level protocol"
+//! (paper §2.1). The transmit side drains a scratchpad ring of
+//! `(frame-memory address, length)` entries in order, reads each frame
+//! from the frame memory (buffering up to two frames, as the paper's
+//! assists do), appends the FCS, and occupies the wire for the frame's
+//! real Ethernet time (preamble + frame + interframe gap). The receive
+//! side accepts the generator's line-rate stream, allocates space in a
+//! circular receive region of the frame memory, and produces receive
+//! descriptors plus a producer count for the firmware. When either the
+//! descriptor ring or the receive buffer is full, arriving frames are
+//! dropped — a receiver overrun, exactly what happens to a real NIC whose
+//! firmware cannot keep up.
+
+use crate::port::SpPort;
+use nicsim_mem::{Crossbar, FrameMemory, Scratchpad, SpOp, SpRequest, StreamId};
+use nicsim_net::link::{wire_time, RxGenerator, TxMonitor};
+use nicsim_sim::Ps;
+use std::collections::VecDeque;
+
+const TAG_ENTRY0: u32 = 1;
+const TAG_ENTRY1: u32 = 2;
+const TAG_ENTRY2: u32 = 3;
+const TAG_ENTRY3: u32 = 4;
+const TAG_DONE: u32 = 5;
+const TAG_DESC: u32 = 6;
+const TAG_PROD: u32 = 7;
+
+/// MAC TX configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MacTxConfig {
+    /// Crossbar port.
+    pub port: usize,
+    /// Transmit ring base (4 words per entry: addr, len, flags, seq).
+    pub ring: u32,
+    /// Entries in the transmit ring.
+    pub entries: u32,
+    /// Firmware producer doorbell (scratchpad word).
+    pub prod_addr: u32,
+    /// Done counter the MAC writes back.
+    pub done_addr: u32,
+}
+
+/// The transmit MAC.
+#[derive(Debug)]
+pub struct MacTx {
+    cfg: MacTxConfig,
+    sp: SpPort,
+    /// Link monitor validating and accounting every transmitted frame.
+    pub monitor: TxMonitor,
+    fetched: u32,
+    fetch_active: bool,
+    entry_addr: u32,
+    entry_len: u32,
+    reads_outstanding: u32,
+    wire_busy_until: Ps,
+    /// Frames in flight on the wire: completion time and bytes.
+    tx_done: VecDeque<(Ps, Vec<u8>)>,
+    done: u32,
+    done_written: u32,
+    done_inflight: bool,
+    frames_sent: u64,
+}
+
+impl MacTx {
+    /// Create the transmit MAC.
+    pub fn new(cfg: MacTxConfig) -> MacTx {
+        MacTx {
+            cfg,
+            sp: SpPort::new(cfg.port),
+            monitor: TxMonitor::new(),
+            fetched: 0,
+            fetch_active: false,
+            entry_addr: 0,
+            entry_len: 0,
+            reads_outstanding: 0,
+            wire_busy_until: Ps::ZERO,
+            tx_done: VecDeque::new(),
+            done: 0,
+            done_written: 0,
+            done_inflight: false,
+            frames_sent: 0,
+        }
+    }
+
+    /// Frames fully transmitted.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Scratchpad accesses performed.
+    pub fn sp_accesses(&self) -> u64 {
+        self.sp.accesses()
+    }
+
+    /// Zero counters (keeps ring state).
+    pub fn reset_stats(&mut self) {
+        self.sp.reset_stats();
+        self.frames_sent = 0;
+    }
+
+    /// A frame-memory read completed: the frame goes on the wire.
+    /// Reads complete in ring order (per-stream FIFO), preserving the
+    /// in-order transmit guarantee.
+    pub fn on_sdram_complete(&mut self, now: Ps, data: &[u8]) {
+        self.reads_outstanding -= 1;
+        let mut frame = data.to_vec();
+        frame.extend_from_slice(&[0u8; 4]); // MAC appends the FCS
+        let start = now.max(self.wire_busy_until);
+        let done = start + wire_time(frame.len());
+        self.wire_busy_until = done;
+        self.tx_done.push_back((done, frame));
+    }
+
+    /// Advance one CPU cycle.
+    pub fn tick(&mut self, now: Ps, xbar: &mut Crossbar, sp_mem: &Scratchpad, fm: &mut FrameMemory) {
+        if let Some((tag, value)) = self.sp.tick(xbar) {
+            match tag {
+                TAG_ENTRY0 => self.entry_addr = value,
+                TAG_ENTRY1 => self.entry_len = value,
+                TAG_ENTRY2 => {} // flags (unused by this MAC revision)
+                TAG_ENTRY3 => {
+                    self.fetch_active = false;
+                    self.fetched += 1;
+                    fm.submit_read(StreamId::MacTx, self.entry_addr, self.entry_len, 0, now);
+                    self.reads_outstanding += 1;
+                }
+                TAG_DONE => self.done_inflight = false,
+                _ => unreachable!("unknown tag {tag}"),
+            }
+        }
+        // Wire completions advance the done counter (in order); the
+        // frame is validated and accounted as it leaves the wire.
+        while self.tx_done.front().is_some_and(|(t, _)| *t <= now) {
+            let (_, frame) = self.tx_done.pop_front().expect("nonempty");
+            self.monitor.on_frame(&frame);
+            self.done += 1;
+            self.frames_sent += 1;
+        }
+        // Fetch the next ring entry; the MAC buffers at most two frames
+        // (paper: "enough buffering for two maximum-sized frames in each
+        // assist").
+        let prod = sp_mem.peek(self.cfg.prod_addr);
+        let buffered = self.reads_outstanding as usize + self.tx_done.len();
+        if !self.fetch_active && self.fetched != prod && buffered < 2 {
+            self.fetch_active = true;
+            let base = self.cfg.ring + (self.fetched % self.cfg.entries) * 16;
+            for (k, tag) in [TAG_ENTRY0, TAG_ENTRY1, TAG_ENTRY2, TAG_ENTRY3]
+                .into_iter()
+                .enumerate()
+            {
+                self.sp.push(
+                    SpRequest {
+                        addr: base + k as u32 * 4,
+                        op: SpOp::Read,
+                    },
+                    tag,
+                );
+            }
+        }
+        if !self.done_inflight && self.done != self.done_written {
+            self.sp.push(
+                SpRequest {
+                    addr: self.cfg.done_addr,
+                    op: SpOp::Write(self.done),
+                },
+                TAG_DONE,
+            );
+            self.done_written = self.done;
+            self.done_inflight = true;
+        }
+    }
+}
+
+/// MAC RX configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MacRxConfig {
+    /// Crossbar port.
+    pub port: usize,
+    /// Receive descriptor ring base (4 words per entry: addr, len,
+    /// status, checksum info).
+    pub ring: u32,
+    /// Entries in the descriptor ring.
+    pub entries: u32,
+    /// Producer count the MAC writes (frames delivered to firmware).
+    pub prod_addr: u32,
+    /// Firmware's claim counter (frames taken), read as a register to
+    /// bound descriptor-ring occupancy.
+    pub claim_addr: u32,
+    /// Ring entries held back from the occupancy check: the firmware
+    /// reads a descriptor *after* claiming it, so the MAC must not
+    /// overwrite entries the claim counter already covers. Must be at
+    /// least the cores' aggregate in-flight claim batch.
+    pub claim_slack: u32,
+    /// Receive region base in the frame memory.
+    pub buf_base: u32,
+    /// Receive region size in bytes (circular).
+    pub buf_bytes: u32,
+    /// Firmware-advanced free pointer (bytes retired, monotonic).
+    pub tail_addr: u32,
+}
+
+/// The receive MAC.
+#[derive(Debug)]
+pub struct MacRx {
+    cfg: MacRxConfig,
+    sp: SpPort,
+    /// The inbound traffic source.
+    pub generator: RxGenerator,
+    /// Bytes allocated in the receive region (monotonic, wrapping u32 —
+    /// matching the firmware's 32-bit tail counter).
+    head: u32,
+    writes_outstanding: u32,
+    /// Frames whose SDRAM write is in flight: (addr, len).
+    pending_desc: VecDeque<(u32, u32)>,
+    prod: u32,
+    drops: u64,
+    frames_received: u64,
+    /// Debug: wire sequence number of each accepted frame, in
+    /// acceptance order (capped).
+    pub dbg_accepted: Vec<u32>,
+}
+
+/// Pad to the next 8-byte boundary (frames land at a +2 offset, so both
+/// ends of the burst are misaligned, as §6.2 describes).
+fn align8(n: u32) -> u32 {
+    (n + 7) & !7
+}
+
+impl MacRx {
+    /// Create the receive MAC over an inbound generator.
+    pub fn new(cfg: MacRxConfig, generator: RxGenerator) -> MacRx {
+        MacRx {
+            cfg,
+            sp: SpPort::new(cfg.port),
+            generator,
+            head: 0,
+            writes_outstanding: 0,
+            pending_desc: VecDeque::new(),
+            prod: 0,
+            drops: 0,
+            frames_received: 0,
+            dbg_accepted: Vec::new(),
+        }
+    }
+
+    /// Frames dropped because the descriptor ring or buffer was full.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Frames accepted off the wire.
+    pub fn frames_received(&self) -> u64 {
+        self.frames_received
+    }
+
+    /// Scratchpad accesses performed.
+    pub fn sp_accesses(&self) -> u64 {
+        self.sp.accesses()
+    }
+
+    /// Zero counters.
+    pub fn reset_stats(&mut self) {
+        self.sp.reset_stats();
+        self.drops = 0;
+        self.frames_received = 0;
+    }
+
+    /// An SDRAM write completed: the frame is visible, produce its
+    /// descriptor (writes complete in arrival order).
+    pub fn on_sdram_complete(&mut self) {
+        self.writes_outstanding -= 1;
+        let (addr, len) = self
+            .pending_desc
+            .pop_front()
+            .expect("sdram completion without pending frame");
+        let base = self.cfg.ring + (self.prod % self.cfg.entries) * 16;
+        // addr, len, status (OK), checksum info.
+        for (k, val) in [(0, addr), (1, len), (2, 1), (3, 0)] {
+            self.sp.push(
+                SpRequest {
+                    addr: base + k * 4,
+                    op: SpOp::Write(val),
+                },
+                TAG_DESC,
+            );
+        }
+        self.prod += 1;
+        self.sp.push(
+            SpRequest {
+                addr: self.cfg.prod_addr,
+                op: SpOp::Write(self.prod),
+            },
+            TAG_PROD,
+        );
+    }
+
+    /// Advance one CPU cycle.
+    pub fn tick(&mut self, now: Ps, xbar: &mut Crossbar, sp_mem: &Scratchpad, fm: &mut FrameMemory) {
+        let _ = self.sp.tick(xbar);
+        // Accept arrivals whose time has come.
+        while self.writes_outstanding < 2 {
+            let Some((_, frame)) = self.generator.poll(now) else {
+                break;
+            };
+            let len = frame.len() as u32;
+            let tail = sp_mem.peek(self.cfg.tail_addr);
+            // Compute the candidate allocation (a wrap bump keeps each
+            // frame contiguous in the region).
+            let mut head = self.head;
+            let off = head % self.cfg.buf_bytes;
+            if off + 2 + len > self.cfg.buf_bytes {
+                head = head.wrapping_add(self.cfg.buf_bytes - off);
+            }
+            let new_head = head.wrapping_add(align8(2 + len));
+            let ring_full = self.prod.wrapping_sub(sp_mem.peek(self.cfg.claim_addr))
+                >= self.cfg.entries - self.cfg.claim_slack;
+            if new_head.wrapping_sub(tail) > self.cfg.buf_bytes || ring_full {
+                self.drops += 1;
+                continue;
+            }
+            let addr = self.cfg.buf_base + head % self.cfg.buf_bytes + 2;
+            if self.dbg_accepted.len() < 4096 {
+                let seq = u32::from_be_bytes([frame[42], frame[43], frame[44], frame[45]]);
+                self.dbg_accepted.push(seq);
+            }
+            fm.submit_write(StreamId::MacRx, addr, &frame, 0, now);
+            self.head = new_head;
+            self.writes_outstanding += 1;
+            self.pending_desc.push_back((addr, len));
+            self.frames_received += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nicsim_mem::FrameMemoryConfig;
+    use nicsim_net::frame::build_udp_frame;
+
+    fn fm() -> FrameMemory {
+        FrameMemory::new(FrameMemoryConfig::default())
+    }
+
+    #[test]
+    fn mac_tx_transmits_ring_in_order() {
+        let mut sp = Scratchpad::new(64 * 1024, 4);
+        let mut xbar = Crossbar::new(1, 4);
+        let mut fmem = fm();
+        let cfg = MacTxConfig {
+            port: 0,
+            ring: 0x1000,
+            entries: 16,
+            prod_addr: 0x100,
+            done_addr: 0x104,
+        };
+        let mut mac = MacTx::new(cfg);
+        // Stage two frames in SDRAM and two ring entries.
+        for i in 0..2u32 {
+            let f = build_udp_frame(i, 1472);
+            let eth = &f[..f.len() - 4];
+            fmem.submit_write(StreamId::DmaRead, 0x8000 + i * 2048, eth, 0, Ps::ZERO);
+            sp.poke(0x1000 + i * 16, 0x8000 + i * 2048);
+            sp.poke(0x1000 + i * 16 + 4, eth.len() as u32);
+            sp.poke(0x1000 + i * 16 + 12, i);
+        }
+        fmem.advance(Ps::from_us(2));
+        sp.poke(0x100, 2); // producer doorbell
+        let mut now = Ps::from_us(2);
+        for _ in 0..2000 {
+            now += Ps(5000);
+            xbar.tick(&mut sp);
+            mac.tick(now, &mut xbar, &sp, &mut fmem);
+            for c in fmem.advance(now) {
+                mac.on_sdram_complete(c.at, c.data.as_deref().unwrap());
+            }
+        }
+        assert_eq!(mac.frames_sent(), 2);
+        assert_eq!(mac.monitor.frames(), 2);
+        assert_eq!(mac.monitor.out_of_order(), 0);
+        assert!(mac.monitor.errors().is_empty());
+        assert_eq!(sp.peek(0x104), 2, "done counter");
+    }
+
+    #[test]
+    fn mac_rx_delivers_descriptors() {
+        let mut sp = Scratchpad::new(64 * 1024, 4);
+        let mut xbar = Crossbar::new(1, 4);
+        let mut fmem = fm();
+        let cfg = MacRxConfig {
+            port: 0,
+            ring: 0x2000,
+            entries: 64,
+            prod_addr: 0x200,
+            claim_addr: 0x204,
+            claim_slack: 0,
+            buf_base: 0x10_0000,
+            buf_bytes: 0x10_0000,
+            tail_addr: 0x208,
+        };
+        let mut mac = MacRx::new(cfg, RxGenerator::new(1472));
+        let mut now = Ps::ZERO;
+        for _ in 0..3000 {
+            now += Ps(5000);
+            xbar.tick(&mut sp);
+            mac.tick(now, &mut xbar, &sp, &mut fmem);
+            for _ in fmem.advance(now) {
+                mac.on_sdram_complete();
+            }
+            if sp.peek(0x200) >= 3 {
+                break;
+            }
+        }
+        let prod = sp.peek(0x200);
+        assert!(prod >= 3, "producer advanced to {prod}");
+        // First descriptor points at a valid stored frame.
+        let addr = sp.peek(0x2000);
+        let len = sp.peek(0x2004);
+        assert_eq!(len, 1518);
+        let stored = fmem.peek(addr, len);
+        let info = nicsim_net::frame::validate_frame(stored).unwrap();
+        assert_eq!(info.seq, 0);
+        assert_eq!(mac.drops(), 0);
+        assert_eq!(addr % 8, 2, "frames land at the +2 IP-align offset");
+    }
+
+    #[test]
+    fn mac_rx_drops_when_ring_full() {
+        let mut sp = Scratchpad::new(64 * 1024, 4);
+        let mut xbar = Crossbar::new(1, 4);
+        let mut fmem = fm();
+        let cfg = MacRxConfig {
+            port: 0,
+            ring: 0x2000,
+            entries: 4, // tiny ring, firmware never claims
+            prod_addr: 0x200,
+            claim_addr: 0x204,
+            claim_slack: 0,
+            buf_base: 0x10_0000,
+            buf_bytes: 0x10_0000,
+            tail_addr: 0x208,
+        };
+        let mut mac = MacRx::new(cfg, RxGenerator::new(1472));
+        let mut now = Ps::ZERO;
+        for _ in 0..5000 {
+            now += Ps(5000);
+            xbar.tick(&mut sp);
+            mac.tick(now, &mut xbar, &sp, &mut fmem);
+            for _ in fmem.advance(now) {
+                mac.on_sdram_complete();
+            }
+        }
+        assert!(mac.drops() > 0, "overrun must drop");
+        assert_eq!(sp.peek(0x200), 4, "only ring-many frames delivered");
+    }
+
+    #[test]
+    fn align8_pads_up() {
+        assert_eq!(align8(0), 0);
+        assert_eq!(align8(1), 8);
+        assert_eq!(align8(8), 8);
+        assert_eq!(align8(1520), 1520);
+        assert_eq!(align8(1521), 1528);
+    }
+}

@@ -1,0 +1,32 @@
+//! Ablation: scratchpad bank count. The paper provisions 4 banks so that
+//! bank conflicts stay low (Table 3 charges only 0.05 IPC to conflicts);
+//! this sweep shows the sensitivity.
+
+use nicsim::NicConfig;
+use nicsim_bench::{header, measure};
+use nicsim_cpu::StallBucket;
+
+fn main() {
+    header(
+        "Ablation: scratchpad banks (6 cores, RMW, 166 MHz)",
+        "banked scratchpad overprovisions bandwidth to keep latency low (§2.3)",
+    );
+    println!(
+        "{:>6} {:>12} {:>16} {:>12}",
+        "banks", "Gb/s", "conflict IPC", "IPC"
+    );
+    for banks in [1usize, 2, 4, 8] {
+        let cfg = NicConfig {
+            banks,
+            ..NicConfig::rmw_166()
+        };
+        let s = measure(cfg);
+        println!(
+            "{:>6} {:>12.2} {:>16.3} {:>12.3}",
+            banks,
+            s.total_udp_gbps(),
+            s.ipc_contribution(StallBucket::Conflict),
+            s.ipc()
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 8: full-duplex throughput for various UDP datagram sizes under
+//! the software-only (200 MHz) and RMW-enhanced (166 MHz) configurations.
+
+use nicsim::NicConfig;
+use nicsim_bench::{header, measure};
+use nicsim_net::link::max_udp_throughput_gbps;
+
+fn main() {
+    header(
+        "Figure 8: throughput vs UDP datagram size",
+        "both configurations scale together; small frames saturate ~2.2M frames/s",
+    );
+    let sizes = [18usize, 100, 200, 400, 600, 800, 1000, 1200, 1472];
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} | {:>12} {:>12}",
+        "bytes", "limit Gb/s", "sw@200 Gb/s", "rmw@166 Gb/s", "sw Mfps", "rmw Mfps"
+    );
+    for size in sizes {
+        let limit = 2.0 * max_udp_throughput_gbps(size);
+        let sw = measure(NicConfig {
+            udp_payload: size,
+            ..NicConfig::software_only_200()
+        });
+        let rmw = measure(NicConfig {
+            udp_payload: size,
+            ..NicConfig::rmw_166()
+        });
+        println!(
+            "{:>6} {:>10.2} {:>12.2} {:>12.2} | {:>12.2} {:>12.2}",
+            size,
+            limit,
+            sw.total_udp_gbps(),
+            rmw.total_udp_gbps(),
+            sw.total_fps() / 1e6,
+            rmw.total_fps() / 1e6,
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Table 1: average instructions and data accesses to send and receive
+//! one Ethernet frame, measured on the idealized (single-core,
+//! synchronization-free) firmware.
+
+use nicsim::NicConfig;
+use nicsim_bench::{header, measure};
+use nicsim_cpu::FwFunc;
+
+fn main() {
+    header(
+        "Table 1: per-frame instructions and data accesses (idealized firmware)",
+        "anchors: send 282 instr (229 MIPS), receive 253 instr (206 MIPS) at 812,744 fps",
+    );
+    // A 300 MHz single core is near saturation for the ideal firmware,
+    // matching the paper's methodology of profiling the loaded firmware.
+    let cfg = NicConfig {
+        cpu_mhz: 300,
+        ..NicConfig::ideal()
+    };
+    let s = measure(cfg);
+    println!("{:<22} {:>14} {:>14}", "Function", "Instructions", "Data Accesses");
+    let rows = [
+        (FwFunc::FetchSendBd, s.tx_frames),
+        (FwFunc::SendFrame, s.tx_frames),
+        (FwFunc::FetchRecvBd, s.rx_frames),
+        (FwFunc::RecvFrame, s.rx_frames),
+    ];
+    for (f, frames) in rows {
+        println!(
+            "{:<22} {:>14.1} {:>14.1}",
+            f.label(),
+            s.instr_per_frame(f, frames),
+            s.accesses_per_frame(f, frames)
+        );
+    }
+    let send_i = s.instr_per_frame(FwFunc::FetchSendBd, s.tx_frames)
+        + s.instr_per_frame(FwFunc::SendFrame, s.tx_frames);
+    let recv_i = s.instr_per_frame(FwFunc::FetchRecvBd, s.rx_frames)
+        + s.instr_per_frame(FwFunc::RecvFrame, s.rx_frames);
+    let send_a = s.accesses_per_frame(FwFunc::FetchSendBd, s.tx_frames)
+        + s.accesses_per_frame(FwFunc::SendFrame, s.tx_frames);
+    let recv_a = s.accesses_per_frame(FwFunc::FetchRecvBd, s.rx_frames)
+        + s.accesses_per_frame(FwFunc::RecvFrame, s.rx_frames);
+    println!("----------------------------------------------------------------");
+    println!("send total:    {send_i:6.1} instr {send_a:6.1} accesses  (paper: ~282 instr)");
+    println!("receive total: {recv_i:6.1} instr {recv_a:6.1} accesses  (paper: ~253 instr)");
+    println!(
+        "implied MIPS at line rate: send {:.0}, receive {:.0}  (paper: 229 / 206)",
+        send_i * 812_744.0 / 1e6,
+        recv_i * 812_744.0 / 1e6
+    );
+}

@@ -1,0 +1,56 @@
+//! Table 2: theoretical peak IPCs of NIC firmware for different
+//! processor configurations, from an offline analysis of a dynamic
+//! instruction trace of the idealized firmware.
+
+use nicsim::NicConfig;
+use nicsim_bench::{header, measure_with_system, to_ilp_trace};
+use nicsim_ilp::{analyze, expand, BranchModel, IssueOrder, PipelineModel, ProcessorConfig};
+
+fn main() {
+    header(
+        "Table 2: theoretical peak IPCs of NIC firmware",
+        "trends: in-order prefers hazard removal; out-of-order prefers branch prediction",
+    );
+    let cfg = NicConfig {
+        cpu_mhz: 300,
+        capture_ilp: true,
+        ..NicConfig::ideal()
+    };
+    let (_, mut sys) = measure_with_system(cfg);
+    let mut events = sys.take_ilp_trace().expect("ILP capture enabled");
+    // The IPC limits converge within a few hundred thousand
+    // instructions; truncate so the offline analysis stays quick.
+    events.truncate(120_000);
+    let trace = expand(&to_ilp_trace(&events));
+    println!("dynamic trace: {} instructions", trace.len());
+    println!(
+        "{:<10} {:>6} | {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "Issue", "Width", "PP+PBP", "PP+NoBP", "St+PBP", "St+PBP1", "St+NoBP"
+    );
+    for order in [IssueOrder::InOrder, IssueOrder::OutOfOrder] {
+        for width in [1u32, 2, 4] {
+            let run = |pipe, bp| {
+                analyze(
+                    &trace,
+                    ProcessorConfig {
+                        order,
+                        width,
+                        pipeline: pipe,
+                        branches: bp,
+                    },
+                )
+            };
+            println!(
+                "{:<10} {:>6} | {:>8.2} {:>8.2} | {:>8.2} {:>8.2} {:>8.2}",
+                if order == IssueOrder::InOrder { "in-order" } else { "OOO" },
+                width,
+                run(PipelineModel::Perfect, BranchModel::Perfect),
+                run(PipelineModel::Perfect, BranchModel::None),
+                run(PipelineModel::Stalls, BranchModel::Perfect),
+                run(PipelineModel::Stalls, BranchModel::Pbp1),
+                run(PipelineModel::Stalls, BranchModel::None),
+            );
+        }
+    }
+    println!("(PP = perfect pipeline, St = 5-stage with stalls)");
+}

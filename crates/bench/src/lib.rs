@@ -1,0 +1,88 @@
+//! Shared infrastructure for the table/figure regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper; this library holds the measurement conventions they share so
+//! all results come from identical methodology:
+//!
+//! * warm up 2 ms of simulated time, then measure a 4 ms steady-state
+//!   window (scaled down by `NICSIM_QUICK=1` for smoke runs);
+//! * always validate: every run asserts zero corrupt, reordered, or
+//!   invalid frames end to end.
+
+use nicsim::{NicConfig, NicSystem, RunStats};
+use nicsim_cpu::OpEvent;
+use nicsim_ilp::TraceOp;
+use nicsim_sim::Ps;
+
+/// Warm-up and measurement window (milliseconds of simulated time).
+pub fn windows() -> (u64, u64) {
+    if std::env::var("NICSIM_QUICK").is_ok_and(|v| v == "1") {
+        (1, 1)
+    } else {
+        (2, 4)
+    }
+}
+
+/// Run `cfg` with the standard methodology and return the statistics.
+pub fn measure(cfg: NicConfig) -> RunStats {
+    let (warm, win) = windows();
+    let mut sys = NicSystem::new(cfg);
+    let stats = sys.run_measured(Ps::from_ms(warm), Ps::from_ms(win));
+    stats.assert_clean();
+    stats
+}
+
+/// Run `cfg` and also return the system for post-run inspection
+/// (trace extraction).
+pub fn measure_with_system(cfg: NicConfig) -> (RunStats, NicSystem) {
+    let (warm, win) = windows();
+    let mut sys = NicSystem::new(cfg);
+    let stats = sys.run_measured(Ps::from_ms(warm), Ps::from_ms(win));
+    stats.assert_clean();
+    (stats, sys)
+}
+
+/// Convert the core model's coarse operation events into the ILP
+/// analyzer's trace alphabet.
+pub fn to_ilp_trace(events: &[OpEvent]) -> Vec<TraceOp> {
+    events
+        .iter()
+        .map(|e| match e {
+            OpEvent::Alu(n) => TraceOp::Alu(*n),
+            OpEvent::Load => TraceOp::Load,
+            OpEvent::Store => TraceOp::Store,
+            OpEvent::Rmw => TraceOp::Rmw,
+            OpEvent::Branch { mispredict } => TraceOp::Branch {
+                mispredict: *mispredict,
+            },
+        })
+        .collect()
+}
+
+/// Print a standard experiment header.
+pub fn header(what: &str, paper: &str) {
+    println!("================================================================");
+    println!("{what}");
+    println!("(paper reference: {paper})");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ilp_trace_conversion_is_faithful() {
+        let events = [
+            OpEvent::Alu(3),
+            OpEvent::Load,
+            OpEvent::Store,
+            OpEvent::Rmw,
+            OpEvent::Branch { mispredict: true },
+        ];
+        let t = to_ilp_trace(&events);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[0], TraceOp::Alu(3));
+        assert_eq!(t[4], TraceOp::Branch { mispredict: true });
+    }
+}

@@ -1,0 +1,120 @@
+//! Full-system configuration.
+
+use nicsim_firmware::FwMode;
+use nicsim_mem::{FrameMemoryConfig, ICacheConfig};
+
+/// Configuration of the simulated NIC and its workload.
+///
+/// The defaults are the paper's headline configuration: 6 cores and 4
+/// scratchpad banks at 166 MHz, 8 KB 2-way I-caches with 32-byte lines,
+/// 500 MHz GDDR SDRAM, RMW-enhanced firmware, and full-duplex streams of
+/// maximum-sized (1472-byte) UDP datagrams.
+#[derive(Debug, Clone, Copy)]
+pub struct NicConfig {
+    /// Number of processing cores (paper sweeps 1–8).
+    pub cores: usize,
+    /// CPU / scratchpad / crossbar clock in MHz (paper sweeps 100–200).
+    pub cpu_mhz: u64,
+    /// Scratchpad banks (paper: 4).
+    pub banks: usize,
+    /// Scratchpad capacity in bytes (paper: 256 KB).
+    pub scratchpad_bytes: usize,
+    /// Per-core instruction cache geometry.
+    pub icache: ICacheConfig,
+    /// Frame memory (GDDR SDRAM + frame bus) parameters.
+    pub frame_memory: FrameMemoryConfig,
+    /// Firmware synchronization mode.
+    pub mode: FwMode,
+    /// UDP datagram size for both directions.
+    pub udp_payload: usize,
+    /// Whether the host transmits.
+    pub send_enabled: bool,
+    /// Whether the wire delivers inbound traffic.
+    pub recv_enabled: bool,
+    /// Offered transmit load in frames/s (`None` = saturate).
+    pub offered_tx_fps: Option<f64>,
+    /// Offered receive load in frames/s (`None` = line rate).
+    pub offered_rx_fps: Option<f64>,
+    /// CPU cycles between driver invocations (host-side polling period).
+    pub driver_interval: u64,
+    /// Record a scratchpad access trace (for the coherence study).
+    pub capture_trace: bool,
+    /// Maximum trace records kept when capturing.
+    pub trace_limit: usize,
+    /// Record core 0's operation trace (for the ILP study).
+    pub capture_ilp: bool,
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        NicConfig {
+            cores: 6,
+            cpu_mhz: 166,
+            banks: 4,
+            scratchpad_bytes: 256 * 1024,
+            icache: ICacheConfig::default(),
+            frame_memory: FrameMemoryConfig::default(),
+            mode: FwMode::RmwEnhanced,
+            udp_payload: 1472,
+            send_enabled: true,
+            recv_enabled: true,
+            offered_tx_fps: None,
+            offered_rx_fps: None,
+            driver_interval: 16,
+            capture_trace: false,
+            trace_limit: 4_000_000,
+            capture_ilp: false,
+        }
+    }
+}
+
+impl NicConfig {
+    /// The paper's software-only baseline at 200 MHz.
+    pub fn software_only_200() -> NicConfig {
+        NicConfig {
+            mode: FwMode::SoftwareOnly,
+            cpu_mhz: 200,
+            ..NicConfig::default()
+        }
+    }
+
+    /// The paper's RMW-enhanced configuration at 166 MHz.
+    pub fn rmw_166() -> NicConfig {
+        NicConfig::default()
+    }
+
+    /// The idealized single-core configuration used for Table 1.
+    pub fn ideal() -> NicConfig {
+        NicConfig {
+            cores: 1,
+            cpu_mhz: 1000,
+            mode: FwMode::Ideal,
+            ..NicConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_headline() {
+        let c = NicConfig::default();
+        assert_eq!(c.cores, 6);
+        assert_eq!(c.cpu_mhz, 166);
+        assert_eq!(c.banks, 4);
+        assert_eq!(c.mode, FwMode::RmwEnhanced);
+        assert_eq!(c.udp_payload, 1472);
+    }
+
+    #[test]
+    fn presets_differ_in_mode_and_clock() {
+        let sw = NicConfig::software_only_200();
+        assert_eq!(sw.mode, FwMode::SoftwareOnly);
+        assert_eq!(sw.cpu_mhz, 200);
+        let ideal = NicConfig::ideal();
+        assert_eq!(ideal.cores, 1);
+        assert_eq!(ideal.mode, FwMode::Ideal);
+    }
+}

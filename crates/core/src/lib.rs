@@ -1,0 +1,45 @@
+//! # nicsim — a programmable 10 Gigabit Ethernet NIC, simulated
+//!
+//! A from-scratch reproduction of *An Efficient Programmable 10 Gigabit
+//! Ethernet Network Interface Card* (Willmann, Kim, Rixner, Pai —
+//! HPCA 2005): a cycle-level simulator of the paper's NIC controller
+//! architecture plus its frame-level parallel firmware.
+//!
+//! The controller combines:
+//!
+//! * parallel single-issue in-order cores (a MIPS-like subset plus the
+//!   paper's `set`/`update` atomic RMW instructions),
+//! * a partitioned memory system — banked scratchpad behind a 32-bit
+//!   crossbar for control data, external GDDR SDRAM behind a 128-bit
+//!   frame bus for frame contents,
+//! * four hardware assists (DMA read/write, MAC TX/RX), and
+//! * four clock domains (CPU/scratchpad, frame bus + SDRAM, PCI,
+//!   Ethernet).
+//!
+//! # Quick start
+//!
+//! ```
+//! use nicsim::{NicConfig, NicSystem};
+//! use nicsim_sim::Ps;
+//!
+//! // A small configuration so the doctest runs fast.
+//! let cfg = NicConfig {
+//!     cores: 2,
+//!     cpu_mhz: 500,
+//!     udp_payload: 1472,
+//!     ..NicConfig::default()
+//! };
+//! let mut sys = NicSystem::new(cfg);
+//! let stats = sys.run_measured(Ps::from_us(120), Ps::from_us(120));
+//! assert!(stats.tx_frames > 0 && stats.rx_frames > 0);
+//! stats.assert_clean();
+//! ```
+
+pub mod config;
+pub mod stats;
+pub mod system;
+
+pub use config::NicConfig;
+pub use nicsim_firmware::FwMode;
+pub use stats::RunStats;
+pub use system::NicSystem;

@@ -1,0 +1,130 @@
+//! Aggregated run statistics: everything the paper's tables and figures
+//! are built from.
+
+use nicsim_cpu::{CoreProfile, FwFunc, StallBucket};
+use nicsim_sim::Ps;
+
+/// Statistics collected over one measurement window.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Window length.
+    pub window: Ps,
+    /// Number of cores.
+    pub cores: usize,
+    /// CPU frequency in MHz.
+    pub cpu_mhz: u64,
+    /// Frames transmitted (validated at the wire).
+    pub tx_frames: u64,
+    /// Frames received by the driver (validated end-to-end).
+    pub rx_frames: u64,
+    /// Transmit UDP payload throughput, Gb/s.
+    pub tx_udp_gbps: f64,
+    /// Receive UDP payload throughput, Gb/s.
+    pub rx_udp_gbps: f64,
+    /// Frames the MAC RX dropped (receiver overrun).
+    pub rx_mac_drops: u64,
+    /// Transmit frames that failed validation or arrived out of order.
+    pub tx_errors: u64,
+    /// Receive frames that failed validation.
+    pub rx_corrupt: u64,
+    /// Receive frames delivered out of order (must be 0).
+    pub rx_out_of_order: u64,
+    /// Merged per-function profile across all cores.
+    pub profile: CoreProfile,
+    /// Per-core total ticks in the window.
+    pub core_ticks: u64,
+    /// Scratchpad accesses by the cores.
+    pub core_sp_accesses: u64,
+    /// Scratchpad accesses by the assists.
+    pub assist_sp_accesses: u64,
+    /// Scratchpad bandwidth consumed, Gb/s (grants * 4 bytes / window).
+    pub scratchpad_gbps: f64,
+    /// Instruction-memory bandwidth consumed, Gb/s.
+    pub instr_mem_gbps: f64,
+    /// Instruction-memory interface utilization (0..1).
+    pub instr_mem_utilization: f64,
+    /// Frame-memory bandwidth consumed (including alignment padding),
+    /// Gb/s.
+    pub frame_mem_gbps: f64,
+    /// Frame-memory bytes lost to 8-byte misalignment.
+    pub frame_mem_wasted_bytes: u64,
+    /// Mean frame-memory burst latency.
+    pub frame_mem_mean_latency: Ps,
+    /// Max frame-memory burst latency.
+    pub frame_mem_max_latency: Ps,
+    /// I-cache hits across cores.
+    pub icache_hits: u64,
+    /// I-cache misses across cores.
+    pub icache_misses: u64,
+}
+
+impl RunStats {
+    /// Total full-duplex UDP payload throughput, Gb/s.
+    pub fn total_udp_gbps(&self) -> f64 {
+        self.tx_udp_gbps + self.rx_udp_gbps
+    }
+
+    /// Total frames per second processed (both directions).
+    pub fn total_fps(&self) -> f64 {
+        (self.tx_frames + self.rx_frames) as f64 / self.window.as_secs_f64()
+    }
+
+    /// Average per-core IPC contribution of one stall bucket — the rows
+    /// of Table 3 (they sum to 1.0 when cores never halt).
+    pub fn ipc_contribution(&self, bucket: StallBucket) -> f64 {
+        let total = self.core_ticks * self.cores as u64;
+        if total == 0 {
+            return 0.0;
+        }
+        self.profile.bucket_cycles(bucket) as f64 / total as f64
+    }
+
+    /// Achieved instructions per cycle per core.
+    pub fn ipc(&self) -> f64 {
+        let total = self.core_ticks * self.cores as u64;
+        if total == 0 {
+            return 0.0;
+        }
+        self.profile.total(|p| p.instructions) as f64 / total as f64
+    }
+
+    /// Instructions per frame charged to `func`, normalized by the given
+    /// direction's frame count (Tables 1 and 5).
+    pub fn instr_per_frame(&self, func: FwFunc, frames: u64) -> f64 {
+        if frames == 0 {
+            return 0.0;
+        }
+        self.profile.func(func).instructions as f64 / frames as f64
+    }
+
+    /// Memory accesses per frame charged to `func`.
+    pub fn accesses_per_frame(&self, func: FwFunc, frames: u64) -> f64 {
+        if frames == 0 {
+            return 0.0;
+        }
+        self.profile.func(func).mem_accesses as f64 / frames as f64
+    }
+
+    /// Cycles per frame charged to `func` (Table 6).
+    pub fn cycles_per_frame(&self, func: FwFunc, frames: u64) -> f64 {
+        if frames == 0 {
+            return 0.0;
+        }
+        self.profile.func(func).total_cycles() as f64 / frames as f64
+    }
+
+    /// Panic if any frame was corrupted, reordered, or spuriously
+    /// errored — the end-to-end correctness contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics when validation failed anywhere in the run.
+    pub fn assert_clean(&self) {
+        assert_eq!(self.tx_errors, 0, "transmit-side validation failures");
+        assert_eq!(self.rx_corrupt, 0, "corrupt frames reached the driver");
+        assert_eq!(
+            self.rx_out_of_order, 0,
+            "in-order delivery violated (paper §3.3 requires it)"
+        );
+    }
+}

@@ -1,0 +1,459 @@
+//! Full-system assembly and the main simulation loop.
+//!
+//! `NicSystem` owns every component of Figure 6 — the cores, the
+//! crossbar and scratchpad banks, the instruction memory, the frame
+//! memory, the four assists — plus the host (driver + main memory) and
+//! the network model. The main loop advances the CPU clock domain cycle
+//! by cycle; the frame-side components keep picosecond-resolution state
+//! internally and are polled at each CPU tick, and the host's mailbox
+//! writes land between cycles as memory-mapped register writes.
+
+use crate::config::NicConfig;
+use crate::stats::RunStats;
+use nicsim_assists::{DmaConfig, DmaRead, DmaWrite, MacRx, MacRxConfig, MacTx, MacTxConfig};
+use nicsim_cpu::{CodeLayout, Core, CoreCtx, CoreProfile, OpEvent};
+use nicsim_firmware::handlers::HostRegs;
+use nicsim_firmware::map::{DMA_RING, MACRX_RING, MACTX_RING, RXBUF_BASE, RXBUF_BYTES};
+use nicsim_firmware::mode::Fw;
+use nicsim_firmware::{dispatch_loop, FwMode, MemMap};
+use nicsim_host::{Driver, DriverConfig, HostLayout, HostMemory, Mailbox};
+use nicsim_mem::{AccessTrace, Crossbar, FrameMemory, InstrMemory, Scratchpad, StreamId};
+use nicsim_net::link::RxGenerator;
+use nicsim_sim::{Freq, Ps};
+
+/// The assembled NIC + host + network simulation.
+pub struct NicSystem {
+    cfg: NicConfig,
+    map: MemMap,
+    now: Ps,
+    cpu_period: Ps,
+    sp: Scratchpad,
+    xbar: Crossbar,
+    imem: InstrMemory,
+    fm: FrameMemory,
+    cores: Vec<Core>,
+    dmard: DmaRead,
+    dmawr: DmaWrite,
+    mactx: MacTx,
+    macrx: MacRx,
+    host_mem: HostMemory,
+    driver: Driver,
+    window_start: Ps,
+    stopped: bool,
+}
+
+impl NicSystem {
+    /// Build the system from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or the configuration is inconsistent.
+    pub fn new(cfg: NicConfig) -> NicSystem {
+        assert!(cfg.cores > 0, "need at least one core");
+        assert!(
+            cfg.mode != FwMode::Ideal || cfg.cores == 1,
+            "ideal mode is single-core by definition"
+        );
+        let map = MemMap::new();
+        let sp = Scratchpad::new(cfg.scratchpad_bytes, cfg.banks);
+        let ports = cfg.cores + 4;
+        let mut xbar = Crossbar::new(ports, cfg.banks);
+        if cfg.capture_trace {
+            xbar.trace = Some(AccessTrace::with_limit(cfg.trace_limit));
+        }
+        let imem = InstrMemory::new();
+        let fm = FrameMemory::new(cfg.frame_memory);
+
+        // Host.
+        let layout = HostLayout::default();
+        let host_mem = HostMemory::new(layout.memory_size());
+        let driver = Driver::new(
+            DriverConfig {
+                udp_payload: cfg.udp_payload,
+                offered_fps: cfg.offered_tx_fps,
+                send_enabled: cfg.send_enabled,
+                post_burst: 32,
+            },
+            layout,
+        );
+        let host_regs = HostRegs {
+            send_bd_ring: layout.send_bd_ring,
+            rx_bd_ring: layout.rx_bd_ring,
+            return_ring: layout.return_ring,
+            status_send_cons: layout.status,
+            status_ret_prod: layout.status + 4,
+        };
+
+        // Assists.
+        let dmard = DmaRead::new(DmaConfig {
+            port: cfg.cores,
+            cmd_ring: map.dmard_ring,
+            cmd_entries: DMA_RING,
+            prod_addr: map.dmard_prod,
+            done_addr: map.dmard_done,
+        });
+        let dmawr = DmaWrite::new(DmaConfig {
+            port: cfg.cores + 1,
+            cmd_ring: map.dmawr_ring,
+            cmd_entries: DMA_RING,
+            prod_addr: map.dmawr_prod,
+            done_addr: map.dmawr_done,
+        });
+        let mactx = MacTx::new(MacTxConfig {
+            port: cfg.cores + 2,
+            ring: map.mactx_ring,
+            entries: MACTX_RING,
+            prod_addr: map.mactx_prod,
+            done_addr: map.mactx_done,
+        });
+        let mut generator = match cfg.offered_rx_fps {
+            Some(fps) => RxGenerator::with_fps(cfg.udp_payload, fps),
+            None => RxGenerator::new(cfg.udp_payload),
+        };
+        if !cfg.recv_enabled {
+            generator.disable();
+        }
+        let macrx = MacRx::new(
+            MacRxConfig {
+                port: cfg.cores + 3,
+                ring: map.macrx_ring,
+                entries: MACRX_RING,
+                prod_addr: map.macrx_prod,
+                claim_addr: map.recv_claim,
+                claim_slack: 64,
+                buf_base: RXBUF_BASE,
+                buf_bytes: RXBUF_BYTES,
+                tail_addr: map.rxbuf_tail,
+            },
+            generator,
+        );
+
+        // Cores + firmware.
+        let mut cores = Vec::with_capacity(cfg.cores);
+        for id in 0..cfg.cores {
+            let mut core = Core::new(id, cfg.icache, CodeLayout::new());
+            let ctx = CoreCtx::new(core.slot(), id);
+            if cfg.capture_ilp && id == 0 {
+                core.slot().borrow_mut().trace = Some(Vec::new());
+            }
+            let fw = Fw {
+                ctx: ctx.clone(),
+                m: map,
+                mode: cfg.mode,
+            };
+            core.install(dispatch_loop(ctx, fw, host_regs));
+            cores.push(core);
+        }
+
+        NicSystem {
+            cfg,
+            map,
+            now: Ps::ZERO,
+            cpu_period: Freq::from_mhz(cfg.cpu_mhz).period(),
+            sp,
+            xbar,
+            imem,
+            fm,
+            cores,
+            dmard,
+            dmawr,
+            mactx,
+            macrx,
+            host_mem,
+            driver,
+            window_start: Ps::ZERO,
+            stopped: false,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Ps {
+        self.now
+    }
+
+    /// The scratchpad memory map in use.
+    pub fn map(&self) -> MemMap {
+        self.map
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> NicConfig {
+        self.cfg
+    }
+
+    /// Direct scratchpad access for inspection and tests.
+    pub fn scratchpad(&self) -> &Scratchpad {
+        &self.sp
+    }
+
+    /// Advance one CPU cycle.
+    fn step(&mut self) {
+        self.now += self.cpu_period;
+        let now = self.now;
+
+        // Crossbar arbitration, then the cores.
+        self.xbar.tick(&mut self.sp);
+        for core in &mut self.cores {
+            core.tick(&mut self.xbar, &mut self.imem);
+        }
+
+        // Hardware assists.
+        self.dmard
+            .tick(now, &mut self.xbar, &self.sp, &self.host_mem, &mut self.fm);
+        self.dmawr.tick(
+            now,
+            &mut self.xbar,
+            &self.sp,
+            &mut self.host_mem,
+            &mut self.fm,
+        );
+        self.mactx.tick(now, &mut self.xbar, &self.sp, &mut self.fm);
+        self.macrx.tick(now, &mut self.xbar, &self.sp, &mut self.fm);
+
+        // Frame-memory completions route back to their streams.
+        for c in self.fm.advance(now) {
+            match c.stream {
+                StreamId::DmaRead => self.dmard.on_sdram_complete(c.tag),
+                StreamId::DmaWrite => self.dmawr.on_sdram_complete(
+                    c.tag,
+                    c.data.as_deref().expect("read data"),
+                    &mut self.host_mem,
+                ),
+                StreamId::MacTx => self
+                    .mactx
+                    .on_sdram_complete(c.at, c.data.as_deref().expect("read data")),
+                StreamId::MacRx => self.macrx.on_sdram_complete(),
+            }
+        }
+
+        // Host driver (polling period models interrupt mitigation).
+        if Freq::from_mhz(self.cfg.cpu_mhz)
+            .cycles_in(now.saturating_sub(Ps::ZERO))
+            % self.cfg.driver_interval
+            == 0
+        {
+            self.driver.tick(now, &mut self.host_mem);
+            for w in self.driver.take_mailbox_writes() {
+                let addr = match w.reg {
+                    Mailbox::SendBdProd => self.map.sb_mailbox_prod,
+                    Mailbox::RxBdProd => self.map.rb_mailbox_prod,
+                };
+                self.sp.poke(addr, w.value);
+            }
+        }
+    }
+
+    /// Run until simulation time `until`.
+    pub fn run_until(&mut self, until: Ps) {
+        while self.now < until {
+            self.step();
+        }
+    }
+
+    /// Discard statistics gathered so far and restart the measurement
+    /// window at the current time.
+    pub fn reset_window(&mut self) {
+        let now = self.now;
+        self.window_start = now;
+        for c in &mut self.cores {
+            c.reset_stats();
+        }
+        self.xbar.reset_stats();
+        self.imem.reset_stats();
+        self.fm.reset_stats();
+        self.dmard.reset_stats();
+        self.dmawr.reset_stats();
+        self.mactx.monitor.reset(now);
+        self.mactx.reset_stats();
+        self.macrx.reset_stats();
+        self.driver.reset_window(now);
+    }
+
+    /// Warm the system up, then measure a steady-state window.
+    pub fn run_measured(&mut self, warmup: Ps, window: Ps) -> RunStats {
+        self.run_until(self.now + warmup);
+        self.reset_window();
+        self.run_until(self.now + window);
+        self.collect()
+    }
+
+    /// Collect statistics for the current window.
+    pub fn collect(&self) -> RunStats {
+        let window = self.now.saturating_sub(self.window_start);
+        let secs = window.as_secs_f64().max(1e-15);
+        let mut profile = CoreProfile::new();
+        let mut core_ticks = 0;
+        let mut icache_hits = 0;
+        let mut icache_misses = 0;
+        for c in &self.cores {
+            profile.merge(c.profile());
+            core_ticks = core_ticks.max(c.engine_stats().ticks);
+            icache_hits += c.icache().hits();
+            icache_misses += c.icache().misses();
+        }
+        let core_sp: u64 = (0..self.cfg.cores)
+            .map(|p| self.xbar.port_stats(p).grants)
+            .sum();
+        let assist_sp = self.dmard.sp_accesses()
+            + self.dmawr.sp_accesses()
+            + self.mactx.sp_accesses()
+            + self.macrx.sp_accesses();
+        let d = self.driver.stats();
+        let cpu_hz = self.cfg.cpu_mhz as f64 * 1e6;
+        let window_cycles = core_ticks.max(1) as f64;
+        let _ = cpu_hz;
+        RunStats {
+            window,
+            cores: self.cfg.cores,
+            cpu_mhz: self.cfg.cpu_mhz,
+            tx_frames: self.mactx.monitor.frames(),
+            rx_frames: d.rx_frames,
+            tx_udp_gbps: self.mactx.monitor.udp_gbps(self.now),
+            rx_udp_gbps: self.driver.rx_udp_gbps(self.now),
+            rx_mac_drops: self.macrx.drops(),
+            tx_errors: self.mactx.monitor.errors().len() as u64
+                + self.mactx.monitor.out_of_order(),
+            rx_corrupt: d.rx_corrupt,
+            rx_out_of_order: d.rx_out_of_order,
+            profile,
+            core_ticks,
+            core_sp_accesses: core_sp,
+            assist_sp_accesses: assist_sp,
+            scratchpad_gbps: (core_sp + assist_sp) as f64 * 4.0 * 8.0 / secs / 1e9,
+            instr_mem_gbps: self.imem.bytes_transferred() as f64 * 8.0 / secs / 1e9,
+            instr_mem_utilization: self.imem.busy_cycles() as f64 / window_cycles,
+            frame_mem_gbps: self.fm.padded_bytes() as f64 * 8.0 / secs / 1e9,
+            frame_mem_wasted_bytes: self.fm.wasted_bytes(),
+            frame_mem_mean_latency: self.fm.mean_latency(),
+            frame_mem_max_latency: self.fm.max_latency(),
+            icache_hits,
+            icache_misses,
+        }
+    }
+
+    /// Ask the firmware to stop and run until every core has halted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cores fail to halt within `timeout`.
+    pub fn stop(&mut self, timeout: Ps) {
+        self.sp.poke(self.map.stop_flag, 1);
+        self.stopped = true;
+        let deadline = self.now + timeout;
+        while self.cores.iter().any(|c| !c.halted()) {
+            assert!(self.now < deadline, "firmware failed to halt");
+            self.step();
+        }
+    }
+
+    /// Whether all cores have halted.
+    pub fn halted(&self) -> bool {
+        self.cores.iter().all(|c| c.halted())
+    }
+
+    /// Take the scratchpad access trace captured so far (requires
+    /// `capture_trace`).
+    pub fn take_trace(&mut self) -> Option<AccessTrace> {
+        self.xbar.trace.take()
+    }
+
+    /// Take core 0's operation trace (requires `capture_ilp`).
+    pub fn take_ilp_trace(&mut self) -> Option<Vec<OpEvent>> {
+        self.cores[0].slot().borrow_mut().trace.take()
+    }
+
+    /// MAC receive drops so far (overruns).
+    pub fn rx_drops(&self) -> u64 {
+        self.macrx.drops()
+    }
+
+    /// Out-of-order receive samples (expected, got, ret_cons, fw_seq),
+    /// for debugging.
+    pub fn driver_ooo(&self) -> &[(u32, u32, u32, u32)] {
+        self.driver.ooo_samples()
+    }
+
+    /// Debug: returns of buffers that were not outstanding.
+    pub fn driver_bad_returns(&self) -> u64 {
+        self.driver.dbg_bad_returns
+    }
+
+    /// Debug: wire seq of accepted frames, in acceptance order.
+    pub fn mac_accepted(&self) -> &[u32] {
+        &self.macrx.dbg_accepted
+    }
+
+    /// Debug: payload DMA-write commands (src, dst, len).
+    pub fn dmawr_payloads(&self) -> &[(u32, u32, u32)] {
+        &self.dmawr.dbg_payloads
+    }
+}
+
+impl std::fmt::Debug for NicSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NicSystem")
+            .field("cores", &self.cfg.cores)
+            .field("cpu_mhz", &self.cfg.cpu_mhz)
+            .field("mode", &self.cfg.mode)
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end smoke test: a fast small system moves real frames both
+    /// directions with full validation.
+    #[test]
+    fn end_to_end_duplex_traffic() {
+        let cfg = NicConfig {
+            cores: 2,
+            cpu_mhz: 500,
+            ..NicConfig::default()
+        };
+        let mut sys = NicSystem::new(cfg);
+        let stats = sys.run_measured(Ps::from_us(150), Ps::from_us(150));
+        assert!(stats.tx_frames > 20, "tx_frames = {}", stats.tx_frames);
+        assert!(stats.rx_frames > 20, "rx_frames = {}", stats.rx_frames);
+        stats.assert_clean();
+    }
+
+    #[test]
+    fn firmware_stops_cleanly() {
+        let cfg = NicConfig {
+            cores: 2,
+            cpu_mhz: 500,
+            ..NicConfig::default()
+        };
+        let mut sys = NicSystem::new(cfg);
+        sys.run_until(Ps::from_us(50));
+        sys.stop(Ps::from_ms(5));
+        assert!(sys.halted());
+    }
+
+    #[test]
+    fn ideal_mode_processes_frames() {
+        let mut sys = NicSystem::new(NicConfig::ideal());
+        let stats = sys.run_measured(Ps::from_us(200), Ps::from_us(200));
+        assert!(stats.tx_frames > 10);
+        assert!(stats.rx_frames > 10);
+        stats.assert_clean();
+    }
+
+    #[test]
+    fn software_only_mode_processes_frames() {
+        let cfg = NicConfig {
+            cores: 2,
+            cpu_mhz: 500,
+            mode: FwMode::SoftwareOnly,
+            ..NicConfig::default()
+        };
+        let mut sys = NicSystem::new(cfg);
+        let stats = sys.run_measured(Ps::from_us(150), Ps::from_us(150));
+        assert!(stats.tx_frames > 10);
+        assert!(stats.rx_frames > 10);
+        stats.assert_clean();
+    }
+}

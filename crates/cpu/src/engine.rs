@@ -1,0 +1,695 @@
+//! The per-core timing engine.
+//!
+//! `Core::tick` is called once per CPU-clock cycle (after the crossbar has
+//! arbitrated). It advances the core's pipeline state machine, charging
+//! every cycle to exactly one [`StallBucket`] of the current firmware
+//! function, and polls the firmware future whenever the core is ready to
+//! issue the next operation. See the crate docs for the timing rules.
+
+use crate::func::{CoreProfile, FwFunc, StallBucket};
+use crate::layout::CodeLayout;
+use crate::slot::{new_slot, PendingOp, SharedSlot};
+use nicsim_mem::{Crossbar, ICache, ICacheConfig, InstrMemory, SpOp, SpRequest};
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
+
+/// What to do after the currently-charging cycles elapse.
+#[derive(Debug, Clone, Copy)]
+enum Then {
+    /// Poll the firmware for its next operation.
+    Poll,
+    /// Submit this memory transaction to the crossbar.
+    Mem(SpRequest),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    /// Ready to poll the firmware future.
+    Poll,
+    /// Charging cycles: I-miss stall, then execution, then annulled slots.
+    Busy {
+        imiss: u32,
+        exec: u32,
+        annul: u32,
+        then: Then,
+    },
+    /// Port blocked by the in-flight buffered store.
+    WaitStoreDrain { req: SpRequest, is_load: bool },
+    /// A load/RMW is in the crossbar; waiting for data.
+    WaitMem { waited: u32 },
+    /// Firmware future completed.
+    Halted,
+}
+
+/// Aggregate engine statistics not tied to a firmware function.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreEngineStats {
+    /// Total ticks the core has run.
+    pub ticks: u64,
+    /// Ticks spent with the future halted.
+    pub halted_ticks: u64,
+}
+
+/// One simulated processing core.
+pub struct Core {
+    id: usize,
+    slot: SharedSlot,
+    fut: Option<Pin<Box<dyn Future<Output = ()>>>>,
+    state: State,
+    store_inflight: bool,
+    icache: ICache,
+    layout: CodeLayout,
+    /// Offset of the fetch pointer within the current function's region.
+    vpc_off: u64,
+    /// Function whose region the fetch pointer is walking.
+    fetch_func: FwFunc,
+    /// Last line touched, to avoid redundant I-cache lookups.
+    last_line: Option<u64>,
+    cycle: u64,
+    profile: CoreProfile,
+    stats: CoreEngineStats,
+}
+
+impl Core {
+    /// Create core `id` (which is also its crossbar port) with the given
+    /// I-cache geometry and code layout.
+    pub fn new(id: usize, icache_cfg: ICacheConfig, layout: CodeLayout) -> Core {
+        Core {
+            id,
+            slot: new_slot(),
+            fut: None,
+            state: State::Poll,
+            store_inflight: false,
+            icache: ICache::new(icache_cfg),
+            layout,
+            vpc_off: 0,
+            fetch_func: FwFunc::Idle,
+            last_line: None,
+            cycle: 0,
+            profile: CoreProfile::new(),
+            stats: CoreEngineStats::default(),
+        }
+    }
+
+    /// The core id / crossbar port.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The slot shared with the firmware future (create a
+    /// [`crate::CoreCtx`] from this to write firmware).
+    pub fn slot(&self) -> SharedSlot {
+        self.slot.clone()
+    }
+
+    /// Install the firmware future this core runs.
+    pub fn install(&mut self, fut: impl Future<Output = ()> + 'static) {
+        self.fut = Some(Box::pin(fut));
+        self.state = State::Poll;
+        self.slot.borrow_mut().halted = false;
+    }
+
+    /// Whether the firmware future has completed.
+    pub fn halted(&self) -> bool {
+        matches!(self.state, State::Halted)
+    }
+
+    /// The profiling counters collected so far.
+    pub fn profile(&self) -> &CoreProfile {
+        &self.profile
+    }
+
+    /// Engine-level statistics.
+    pub fn engine_stats(&self) -> CoreEngineStats {
+        self.stats
+    }
+
+    /// The core's instruction cache (for hit/miss statistics).
+    pub fn icache(&self) -> &ICache {
+        &self.icache
+    }
+
+    /// Zero profiling counters (for steady-state measurement windows).
+    pub fn reset_stats(&mut self) {
+        self.profile.reset();
+        self.stats = CoreEngineStats::default();
+        self.icache.reset_stats();
+    }
+
+    fn charge(&mut self, bucket: StallBucket) {
+        let f = self.slot.borrow().func;
+        self.profile.func_mut(f).cycles[bucket.index()] += 1;
+    }
+
+    /// Walk the fetch pointer over `n` instructions of the current
+    /// function's code region, returning I-miss stall cycles.
+    fn touch_code(&mut self, mut n: u32, imem: &mut InstrMemory) -> u32 {
+        let func = self.slot.borrow().func;
+        let (base, len_instr) = self.layout.region(func);
+        let region_bytes = len_instr as u64 * 4;
+        if func != self.fetch_func {
+            // Handler entry: fetch restarts at the function's first line.
+            self.fetch_func = func;
+            self.vpc_off = 0;
+            self.last_line = None;
+        }
+        let line_bytes = self.icache.config().line_bytes as u64;
+        let mut stall = 0u32;
+        while n > 0 {
+            let addr = base + self.vpc_off;
+            let line = addr / line_bytes;
+            if self.last_line != Some(line) {
+                self.last_line = Some(line);
+                if !self.icache.access(addr) {
+                    let now = self.cycle + stall as u64;
+                    let done = imem.fill(now, line_bytes);
+                    stall += (done - now) as u32;
+                }
+            }
+            let line_off = self.vpc_off % line_bytes;
+            let in_line = ((line_bytes - line_off) / 4) as u32;
+            let take = n.min(in_line.max(1));
+            self.vpc_off = (self.vpc_off + take as u64 * 4) % region_bytes;
+            n -= take;
+        }
+        stall
+    }
+
+    /// Advance one CPU cycle. Must be called after `xbar.tick()` for the
+    /// same cycle.
+    pub fn tick(&mut self, xbar: &mut Crossbar, imem: &mut InstrMemory) {
+        self.cycle += 1;
+        self.stats.ticks += 1;
+
+        // Drain a completed buffered store.
+        if self.store_inflight && xbar.take_response(self.id).is_some() {
+            self.store_inflight = false;
+        }
+
+        // At most one state-advancing action consumes this cycle; the
+        // `loop` exists only for the zero-cycle transitions (memory
+        // response consumption and polling chain into the next
+        // instruction's first cycle).
+        loop {
+            match self.state {
+                State::Halted => {
+                    self.stats.halted_ticks += 1;
+                    return;
+                }
+                State::Poll => {
+                    let waker = Waker::noop();
+                    let mut cx = Context::from_waker(waker);
+                    let fut = self.fut.as_mut().expect("firmware installed");
+                    match fut.as_mut().poll(&mut cx) {
+                        Poll::Ready(()) => {
+                            self.state = State::Halted;
+                            self.slot.borrow_mut().halted = true;
+                            continue;
+                        }
+                        Poll::Pending => {}
+                    }
+                    let op = self
+                        .slot
+                        .borrow_mut()
+                        .pending
+                        .take()
+                        .expect("firmware future suspended without issuing an op");
+                    let (n_instr, exec, annul, then, is_mem) = match op {
+                        PendingOp::Alu(n) => (n, n, 0, Then::Poll, false),
+                        PendingOp::Branch { mispredict } => {
+                            (1, 1, u32::from(mispredict), Then::Poll, false)
+                        }
+                        PendingOp::Mem(req) => (1, 1, 0, Then::Mem(req), true),
+                    };
+                    debug_assert!(n_instr > 0, "alu(0) is filtered in CoreCtx");
+                    let imiss = self.touch_code(n_instr, imem);
+                    {
+                        let f = self.slot.borrow().func;
+                        let p = self.profile.func_mut(f);
+                        p.instructions += n_instr as u64;
+                        if is_mem {
+                            p.mem_accesses += 1;
+                        }
+                    }
+                    self.state = State::Busy {
+                        imiss,
+                        exec,
+                        annul,
+                        then,
+                    };
+                    continue; // consume this cycle in Busy
+                }
+                State::Busy {
+                    mut imiss,
+                    mut exec,
+                    mut annul,
+                    then,
+                } => {
+                    // Consume one cycle.
+                    if imiss > 0 {
+                        self.charge(StallBucket::IMiss);
+                        imiss -= 1;
+                    } else if exec > 0 {
+                        self.charge(StallBucket::Exec);
+                        exec -= 1;
+                    } else {
+                        debug_assert!(annul > 0);
+                        self.charge(StallBucket::Pipeline);
+                        annul -= 1;
+                    }
+                    if imiss + exec + annul > 0 {
+                        self.state = State::Busy {
+                            imiss,
+                            exec,
+                            annul,
+                            then,
+                        };
+                        return;
+                    }
+                    // Last cycle: perform the follow-up action at the tail
+                    // of this cycle.
+                    match then {
+                        Then::Poll => {
+                            // ALU/branch ops complete with a dummy value.
+                            self.slot.borrow_mut().response = Some(0);
+                            self.state = State::Poll;
+                        }
+                        Then::Mem(req) => {
+                            let is_store = matches!(req.op, SpOp::Write(_));
+                            if self.store_inflight {
+                                self.state = State::WaitStoreDrain {
+                                    req,
+                                    is_load: !is_store,
+                                };
+                            } else if is_store {
+                                xbar.submit(self.id, req);
+                                self.store_inflight = true;
+                                // Store response value is the written word.
+                                if let SpOp::Write(v) = req.op {
+                                    self.slot.borrow_mut().response = Some(v);
+                                }
+                                self.state = State::Poll;
+                            } else {
+                                xbar.submit(self.id, req);
+                                self.state = State::WaitMem { waited: 0 };
+                            }
+                        }
+                    }
+                    return;
+                }
+                State::WaitStoreDrain { req, is_load } => {
+                    if !self.store_inflight {
+                        // Port freed this cycle; the submit rides the tail
+                        // of this (conflict) cycle.
+                        self.charge(StallBucket::Conflict);
+                        xbar.submit(self.id, req);
+                        if is_load {
+                            self.state = State::WaitMem { waited: 0 };
+                        } else {
+                            self.store_inflight = true;
+                            if let SpOp::Write(v) = req.op {
+                                self.slot.borrow_mut().response = Some(v);
+                            }
+                            self.state = State::Poll;
+                        }
+                    } else {
+                        self.charge(StallBucket::Conflict);
+                    }
+                    return;
+                }
+                State::WaitMem { waited } => {
+                    if let Some(v) = xbar.take_response(self.id) {
+                        self.slot.borrow_mut().response = Some(v);
+                        // The dependent instruction issues this very
+                        // cycle: chain into Poll without consuming.
+                        self.state = State::Poll;
+                        continue;
+                    }
+                    self.charge(if waited == 0 {
+                        StallBucket::LoadStall
+                    } else {
+                        StallBucket::Conflict
+                    });
+                    self.state = State::WaitMem { waited: waited + 1 };
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("id", &self.id)
+            .field("cycle", &self.cycle)
+            .field("halted", &self.halted())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::CoreCtx;
+    use crate::func::FwFunc;
+    use nicsim_mem::Scratchpad;
+
+    struct Rig {
+        core: Core,
+        xbar: Crossbar,
+        sp: Scratchpad,
+        imem: InstrMemory,
+    }
+
+    impl Rig {
+        fn new() -> Rig {
+            Rig {
+                core: Core::new(0, ICacheConfig::default(), CodeLayout::new()),
+                xbar: Crossbar::new(1, 4),
+                sp: Scratchpad::new(4096, 4),
+                imem: InstrMemory::new(),
+            }
+        }
+
+        fn ctx(&self) -> CoreCtx {
+            CoreCtx::new(self.core.slot(), 0)
+        }
+
+        /// Run until the firmware halts; returns ticks consumed.
+        fn run(&mut self, max: u64) -> u64 {
+            for t in 0..max {
+                if self.core.halted() {
+                    return t;
+                }
+                self.xbar.tick(&mut self.sp);
+                self.core.tick(&mut self.xbar, &mut self.imem);
+            }
+            panic!("firmware did not halt within {max} ticks");
+        }
+    }
+
+    /// Discount I-miss stalls (cold caches) when checking cycle math.
+    fn cycles_sans_imiss(core: &Core) -> u64 {
+        let p = core.profile();
+        p.total(|f| f.total_cycles()) - p.bucket_cycles(StallBucket::IMiss)
+    }
+
+    #[test]
+    fn alu_costs_one_cycle_each() {
+        let mut rig = Rig::new();
+        let ctx = rig.ctx();
+        rig.core.install(async move {
+            ctx.set_func(FwFunc::SendFrame);
+            ctx.alu(5).await;
+        });
+        rig.run(100);
+        assert_eq!(cycles_sans_imiss(&rig.core), 5);
+        assert_eq!(rig.core.profile().func(FwFunc::SendFrame).instructions, 5);
+    }
+
+    #[test]
+    fn load_costs_two_cycles_uncontended() {
+        let mut rig = Rig::new();
+        rig.sp.poke(16, 42);
+        let ctx = rig.ctx();
+        rig.core.install(async move {
+            ctx.set_func(FwFunc::SendFrame);
+            let v = ctx.load(16).await;
+            assert_eq!(v, 42);
+        });
+        rig.run(100);
+        let p = rig.core.profile();
+        assert_eq!(p.bucket_cycles(StallBucket::LoadStall), 1);
+        assert_eq!(p.bucket_cycles(StallBucket::Conflict), 0);
+        assert_eq!(cycles_sans_imiss(&rig.core), 2);
+    }
+
+    #[test]
+    fn store_does_not_stall() {
+        let mut rig = Rig::new();
+        let ctx = rig.ctx();
+        rig.core.install(async move {
+            ctx.set_func(FwFunc::SendFrame);
+            ctx.store(8, 7).await;
+            ctx.alu(3).await;
+        });
+        rig.run(100);
+        // 1 (store issue) + 3 (alu): the store drains in the background.
+        assert_eq!(cycles_sans_imiss(&rig.core), 4);
+        assert_eq!(rig.sp.peek(8), 7);
+    }
+
+    #[test]
+    fn back_to_back_stores_stall_on_buffer() {
+        let mut rig = Rig::new();
+        let ctx = rig.ctx();
+        rig.core.install(async move {
+            ctx.set_func(FwFunc::SendFrame);
+            ctx.store(8, 1).await;
+            ctx.store(12, 2).await;
+        });
+        rig.run(100);
+        let p = rig.core.profile();
+        assert!(
+            p.bucket_cycles(StallBucket::Conflict) >= 1,
+            "second store must wait for the single store buffer"
+        );
+        assert_eq!(rig.sp.peek(8), 1);
+        assert_eq!(rig.sp.peek(12), 2);
+    }
+
+    #[test]
+    fn branch_miss_annuls_a_slot() {
+        let mut rig = Rig::new();
+        let ctx = rig.ctx();
+        rig.core.install(async move {
+            ctx.set_func(FwFunc::SendFrame);
+            ctx.branch().await;
+            ctx.branch_miss().await;
+        });
+        rig.run(100);
+        let p = rig.core.profile();
+        assert_eq!(p.bucket_cycles(StallBucket::Pipeline), 1);
+        assert_eq!(p.bucket_cycles(StallBucket::Exec), 2);
+        assert_eq!(p.total(|f| f.instructions), 2);
+    }
+
+    #[test]
+    fn rmw_set_and_update_roundtrip() {
+        let mut rig = Rig::new();
+        let ctx = rig.ctx();
+        rig.core.install(async move {
+            ctx.set_func(FwFunc::SendDispatch);
+            ctx.set_bit(64, 0).await;
+            ctx.set_bit(64, 1).await;
+            ctx.set_bit(64, 3).await;
+            let run = ctx.update(64, 0).await;
+            assert_eq!(run, 2);
+            let run = ctx.update(64, 2).await;
+            assert_eq!(run, 0);
+            let run = ctx.update(64, 3).await;
+            assert_eq!(run, 1);
+        });
+        rig.run(200);
+        assert_eq!(rig.sp.peek(64), 0);
+        // Each RMW is exactly one instruction and one memory access.
+        let p = rig.core.profile().func(FwFunc::SendDispatch);
+        assert_eq!(p.instructions, 6);
+        assert_eq!(p.mem_accesses, 6);
+    }
+
+    #[test]
+    fn lock_charges_lock_bucket() {
+        let mut rig = Rig::new();
+        let ctx = rig.ctx();
+        rig.core.install(async move {
+            ctx.set_func(FwFunc::RecvFrame);
+            ctx.lock(128).await;
+            ctx.alu(2).await; // critical section -> RecvFrame
+            ctx.unlock(128).await;
+        });
+        rig.run(200);
+        let p = rig.core.profile();
+        assert!(p.func(FwFunc::RecvLock).instructions >= 3);
+        assert_eq!(p.func(FwFunc::RecvFrame).instructions, 2);
+        assert_eq!(rig.sp.peek(128), 0, "lock released");
+    }
+
+    #[test]
+    fn contended_lock_spins_until_released() {
+        // Two cores on one crossbar contend for a lock.
+        let mut xbar = Crossbar::new(2, 4);
+        let mut sp = Scratchpad::new(4096, 4);
+        let mut imem = InstrMemory::new();
+        let mut c0 = Core::new(0, ICacheConfig::default(), CodeLayout::new());
+        let mut c1 = Core::new(1, ICacheConfig::default(), CodeLayout::new());
+        let ctx0 = CoreCtx::new(c0.slot(), 0);
+        let ctx1 = CoreCtx::new(c1.slot(), 1);
+        // Both increment a shared counter 50 times under the lock.
+        const LOCK: u32 = 0;
+        const COUNTER: u32 = 4;
+        let body = |ctx: CoreCtx| async move {
+            ctx.set_func(FwFunc::SendFrame);
+            for _ in 0..50 {
+                ctx.lock(LOCK).await;
+                let v = ctx.load(COUNTER).await;
+                ctx.store(COUNTER, v + 1).await;
+                ctx.unlock(LOCK).await;
+            }
+        };
+        c0.install(body(ctx0));
+        c1.install(body(ctx1));
+        for _ in 0..100_000 {
+            if c0.halted() && c1.halted() {
+                break;
+            }
+            xbar.tick(&mut sp);
+            c0.tick(&mut xbar, &mut imem);
+            c1.tick(&mut xbar, &mut imem);
+        }
+        assert!(c0.halted() && c1.halted(), "deadlock or livelock");
+        assert_eq!(sp.peek(COUNTER), 100, "lost update under lock");
+    }
+
+    #[test]
+    fn ipc_is_at_most_one() {
+        let mut rig = Rig::new();
+        let ctx = rig.ctx();
+        rig.core.install(async move {
+            ctx.set_func(FwFunc::SendFrame);
+            for _ in 0..20 {
+                ctx.alu(4).await;
+                ctx.load(0).await;
+                ctx.store(4, 1).await;
+                ctx.branch_miss().await;
+            }
+        });
+        let ticks = rig.run(10_000);
+        let instr = rig.core.profile().total(|f| f.instructions);
+        assert!(instr as u64 <= ticks);
+        // And cycle accounting is complete: buckets sum to ticks, except
+        // the final tick in which the future returned `Ready`.
+        let cycles = rig.core.profile().total(|f| f.total_cycles());
+        assert!(ticks - cycles <= 1, "ticks={ticks} cycles={cycles}");
+    }
+}
+
+#[cfg(test)]
+mod attribution_tests {
+    use super::*;
+    use crate::ctx::CoreCtx;
+    use crate::func::{FwFunc, StallBucket};
+    use nicsim_mem::Scratchpad;
+
+    fn rig() -> (Core, Crossbar, Scratchpad, InstrMemory) {
+        (
+            Core::new(0, ICacheConfig::default(), CodeLayout::new()),
+            Crossbar::new(1, 4),
+            Scratchpad::new(4096, 4),
+            InstrMemory::new(),
+        )
+    }
+
+    fn run(core: &mut Core, xbar: &mut Crossbar, sp: &mut Scratchpad, imem: &mut InstrMemory) {
+        for _ in 0..50_000 {
+            if core.halted() {
+                return;
+            }
+            xbar.tick(sp);
+            core.tick(xbar, imem);
+        }
+        panic!("did not halt");
+    }
+
+    #[test]
+    fn work_is_attributed_to_the_active_function() {
+        let (mut core, mut xbar, mut sp, mut imem) = rig();
+        let ctx = CoreCtx::new(core.slot(), 0);
+        core.install(async move {
+            ctx.set_func(FwFunc::FetchSendBd);
+            ctx.alu(10).await;
+            ctx.set_func(FwFunc::RecvFrame);
+            ctx.alu(20).await;
+            ctx.load(0).await;
+            ctx.set_func(FwFunc::Idle);
+            ctx.alu(5).await;
+        });
+        run(&mut core, &mut xbar, &mut sp, &mut imem);
+        let p = core.profile();
+        assert_eq!(p.func(FwFunc::FetchSendBd).instructions, 10);
+        assert_eq!(p.func(FwFunc::RecvFrame).instructions, 21);
+        assert_eq!(p.func(FwFunc::RecvFrame).mem_accesses, 1);
+        assert_eq!(p.func(FwFunc::Idle).instructions, 5);
+        assert_eq!(p.func(FwFunc::SendFrame).instructions, 0);
+    }
+
+    #[test]
+    fn icache_misses_are_charged_on_function_entry() {
+        let (mut core, mut xbar, mut sp, mut imem) = rig();
+        let ctx = CoreCtx::new(core.slot(), 0);
+        core.install(async move {
+            // Alternate between two handlers: first pass cold, later
+            // passes hit in the 8 KB cache.
+            for _ in 0..3 {
+                ctx.set_func(FwFunc::SendFrame);
+                ctx.alu(100).await;
+                ctx.set_func(FwFunc::RecvFrame);
+                ctx.alu(100).await;
+            }
+        });
+        run(&mut core, &mut xbar, &mut sp, &mut imem);
+        let p = core.profile();
+        let imiss = p.bucket_cycles(StallBucket::IMiss);
+        assert!(imiss > 0, "cold misses must be charged");
+        // 100 instructions touch ~13 lines; fills are ~4 cycles; all
+        // I-miss time must come from the two cold passes only.
+        assert!(imiss < 2 * 14 * 8, "warm passes must hit: imiss={imiss}");
+        assert!(core.icache().hits() > core.icache().misses());
+    }
+
+    #[test]
+    fn reset_stats_clears_profile_but_keeps_cache_contents() {
+        let (mut core, mut xbar, mut sp, mut imem) = rig();
+        let ctx = CoreCtx::new(core.slot(), 0);
+        core.install(async move {
+            ctx.set_func(FwFunc::SendFrame);
+            ctx.alu(50).await;
+        });
+        run(&mut core, &mut xbar, &mut sp, &mut imem);
+        core.reset_stats();
+        assert_eq!(core.profile().total(|f| f.instructions), 0);
+        assert_eq!(core.engine_stats().ticks, 0);
+        // Cache contents survive: re-running through the same region
+        // misses at most on the few lines the first pass never touched.
+        let ctx = CoreCtx::new(core.slot(), 0);
+        core.install(async move {
+            ctx.set_func(FwFunc::SendFrame);
+            ctx.alu(50).await;
+        });
+        run(&mut core, &mut xbar, &mut sp, &mut imem);
+        assert!(
+            core.icache().misses() <= 8,
+            "warm region should mostly hit, got {} misses",
+            core.icache().misses()
+        );
+    }
+
+    #[test]
+    fn halted_core_accumulates_halted_ticks() {
+        let (mut core, mut xbar, mut sp, mut imem) = rig();
+        let ctx = CoreCtx::new(core.slot(), 0);
+        core.install(async move {
+            ctx.alu(1).await;
+        });
+        for _ in 0..100 {
+            xbar.tick(&mut sp);
+            core.tick(&mut xbar, &mut imem);
+        }
+        assert!(core.halted());
+        let st = core.engine_stats();
+        assert!(st.halted_ticks > 90);
+        assert_eq!(st.ticks, 100);
+    }
+}

@@ -1,0 +1,110 @@
+//! The communication slot between a firmware future and its core engine.
+//!
+//! Firmware runs as a Rust future; the core timing engine polls it. They
+//! exchange exactly one operation at a time through [`CoreSlot`]: the
+//! future deposits a [`PendingOp`] and suspends; the engine charges the
+//! operation's cycles (issuing real scratchpad transactions for memory
+//! ops), deposits the response, and polls again.
+
+use crate::func::FwFunc;
+use nicsim_mem::SpRequest;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// An operation requested by firmware, to be charged by the core engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PendingOp {
+    /// `n` ALU/control instructions of straight-line work.
+    Alu(u32),
+    /// A conditional branch; `mispredict` annuls one issue slot.
+    Branch {
+        /// Whether the static predictor got it wrong.
+        mispredict: bool,
+    },
+    /// A scratchpad transaction (load, store, or atomic RMW).
+    Mem(SpRequest),
+}
+
+/// A coarse record of one executed operation, for the ILP trace expansion
+/// (Table 2). Kept deliberately small; the `nicsim-ilp` crate expands
+/// these into register-level instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpEvent {
+    /// `n` ALU instructions.
+    Alu(u32),
+    /// A load.
+    Load,
+    /// A store.
+    Store,
+    /// An atomic read-modify-write.
+    Rmw,
+    /// A branch (taken flag records misprediction in the static scheme).
+    Branch {
+        /// Whether the static predictor got it wrong.
+        mispredict: bool,
+    },
+}
+
+/// Shared state between one firmware future and its core engine.
+#[derive(Debug, Default)]
+pub struct CoreSlot {
+    /// Operation awaiting charging (set by the future, taken by the engine).
+    pub pending: Option<PendingOp>,
+    /// Response to the last operation (set by engine, taken by future).
+    pub response: Option<u32>,
+    /// Current profiling tag.
+    pub func: FwFunc,
+    /// Optional coarse operation trace for ILP analysis.
+    pub trace: Option<Vec<OpEvent>>,
+    /// Set by the engine when the firmware future completed.
+    pub halted: bool,
+}
+
+impl Default for FwFunc {
+    fn default() -> Self {
+        FwFunc::Idle
+    }
+}
+
+/// Reference-counted handle to a [`CoreSlot`]. The simulator is
+/// single-threaded, so `Rc<RefCell<_>>` suffices and keeps polling cheap.
+pub type SharedSlot = Rc<RefCell<CoreSlot>>;
+
+/// Create a fresh shared slot.
+pub fn new_slot() -> SharedSlot {
+    Rc::new(RefCell::new(CoreSlot::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_roundtrip() {
+        let slot = new_slot();
+        slot.borrow_mut().pending = Some(PendingOp::Alu(3));
+        let taken = slot.borrow_mut().pending.take();
+        assert_eq!(taken, Some(PendingOp::Alu(3)));
+        slot.borrow_mut().response = Some(7);
+        assert_eq!(slot.borrow_mut().response.take(), Some(7));
+    }
+
+    #[test]
+    fn default_tag_is_idle() {
+        let slot = new_slot();
+        assert_eq!(slot.borrow().func, FwFunc::Idle);
+        assert!(!slot.borrow().halted);
+    }
+
+    #[test]
+    fn trace_collects_events() {
+        let slot = new_slot();
+        slot.borrow_mut().trace = Some(Vec::new());
+        slot.borrow_mut()
+            .trace
+            .as_mut()
+            .unwrap()
+            .push(OpEvent::Load);
+        assert_eq!(slot.borrow().trace.as_ref().unwrap().len(), 1);
+    }
+}

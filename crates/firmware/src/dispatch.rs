@@ -1,0 +1,135 @@
+//! The dispatch loop every core runs (Figure 5).
+//!
+//! The loop walks the work sources in rotating order (offset by core id
+//! to spread lock pressure), peeks each source's hardware progress
+//! pointer against its claim pointer, and runs the matching handler when
+//! work exists. Peeking quiet sources is charged to the idle bucket; the
+//! dispatch cost proper — claiming a work bundle, constructing the event
+//! structure, ordering and committing frames — is charged inside the
+//! handlers to the direction's "Dispatch and Ordering" bucket.
+
+use crate::handlers::HostRegs;
+use crate::mode::{peek_bit_pending, peek_work, Fw};
+use nicsim_cpu::{CoreCtx, FwFunc};
+
+/// The work sources the dispatch loop polls: the seven hardware progress
+/// pointers plus the three pending-commit checks that guarantee a frame
+/// marked complete is committed even when no further completions arrive.
+const N_SOURCES: usize = 10;
+
+impl Fw {
+    async fn run_source(&self, src: usize, host: &HostRegs) -> bool {
+        let ctx = &self.ctx;
+        let m = &self.m;
+        // Polling a quiet source is idle time; the dispatch cost proper
+        // (claim, event construction, ordering) is charged inside the
+        // handlers.
+        ctx.set_func(FwFunc::Idle);
+        match src {
+            0 => {
+                if peek_work(ctx, m.sb_mailbox_prod, m.sb_fetched).await {
+                    self.fetch_send_bds(host).await
+                } else {
+                    false
+                }
+            }
+            1 => {
+                if peek_work(ctx, m.dmard_done, m.dmard_claim).await {
+                    self.process_dmard_completions().await
+                } else {
+                    false
+                }
+            }
+            2 => {
+                if peek_work(ctx, m.sbd_parsed, m.sbd_cons).await {
+                    self.send_frames().await
+                } else {
+                    false
+                }
+            }
+            3 => {
+                if peek_work(ctx, m.mactx_done, m.send_txdone_claim).await {
+                    self.process_mactx_done(host).await
+                } else {
+                    false
+                }
+            }
+            4 => {
+                if peek_work(ctx, m.rb_mailbox_prod, m.rb_fetched).await {
+                    self.fetch_recv_bds(host).await
+                } else {
+                    false
+                }
+            }
+            5 => {
+                if peek_work(ctx, m.macrx_prod, m.recv_claim).await {
+                    self.recv_frames().await
+                } else {
+                    false
+                }
+            }
+            6 => {
+                if peek_work(ctx, m.dmawr_done, m.dmawr_claim).await {
+                    self.process_dmawr_completions(host).await
+                } else {
+                    false
+                }
+            }
+            7 => {
+                if peek_bit_pending(ctx, m.send_ready_bits, m.send_ready_commit).await {
+                    self.commit_send_ready().await;
+                    true
+                } else {
+                    false
+                }
+            }
+            8 => {
+                if peek_bit_pending(ctx, m.send_txdone_bits, m.send_txdone_commit).await {
+                    self.commit_txdone(host).await;
+                    true
+                } else {
+                    false
+                }
+            }
+            9 => {
+                if peek_bit_pending(ctx, m.recv_done_bits, m.recv_commit).await {
+                    self.commit_recv(host).await;
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => unreachable!("source index out of range"),
+        }
+    }
+}
+
+/// The firmware entry point: run the dispatch loop on `ctx` until the
+/// system sets the stop flag.
+pub async fn dispatch_loop(ctx: CoreCtx, fw: Fw, host: HostRegs) {
+    let mut rot = ctx.core_id() % N_SOURCES;
+    loop {
+        ctx.set_func(FwFunc::Idle);
+        let stop = ctx.load(fw.m.stop_flag).await;
+        ctx.alu(1).await;
+        if stop != 0 {
+            ctx.branch_miss().await;
+            return;
+        }
+        ctx.branch().await;
+        let mut did_work = false;
+        for s in 0..N_SOURCES {
+            let src = (rot + s) % N_SOURCES;
+            if fw.run_source(src, &host).await {
+                did_work = true;
+            }
+        }
+        rot = (rot + 1) % N_SOURCES;
+        if !did_work {
+            // Nothing anywhere: a short idle spin before re-polling.
+            ctx.set_func(FwFunc::Idle);
+            ctx.alu(4).await;
+            ctx.branch_miss().await;
+        }
+    }
+}

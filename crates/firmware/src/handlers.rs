@@ -1,0 +1,853 @@
+//! The NIC-processing handlers (Figures 1 and 2, steps as labeled).
+//!
+//! Handlers are grouped by the paper's Table 1/5 functions:
+//!
+//! * **Fetch Send BD** — issue the 32-descriptor DMA for newly mailboxed
+//!   send BDs (Fig. 1 step 3) and parse each arrived BD into the pool.
+//! * **Send Frame** — turn BD pairs into frame slots, DMA the header and
+//!   payload into the transmit buffer (step 4), hand ready frames to the
+//!   MAC in order (step 5), and notify the host on completion (step 6).
+//! * **Fetch Receive BD** — the 16-descriptor receive-buffer fetch and
+//!   parse.
+//! * **Receive Frame** — pair arrived frames with preallocated host
+//!   buffers, DMA the contents to the host (Fig. 2 step 2), and produce
+//!   in-order return descriptors and the status update (steps 3–4).
+//! * **Dispatch and Ordering / Locking** — the claim machinery, status
+//!   bits, commit scans, and spinlocks, charged separately so the
+//!   RMW-vs-software comparison of Tables 5/6 falls out.
+//!
+//! ALU charges model the straight-line arithmetic (address generation,
+//! field packing, validation) the Tigon-II-derived handlers perform
+//! around each memory access.
+
+use crate::map::{
+    info, BD_CACHE, DMA_RING, MACRX_RING, MACTX_RING, RECV_BD_BATCH, RXBUF_BYTES, SEND_BD_BATCH,
+    SLOTS, STAGING, TXBUF_BASE, TX_SLOT_BYTES,
+};
+use crate::mode::{claim_range, commit_scan, mark_bit, sync_lock, sync_unlock, Fw};
+use nicsim_assists::cmd::{FLAG_IMM, FLAG_SP};
+use nicsim_cpu::FwFunc;
+
+/// Work units claimed per completion-processing pass.
+pub const CLAIM_BATCH: u32 = 8;
+/// BD-cache entries held back by the fetch guard. A handler claims pool
+/// entries under the claim lock but reads them afterwards; the slack
+/// keeps the parser from overwriting a claimed-but-not-yet-read entry
+/// (it must cover every core's in-flight claim: `FRAME_BATCH x cores`).
+pub const BD_POOL_SLACK: u32 = 64;
+/// Frames claimed per send/receive frame pass.
+pub const FRAME_BATCH: u32 = 4;
+
+// Straight-line instruction weights of the Tigon-II-derived handler
+// bodies (validation, byte swapping, field extraction, statistics),
+// calibrated so the idealized per-function profile reproduces Table 1's
+// anchors: ~282 instructions per sent frame and ~253 per received frame
+// (229 / 206 MIPS at 812,744 frames/s). See EXPERIMENTS.md.
+/// Per-BD validation/swap work when parsing send BDs.
+pub const CAL_PARSE_SBD: u32 = 16;
+/// Per-BD work when parsing receive BDs.
+pub const CAL_PARSE_RBD: u32 = 22;
+/// Per-frame work preparing a send frame (fragment split, checks).
+pub const CAL_SEND_PREP: u32 = 42;
+/// Per-frame work when a send frame's data is ready.
+pub const CAL_SEND_READY: u32 = 10;
+/// Per-frame work at transmit completion.
+pub const CAL_SEND_DONE: u32 = 26;
+/// Per-frame work preparing a receive frame.
+pub const CAL_RECV_PREP: u32 = 50;
+/// Per-frame work at receive commit (return descriptor construction).
+pub const CAL_RECV_COMMIT: u32 = 42;
+
+/// Host-memory addresses the firmware needs (programmed by the driver at
+/// initialization on real hardware).
+#[derive(Debug, Clone, Copy)]
+pub struct HostRegs {
+    /// Host send BD ring base.
+    pub send_bd_ring: u32,
+    /// Host receive BD ring base.
+    pub rx_bd_ring: u32,
+    /// Host return ring base.
+    pub return_ring: u32,
+    /// Status word: send consumer index (BDs).
+    pub status_send_cons: u32,
+    /// Status word: return ring producer.
+    pub status_ret_prod: u32,
+}
+
+/// One DMA command to push: encoded words plus the firmware info word.
+type Cmd = ([u32; 4], u32);
+
+impl Fw {
+    /// The tag for send-side dispatch/ordering work. In ideal mode this
+    /// work belongs to Send Frame itself (Table 1 has no dispatch rows).
+    fn send_dispatch_tag(&self) -> FwFunc {
+        if self.mode == crate::mode::FwMode::Ideal {
+            FwFunc::SendFrame
+        } else {
+            FwFunc::SendDispatch
+        }
+    }
+
+    /// The tag for receive-side dispatch/ordering work.
+    fn recv_dispatch_tag(&self) -> FwFunc {
+        if self.mode == crate::mode::FwMode::Ideal {
+            FwFunc::RecvFrame
+        } else {
+            FwFunc::RecvDispatch
+        }
+    }
+
+    /// Push commands onto a DMA ring, spinning (briefly) if the ring is
+    /// full. Ring space is measured against the firmware's *claim*
+    /// counter, not the hardware done counter: an entry (and its info
+    /// word) may only be reused once its completion has been consumed.
+    /// The spin cannot deadlock, because completions are eventually
+    /// claimed by whichever core polls the source.
+    async fn dma_push(
+        &self,
+        ring: u32,
+        info_ring: u32,
+        prod_addr: u32,
+        claim_addr: u32,
+        lock: u32,
+        cmds: &[Cmd],
+    ) {
+        let ctx = &self.ctx;
+        // Field packing and address generation happen before the lock is
+        // taken, keeping the critical section to the ring stores only.
+        ctx.alu(3 * cmds.len() as u32 + 2).await;
+        sync_lock(ctx, self.mode, lock).await;
+        loop {
+            let prod = ctx.load(prod_addr).await;
+            let claimed = ctx.load(claim_addr).await;
+            ctx.alu(2).await;
+            if prod.wrapping_sub(claimed) + cmds.len() as u32 <= DMA_RING {
+                ctx.branch().await;
+                let mut p = prod;
+                for (w, inf) in cmds {
+                    let base = ring + (p % DMA_RING) * 16;
+                    for (k, word) in w.iter().enumerate() {
+                        ctx.store(base + k as u32 * 4, *word).await;
+                    }
+                    ctx.store(info_ring + (p % DMA_RING) * 4, *inf).await;
+                    p = p.wrapping_add(1);
+                }
+                ctx.store(prod_addr, p).await; // doorbell
+                break;
+            }
+            // Ring full: retry until the engine drains.
+            ctx.branch_miss().await;
+            ctx.alu(2).await;
+        }
+        sync_unlock(ctx, self.mode, lock).await;
+    }
+
+    async fn dmard_push(&self, cmds: &[Cmd]) {
+        self.dma_push(
+            self.m.dmard_ring,
+            self.m.dmard_info,
+            self.m.dmard_prod,
+            self.m.dmard_claim,
+            self.m.lock_dmard,
+            cmds,
+        )
+        .await;
+    }
+
+    async fn dmawr_push(&self, cmds: &[Cmd]) {
+        self.dma_push(
+            self.m.dmawr_ring,
+            self.m.dmawr_info,
+            self.m.dmawr_prod,
+            self.m.dmawr_claim,
+            self.m.lock_dmawr,
+            cmds,
+        )
+        .await;
+    }
+
+    // ------------------------------------------------------------------
+    // Send path
+    // ------------------------------------------------------------------
+
+    /// Fetch Send BD, issue side: DMA up to 32 new send BDs from the host
+    /// ring into the raw cache (Fig. 1 step 3).
+    pub async fn fetch_send_bds(&self, host: &HostRegs) -> bool {
+        let ctx = &self.ctx;
+        ctx.set_func(FwFunc::FetchSendBd);
+        let m = &self.m;
+        sync_lock(ctx, self.mode, m.lock_sb_fetch).await;
+        let prod = ctx.load(m.sb_mailbox_prod).await;
+        let fetched = ctx.load(m.sb_fetched).await;
+        let cons = ctx.load(m.sbd_cons).await;
+        ctx.alu(5).await; // available/capacity arithmetic
+        let avail = prod.wrapping_sub(fetched);
+        // A raw/pool entry may be reused only after its BD is consumed
+        // AND read; the slack covers claimed-but-unread entries.
+        let cache_free =
+            (BD_CACHE - BD_POOL_SLACK).saturating_sub(fetched.wrapping_sub(cons));
+        let ring_space = BD_CACHE - fetched % BD_CACHE;
+        let batch = avail.min(SEND_BD_BATCH).min(cache_free).min(ring_space);
+        if batch == 0 {
+            ctx.branch_miss().await;
+            sync_unlock(ctx, self.mode, m.lock_sb_fetch).await;
+            return false;
+        }
+        ctx.branch().await;
+        ctx.alu(6).await; // host/destination address generation
+        let idx = fetched % BD_CACHE;
+        let cmd = [
+            host.send_bd_ring + idx * 16,
+            m.sbd_raw + idx * 16,
+            (batch * 16) | FLAG_SP,
+            0,
+        ];
+        self.dmard_push(&[(
+            cmd,
+            info::pack(info::SEND_BD_BATCH, info::pack_batch(fetched, batch)),
+        )])
+        .await;
+        ctx.set_func(FwFunc::FetchSendBd);
+        ctx.store(m.sb_fetched, fetched.wrapping_add(batch)).await;
+        sync_unlock(ctx, self.mode, m.lock_sb_fetch).await;
+        true
+    }
+
+    /// Fetch Send BD, arrival side: parse a batch of raw BDs into the
+    /// pool (validation and byte order, as the Tigon firmware does).
+    /// Batches are parsed in BD-index order: if an earlier batch is
+    /// still being parsed by another core, spin until it finishes.
+    async fn parse_send_bds(&self, start18: u32, count: u32) {
+        let ctx = &self.ctx;
+        ctx.set_func(FwFunc::FetchSendBd);
+        let m = &self.m;
+        sync_lock(ctx, self.mode, m.lock_sbd_parse).await;
+        let mut parsed = ctx.load(m.sbd_parsed).await;
+        while parsed & 0x3ffff != start18 {
+            // An earlier batch has not been parsed yet: yield the lock.
+            sync_unlock(ctx, self.mode, m.lock_sbd_parse).await;
+            ctx.alu(3).await;
+            ctx.branch_miss().await;
+            sync_lock(ctx, self.mode, m.lock_sbd_parse).await;
+            parsed = ctx.load(m.sbd_parsed).await;
+        }
+        ctx.alu(2).await;
+        for k in 0..count {
+            let i = (parsed.wrapping_add(k)) % BD_CACHE;
+            let addr = ctx.load(m.sbd_raw + i * 16).await;
+            let len = ctx.load(m.sbd_raw + i * 16 + 4).await;
+            let flags = ctx.load(m.sbd_raw + i * 16 + 8).await;
+            let seq = ctx.load(m.sbd_raw + i * 16 + 12).await;
+            ctx.alu(CAL_PARSE_SBD).await; // validate flags, swap, pack
+            ctx.branch().await;
+            ctx.branch_miss().await; // descriptor-type dispatch
+            ctx.store(m.sbd_pool + i * 16, addr).await;
+            ctx.store(m.sbd_pool + i * 16 + 4, (len & 0xffff) | (flags << 28))
+                .await;
+            ctx.store(m.sbd_pool + i * 16 + 8, seq).await;
+            ctx.store(m.sbd_pool + i * 16 + 12, 0).await; // checksum info
+            let chain = ctx.load(m.sbd_raw + i * 16 + 4).await; // chain/len recheck
+            let _ = chain;
+            ctx.store(m.sbd_raw + i * 16 + 8, 0).await; // consume-mark the raw BD
+        }
+        ctx.store(m.sbd_parsed, parsed.wrapping_add(count)).await;
+        sync_unlock(ctx, self.mode, m.lock_sbd_parse).await;
+    }
+
+    /// Send Frame, start side: claim parsed BD pairs, allocate frame
+    /// slots and transmit-buffer space, and DMA the header and payload
+    /// into the frame memory (Fig. 1 step 4).
+    pub async fn send_frames(&self) -> bool {
+        let ctx = &self.ctx;
+        ctx.set_func(FwFunc::SendFrame);
+        let m = &self.m;
+        sync_lock(ctx, self.mode, m.lock_sbd).await;
+        let parsed = ctx.load(m.sbd_parsed).await;
+        let cons = ctx.load(m.sbd_cons).await;
+        let txdone = ctx.load(m.send_txdone_commit).await;
+        ctx.alu(5).await;
+        let pairs = parsed.wrapping_sub(cons) / 2;
+        let seq0 = cons / 2;
+        let free_slots = SLOTS - seq0.wrapping_sub(txdone);
+        let batch = pairs.min(free_slots).min(FRAME_BATCH);
+        if batch == 0 {
+            ctx.branch_miss().await;
+            sync_unlock(ctx, self.mode, m.lock_sbd).await;
+            return false;
+        }
+        ctx.branch().await;
+        ctx.store(m.sbd_cons, cons.wrapping_add(batch * 2)).await;
+        sync_unlock(ctx, self.mode, m.lock_sbd).await;
+        for f in 0..batch {
+            let seq = seq0.wrapping_add(f);
+            let sidx = seq % SLOTS;
+            let i0 = (cons.wrapping_add(2 * f)) % BD_CACHE;
+            let i1 = (cons.wrapping_add(2 * f + 1)) % BD_CACHE;
+            let haddr = ctx.load(m.sbd_pool + i0 * 16).await;
+            let hlen = ctx.load(m.sbd_pool + i0 * 16 + 4).await;
+            let _hseq = ctx.load(m.sbd_pool + i0 * 16 + 8).await;
+            let paddr = ctx.load(m.sbd_pool + i1 * 16).await;
+            let plen = ctx.load(m.sbd_pool + i1 * 16 + 4).await;
+            let _csum = ctx.load(m.sbd_pool + i1 * 16 + 12).await;
+            ctx.alu(CAL_SEND_PREP).await; // fragment split, flag checks, dest compute
+            ctx.branch().await;
+            ctx.branch_miss().await; // fragment-count dispatch
+            ctx.branch_miss().await; // option flags
+            let hlen = hlen & 0xffff;
+            let plen = plen & 0xffff;
+            let sdram = TXBUF_BASE + sidx * TX_SLOT_BYTES;
+            let slot = m.send_slot(seq);
+            ctx.store(slot, haddr).await;
+            ctx.store(slot + 4, paddr).await;
+            ctx.store(slot + 16, sdram).await;
+            ctx.store(slot + 20, hlen + plen).await;
+            ctx.store(slot + 8, 0).await; // checksum offload info
+            ctx.store(slot + 12, 0).await; // option flags
+            ctx.store(slot + 24, seq).await;
+            ctx.store(slot + 28, 1).await; // state: fragments in flight
+            let prev_state = ctx.load(m.send_slots + ((seq.wrapping_sub(1)) % SLOTS) * 32 + 28).await;
+            let _ = prev_state; // neighbour-slot sanity check, as Tigon does
+            let fence = ctx.load(m.send_txdone_commit).await; // slot-reuse fence
+            let _ = fence;
+            ctx.branch_miss().await; // reuse-fence branch
+            let st = ctx.load(m.stat(0)).await; // tx frames started
+            ctx.store(m.stat(0), st.wrapping_add(1)).await;
+            self.dmard_push(&[
+                ([haddr, sdram, hlen, 0], info::pack(info::NOP, 0)),
+                (
+                    [paddr, sdram + hlen, plen, 0],
+                    info::pack(info::SEND_FRAME_LAST, sidx),
+                ),
+            ])
+            .await;
+            ctx.set_func(FwFunc::SendFrame);
+        }
+        true
+    }
+
+    /// Send Frame, ready side: the frame's last fragment reached the
+    /// transmit buffer; mark it and commit any in-order prefix to the MAC
+    /// (Fig. 1 step 5).
+    async fn send_frame_ready(&self, sidx: u32) {
+        let ctx = &self.ctx;
+        ctx.set_func(FwFunc::SendFrame);
+        ctx.alu(CAL_SEND_READY).await;
+        let slot = self.m.send_slots + sidx * 32;
+        let st = ctx.load(slot + 28).await;
+        ctx.store(slot + 28, st | 2).await; // state: data ready
+        mark_bit(
+            ctx,
+            self.mode,
+            self.m.send_ready_bits,
+            sidx,
+            self.m.lock_send_ready_commit,
+            self.send_dispatch_tag(),
+        )
+        .await;
+        self.commit_send_ready().await;
+    }
+
+    /// Send ordering: advance the ready-commit pointer over consecutive
+    /// ready frames and append them to the MAC TX ring, in frame order.
+    pub async fn commit_send_ready(&self) {
+        let ctx = &self.ctx;
+        ctx.set_func(self.send_dispatch_tag());
+        let m = &self.m;
+        if self.mode.locking() && !ctx.try_lock(m.lock_send_ready_commit).await {
+            // Another core is committing; it (or the dispatch loop's
+            // pending check) will pick up our frames.
+            return;
+        }
+        let commit0 = ctx.load(m.send_ready_commit).await;
+        let mut prod = ctx.load(m.mactx_prod).await;
+        let done = ctx.load(m.mactx_done).await; // ring-space verification
+        ctx.alu(4).await;
+        debug_assert!(prod.wrapping_sub(done) <= MACTX_RING);
+        let _ = done;
+        ctx.branch_miss().await; // space-branch resolves late
+        let mut commit = commit0;
+        loop {
+            let run = commit_scan(ctx, self.mode, m.send_ready_bits, commit).await;
+            if run == 0 {
+                ctx.branch_miss().await;
+                break;
+            }
+            ctx.branch().await;
+            for k in 0..run {
+                // Handing a frame to the MAC is Send Frame work
+                // (Fig. 1 step 5); only the scan and pointer updates
+                // around this loop are ordering overhead.
+                ctx.set_func(FwFunc::SendFrame);
+                let seq = commit.wrapping_add(k);
+                let slot = m.send_slot(seq);
+                let addr = ctx.load(slot + 16).await;
+                let len = ctx.load(slot + 20).await;
+                let fseq = ctx.load(slot + 24).await;
+                ctx.alu(14).await; // entry construction, pointer math
+                ctx.branch().await;
+                ctx.branch_miss().await; // ring-wrap check
+                let e = m.mactx_ring + (prod % MACTX_RING) * 16;
+                ctx.store(e, addr).await;
+                ctx.store(e + 4, len).await;
+                ctx.store(e + 8, 0).await; // flags
+                ctx.store(e + 12, fseq).await;
+                prod = prod.wrapping_add(1);
+            }
+            ctx.set_func(self.send_dispatch_tag());
+            commit = commit.wrapping_add(run);
+        }
+        if commit != commit0 {
+            ctx.store(m.mactx_prod, prod).await; // hardware pointer update
+            ctx.store(m.send_ready_commit, commit).await;
+        }
+        ctx.alu(1).await;
+        sync_unlock(ctx, self.mode, m.lock_send_ready_commit).await;
+    }
+
+    /// Send Frame, completion side: claim MAC TX completions, mark each
+    /// frame done, and commit the in-order prefix back to the host
+    /// (Fig. 1 step 6).
+    pub async fn process_mactx_done(&self, host: &HostRegs) -> bool {
+        let ctx = &self.ctx;
+        ctx.set_func(self.send_dispatch_tag());
+        let m = &self.m;
+        let (start, n) = claim_range(
+            ctx,
+            self.mode,
+            m.lock_mactx_claim,
+            m.mactx_done,
+            m.send_txdone_claim,
+            CLAIM_BATCH,
+            m.event_area(ctx.core_id()),
+        )
+        .await;
+        if n == 0 {
+            return false;
+        }
+        for k in 0..n {
+            let seq = start.wrapping_add(k);
+            ctx.set_func(FwFunc::SendFrame);
+            let slot = m.send_slot(seq);
+            let _state = ctx.load(slot + 28).await;
+            ctx.alu(CAL_SEND_DONE).await; // statistics, slot cleanup
+            ctx.store(slot + 28, 0).await; // state: free
+            let st = ctx.load(m.stat(1)).await; // tx frames completed
+            ctx.store(m.stat(1), st.wrapping_add(1)).await;
+            let len = ctx.load(slot + 20).await;
+            let bytes = ctx.load(m.stat(4)).await; // tx byte counter
+            ctx.store(m.stat(4), bytes.wrapping_add(len)).await;
+            ctx.branch().await;
+            ctx.branch_miss().await; // coalescing decision
+            mark_bit(
+                ctx,
+                self.mode,
+                m.send_txdone_bits,
+                seq % SLOTS,
+                m.lock_send_txdone_commit,
+                self.send_dispatch_tag(),
+            )
+            .await;
+        }
+        self.commit_txdone(host).await;
+        true
+    }
+
+    /// Send ordering: advance the txdone commit pointer and notify the
+    /// host of the new send consumer index ("committing a frame only
+    /// requires a pointer update").
+    pub async fn commit_txdone(&self, host: &HostRegs) {
+        let ctx = &self.ctx;
+        ctx.set_func(self.send_dispatch_tag());
+        let m = &self.m;
+        if self.mode.locking() && !ctx.try_lock(m.lock_send_txdone_commit).await {
+            return;
+        }
+        let commit0 = ctx.load(m.send_txdone_commit).await;
+        ctx.alu(1).await;
+        let mut commit = commit0;
+        loop {
+            let run = commit_scan(ctx, self.mode, m.send_txdone_bits, commit).await;
+            if run == 0 {
+                ctx.branch_miss().await;
+                break;
+            }
+            ctx.branch().await;
+            ctx.alu(6 * run).await; // per-frame completion bookkeeping
+            commit = commit.wrapping_add(run);
+        }
+        if commit != commit0 {
+            ctx.store(m.send_txdone_commit, commit).await;
+            ctx.alu(2).await;
+            // Host notification: completed BD count, as an immediate DMA.
+            self.dmawr_push(&[(
+                [commit.wrapping_mul(2), host.status_send_cons, 4 | FLAG_IMM, 0],
+                info::pack(info::NOP, 0),
+            )])
+            .await;
+            ctx.set_func(self.send_dispatch_tag());
+        }
+        ctx.alu(1).await;
+        sync_unlock(ctx, self.mode, m.lock_send_txdone_commit).await;
+    }
+
+    // ------------------------------------------------------------------
+    // Receive path
+    // ------------------------------------------------------------------
+
+    /// Fetch Receive BD, issue side: DMA up to 16 receive BDs.
+    pub async fn fetch_recv_bds(&self, host: &HostRegs) -> bool {
+        let ctx = &self.ctx;
+        ctx.set_func(FwFunc::FetchRecvBd);
+        let m = &self.m;
+        sync_lock(ctx, self.mode, m.lock_rb_fetch).await;
+        let prod = ctx.load(m.rb_mailbox_prod).await;
+        let fetched = ctx.load(m.rb_fetched).await;
+        let cons = ctx.load(m.rbd_cons).await;
+        ctx.alu(5).await;
+        let avail = prod.wrapping_sub(fetched);
+        let cache_free =
+            (BD_CACHE - BD_POOL_SLACK).saturating_sub(fetched.wrapping_sub(cons));
+        let ring_space = BD_CACHE - fetched % BD_CACHE;
+        let batch = avail.min(RECV_BD_BATCH).min(cache_free).min(ring_space);
+        if batch == 0 {
+            ctx.branch_miss().await;
+            sync_unlock(ctx, self.mode, m.lock_rb_fetch).await;
+            return false;
+        }
+        ctx.branch().await;
+        ctx.alu(6).await;
+        let idx = fetched % BD_CACHE;
+        let cmd = [
+            host.rx_bd_ring + idx * 16,
+            m.rbd_raw + idx * 16,
+            (batch * 16) | FLAG_SP,
+            0,
+        ];
+        self.dmard_push(&[(
+            cmd,
+            info::pack(info::RX_BD_BATCH, info::pack_batch(fetched, batch)),
+        )])
+        .await;
+        ctx.set_func(FwFunc::FetchRecvBd);
+        ctx.store(m.rb_fetched, fetched.wrapping_add(batch)).await;
+        sync_unlock(ctx, self.mode, m.lock_rb_fetch).await;
+        true
+    }
+
+    /// Fetch Receive BD, arrival side: parse raw BDs into the buffer
+    /// pool, in BD-index order (see `parse_send_bds`).
+    async fn parse_recv_bds(&self, start18: u32, count: u32) {
+        let ctx = &self.ctx;
+        ctx.set_func(FwFunc::FetchRecvBd);
+        let m = &self.m;
+        sync_lock(ctx, self.mode, m.lock_rbd_parse).await;
+        let mut parsed = ctx.load(m.rbd_parsed).await;
+        while parsed & 0x3ffff != start18 {
+            sync_unlock(ctx, self.mode, m.lock_rbd_parse).await;
+            ctx.alu(3).await;
+            ctx.branch_miss().await;
+            sync_lock(ctx, self.mode, m.lock_rbd_parse).await;
+            parsed = ctx.load(m.rbd_parsed).await;
+        }
+        ctx.alu(2).await;
+        for k in 0..count {
+            let i = (parsed.wrapping_add(k)) % BD_CACHE;
+            let addr = ctx.load(m.rbd_raw + i * 16).await;
+            let len = ctx.load(m.rbd_raw + i * 16 + 4).await;
+            let _flags = ctx.load(m.rbd_raw + i * 16 + 8).await;
+            ctx.alu(CAL_PARSE_RBD).await;
+            ctx.branch().await;
+            ctx.branch_miss().await; // pool-class selection
+            ctx.store(m.rbd_pool + i * 8, addr).await;
+            ctx.store(m.rbd_pool + i * 8 + 4, len).await;
+            ctx.store(m.rbd_raw + i * 16 + 8, 0).await; // consume-mark
+        }
+        ctx.store(m.rbd_parsed, parsed.wrapping_add(count)).await;
+        sync_unlock(ctx, self.mode, m.lock_rbd_parse).await;
+    }
+
+    /// Receive Frame, start side: claim arrived frames, pair each with a
+    /// preallocated host buffer, and DMA the contents to the host
+    /// (Fig. 2 step 2).
+    pub async fn recv_frames(&self) -> bool {
+        let ctx = &self.ctx;
+        ctx.set_func(FwFunc::RecvFrame);
+        let m = &self.m;
+        sync_lock(ctx, self.mode, m.lock_rxclaim).await;
+        let prod = ctx.load(m.macrx_prod).await;
+        let claim = ctx.load(m.recv_claim).await;
+        let rparsed = ctx.load(m.rbd_parsed).await;
+        let rcons = ctx.load(m.rbd_cons).await;
+        let commit = ctx.load(m.recv_commit).await;
+        ctx.alu(6).await;
+        let avail = prod.wrapping_sub(claim);
+        let bufs = rparsed.wrapping_sub(rcons);
+        let free_slots = SLOTS - claim.wrapping_sub(commit);
+        let batch = avail.min(bufs).min(free_slots).min(FRAME_BATCH);
+        if batch == 0 {
+            ctx.branch_miss().await;
+            sync_unlock(ctx, self.mode, m.lock_rxclaim).await;
+            return false;
+        }
+        ctx.branch().await;
+        ctx.store(m.recv_claim, claim.wrapping_add(batch)).await;
+        ctx.store(m.rbd_cons, rcons.wrapping_add(batch)).await;
+        sync_unlock(ctx, self.mode, m.lock_rxclaim).await;
+        for f in 0..batch {
+            let seq = claim.wrapping_add(f);
+            let sidx = seq % SLOTS;
+            let e = m.macrx_ring + (seq % MACRX_RING) * 16;
+            let addr = ctx.load(e).await;
+            let len = ctx.load(e + 4).await;
+            let status = ctx.load(e + 8).await;
+            let _csum = ctx.load(e + 12).await;
+            let pi = rcons.wrapping_add(f) % BD_CACHE;
+            let hbuf = ctx.load(m.rbd_pool + pi * 8).await;
+            let _blen = ctx.load(m.rbd_pool + pi * 8 + 4).await;
+            ctx.alu(CAL_RECV_PREP).await; // length checks, slot setup
+            ctx.branch().await;
+            ctx.branch_miss().await; // status/error dispatch
+            ctx.branch_miss().await; // buffer-size class
+            let _ = status;
+            let st = ctx.load(m.stat(2)).await; // rx frames started
+            ctx.store(m.stat(2), st.wrapping_add(1)).await;
+            let fence = ctx.load(m.recv_commit).await; // slot-reuse fence
+            let _ = fence;
+            ctx.branch_miss().await; // reuse-fence branch
+            let slot = m.recv_slot(seq);
+            ctx.store(slot, addr).await;
+            ctx.store(slot + 4, len).await;
+            ctx.store(slot + 8, hbuf).await;
+            ctx.store(slot + 12, seq).await;
+            ctx.store(slot + 16, 0).await; // checksum verdict
+            ctx.store(slot + 20, 0).await; // vlan/option flags
+            ctx.store(slot + 28, 1).await; // state: DMA in flight
+            let bytes = ctx.load(m.stat(5)).await; // rx byte counter
+            ctx.store(m.stat(5), bytes.wrapping_add(len)).await;
+            self.dmawr_push(&[(
+                [addr, hbuf, len, 0],
+                info::pack(info::RECV_PAYLOAD, sidx),
+            )])
+            .await;
+            ctx.set_func(FwFunc::RecvFrame);
+        }
+        true
+    }
+
+    /// Receive completion side: claim DMA-write completions, mark frames
+    /// whose payload reached the host, and commit the in-order prefix.
+    pub async fn process_dmawr_completions(&self, host: &HostRegs) -> bool {
+        let ctx = &self.ctx;
+        ctx.set_func(self.recv_dispatch_tag());
+        let m = &self.m;
+        let (start, n) = claim_range(
+            ctx,
+            self.mode,
+            m.lock_dmawr_claim,
+            m.dmawr_done,
+            m.dmawr_claim,
+            CLAIM_BATCH,
+            m.event_area(ctx.core_id()),
+        )
+        .await;
+        if n == 0 {
+            return false;
+        }
+        let mut any = false;
+        for k in 0..n {
+            let idx = start.wrapping_add(k);
+            ctx.set_func(self.recv_dispatch_tag());
+            let inf = ctx.load(m.dmawr_info + (idx % DMA_RING) * 4).await;
+            if self.mode.locking() {
+                ctx.set_func(FwFunc::RecvFrame);
+                let ev = ctx.load(m.event_area(ctx.core_id()) + 8).await; // event range
+                let evs = ctx.load(m.event_area(ctx.core_id()) + 4).await; // range start
+                let _ = (ev, evs);
+                ctx.alu(17).await; // event bookkeeping, retry checks
+                ctx.branch_miss().await; // retry-path decision
+            } else {
+                ctx.alu(5).await;
+            }
+            ctx.branch().await;
+            ctx.branch_miss().await; // handler-type dispatch
+            let (kind, arg) = info::unpack(inf);
+            if kind == info::RECV_PAYLOAD {
+                ctx.set_func(FwFunc::RecvFrame);
+                let slot = m.recv_slots + arg * 32;
+                let st = ctx.load(slot + 28).await;
+                let _csum = ctx.load(slot + 16).await;
+                ctx.alu(12).await; // statistics, state transition
+                ctx.store(slot + 28, st | 2).await;
+                mark_bit(
+                    ctx,
+                    self.mode,
+                    m.recv_done_bits,
+                    arg,
+                    m.lock_recv_commit,
+                    self.recv_dispatch_tag(),
+                )
+                .await;
+                any = true;
+            } else {
+                ctx.alu(1).await;
+            }
+        }
+        if any {
+            self.commit_recv(host).await;
+        }
+        true
+    }
+
+    /// Receive ordering: advance the receive commit pointer over
+    /// consecutive completed frames, stage their return descriptors, DMA
+    /// them to the host return ring in order, retire receive-buffer
+    /// space, and update the return producer (Fig. 2 steps 3–4).
+    pub async fn commit_recv(&self, host: &HostRegs) {
+        let ctx = &self.ctx;
+        ctx.set_func(self.recv_dispatch_tag());
+        let m = &self.m;
+        if self.mode.locking() && !ctx.try_lock(m.lock_recv_commit).await {
+            return;
+        }
+        let commit0 = ctx.load(m.recv_commit).await;
+        let tail0 = ctx.load(m.rxbuf_tail).await;
+        ctx.alu(2).await;
+        let mut commit = commit0;
+        let mut tail = tail0;
+        loop {
+            let run = commit_scan(ctx, self.mode, m.recv_done_bits, commit).await;
+            if run == 0 {
+                ctx.branch_miss().await;
+                break;
+            }
+            ctx.branch().await;
+            for k in 0..run {
+                // Producing the return descriptor is Receive Frame work
+                // (Fig. 2 step 3).
+                ctx.set_func(FwFunc::RecvFrame);
+                let seq = commit.wrapping_add(k);
+                let slot = m.recv_slot(seq);
+                let hbuf = ctx.load(slot + 8).await;
+                let len = ctx.load(slot + 4).await;
+                let _sdram = ctx.load(slot).await;
+                let fseq = ctx.load(slot + 12).await;
+                ctx.store(slot + 28, 0).await; // state: free
+                ctx.alu(CAL_RECV_COMMIT).await; // descriptor fields + allocator mirror
+                ctx.alu(8).await; // in-order bookkeeping
+                ctx.branch().await;
+                ctx.branch_miss().await; // buffer-retire wrap check
+                let st = m.staging + (seq % STAGING) * 16;
+                ctx.store(st, hbuf).await;
+                ctx.store(st + 4, len).await;
+                ctx.store(st + 8, fseq).await;
+                ctx.store(st + 12, 0).await; // flags / vlan
+                let flags = ctx.load(slot + 20).await;
+                let _ = flags;
+                let sw = ctx.load(m.stat(3)).await; // rx frames returned
+                ctx.store(m.stat(3), sw.wrapping_add(1)).await;
+                ctx.set_func(self.recv_dispatch_tag());
+                // Mirror the MAC RX allocator to retire buffer bytes.
+                let off = tail % RXBUF_BYTES;
+                if off + 2 + len > RXBUF_BYTES {
+                    tail = tail.wrapping_add(RXBUF_BYTES - off);
+                    ctx.alu(1).await;
+                }
+                tail = tail.wrapping_add((2 + len + 7) & !7);
+            }
+            // DMA the staged return descriptors (split at ring wrap).
+            let mut first = commit;
+            let mut remaining = run;
+            while remaining > 0 {
+                let i = first % STAGING;
+                let cnt = remaining.min(STAGING - i);
+                ctx.alu(4).await;
+                self.dmawr_push(&[(
+                    [
+                        m.staging + i * 16,
+                        host.return_ring + i * 16,
+                        (cnt * 16) | FLAG_SP,
+                        0,
+                    ],
+                    info::pack(info::NOP, 0),
+                )])
+                .await;
+                ctx.set_func(self.recv_dispatch_tag());
+                first = first.wrapping_add(cnt);
+                remaining -= cnt;
+            }
+            commit = commit.wrapping_add(run);
+        }
+        if commit != commit0 {
+            ctx.store(m.recv_commit, commit).await;
+            ctx.store(m.rxbuf_tail, tail).await;
+            ctx.alu(2).await;
+            self.dmawr_push(&[(
+                [commit, host.status_ret_prod, 4 | FLAG_IMM, 0],
+                info::pack(info::NOP, 0),
+            )])
+            .await;
+            ctx.set_func(self.recv_dispatch_tag());
+        }
+        ctx.alu(1).await;
+        sync_unlock(ctx, self.mode, m.lock_recv_commit).await;
+    }
+
+    // ------------------------------------------------------------------
+    // Shared completion stream
+    // ------------------------------------------------------------------
+
+    /// Claim DMA-read completions and dispatch each by its info kind
+    /// (send BD batches, send frame fragments, receive BD batches).
+    pub async fn process_dmard_completions(&self) -> bool {
+        let ctx = &self.ctx;
+        ctx.set_func(self.send_dispatch_tag());
+        let m = &self.m;
+        let (start, n) = claim_range(
+            ctx,
+            self.mode,
+            m.lock_dmard_claim,
+            m.dmard_done,
+            m.dmard_claim,
+            CLAIM_BATCH,
+            m.event_area(ctx.core_id()),
+        )
+        .await;
+        if n == 0 {
+            return false;
+        }
+        for k in 0..n {
+            let idx = start.wrapping_add(k);
+            ctx.set_func(self.send_dispatch_tag());
+            let inf = ctx.load(m.dmard_info + (idx % DMA_RING) * 4).await;
+            if self.mode.locking() {
+                // Completion bookkeeping is frame processing, not
+                // ordering (Table 5 charges only claims/scans/pointers
+                // to "Dispatch and Ordering").
+                ctx.set_func(FwFunc::SendFrame);
+                let ev = ctx.load(m.event_area(ctx.core_id()) + 8).await; // event range
+                let evs = ctx.load(m.event_area(ctx.core_id()) + 4).await; // range start
+                let _ = (ev, evs);
+                ctx.alu(17).await; // event bookkeeping, retry checks
+                ctx.branch_miss().await; // retry-path decision
+            } else {
+                ctx.alu(5).await;
+            }
+            ctx.branch().await;
+            ctx.branch_miss().await; // handler-type dispatch
+            let (kind, arg) = info::unpack(inf);
+            match kind {
+                info::SEND_BD_BATCH => {
+                    let (start, count) = info::unpack_batch(arg);
+                    self.parse_send_bds(start, count).await;
+                }
+                info::SEND_FRAME_LAST => self.send_frame_ready(arg).await,
+                info::RX_BD_BATCH => {
+                    let (start, count) = info::unpack_batch(arg);
+                    self.parse_recv_bds(start, count).await;
+                }
+                _ => ctx.alu(1).await,
+            }
+        }
+        true
+    }
+}

@@ -1,0 +1,494 @@
+//! The device-driver model.
+//!
+//! Reproduces the driver behavior of paper §2.1 / Figures 1–2:
+//!
+//! * **Send** (Figure 1): the driver writes the frame into host buffers —
+//!   two discontiguous regions, a 42-byte header and the payload — builds
+//!   two buffer descriptors, and writes the NIC's send mailbox with the
+//!   new producer index. Completion is observed through a status word the
+//!   NIC DMA-writes back.
+//! * **Receive** (Figure 2): the driver preallocates a pool of
+//!   main-memory buffers, continually posts them to the NIC as receive
+//!   buffer descriptors, and consumes return descriptors the NIC
+//!   DMA-writes into the return ring, validating every frame's bytes and
+//!   its in-order delivery.
+
+use crate::memory::HostMemory;
+use nicsim_net::frame::{build_udp_frame, validate_frame};
+use nicsim_sim::Ps;
+use std::collections::VecDeque;
+
+/// Number of buffer descriptors in the send ring (two per frame).
+pub const SEND_BD_RING_ENTRIES: u32 = 1024;
+/// Maximum send frames in flight (limited by the BD ring).
+pub const SEND_FRAME_WINDOW: u32 = SEND_BD_RING_ENTRIES / 2;
+/// Number of receive buffer descriptors in the ring.
+pub const RX_BD_RING_ENTRIES: u32 = 1024;
+/// Number of preallocated receive buffers.
+pub const RX_BUF_COUNT: u32 = 1024;
+/// Entries in the receive return ring.
+pub const RETURN_RING_ENTRIES: u32 = 1024;
+/// Bytes per buffer descriptor.
+pub const BD_BYTES: u32 = 16;
+/// Bytes per receive buffer.
+pub const RX_BUF_BYTES: u32 = 2048;
+/// Flag: descriptor is the first (header) fragment of a frame.
+pub const BD_FLAG_FIRST: u32 = 1;
+/// Flag: descriptor is the last (payload) fragment of a frame.
+pub const BD_FLAG_LAST: u32 = 2;
+/// Length of the header fragment of every frame.
+pub const HEADER_LEN: u32 = 42;
+
+/// Where the driver's rings and buffers live in host memory.
+#[derive(Debug, Clone, Copy)]
+pub struct HostLayout {
+    /// Send BD ring base.
+    pub send_bd_ring: u32,
+    /// Send header buffers (64 B each, one per window slot).
+    pub send_hdr_bufs: u32,
+    /// Send payload buffers (2 KB each, one per window slot).
+    pub send_pay_bufs: u32,
+    /// Receive BD ring base.
+    pub rx_bd_ring: u32,
+    /// Receive buffers (2 KB each).
+    pub rx_bufs: u32,
+    /// Receive return ring base.
+    pub return_ring: u32,
+    /// Status block: `+0` send consumer (BDs), `+4` return producer.
+    pub status: u32,
+}
+
+impl Default for HostLayout {
+    fn default() -> Self {
+        HostLayout {
+            send_bd_ring: 0x0000_0000,
+            send_hdr_bufs: 0x0001_0000,
+            send_pay_bufs: 0x0002_0000,
+            rx_bd_ring: 0x0013_0000,
+            rx_bufs: 0x0014_0000,
+            return_ring: 0x0034_0000,
+            status: 0x0035_0000,
+        }
+    }
+}
+
+impl HostLayout {
+    /// Host memory size needed for this layout.
+    pub fn memory_size(&self) -> usize {
+        (self.status + 64) as usize
+    }
+}
+
+/// A mailbox register on the NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mailbox {
+    /// Send BD producer index (counts BDs).
+    SendBdProd,
+    /// Receive BD producer index (counts BDs).
+    RxBdProd,
+}
+
+/// One memory-mapped register write performed by the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MailboxWrite {
+    /// Which register.
+    pub reg: Mailbox,
+    /// The value written.
+    pub value: u32,
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverConfig {
+    /// UDP datagram size for transmitted frames.
+    pub udp_payload: usize,
+    /// Offered transmit load in frames/s; `None` saturates the window.
+    pub offered_fps: Option<f64>,
+    /// Whether the host transmits at all.
+    pub send_enabled: bool,
+    /// Maximum frames posted per driver invocation.
+    pub post_burst: u32,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            udp_payload: 1472,
+            offered_fps: None,
+            send_enabled: true,
+            post_burst: 32,
+        }
+    }
+}
+
+/// Driver-side statistics (the receive half of the throughput numbers;
+/// transmit throughput is measured by the link's `TxMonitor`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DriverStats {
+    /// Frames posted for transmit.
+    pub tx_posted: u64,
+    /// Transmit frames completed by the NIC.
+    pub tx_completed: u64,
+    /// Frames received and validated.
+    pub rx_frames: u64,
+    /// UDP payload bytes received in the current window.
+    pub rx_udp_payload_bytes: u64,
+    /// Sequence gaps observed (frames dropped by the NIC).
+    pub rx_dropped: u64,
+    /// Frames received out of order — must stay 0 (the paper's firmware
+    /// guarantees in-order delivery).
+    pub rx_out_of_order: u64,
+    /// Frames failing byte-level validation.
+    pub rx_corrupt: u64,
+}
+
+/// The device driver.
+#[derive(Debug)]
+pub struct Driver {
+    cfg: DriverConfig,
+    layout: HostLayout,
+    tx_seq_next: u32,
+    tx_bd_prod: u32,
+    rx_bd_prod: u32,
+    rx_frames_returned: u32,
+    rx_free_bufs: VecDeque<u32>,
+    ret_cons: u32,
+    rx_expected_seq: Option<u32>,
+    /// First few (expected, got, ret_cons, fw_seq) tuples of
+    /// out-of-order deliveries, for debugging ordering violations.
+    ooo_samples: Vec<(u32, u32, u32, u32)>,
+    /// Debug: posting state per buffer (true = outstanding at the NIC).
+    dbg_outstanding: Vec<bool>,
+    /// Debug: count of returns for buffers that were not outstanding.
+    pub dbg_bad_returns: u64,
+    mailbox: Vec<MailboxWrite>,
+    stats: DriverStats,
+    window_start: Ps,
+}
+
+impl Driver {
+    /// Create a driver over the given layout.
+    pub fn new(cfg: DriverConfig, layout: HostLayout) -> Driver {
+        Driver {
+            cfg,
+            layout,
+            tx_seq_next: 0,
+            tx_bd_prod: 0,
+            rx_bd_prod: 0,
+            rx_frames_returned: 0,
+            rx_free_bufs: (0..RX_BUF_COUNT).collect(),
+            ret_cons: 0,
+            rx_expected_seq: None,
+            ooo_samples: Vec::new(),
+            dbg_outstanding: vec![false; RX_BUF_COUNT as usize],
+            dbg_bad_returns: 0,
+            mailbox: Vec::new(),
+            stats: DriverStats::default(),
+            window_start: Ps::ZERO,
+        }
+    }
+
+    /// The host-memory layout in use.
+    pub fn layout(&self) -> HostLayout {
+        self.layout
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> DriverStats {
+        self.stats
+    }
+
+    /// Received UDP payload throughput in Gb/s over the window ending
+    /// at `now`.
+    pub fn rx_udp_gbps(&self, now: Ps) -> f64 {
+        let elapsed = now.saturating_sub(self.window_start);
+        if elapsed == Ps::ZERO {
+            return 0.0;
+        }
+        self.stats.rx_udp_payload_bytes as f64 * 8.0 / elapsed.as_secs_f64() / 1e9
+    }
+
+    /// Restart the receive measurement window at `now` (discard
+    /// warm-up): frame/byte counters restart, error counters persist.
+    pub fn reset_window(&mut self, now: Ps) {
+        self.stats.rx_udp_payload_bytes = 0;
+        self.stats.rx_frames = 0;
+        self.window_start = now;
+    }
+
+    /// Out-of-order samples collected (expected, got, ret_cons, fw_seq).
+    pub fn ooo_samples(&self) -> &[(u32, u32, u32, u32)] {
+        &self.ooo_samples
+    }
+
+    /// Drain pending mailbox writes (the system applies them to the NIC's
+    /// memory-mapped registers).
+    pub fn take_mailbox_writes(&mut self) -> Vec<MailboxWrite> {
+        std::mem::take(&mut self.mailbox)
+    }
+
+    fn post_send_frames(&mut self, now: Ps, mem: &mut HostMemory) {
+        if !self.cfg.send_enabled {
+            return;
+        }
+        let completed_bds = mem.read_u32(self.layout.status);
+        let completed_frames = completed_bds / 2;
+        self.stats.tx_completed = completed_frames as u64;
+        let in_flight = self.tx_seq_next - completed_frames;
+        let mut budget = (SEND_FRAME_WINDOW - in_flight).min(self.cfg.post_burst);
+        if let Some(fps) = self.cfg.offered_fps {
+            let allowed = (now.as_secs_f64() * fps) as u64;
+            budget = budget.min((allowed.saturating_sub(self.tx_seq_next as u64)) as u32);
+        }
+        if budget == 0 {
+            return;
+        }
+        for _ in 0..budget {
+            let seq = self.tx_seq_next;
+            let slot = seq % SEND_FRAME_WINDOW;
+            let frame = build_udp_frame(seq, self.cfg.udp_payload);
+            let eth_len = (frame.len() - 4) as u32; // MAC appends the FCS
+            let hdr_addr = self.layout.send_hdr_bufs + slot * 64 + 2;
+            let pay_addr = self.layout.send_pay_bufs + slot * 2048;
+            mem.write(hdr_addr, &frame[..HEADER_LEN as usize]);
+            mem.write(pay_addr, &frame[HEADER_LEN as usize..eth_len as usize]);
+            // Two BDs: header (FIRST) then payload (LAST).
+            let bd0 = self.layout.send_bd_ring + (self.tx_bd_prod % SEND_BD_RING_ENTRIES) * BD_BYTES;
+            mem.write_u32(bd0, hdr_addr);
+            mem.write_u32(bd0 + 4, HEADER_LEN);
+            mem.write_u32(bd0 + 8, BD_FLAG_FIRST);
+            mem.write_u32(bd0 + 12, seq);
+            let bd1 =
+                self.layout.send_bd_ring + ((self.tx_bd_prod + 1) % SEND_BD_RING_ENTRIES) * BD_BYTES;
+            mem.write_u32(bd1, pay_addr);
+            mem.write_u32(bd1 + 4, eth_len - HEADER_LEN);
+            mem.write_u32(bd1 + 8, BD_FLAG_LAST);
+            mem.write_u32(bd1 + 12, seq);
+            self.tx_bd_prod += 2;
+            self.tx_seq_next += 1;
+            self.stats.tx_posted += 1;
+        }
+        self.mailbox.push(MailboxWrite {
+            reg: Mailbox::SendBdProd,
+            value: self.tx_bd_prod,
+        });
+    }
+
+    fn post_rx_buffers(&mut self, mem: &mut HostMemory) {
+        let outstanding = self.rx_bd_prod - self.rx_frames_returned;
+        let room = RX_BD_RING_ENTRIES - outstanding;
+        let mut posted = 0;
+        for _ in 0..room.min(self.cfg.post_burst * 2) {
+            let Some(buf) = self.rx_free_bufs.pop_front() else {
+                break;
+            };
+            self.dbg_outstanding[buf as usize] = true;
+            let addr = self.layout.rx_bufs + buf * RX_BUF_BYTES + 2;
+            let bd = self.layout.rx_bd_ring + (self.rx_bd_prod % RX_BD_RING_ENTRIES) * BD_BYTES;
+            mem.write_u32(bd, addr);
+            mem.write_u32(bd + 4, RX_BUF_BYTES - 2);
+            mem.write_u32(bd + 8, 0);
+            mem.write_u32(bd + 12, buf);
+            self.rx_bd_prod += 1;
+            posted += 1;
+        }
+        if posted > 0 {
+            self.mailbox.push(MailboxWrite {
+                reg: Mailbox::RxBdProd,
+                value: self.rx_bd_prod,
+            });
+        }
+    }
+
+    fn consume_returns(&mut self, mem: &mut HostMemory) {
+        let prod = mem.read_u32(self.layout.status + 4);
+        while self.ret_cons != prod {
+            let d = self.layout.return_ring + (self.ret_cons % RETURN_RING_ENTRIES) * BD_BYTES;
+            let addr = mem.read_u32(d);
+            let len = mem.read_u32(d + 4);
+            let frame = mem.read(addr, len).to_vec();
+            match validate_frame(&frame) {
+                Ok(info) => {
+                    if let Some(e) = self.rx_expected_seq {
+                        if info.seq > e {
+                            self.stats.rx_dropped += (info.seq - e) as u64;
+                            if info.seq - e > 40 && self.ooo_samples.len() < 16 {
+                                let buf = (addr - 2 - self.layout.rx_bufs) / RX_BUF_BYTES;
+                                self.ooo_samples.push((e, info.seq, self.ret_cons, buf));
+                            }
+                        } else if info.seq < e {
+                            self.stats.rx_out_of_order += 1;
+                            if self.ooo_samples.len() < 16 {
+                                let fw_seq = mem.read_u32(d + 8);
+                                self.ooo_samples.push((e, info.seq, self.ret_cons, fw_seq));
+                            }
+                        }
+                    }
+                    self.rx_expected_seq = Some(info.seq.wrapping_add(1));
+                    self.stats.rx_frames += 1;
+                    self.stats.rx_udp_payload_bytes += info.udp_payload as u64;
+                }
+                Err(_) => self.stats.rx_corrupt += 1,
+            }
+            // Recycle the buffer.
+            let buf = (addr - 2 - self.layout.rx_bufs) / RX_BUF_BYTES;
+            if !self.dbg_outstanding[buf as usize] {
+                self.dbg_bad_returns += 1;
+            }
+            self.dbg_outstanding[buf as usize] = false;
+            self.rx_free_bufs.push_back(buf);
+            self.rx_frames_returned += 1;
+            self.ret_cons += 1;
+        }
+    }
+
+    /// Run one driver invocation: replenish rings, consume completions.
+    pub fn tick(&mut self, now: Ps, mem: &mut HostMemory) {
+        self.consume_returns(mem);
+        self.post_send_frames(now, mem);
+        self.post_rx_buffers(mem);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Driver, HostMemory) {
+        let layout = HostLayout::default();
+        let mem = HostMemory::new(layout.memory_size());
+        (Driver::new(DriverConfig::default(), layout), mem)
+    }
+
+    #[test]
+    fn posts_send_bd_pairs_and_mailbox() {
+        let (mut d, mut mem) = setup();
+        d.tick(Ps::ZERO, &mut mem);
+        assert_eq!(d.stats().tx_posted, 32);
+        let writes = d.take_mailbox_writes();
+        assert!(writes
+            .iter()
+            .any(|w| w.reg == Mailbox::SendBdProd && w.value == 64));
+        // First BD pair: header FIRST then payload LAST.
+        let l = d.layout();
+        assert_eq!(mem.read_u32(l.send_bd_ring + 4), HEADER_LEN);
+        assert_eq!(mem.read_u32(l.send_bd_ring + 8), BD_FLAG_FIRST);
+        assert_eq!(mem.read_u32(l.send_bd_ring + 16 + 8), BD_FLAG_LAST);
+        // Header + payload reassemble into a valid frame (sans FCS).
+        let hdr_addr = mem.read_u32(l.send_bd_ring);
+        let pay_addr = mem.read_u32(l.send_bd_ring + 16);
+        let pay_len = mem.read_u32(l.send_bd_ring + 16 + 4);
+        let mut frame = mem.read(hdr_addr, HEADER_LEN).to_vec();
+        frame.extend_from_slice(mem.read(pay_addr, pay_len));
+        frame.extend_from_slice(&[0; 4]); // FCS
+        let info = validate_frame(&frame).unwrap();
+        assert_eq!(info.seq, 0);
+        assert_eq!(info.udp_payload, 1472);
+    }
+
+    #[test]
+    fn window_limits_outstanding_sends() {
+        let (mut d, mut mem) = setup();
+        for _ in 0..100 {
+            d.tick(Ps::ZERO, &mut mem);
+        }
+        assert_eq!(d.stats().tx_posted, SEND_FRAME_WINDOW as u64);
+        // Completing frames opens the window.
+        mem.write_u32(d.layout().status, 20); // 10 frames done
+        d.tick(Ps::ZERO, &mut mem);
+        assert_eq!(d.stats().tx_posted, SEND_FRAME_WINDOW as u64 + 10);
+    }
+
+    #[test]
+    fn offered_load_paces_posting() {
+        let layout = HostLayout::default();
+        let mut mem = HostMemory::new(layout.memory_size());
+        let cfg = DriverConfig {
+            offered_fps: Some(1_000_000.0),
+            ..DriverConfig::default()
+        };
+        let mut d = Driver::new(cfg, layout);
+        d.tick(Ps::from_us(10), &mut mem); // 10us at 1Mfps = 10 frames
+        assert_eq!(d.stats().tx_posted, 10);
+    }
+
+    #[test]
+    fn posts_rx_buffers() {
+        let (mut d, mut mem) = setup();
+        d.tick(Ps::ZERO, &mut mem);
+        let writes = d.take_mailbox_writes();
+        let rx = writes.iter().find(|w| w.reg == Mailbox::RxBdProd).unwrap();
+        assert_eq!(rx.value, 64);
+        // BD 0 points into the buffer region with the +2 IP-align offset.
+        let addr = mem.read_u32(d.layout().rx_bd_ring);
+        assert_eq!(addr, d.layout().rx_bufs + 2);
+    }
+
+    #[test]
+    fn consumes_returns_and_validates() {
+        let (mut d, mut mem) = setup();
+        d.tick(Ps::ZERO, &mut mem);
+        let l = d.layout();
+        // Simulate the NIC: put a valid frame in rx buffer 0 and a return
+        // descriptor for it.
+        let frame = build_udp_frame(0, 1472);
+        let addr = l.rx_bufs + 2;
+        mem.write(addr, &frame);
+        mem.write_u32(l.return_ring, addr);
+        mem.write_u32(l.return_ring + 4, frame.len() as u32);
+        mem.write_u32(l.status + 4, 1); // return producer
+        d.tick(Ps::from_us(1), &mut mem);
+        let s = d.stats();
+        assert_eq!(s.rx_frames, 1);
+        assert_eq!(s.rx_udp_payload_bytes, 1472);
+        assert_eq!(s.rx_corrupt, 0);
+    }
+
+    #[test]
+    fn detects_drops_via_seq_gap() {
+        let (mut d, mut mem) = setup();
+        d.tick(Ps::ZERO, &mut mem);
+        let l = d.layout();
+        for (i, seq) in [0u32, 3].iter().enumerate() {
+            let frame = build_udp_frame(*seq, 100);
+            let addr = l.rx_bufs + (i as u32) * RX_BUF_BYTES + 2;
+            mem.write(addr, &frame);
+            let dsc = l.return_ring + i as u32 * BD_BYTES;
+            mem.write_u32(dsc, addr);
+            mem.write_u32(dsc + 4, frame.len() as u32);
+        }
+        mem.write_u32(l.status + 4, 2);
+        d.tick(Ps::from_us(1), &mut mem);
+        assert_eq!(d.stats().rx_frames, 2);
+        assert_eq!(d.stats().rx_dropped, 2, "frames 1 and 2 were dropped");
+        assert_eq!(d.stats().rx_out_of_order, 0);
+    }
+
+    #[test]
+    fn recycles_rx_buffers() {
+        let (mut d, mut mem) = setup();
+        // Drain the free list entirely.
+        for _ in 0..40 {
+            d.tick(Ps::ZERO, &mut mem);
+        }
+        assert_eq!(d.rx_bd_prod, RX_BUF_COUNT);
+        // Return one frame; its buffer must be reusable.
+        let l = d.layout();
+        let frame = build_udp_frame(0, 100);
+        mem.write(l.rx_bufs + 2, &frame);
+        mem.write_u32(l.return_ring, l.rx_bufs + 2);
+        mem.write_u32(l.return_ring + 4, frame.len() as u32);
+        mem.write_u32(l.status + 4, 1);
+        d.tick(Ps::from_us(1), &mut mem);
+        assert_eq!(d.rx_bd_prod, RX_BUF_COUNT + 1, "buffer 0 reposted");
+    }
+
+    #[test]
+    fn throughput_window_resets() {
+        let (mut d, _mem) = setup();
+        d.stats.rx_udp_payload_bytes = 1250;
+        assert!(d.rx_udp_gbps(Ps::from_us(1)) > 9.9);
+        d.reset_window(Ps::from_us(1));
+        assert_eq!(d.rx_udp_gbps(Ps::from_us(2)), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Host main memory as seen by the NIC's DMA engines.
+
+/// A flat byte-addressable model of the host's main memory.
+///
+/// Word accessors use little-endian layout (the paper's firmware does the
+/// byte swapping a real PCI NIC would; our descriptors are plain LE
+/// words).
+#[derive(Debug, Clone)]
+pub struct HostMemory {
+    bytes: Vec<u8>,
+}
+
+impl HostMemory {
+    /// Allocate `size` bytes of zeroed host memory.
+    pub fn new(size: usize) -> HostMemory {
+        HostMemory {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the memory is empty (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Read `len` bytes at `addr` (a DMA read from the NIC's viewpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read(&self, addr: u32, len: u32) -> &[u8] {
+        &self.bytes[addr as usize..(addr + len) as usize]
+    }
+
+    /// Write `data` at `addr` (a DMA write from the NIC's viewpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write(&mut self, addr: u32, data: &[u8]) {
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+    }
+
+    /// Read a little-endian 32-bit word.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let b = self.read(addr, 4);
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Write a little-endian 32-bit word.
+    pub fn write_u32(&mut self, addr: u32, val: u32) {
+        self.write(addr, &val.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip() {
+        let mut m = HostMemory::new(1024);
+        m.write(100, &[1, 2, 3]);
+        assert_eq!(m.read(100, 3), &[1, 2, 3]);
+        assert_eq!(m.read(103, 1), &[0]);
+    }
+
+    #[test]
+    fn word_roundtrip_is_little_endian() {
+        let mut m = HostMemory::new(64);
+        m.write_u32(8, 0x0403_0201);
+        assert_eq!(m.read(8, 4), &[1, 2, 3, 4]);
+        assert_eq!(m.read_u32(8), 0x0403_0201);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_read_panics() {
+        let m = HostMemory::new(16);
+        let _ = m.read(12, 8);
+    }
+}

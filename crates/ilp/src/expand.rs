@@ -1,0 +1,252 @@
+//! Expansion of coarse firmware operations into register-level
+//! instructions with dependences.
+//!
+//! The cycle simulator records what the firmware *did* (ALU batches,
+//! loads, stores, RMWs, branches). For the ILP study those operations
+//! must become MIPS-like instructions with register dependences. The
+//! expansion uses a rotating virtual register allocator and a
+//! deterministic LCG to reproduce the statistical structure of the real
+//! handlers: address-generation chains feeding memory operations,
+//! load-use dependences on about half the loads (§6.1: "50% of all loads
+//! in this firmware cause load-to-use dependences"), and branch
+//! conditions computed shortly before the branch.
+
+/// A coarse firmware operation, as recorded by the core model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// `n` ALU instructions.
+    Alu(u32),
+    /// A load.
+    Load,
+    /// A store.
+    Store,
+    /// An atomic read-modify-write (timed like a load).
+    Rmw,
+    /// A branch; `mispredict` is the static predictor's outcome (used
+    /// only for reporting, not by the idealized models).
+    Branch {
+        /// Whether the static predictor missed.
+        mispredict: bool,
+    },
+}
+
+/// Instruction class, for the pipeline models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstKind {
+    /// Single-cycle integer operation.
+    Alu,
+    /// Memory read (result available late in the stalls model).
+    Load,
+    /// Memory write.
+    Store,
+    /// Conditional branch.
+    Branch,
+}
+
+/// One register-level instruction of the expanded trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inst {
+    /// Instruction class.
+    pub kind: InstKind,
+    /// Destination register (`None` for stores and branches).
+    pub dst: Option<u8>,
+    /// Source registers (up to two).
+    pub srcs: [Option<u8>; 2],
+}
+
+/// Deterministic LCG so expansion is reproducible.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u32 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 33) as u32
+    }
+
+    fn chance(&mut self, percent: u32) -> bool {
+        self.next() % 100 < percent
+    }
+}
+
+/// Rotating register allocator over the MIPS integer register file.
+///
+/// Registers 25–28 are long-lived base registers (ring bases, structure
+/// pointers): real NIC firmware addresses most of its loads and stores
+/// off such stable bases, which is what lets out-of-order issue overlap
+/// memory latency.
+struct RegAlloc {
+    next: u8,
+    /// Recently written registers, most recent last.
+    recent: Vec<u8>,
+}
+
+const BASES: [u8; 4] = [25, 26, 27, 28];
+
+impl RegAlloc {
+    fn new() -> RegAlloc {
+        RegAlloc {
+            next: 1,
+            recent: vec![1, 2, 3],
+        }
+    }
+
+    fn fresh(&mut self) -> u8 {
+        let r = self.next;
+        self.next = if self.next >= 24 { 1 } else { self.next + 1 };
+        self.recent.push(r);
+        if self.recent.len() > 8 {
+            self.recent.remove(0);
+        }
+        r
+    }
+
+    /// A recently-produced register (depth 1 = the most recent).
+    fn recent(&self, depth: usize) -> u8 {
+        let n = self.recent.len();
+        self.recent[n.saturating_sub(depth.min(n))]
+    }
+}
+
+/// Expand a coarse trace into register-level instructions.
+///
+/// # Example
+///
+/// ```
+/// use nicsim_ilp::{expand, TraceOp};
+///
+/// let insts = expand(&[TraceOp::Alu(2), TraceOp::Load, TraceOp::Branch { mispredict: false }]);
+/// assert_eq!(insts.len(), 4);
+/// ```
+pub fn expand(ops: &[TraceOp]) -> Vec<Inst> {
+    let mut out = Vec::new();
+    let mut regs = RegAlloc::new();
+    let mut rng = Lcg(0x9e3779b97f4a7c15);
+    // Register holding the result of the previous load, if the next
+    // instruction should consume it (load-use chain).
+    let mut pending_load_use: Option<u8> = None;
+    for op in ops {
+        let forced_src = pending_load_use.take();
+        match op {
+            TraceOp::Alu(n) => {
+                for _ in 0..*n {
+                    // Unforced sources skip the most recent producer so
+                    // the load-use fraction is governed by the explicit
+                    // 50% chain below.
+                    let s0 = forced_src.unwrap_or_else(|| regs.recent(2 + (rng.next() % 3) as usize));
+                    let s1 = if rng.chance(45) {
+                        Some(regs.recent(2 + (rng.next() % 4) as usize))
+                    } else {
+                        None
+                    };
+                    let d = regs.fresh();
+                    out.push(Inst {
+                        kind: InstKind::Alu,
+                        dst: Some(d),
+                        srcs: [Some(s0), s1],
+                    });
+                }
+            }
+            TraceOp::Load | TraceOp::Rmw => {
+                // Most addresses index off a long-lived base register;
+                // the rest chain off a recent producer (pointer chase).
+                let addr = forced_src.unwrap_or_else(|| {
+                    if rng.chance(85) {
+                        BASES[(rng.next() % 4) as usize]
+                    } else {
+                        regs.recent(1 + (rng.next() % 4) as usize)
+                    }
+                });
+                let d = regs.fresh();
+                out.push(Inst {
+                    kind: InstKind::Load,
+                    dst: Some(d),
+                    srcs: [Some(addr), None],
+                });
+                // ~50% of loads feed the very next instruction.
+                if rng.chance(50) {
+                    pending_load_use = Some(d);
+                }
+            }
+            TraceOp::Store => {
+                let addr = if rng.chance(85) {
+                    BASES[(rng.next() % 4) as usize]
+                } else {
+                    regs.recent(2 + (rng.next() % 4) as usize)
+                };
+                let data = forced_src.unwrap_or_else(|| regs.recent(1));
+                out.push(Inst {
+                    kind: InstKind::Store,
+                    dst: None,
+                    srcs: [Some(addr), Some(data)],
+                });
+            }
+            TraceOp::Branch { .. } => {
+                // Condition computed from a recent register.
+                let cond = forced_src.unwrap_or_else(|| regs.recent(1 + (rng.next() % 2) as usize));
+                out.push(Inst {
+                    kind: InstKind::Branch,
+                    dst: None,
+                    srcs: [Some(cond), None],
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_counts_match() {
+        let insts = expand(&[
+            TraceOp::Alu(5),
+            TraceOp::Load,
+            TraceOp::Store,
+            TraceOp::Rmw,
+            TraceOp::Branch { mispredict: true },
+        ]);
+        assert_eq!(insts.len(), 9);
+        assert_eq!(insts.iter().filter(|i| i.kind == InstKind::Load).count(), 2);
+        assert_eq!(insts.iter().filter(|i| i.kind == InstKind::Store).count(), 1);
+        assert_eq!(insts.iter().filter(|i| i.kind == InstKind::Branch).count(), 1);
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let ops = [TraceOp::Alu(10), TraceOp::Load, TraceOp::Branch { mispredict: false }];
+        assert_eq!(expand(&ops), expand(&ops));
+    }
+
+    #[test]
+    fn loads_feed_consumers_about_half_the_time() {
+        let ops: Vec<TraceOp> = (0..2000)
+            .flat_map(|_| [TraceOp::Load, TraceOp::Alu(1)])
+            .collect();
+        let insts = expand(&ops);
+        // Count ALU instructions whose first source is the immediately
+        // preceding load's destination.
+        let mut uses = 0;
+        let mut loads = 0;
+        for w in insts.windows(2) {
+            if w[0].kind == InstKind::Load {
+                loads += 1;
+                if w[1].srcs[0] == w[0].dst {
+                    uses += 1;
+                }
+            }
+        }
+        let frac = uses as f64 / loads as f64;
+        assert!(
+            (0.4..=0.6).contains(&frac),
+            "load-use fraction {frac} should be near the paper's 50%"
+        );
+    }
+
+    #[test]
+    fn stores_and_branches_have_no_destination() {
+        let insts = expand(&[TraceOp::Store, TraceOp::Branch { mispredict: false }]);
+        assert!(insts.iter().all(|i| i.dst.is_none()));
+    }
+}

@@ -1,0 +1,264 @@
+//! On-chip scratchpad memory: functional state and atomic operations.
+//!
+//! The scratchpad is a program-managed, globally visible on-chip memory
+//! (256 KB in the paper, split into `S` independent banks). All firmware
+//! control data lives here: buffer-descriptor caches, DMA/MAC command
+//! rings, hardware progress pointers, status-bit arrays, and spinlocks.
+//!
+//! Besides plain 32-bit reads and writes, the scratchpad banks execute the
+//! paper's two new atomic read-modify-write instructions (§4):
+//!
+//! * **`set`** — atomically set one bit of a bit array in memory.
+//! * **`update`** — examine at most one aligned 32-bit word of the bit
+//!   array, atomically clear the consecutive set bits starting at a given
+//!   offset, and report how far the consecutive region extended.
+//!
+//! plus a conventional `test-and-set` used to build spinlocks (the
+//! baseline "software-only" firmware synchronizes exclusively with these).
+
+/// An atomic operation performed at a scratchpad bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpOp {
+    /// Read the 32-bit word; response is its value.
+    Read,
+    /// Write the 32-bit word; response is the written value.
+    Write(u32),
+    /// Atomically read the word and write all-ones; response is the old
+    /// value (0 means the lock was acquired).
+    TestAndSet,
+    /// Atomically set bit `(addr*32 + bit)` of a bit array; response is
+    /// the previous value of the word. This is the paper's `set`.
+    SetBit(u8),
+    /// Atomically scan the word starting at `start_bit`, clear the run of
+    /// consecutive set bits found there, and respond with the run length
+    /// (0 if `start_bit` itself is clear). This is the paper's `update`,
+    /// which "examines at most one aligned 32-bit word".
+    Update {
+        /// Bit offset within the word at which the scan begins.
+        start_bit: u8,
+    },
+}
+
+impl SpOp {
+    /// Whether this operation modifies memory (for coherence tracing, all
+    /// RMW ops count as writes).
+    pub fn is_write(self) -> bool {
+        !matches!(self, SpOp::Read)
+    }
+}
+
+/// One scratchpad transaction: a word-aligned byte address plus operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpRequest {
+    /// Byte address; must be 4-byte aligned.
+    pub addr: u32,
+    /// The operation to perform.
+    pub op: SpOp,
+}
+
+/// The scratchpad memory array with bank geometry.
+///
+/// Words are interleaved across banks at word granularity, so consecutive
+/// words hit different banks — the same policy that makes sequential
+/// descriptor accesses spread load in the paper's design.
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    words: Vec<u32>,
+    banks: usize,
+}
+
+impl Scratchpad {
+    /// Create a scratchpad of `bytes` capacity split into `banks` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a multiple of 4 or `banks` is zero.
+    pub fn new(bytes: usize, banks: usize) -> Scratchpad {
+        assert!(bytes % 4 == 0, "capacity must be whole words");
+        assert!(banks > 0, "need at least one bank");
+        Scratchpad {
+            words: vec![0; bytes / 4],
+            banks,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// The bank a byte address maps to (word-interleaved).
+    pub fn bank_of(&self, addr: u32) -> usize {
+        (addr as usize / 4) % self.banks
+    }
+
+    fn word_index(&self, addr: u32) -> usize {
+        assert!(addr % 4 == 0, "unaligned scratchpad access: {addr:#x}");
+        let idx = addr as usize / 4;
+        assert!(idx < self.words.len(), "scratchpad address out of range: {addr:#x}");
+        idx
+    }
+
+    /// Debug/functional peek without timing (used by tests and by the
+    /// host-side of hardware assists, which model register reads).
+    pub fn peek(&self, addr: u32) -> u32 {
+        self.words[self.word_index(addr)]
+    }
+
+    /// Debug/functional poke without timing.
+    pub fn poke(&mut self, addr: u32, val: u32) {
+        let i = self.word_index(addr);
+        self.words[i] = val;
+    }
+
+    /// Execute one transaction atomically, returning its response value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-range addresses, or a bit offset
+    /// of 32 or more.
+    pub fn execute(&mut self, req: SpRequest) -> u32 {
+        let i = self.word_index(req.addr);
+        match req.op {
+            SpOp::Read => self.words[i],
+            SpOp::Write(v) => {
+                self.words[i] = v;
+                v
+            }
+            SpOp::TestAndSet => {
+                let old = self.words[i];
+                self.words[i] = u32::MAX;
+                old
+            }
+            SpOp::SetBit(bit) => {
+                assert!(bit < 32, "bit offset out of range");
+                let old = self.words[i];
+                self.words[i] = old | (1 << bit);
+                old
+            }
+            SpOp::Update { start_bit } => {
+                assert!(start_bit < 32, "bit offset out of range");
+                let word = self.words[i];
+                let mut run = 0u32;
+                let mut bit = start_bit as u32;
+                while bit < 32 && word & (1 << bit) != 0 {
+                    run += 1;
+                    bit += 1;
+                }
+                // Clear the run.
+                if run > 0 {
+                    let mask = if run == 32 {
+                        u32::MAX
+                    } else {
+                        ((1u32 << run) - 1) << start_bit
+                    };
+                    self.words[i] = word & !mask;
+                }
+                run
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> Scratchpad {
+        Scratchpad::new(1024, 4)
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut s = sp();
+        assert_eq!(s.execute(SpRequest { addr: 8, op: SpOp::Write(0xdead_beef) }), 0xdead_beef);
+        assert_eq!(s.execute(SpRequest { addr: 8, op: SpOp::Read }), 0xdead_beef);
+        assert_eq!(s.execute(SpRequest { addr: 12, op: SpOp::Read }), 0);
+    }
+
+    #[test]
+    fn bank_interleaving_by_word() {
+        let s = sp();
+        assert_eq!(s.bank_of(0), 0);
+        assert_eq!(s.bank_of(4), 1);
+        assert_eq!(s.bank_of(8), 2);
+        assert_eq!(s.bank_of(12), 3);
+        assert_eq!(s.bank_of(16), 0);
+    }
+
+    #[test]
+    fn test_and_set_acquires_once() {
+        let mut s = sp();
+        assert_eq!(s.execute(SpRequest { addr: 0, op: SpOp::TestAndSet }), 0);
+        assert_eq!(s.execute(SpRequest { addr: 0, op: SpOp::TestAndSet }), u32::MAX);
+        s.poke(0, 0); // release
+        assert_eq!(s.execute(SpRequest { addr: 0, op: SpOp::TestAndSet }), 0);
+    }
+
+    #[test]
+    fn set_bit_is_idempotent_or() {
+        let mut s = sp();
+        s.execute(SpRequest { addr: 16, op: SpOp::SetBit(3) });
+        s.execute(SpRequest { addr: 16, op: SpOp::SetBit(5) });
+        let old = s.execute(SpRequest { addr: 16, op: SpOp::SetBit(3) });
+        assert_eq!(old, (1 << 3) | (1 << 5));
+        assert_eq!(s.peek(16), (1 << 3) | (1 << 5));
+    }
+
+    #[test]
+    fn update_clears_consecutive_run() {
+        let mut s = sp();
+        // bits 2,3,4 set; bit 5 clear; bit 6 set.
+        s.poke(20, 0b101_1100);
+        let run = s.execute(SpRequest { addr: 20, op: SpOp::Update { start_bit: 2 } });
+        assert_eq!(run, 3);
+        // Only the consecutive run starting at bit 2 was cleared.
+        assert_eq!(s.peek(20), 0b100_0000);
+    }
+
+    #[test]
+    fn update_on_clear_bit_returns_zero() {
+        let mut s = sp();
+        s.poke(24, 0b1000);
+        let run = s.execute(SpRequest { addr: 24, op: SpOp::Update { start_bit: 0 } });
+        assert_eq!(run, 0);
+        assert_eq!(s.peek(24), 0b1000, "nothing cleared");
+    }
+
+    #[test]
+    fn update_full_word() {
+        let mut s = sp();
+        s.poke(28, u32::MAX);
+        let run = s.execute(SpRequest { addr: 28, op: SpOp::Update { start_bit: 0 } });
+        assert_eq!(run, 32);
+        assert_eq!(s.peek(28), 0);
+    }
+
+    #[test]
+    fn update_run_to_word_end() {
+        let mut s = sp();
+        s.poke(32, 0xc000_0000); // bits 30,31
+        let run = s.execute(SpRequest { addr: 32, op: SpOp::Update { start_bit: 30 } });
+        assert_eq!(run, 2);
+        assert_eq!(s.peek(32), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_access_panics() {
+        let mut s = sp();
+        s.execute(SpRequest { addr: 2, op: SpOp::Read });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_access_panics() {
+        let mut s = sp();
+        s.execute(SpRequest { addr: 4096, op: SpOp::Read });
+    }
+}

@@ -1,0 +1,313 @@
+//! The 32-bit crossbar between requesters (cores + assists) and the
+//! scratchpad banks.
+//!
+//! Paper §4: "The processors and each of the four hardware assists connect
+//! to the scratchpads through a crossbar as in a dancehall architecture.
+//! ... The crossbar is 32 bits wide and allows one transaction to each
+//! scratchpad bank ... per cycle with round-robin arbitration for each
+//! resource. Accessing any scratchpad bank requires a latency of 2 cycles:
+//! one to request and traverse the crossbar and another to access the
+//! memory and return requested data."
+//!
+//! Timing contract used throughout the simulator: a requester submits at
+//! most one outstanding request; the request competes for its bank on each
+//! subsequent [`Crossbar::tick`]; when granted on the tick of cycle *T*,
+//! the response becomes consumable on cycle *T+1*. A load issued by a core
+//! on cycle *T-1* therefore completes in 2 cycles when uncontended (one
+//! mandatory "load stall" cycle), and every additional cycle spent waiting
+//! for a grant is a *bank-conflict* stall — the two stall buckets reported
+//! in Table 3.
+
+use crate::scratchpad::{Scratchpad, SpRequest};
+use crate::trace::{AccessKind, AccessTrace};
+use nicsim_sim::RoundRobin;
+
+/// Identifies a crossbar port. Cores occupy ports `0..p`; the four assist
+/// units (DMA read, DMA write, MAC TX, MAC RX) occupy the following ports.
+pub type RequesterId = usize;
+
+/// Per-port bookkeeping visible to the owner of the port.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PortStats {
+    /// Transactions granted on this port.
+    pub grants: u64,
+    /// Cycles a pending request waited beyond its first arbitration
+    /// opportunity (bank conflicts).
+    pub conflict_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    req: SpRequest,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Response {
+    value: u32,
+    ready_at: u64,
+}
+
+/// The crossbar and its per-bank arbiters.
+///
+/// The paper also routes processor access to the external memory interface
+/// through the crossbar; the firmware never touches frame data, so that
+/// path is not exercised and is omitted here (the assists access the frame
+/// memory through their own bus — see [`crate::sdram`]).
+pub struct Crossbar {
+    pending: Vec<Option<Pending>>,
+    responses: Vec<Option<Response>>,
+    arbiters: Vec<RoundRobin>,
+    stats: Vec<PortStats>,
+    cycle: u64,
+    bank_busy_cycles: Vec<u64>,
+    /// Optional metadata access trace for the coherence study.
+    pub trace: Option<AccessTrace>,
+}
+
+impl Crossbar {
+    /// Create a crossbar with `ports` requesters over the banks of `sp`.
+    pub fn new(ports: usize, banks: usize) -> Crossbar {
+        Crossbar {
+            pending: vec![None; ports],
+            responses: vec![None; ports],
+            arbiters: vec![RoundRobin::new(ports); banks],
+            stats: vec![PortStats::default(); ports],
+            cycle: 0,
+            bank_busy_cycles: vec![0; banks],
+            trace: None,
+        }
+    }
+
+    /// Number of requester ports.
+    pub fn ports(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submit a request on `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port already has an outstanding request or an
+    /// unconsumed response — requesters are single-outstanding by
+    /// construction.
+    pub fn submit(&mut self, port: RequesterId, req: SpRequest) {
+        assert!(
+            self.pending[port].is_none() && self.responses[port].is_none(),
+            "port {port} already has an outstanding transaction"
+        );
+        self.pending[port] = Some(Pending { req });
+    }
+
+    /// Whether `port` has neither a pending request nor an unconsumed
+    /// response (i.e. it may submit).
+    pub fn port_idle(&self, port: RequesterId) -> bool {
+        self.pending[port].is_none() && self.responses[port].is_none()
+    }
+
+    /// Take the response for `port` if it is consumable this cycle.
+    pub fn take_response(&mut self, port: RequesterId) -> Option<u32> {
+        match self.responses[port] {
+            Some(r) if r.ready_at <= self.cycle => {
+                self.responses[port] = None;
+                Some(r.value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Statistics for `port`.
+    pub fn port_stats(&self, port: RequesterId) -> PortStats {
+        self.stats[port]
+    }
+
+    /// Cycles each bank spent servicing a transaction.
+    pub fn bank_busy_cycles(&self) -> &[u64] {
+        &self.bank_busy_cycles
+    }
+
+    /// Total words moved through the crossbar (grants), for Table 4's
+    /// scratchpad-bandwidth row: bytes = grants * 4.
+    pub fn total_grants(&self) -> u64 {
+        self.stats.iter().map(|s| s.grants).sum()
+    }
+
+    /// Reset all counters (used to discard warm-up before measurement).
+    pub fn reset_stats(&mut self) {
+        for s in &mut self.stats {
+            *s = PortStats::default();
+        }
+        for b in &mut self.bank_busy_cycles {
+            *b = 0;
+        }
+        if let Some(t) = &mut self.trace {
+            t.clear();
+        }
+    }
+
+    /// Arbitrate one CPU cycle: grant at most one pending transaction per
+    /// bank, execute it against `sp`, and make the response consumable on
+    /// the next cycle. Ungranted-but-seen requests accumulate conflict
+    /// cycles.
+    pub fn tick(&mut self, sp: &mut Scratchpad) {
+        self.cycle += 1;
+        let ports = self.pending.len();
+        for bank in 0..self.arbiters.len() {
+            let winner = {
+                let pending = &self.pending;
+                self.arbiters[bank].grant(|p| {
+                    pending[p]
+                        .as_ref()
+                        .is_some_and(|q| sp.bank_of(q.req.addr) == bank)
+                })
+            };
+            if let Some(p) = winner {
+                let q = self.pending[p].take().expect("winner has request");
+                let value = sp.execute(q.req);
+                if let Some(t) = &mut self.trace {
+                    let kind = if q.req.op.is_write() {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    t.record(p, q.req.addr, kind);
+                }
+                self.responses[p] = Some(Response {
+                    value,
+                    ready_at: self.cycle + 1,
+                });
+                self.stats[p].grants += 1;
+                self.bank_busy_cycles[bank] += 1;
+            }
+        }
+        // Every request still pending after this arbitration round lost a
+        // cycle to a bank conflict (uncontended requests are granted on
+        // their first round).
+        for p in 0..ports {
+            if self.pending[p].is_some() {
+                self.stats[p].conflict_cycles += 1;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Crossbar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Crossbar")
+            .field("ports", &self.pending.len())
+            .field("banks", &self.arbiters.len())
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratchpad::SpOp;
+
+    fn setup(ports: usize, banks: usize) -> (Crossbar, Scratchpad) {
+        (Crossbar::new(ports, banks), Scratchpad::new(4096, banks))
+    }
+
+    #[test]
+    fn two_cycle_uncontended_latency() {
+        let (mut xb, mut sp) = setup(2, 4);
+        sp.poke(8, 77);
+        xb.submit(0, SpRequest { addr: 8, op: SpOp::Read });
+        // Cycle 1: granted, executes; response not yet consumable.
+        xb.tick(&mut sp);
+        assert_eq!(xb.take_response(0), None);
+        // Cycle 2: consumable.
+        xb.tick(&mut sp);
+        assert_eq!(xb.take_response(0), Some(77));
+        assert_eq!(xb.port_stats(0).conflict_cycles, 0);
+    }
+
+    #[test]
+    fn same_bank_conflict_serializes() {
+        let (mut xb, mut sp) = setup(2, 4);
+        // Both target bank 0 (addr 0 and 16 with 4 banks).
+        xb.submit(0, SpRequest { addr: 0, op: SpOp::Write(1) });
+        xb.submit(1, SpRequest { addr: 16, op: SpOp::Write(2) });
+        xb.tick(&mut sp); // one granted
+        xb.tick(&mut sp); // other granted
+        xb.tick(&mut sp);
+        let r0 = xb.take_response(0);
+        let r1 = xb.take_response(1);
+        assert!(r0.is_some() && r1.is_some());
+        // Exactly one port saw one conflict cycle.
+        let conflicts =
+            xb.port_stats(0).conflict_cycles + xb.port_stats(1).conflict_cycles;
+        assert_eq!(conflicts, 1);
+        assert_eq!(sp.peek(0), 1);
+        assert_eq!(sp.peek(16), 2);
+    }
+
+    #[test]
+    fn different_banks_proceed_in_parallel() {
+        let (mut xb, mut sp) = setup(2, 4);
+        xb.submit(0, SpRequest { addr: 0, op: SpOp::Write(1) });
+        xb.submit(1, SpRequest { addr: 4, op: SpOp::Write(2) });
+        xb.tick(&mut sp);
+        xb.tick(&mut sp);
+        assert_eq!(xb.take_response(0), Some(1));
+        assert_eq!(xb.take_response(1), Some(2));
+        assert_eq!(xb.port_stats(0).conflict_cycles, 0);
+        assert_eq!(xb.port_stats(1).conflict_cycles, 0);
+    }
+
+    #[test]
+    fn round_robin_fairness_under_contention() {
+        let (mut xb, mut sp) = setup(3, 1);
+        let mut served = [0u32; 3];
+        for _ in 0..30 {
+            for p in 0..3 {
+                if xb.port_idle(p) {
+                    xb.submit(p, SpRequest { addr: 0, op: SpOp::Read });
+                }
+            }
+            xb.tick(&mut sp);
+            for (p, count) in served.iter_mut().enumerate() {
+                if xb.take_response(p).is_some() {
+                    *count += 1;
+                }
+            }
+        }
+        // One grant per cycle to a single bank, spread evenly.
+        assert!(served.iter().all(|&c| (9..=11).contains(&c)), "{served:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outstanding")]
+    fn double_submit_panics() {
+        let (mut xb, _) = setup(1, 1);
+        xb.submit(0, SpRequest { addr: 0, op: SpOp::Read });
+        xb.submit(0, SpRequest { addr: 4, op: SpOp::Read });
+    }
+
+    #[test]
+    fn atomic_tas_through_crossbar() {
+        let (mut xb, mut sp) = setup(2, 1);
+        xb.submit(0, SpRequest { addr: 0, op: SpOp::TestAndSet });
+        xb.submit(1, SpRequest { addr: 0, op: SpOp::TestAndSet });
+        for _ in 0..4 {
+            xb.tick(&mut sp);
+        }
+        let a = xb.take_response(0).unwrap();
+        let b = xb.take_response(1).unwrap();
+        // Exactly one acquired (saw 0).
+        assert!((a == 0) ^ (b == 0), "a={a:#x} b={b:#x}");
+    }
+
+    #[test]
+    fn trace_records_grants() {
+        let (mut xb, mut sp) = setup(1, 1);
+        xb.trace = Some(AccessTrace::new());
+        xb.submit(0, SpRequest { addr: 12, op: SpOp::Write(5) });
+        xb.tick(&mut sp);
+        let t = xb.trace.as_ref().unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.records()[0].addr, 12);
+        assert_eq!(t.records()[0].kind, AccessKind::Write);
+    }
+}

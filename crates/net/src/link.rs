@@ -1,0 +1,254 @@
+//! 10 Gb/s Ethernet wire timing, the receive-side traffic generator, and
+//! the transmit-side monitor.
+//!
+//! Wire occupancy per frame is preamble (8 B) + frame (including FCS) +
+//! interframe gap (12 B) at 0.8 ns per byte. For maximum-sized frames
+//! that is (1518 + 20) * 0.8 ns = 1230.4 ns, i.e. the paper's 812,744
+//! frames per second per direction.
+
+use crate::frame::{build_udp_frame, validate_frame, FrameError};
+use nicsim_sim::Ps;
+
+/// Preamble + interframe gap, in bytes of wire time.
+pub const ETH_OVERHEAD_BYTES: u64 = 8 + 12;
+
+/// Wire occupancy of a frame of `frame_len` bytes (including FCS) on a
+/// 10 Gb/s link.
+pub fn wire_time(frame_len: usize) -> Ps {
+    // 10 Gb/s = 1 bit per 100 ps = 800 ps per byte.
+    Ps((frame_len as u64 + ETH_OVERHEAD_BYTES) * 800)
+}
+
+/// Line rate in frames per second for a given frame length.
+pub fn line_rate_fps(frame_len: usize) -> f64 {
+    1e12 / wire_time(frame_len).0 as f64
+}
+
+/// The maximum achievable UDP payload throughput (Gb/s, one direction)
+/// for a given datagram size — the "Ethernet Limit" curves of
+/// Figures 7 and 8.
+pub fn max_udp_throughput_gbps(udp_payload: usize) -> f64 {
+    let frame = build_udp_frame(0, udp_payload.max(4)).len();
+    line_rate_fps(frame) * (udp_payload as f64) * 8.0 / 1e9
+}
+
+/// Generates the inbound frame stream at up to line rate.
+///
+/// Frames are produced with consecutive sequence numbers; the driver
+/// checks ordering and integrity end-to-end.
+#[derive(Debug)]
+pub struct RxGenerator {
+    udp_payload: usize,
+    next_at: Ps,
+    seq: u32,
+    period: Ps,
+    enabled: bool,
+}
+
+impl RxGenerator {
+    /// Generate `udp_payload`-byte datagrams at line rate.
+    pub fn new(udp_payload: usize) -> RxGenerator {
+        let frame_len = build_udp_frame(0, udp_payload.max(4)).len();
+        RxGenerator {
+            udp_payload,
+            next_at: Ps::ZERO,
+            seq: 0,
+            period: wire_time(frame_len),
+            enabled: true,
+        }
+    }
+
+    /// Generate at a fixed rate instead of line rate.
+    pub fn with_fps(udp_payload: usize, fps: f64) -> RxGenerator {
+        let mut g = RxGenerator::new(udp_payload);
+        g.period = Ps((1e12 / fps) as u64);
+        g
+    }
+
+    /// Disable the generator (receive-idle experiments).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Sequence number of the next frame to be generated.
+    pub fn next_seq(&self) -> u32 {
+        self.seq
+    }
+
+    /// Produce the next frame if its arrival time has come.
+    pub fn poll(&mut self, now: Ps) -> Option<(Ps, Vec<u8>)> {
+        if !self.enabled || now < self.next_at {
+            return None;
+        }
+        let at = self.next_at;
+        let f = build_udp_frame(self.seq, self.udp_payload);
+        self.seq = self.seq.wrapping_add(1);
+        self.next_at = self.next_at + self.period;
+        Some((at, f))
+    }
+}
+
+/// Observes frames leaving the MAC transmitter: validates bytes, enforces
+/// ordering, and accumulates throughput.
+#[derive(Debug, Default)]
+pub struct TxMonitor {
+    frames: u64,
+    udp_payload_bytes: u64,
+    wire_bytes: u64,
+    next_seq: Option<u32>,
+    errors: Vec<FrameError>,
+    out_of_order: u64,
+    window_start: Ps,
+}
+
+impl TxMonitor {
+    /// Create a monitor.
+    pub fn new() -> TxMonitor {
+        TxMonitor::default()
+    }
+
+    /// Record a transmitted frame.
+    pub fn on_frame(&mut self, bytes: &[u8]) {
+        match validate_frame(bytes) {
+            Ok(info) => {
+                if let Some(expect) = self.next_seq {
+                    if info.seq != expect {
+                        self.out_of_order += 1;
+                    }
+                }
+                self.next_seq = Some(info.seq.wrapping_add(1));
+                self.frames += 1;
+                self.udp_payload_bytes += info.udp_payload as u64;
+                self.wire_bytes += bytes.len() as u64 + ETH_OVERHEAD_BYTES;
+            }
+            Err(e) => self.errors.push(e),
+        }
+    }
+
+    /// Frames validated.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// UDP payload throughput over the window ending at `now`, in Gb/s.
+    pub fn udp_gbps(&self, now: Ps) -> f64 {
+        let elapsed = now.saturating_sub(self.window_start);
+        if elapsed == Ps::ZERO {
+            return 0.0;
+        }
+        self.udp_payload_bytes as f64 * 8.0 / elapsed.as_secs_f64() / 1e9
+    }
+
+    /// Frames transmitted out of expected sequence order.
+    pub fn out_of_order(&self) -> u64 {
+        self.out_of_order
+    }
+
+    /// Validation failures observed.
+    pub fn errors(&self) -> &[FrameError] {
+        &self.errors
+    }
+
+    /// Restart the measurement window at `now` (discard warm-up).
+    pub fn reset(&mut self, now: Ps) {
+        self.frames = 0;
+        self.udp_payload_bytes = 0;
+        self.wire_bytes = 0;
+        self.out_of_order = 0;
+        self.errors.clear();
+        self.window_start = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_frame_rate_matches_paper() {
+        // "A full-duplex 10 Gb/s link can deliver maximum-sized 1518-byte
+        // frames at the rate of 812,744 frames per second in each
+        // direction."
+        let fps = line_rate_fps(1518);
+        assert!((fps - 812_744.0).abs() < 1.0, "fps = {fps}");
+    }
+
+    #[test]
+    fn wire_time_of_min_frame() {
+        // 64 + 20 bytes at 0.8ns/byte = 67.2 ns.
+        assert_eq!(wire_time(64), Ps(67_200));
+    }
+
+    #[test]
+    fn udp_limit_for_max_datagrams() {
+        // 1472 * 8 * 812744 = 9.57 Gb/s per direction.
+        let g = max_udp_throughput_gbps(1472);
+        assert!((g - 9.575).abs() < 0.01, "limit = {g}");
+    }
+
+    #[test]
+    fn generator_paces_at_line_rate() {
+        let mut g = RxGenerator::new(1472);
+        let mut n = 0;
+        let horizon = Ps::from_us(100);
+        let mut now = Ps::ZERO;
+        while now <= horizon {
+            if let Some((_, f)) = g.poll(now) {
+                assert_eq!(f.len(), 1518);
+                n += 1;
+            } else {
+                now = now + Ps(100);
+            }
+        }
+        // 100us at 812744 fps = 81.27 frames.
+        assert!((80..=83).contains(&n), "generated {n}");
+    }
+
+    #[test]
+    fn generator_seq_is_consecutive() {
+        let mut g = RxGenerator::new(100);
+        let (_, a) = g.poll(Ps::from_ms(1)).unwrap();
+        let (_, b) = g.poll(Ps::from_ms(1)).unwrap();
+        assert_eq!(validate_frame(&a).unwrap().seq + 1, validate_frame(&b).unwrap().seq);
+    }
+
+    #[test]
+    fn monitor_counts_and_orders() {
+        let mut m = TxMonitor::new();
+        m.on_frame(&build_udp_frame(0, 1472));
+        m.on_frame(&build_udp_frame(1, 1472));
+        m.on_frame(&build_udp_frame(5, 1472)); // gap
+        assert_eq!(m.frames(), 3);
+        assert_eq!(m.out_of_order(), 1);
+        assert!(m.errors().is_empty());
+    }
+
+    #[test]
+    fn monitor_flags_corruption() {
+        let mut m = TxMonitor::new();
+        let mut f = build_udp_frame(0, 1472);
+        f[50] ^= 1;
+        m.on_frame(&f);
+        assert_eq!(m.frames(), 0);
+        assert_eq!(m.errors().len(), 1);
+    }
+
+    #[test]
+    fn monitor_throughput_math() {
+        let mut m = TxMonitor::new();
+        for s in 0..10 {
+            m.on_frame(&build_udp_frame(s, 1472));
+        }
+        // 10 frames * 1472B over 12.304us = 9.57 Gb/s.
+        let t = wire_time(1518);
+        let gbps = m.udp_gbps(Ps(t.0 * 10));
+        assert!((gbps - 9.575).abs() < 0.01, "gbps = {gbps}");
+    }
+
+    #[test]
+    fn disabled_generator_produces_nothing() {
+        let mut g = RxGenerator::new(100);
+        g.disable();
+        assert!(g.poll(Ps::from_ms(5)).is_none());
+    }
+}

@@ -1,0 +1,165 @@
+//! Deterministic event heap.
+//!
+//! The frame-side components of the simulator (GDDR SDRAM controller, MAC,
+//! DMA engines, host model) are event-driven rather than ticked every
+//! cycle; they schedule completion events on this heap. Ties are broken by
+//! insertion order so a simulation is reproducible run-to-run.
+
+use crate::time::Ps;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: Ps,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-heap of `(time, event)` pairs with FIFO tie-breaking.
+///
+/// # Example
+///
+/// ```
+/// use nicsim_sim::{EventHeap, Ps};
+///
+/// let mut h = EventHeap::new();
+/// h.push(Ps(30), 'c');
+/// h.push(Ps(10), 'a');
+/// h.push(Ps(10), 'b'); // same time: FIFO order
+/// assert_eq!(h.pop_before(Ps(20)), Some((Ps(10), 'a')));
+/// assert_eq!(h.pop_before(Ps(20)), Some((Ps(10), 'b')));
+/// assert_eq!(h.pop_before(Ps(20)), None);
+/// ```
+pub struct EventHeap<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> EventHeap<E> {
+    /// Create an empty heap.
+    pub fn new() -> EventHeap<E> {
+        EventHeap {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at time `at`.
+    pub fn push(&mut self, at: Ps, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Ps> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest event if it fires at or before `now`.
+    pub fn pop_before(&mut self, now: Ps) -> Option<(Ps, E)> {
+        if self.heap.peek().is_some_and(|e| e.at <= now) {
+            self.heap.pop().map(|e| (e.at, e.event))
+        } else {
+            None
+        }
+    }
+
+    /// Pop the earliest event unconditionally.
+    pub fn pop(&mut self) -> Option<(Ps, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventHeap<E> {
+    fn default() -> Self {
+        EventHeap::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventHeap<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventHeap")
+            .field("len", &self.heap.len())
+            .field("next", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut h = EventHeap::new();
+        h.push(Ps(5), 5);
+        h.push(Ps(1), 1);
+        h.push(Ps(3), 3);
+        assert_eq!(h.pop(), Some((Ps(1), 1)));
+        assert_eq!(h.pop(), Some((Ps(3), 3)));
+        assert_eq!(h.pop(), Some((Ps(5), 5)));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut h = EventHeap::new();
+        for i in 0..100 {
+            h.push(Ps(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(h.pop(), Some((Ps(7), i)));
+        }
+    }
+
+    #[test]
+    fn pop_before_respects_now() {
+        let mut h = EventHeap::new();
+        h.push(Ps(10), "later");
+        assert_eq!(h.pop_before(Ps(9)), None);
+        assert_eq!(h.pop_before(Ps(10)), Some((Ps(10), "later")));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn peek_time_tracks_min() {
+        let mut h = EventHeap::new();
+        assert_eq!(h.peek_time(), None);
+        h.push(Ps(42), ());
+        h.push(Ps(17), ());
+        assert_eq!(h.peek_time(), Some(Ps(17)));
+        assert_eq!(h.len(), 2);
+    }
+}

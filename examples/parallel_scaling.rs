@@ -1,0 +1,51 @@
+//! A compact version of Figure 7: how throughput scales with the number
+//! of cores and the clock frequency — the motivation for "multiple
+//! simple in-order cores" over one fast core.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example parallel_scaling
+//! ```
+
+use nicsim::{FwMode, NicConfig, NicSystem};
+use nicsim_sim::Ps;
+
+fn throughput(cores: usize, mhz: u64) -> f64 {
+    let cfg = NicConfig {
+        cores,
+        cpu_mhz: mhz,
+        mode: FwMode::SoftwareOnly,
+        ..NicConfig::default()
+    };
+    let mut sys = NicSystem::new(cfg);
+    let s = sys.run_measured(Ps::from_ms(1), Ps::from_ms(2));
+    s.assert_clean();
+    s.total_udp_gbps()
+}
+
+fn main() {
+    println!("full-duplex UDP throughput (Gb/s); Ethernet limit = 19.15");
+    println!("{:>6} {:>8} {:>8} {:>8}", "MHz", "2 cores", "4 cores", "6 cores");
+    for mhz in [100u64, 150, 200] {
+        println!(
+            "{:>6} {:>8.2} {:>8.2} {:>8.2}",
+            mhz,
+            throughput(2, mhz),
+            throughput(4, mhz),
+            throughput(6, mhz)
+        );
+    }
+    println!();
+    println!("one fast core vs many slow ones:");
+    let one = throughput(1, 800);
+    let many = throughput(6, 200);
+    println!("  1 core  @ 800 MHz: {one:.2} Gb/s  (a frequency no embedded NIC core can afford)");
+    println!("  6 cores @ 200 MHz: {many:.2} Gb/s");
+    println!(
+        "the paper's conclusion: a single core needs ~800 MHz for line rate, \
+         while six simple 166-200 MHz cores get there within the area and \
+         power budget of a server NIC (parallelization costs ~25% extra \
+         aggregate cycles — cheap compared to quadrupling the clock)"
+    );
+}

@@ -1,0 +1,62 @@
+//! An annotated walkthrough of the send and receive paths — Figures 1
+//! and 2 of the paper reproduced as a live event log.
+//!
+//! The example runs a small system for a few microseconds at a time and
+//! narrates the hardware progress pointers in the scratchpad as frames
+//! move through the steps:
+//!
+//! send:    mailbox -> BD fetch DMA -> frame DMA -> MAC TX -> host notify
+//! receive: buffer post -> MAC RX -> frame DMA to host -> return ring
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example send_receive_walkthrough
+//! ```
+
+use nicsim::{NicConfig, NicSystem};
+use nicsim_sim::Ps;
+
+fn main() {
+    let cfg = NicConfig {
+        cores: 2,
+        cpu_mhz: 500,
+        ..NicConfig::default()
+    };
+    let mut sys = NicSystem::new(cfg);
+    let m = sys.map();
+
+    println!("=== Figure 1/2 walkthrough: hardware progress pointers over time ===");
+    println!(
+        "{:>6} | {:>7} {:>7} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7}",
+        "us", "sb_mbox", "bd_dma", "frm_dma", "mac_tx", "notify", "rb_mbox", "mac_rx", "to_host", "returns"
+    );
+    for step in 1..=12u64 {
+        sys.run_until(Ps::from_us(step * 5));
+        let sp = sys.scratchpad();
+        println!(
+            "{:>6} | {:>7} {:>7} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7}",
+            step * 5,
+            sp.peek(m.sb_mailbox_prod), // step 2: driver rings the mailbox (BDs)
+            sp.peek(m.sb_fetched),      // step 3: BD fetch DMAs issued
+            sp.peek(m.sbd_cons) / 2,    // step 4: frames whose data DMA started
+            sp.peek(m.mactx_done),      // step 5: frames transmitted by the MAC
+            sp.peek(m.send_txdone_commit), // step 6: completions returned to host
+            sp.peek(m.rb_mailbox_prod), // receive buffers posted (BDs)
+            sp.peek(m.macrx_prod),      // step 1: frames arrived from the wire
+            sp.peek(m.recv_claim),      // step 2: frame DMAs to host buffers
+            sp.peek(m.recv_commit),     // steps 3-4: return descriptors produced
+        );
+    }
+    println!();
+    println!("Reading the table:");
+    println!(" * send counters flow left to right as Figure 1's steps 2 -> 6;");
+    println!(" * receive counters flow as Figure 2's steps 1 -> 4;");
+    println!(" * every frame is validated end-to-end, so the pipeline shown is real data movement.");
+    let stats = sys.collect();
+    stats.assert_clean();
+    println!(
+        "after 60us: {} frames sent, {} received, zero errors/reordering",
+        stats.tx_frames, stats.rx_frames
+    );
+}

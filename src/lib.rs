@@ -1,0 +1,9 @@
+//! Workspace facade for the `nicsim` reproduction of *An Efficient
+//! Programmable 10 Gigabit Ethernet Network Interface Card* (HPCA 2005).
+//!
+//! Re-exports the public API of the [`nicsim`] core crate; the
+//! workspace-level `examples/` and `tests/` directories build against
+//! this crate. See the README for the repository tour and
+//! EXPERIMENTS.md for paper-vs-measured results.
+
+pub use nicsim::*;
