@@ -135,7 +135,14 @@ impl DmaRead {
         self.tracker.complete(tag as u32);
     }
 
-    fn start_command(&mut self, cmd: DmaCmd, idx: u32, host: &HostMemory, fm: &mut FrameMemory, now: Ps) {
+    fn start_command(
+        &mut self,
+        cmd: DmaCmd,
+        idx: u32,
+        host: &HostMemory,
+        fm: &mut FrameMemory,
+        now: Ps,
+    ) {
         let data = host.read(cmd.w0, cmd.len).to_vec();
         if cmd.is_scratchpad() {
             // Copy descriptor words into the scratchpad, one word-write
@@ -207,7 +214,8 @@ impl DmaRead {
             && self.sdram_outstanding < 2
         {
             self.fetch.active = true;
-            let base = self.cfg.cmd_ring + (self.fetched % self.cfg.cmd_entries) * DMA_CMD_WORDS * 4;
+            let base =
+                self.cfg.cmd_ring + (self.fetched % self.cfg.cmd_entries) * DMA_CMD_WORDS * 4;
             for k in 0..4 {
                 self.sp.push(
                     SpRequest {
@@ -277,7 +285,14 @@ impl DmaWrite {
         self.tracker.complete(idx);
     }
 
-    fn start_command(&mut self, cmd: DmaCmd, idx: u32, host: &mut HostMemory, fm: &mut FrameMemory, now: Ps) {
+    fn start_command(
+        &mut self,
+        cmd: DmaCmd,
+        idx: u32,
+        host: &mut HostMemory,
+        fm: &mut FrameMemory,
+        now: Ps,
+    ) {
         if cmd.is_immediate() {
             host.write_u32(cmd.w1, cmd.w0);
             self.tracker.complete(idx);
@@ -349,7 +364,8 @@ impl DmaWrite {
             && self.sdram_outstanding < 2
         {
             self.fetch.active = true;
-            let base = self.cfg.cmd_ring + (self.fetched % self.cfg.cmd_entries) * DMA_CMD_WORDS * 4;
+            let base =
+                self.cfg.cmd_ring + (self.fetched % self.cfg.cmd_entries) * DMA_CMD_WORDS * 4;
             for k in 0..4 {
                 self.sp.push(
                     SpRequest {
@@ -470,10 +486,7 @@ mod tests {
     #[test]
     fn write_engine_immediate_and_scratchpad_sources() {
         let mut rig = Rig::new();
-        let wcfg = DmaConfig {
-            port: 1,
-            ..cfg()
-        };
+        let wcfg = DmaConfig { port: 1, ..cfg() };
         let mut eng = DmaWrite::new(wcfg);
         // Command 0: immediate write of 0xabcd to host 0x900.
         rig.write_cmd(
@@ -522,7 +535,8 @@ mod tests {
         let mut rig = Rig::new();
         let mut eng = DmaWrite::new(cfg());
         let frame: Vec<u8> = (0..255u8).cycle().take(1518).collect();
-        rig.fm.submit_write(StreamId::MacRx, 0x6000, &frame, 99, Ps::ZERO);
+        rig.fm
+            .submit_write(StreamId::MacRx, 0x6000, &frame, 99, Ps::ZERO);
         rig.fm.advance(Ps::from_us(2));
         rig.write_cmd(
             0x1000,

@@ -114,7 +114,13 @@ impl MacTx {
     }
 
     /// Advance one CPU cycle.
-    pub fn tick(&mut self, now: Ps, xbar: &mut Crossbar, sp_mem: &Scratchpad, fm: &mut FrameMemory) {
+    pub fn tick(
+        &mut self,
+        now: Ps,
+        xbar: &mut Crossbar,
+        sp_mem: &Scratchpad,
+        fm: &mut FrameMemory,
+    ) {
         if let Some((tag, value)) = self.sp.tick(xbar) {
             match tag {
                 TAG_ENTRY0 => self.entry_addr = value,
@@ -297,7 +303,13 @@ impl MacRx {
     }
 
     /// Advance one CPU cycle.
-    pub fn tick(&mut self, now: Ps, xbar: &mut Crossbar, sp_mem: &Scratchpad, fm: &mut FrameMemory) {
+    pub fn tick(
+        &mut self,
+        now: Ps,
+        xbar: &mut Crossbar,
+        sp_mem: &Scratchpad,
+        fm: &mut FrameMemory,
+    ) {
         let _ = self.sp.tick(xbar);
         // Accept arrivals whose time has come.
         while self.writes_outstanding < 2 {

@@ -1,124 +1,121 @@
-//! Criterion micro-benchmarks of the simulator's building blocks: how
-//! fast the host simulates each component (simulator engineering, not
-//! NIC performance — the NIC numbers come from the table/figure
-//! binaries).
+//! Micro-benchmarks of the simulator's building blocks: how fast the
+//! host simulates each component (simulator engineering, not NIC
+//! performance — the NIC numbers come from the table/figure binaries).
+//!
+//! Uses the dependency-free harness in [`nicsim_bench::micro`]; run with
+//! `cargo bench -p nicsim-bench --bench components`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nicsim_bench::micro::bench;
 use nicsim_coherence::{Access, MesiSim};
-use nicsim_ilp::{analyze, expand, BranchModel, IssueOrder, PipelineModel, ProcessorConfig, TraceOp};
+use nicsim_ilp::{
+    analyze, expand, BranchModel, IssueOrder, PipelineModel, ProcessorConfig, TraceOp,
+};
 use nicsim_mem::{Crossbar, FrameMemory, FrameMemoryConfig, Scratchpad, SpOp, SpRequest, StreamId};
 use nicsim_net::frame::{build_udp_frame, validate_frame};
 use nicsim_sim::Ps;
 use std::hint::black_box;
 
-fn bench_scratchpad(c: &mut Criterion) {
+fn bench_scratchpad() {
     let mut sp = Scratchpad::new(256 * 1024, 4);
-    c.bench_function("scratchpad/rmw_update", |b| {
-        sp.poke(64, 0xffff_ffff);
-        b.iter(|| {
-            sp.execute(SpRequest { addr: 64, op: SpOp::SetBit(7) });
-            black_box(sp.execute(SpRequest {
-                addr: 64,
-                op: SpOp::Update { start_bit: 0 },
-            }))
-        })
+    sp.poke(64, 0xffff_ffff);
+    bench("scratchpad/rmw_update", || {
+        sp.execute(SpRequest {
+            addr: 64,
+            op: SpOp::SetBit(7),
+        });
+        black_box(sp.execute(SpRequest {
+            addr: 64,
+            op: SpOp::Update { start_bit: 0 },
+        }))
     });
 }
 
-fn bench_crossbar(c: &mut Criterion) {
-    c.bench_function("crossbar/tick_10ports_4banks", |b| {
-        let mut sp = Scratchpad::new(256 * 1024, 4);
-        let mut xb = Crossbar::new(10, 4);
-        b.iter(|| {
-            for p in 0..10 {
-                if xb.port_idle(p) {
-                    xb.submit(
-                        p,
-                        SpRequest {
-                            addr: (p as u32) * 4,
-                            op: SpOp::Read,
-                        },
-                    );
-                }
+fn bench_crossbar() {
+    let mut sp = Scratchpad::new(256 * 1024, 4);
+    let mut xb = Crossbar::new(10, 4);
+    bench("crossbar/tick_10ports_4banks", || {
+        for p in 0..10 {
+            if xb.port_idle(p) {
+                xb.submit(
+                    p,
+                    SpRequest {
+                        addr: (p as u32) * 4,
+                        op: SpOp::Read,
+                    },
+                );
             }
-            xb.tick(&mut sp);
-            for p in 0..10 {
-                black_box(xb.take_response(p));
-            }
-        })
+        }
+        xb.tick(&mut sp);
+        for p in 0..10 {
+            black_box(xb.take_response(p));
+        }
     });
 }
 
-fn bench_frame(c: &mut Criterion) {
-    c.bench_function("net/build_udp_1472", |b| {
-        b.iter(|| black_box(build_udp_frame(42, 1472)))
+fn bench_frame() {
+    bench("net/build_udp_1472", || {
+        black_box(build_udp_frame(42, 1472))
     });
     let f = build_udp_frame(42, 1472);
-    c.bench_function("net/validate_1518", |b| b.iter(|| black_box(validate_frame(&f))));
+    bench("net/validate_1518", || black_box(validate_frame(&f)));
 }
 
-fn bench_frame_memory(c: &mut Criterion) {
-    c.bench_function("sdram/burst_1518B", |b| {
-        let mut fm = FrameMemory::new(FrameMemoryConfig::default());
-        let frame = vec![0u8; 1518];
-        let mut now = Ps::ZERO;
-        b.iter(|| {
-            now += Ps(10_000);
-            fm.submit_write(StreamId::MacRx, 1024, &frame, 0, now);
-            black_box(fm.advance(now + Ps(1_000_000)).len())
-        })
+fn bench_frame_memory() {
+    let mut fm = FrameMemory::new(FrameMemoryConfig::default());
+    let frame = vec![0u8; 1518];
+    let mut now = Ps::ZERO;
+    bench("sdram/burst_1518B", || {
+        now += Ps(10_000);
+        fm.submit_write(StreamId::MacRx, 1024, &frame, 0, now);
+        black_box(fm.advance(now + Ps(1_000_000)).len())
     });
 }
 
-fn bench_mesi(c: &mut Criterion) {
-    c.bench_function("coherence/mesi_access", |b| {
-        let mut sim = MesiSim::new(8, 8192, 16);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            sim.access(Access {
-                requester: (i % 8) as usize,
-                addr: (i * 97) % 65536,
-                write: i % 3 == 0,
-            });
-        })
+fn bench_mesi() {
+    let mut sim = MesiSim::new(8, 8192, 16);
+    let mut i = 0u64;
+    bench("coherence/mesi_access", || {
+        i += 1;
+        sim.access(Access {
+            requester: (i % 8) as usize,
+            addr: (i * 97) % 65536,
+            write: i.is_multiple_of(3),
+        });
     });
 }
 
-fn bench_ilp(c: &mut Criterion) {
+fn bench_ilp() {
     let ops: Vec<TraceOp> = (0..2000)
         .flat_map(|i| {
             [
                 TraceOp::Alu(3),
                 TraceOp::Load,
-                TraceOp::Branch { mispredict: i % 3 == 0 },
+                TraceOp::Branch {
+                    mispredict: i % 3 == 0,
+                },
                 TraceOp::Store,
             ]
         })
         .collect();
     let trace = expand(&ops);
-    c.bench_function("ilp/analyze_8k_insts", |b| {
-        b.iter(|| {
-            black_box(analyze(
-                &trace,
-                ProcessorConfig {
-                    order: IssueOrder::OutOfOrder,
-                    width: 2,
-                    pipeline: PipelineModel::Stalls,
-                    branches: BranchModel::Pbp1,
-                },
-            ))
-        })
+    bench("ilp/analyze_8k_insts", || {
+        black_box(analyze(
+            &trace,
+            ProcessorConfig {
+                order: IssueOrder::OutOfOrder,
+                width: 2,
+                pipeline: PipelineModel::Stalls,
+                branches: BranchModel::Pbp1,
+            },
+        ))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_scratchpad,
-    bench_crossbar,
-    bench_frame,
-    bench_frame_memory,
-    bench_mesi,
-    bench_ilp
-);
-criterion_main!(benches);
+fn main() {
+    bench_scratchpad();
+    bench_crossbar();
+    bench_frame();
+    bench_frame_memory();
+    bench_mesi();
+    bench_ilp();
+}

@@ -1,29 +1,27 @@
-//! Criterion benchmark of whole-system simulation speed: simulated
-//! microseconds of the full 6-core NIC per host second.
+//! Benchmark of whole-system simulation speed: simulated microseconds of
+//! the full 6-core NIC per host second.
+//!
+//! Uses the dependency-free harness in [`nicsim_bench::micro`]; run with
+//! `cargo bench -p nicsim-bench --bench system`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nicsim::{FwMode, NicConfig, NicSystem};
+use nicsim_bench::micro::bench;
 use nicsim_sim::Ps;
 use std::hint::black_box;
 
-fn bench_system(c: &mut Criterion) {
-    let mut g = c.benchmark_group("system");
-    g.sample_size(10);
-    for (name, mode) in [("software", FwMode::SoftwareOnly), ("rmw", FwMode::RmwEnhanced)] {
-        g.bench_function(format!("6x166_{name}_100us"), |b| {
-            b.iter(|| {
-                let cfg = NicConfig {
-                    mode,
-                    ..NicConfig::default()
-                };
-                let mut sys = NicSystem::new(cfg);
-                sys.run_until(Ps::from_us(100));
-                black_box(sys.collect().tx_frames)
-            })
+fn main() {
+    for (name, mode) in [
+        ("software", FwMode::SoftwareOnly),
+        ("rmw", FwMode::RmwEnhanced),
+    ] {
+        bench(&format!("system/6x166_{name}_100us"), || {
+            let cfg = NicConfig {
+                mode,
+                ..NicConfig::default()
+            };
+            let mut sys = NicSystem::new(cfg);
+            sys.run_until(Ps::from_us(100));
+            black_box(sys.collect().tx_frames)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_system);
-criterion_main!(benches);

@@ -1,32 +1,36 @@
 //! Ablation: scratchpad bank count. The paper provisions 4 banks so that
 //! bank conflicts stay low (Table 3 charges only 0.05 IPC to conflicts);
-//! this sweep shows the sensitivity.
+//! this sweep shows the sensitivity. The four runs execute in parallel;
+//! writes `results/ablation_banks.json`.
 
 use nicsim::NicConfig;
-use nicsim_bench::{header, measure};
+use nicsim_bench::header;
 use nicsim_cpu::StallBucket;
+use nicsim_exp::{Experiment, Sweep};
 
 fn main() {
+    let exp = Experiment::from_args("ablation_banks");
     header(
         "Ablation: scratchpad banks (6 cores, RMW, 166 MHz)",
         "banked scratchpad overprovisions bandwidth to keep latency low (§2.3)",
     );
+    let sweep = Sweep::new(NicConfig::rmw_166()).axis("banks", [1usize, 2, 4, 8], |cfg, v| {
+        cfg.banks = v;
+    });
+    let report = exp.sweep(&sweep);
     println!(
         "{:>6} {:>12} {:>16} {:>12}",
         "banks", "Gb/s", "conflict IPC", "IPC"
     );
-    for banks in [1usize, 2, 4, 8] {
-        let cfg = NicConfig {
-            banks,
-            ..NicConfig::rmw_166()
-        };
-        let s = measure(cfg);
+    for run in &report.runs {
+        let s = &run.stats;
         println!(
             "{:>6} {:>12.2} {:>16.3} {:>12.3}",
-            banks,
+            run.config.banks,
             s.total_udp_gbps(),
             s.ipc_contribution(StallBucket::Conflict),
             s.ipc()
         );
     }
+    exp.write(&report).expect("write results");
 }

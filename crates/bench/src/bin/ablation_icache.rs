@@ -1,34 +1,42 @@
 //! Ablation: per-core instruction cache size. The paper's 8 KB 2-way
 //! caches make I-miss stalls negligible (0.01 IPC) even though tasks
-//! migrate between cores.
+//! migrate between cores. The five runs execute in parallel; writes
+//! `results/ablation_icache.json`.
 
 use nicsim::NicConfig;
-use nicsim_bench::{header, measure};
+use nicsim_bench::header;
 use nicsim_cpu::StallBucket;
+use nicsim_exp::{Experiment, Sweep};
 use nicsim_mem::ICacheConfig;
 
 fn main() {
+    let exp = Experiment::from_args("ablation_icache");
     header(
         "Ablation: per-core I-cache capacity (6 cores, RMW, 166 MHz)",
         "paper: 8 KB 2-way captures the code working set despite task migration",
     );
-    println!("{:>8} {:>12} {:>12} {:>14}", "bytes", "Gb/s", "imiss IPC", "hit rate %");
-    for kb in [1usize, 2, 4, 8, 16] {
-        let cfg = NicConfig {
-            icache: ICacheConfig {
+    let sweep =
+        Sweep::new(NicConfig::rmw_166()).axis("icache_kb", [1usize, 2, 4, 8, 16], |cfg, kb| {
+            cfg.icache = ICacheConfig {
                 bytes: kb * 1024,
                 ways: 2,
                 line_bytes: 32,
-            },
-            ..NicConfig::rmw_166()
-        };
-        let s = measure(cfg);
+            };
+        });
+    let report = exp.sweep(&sweep);
+    println!(
+        "{:>8} {:>12} {:>12} {:>14}",
+        "bytes", "Gb/s", "imiss IPC", "hit rate %"
+    );
+    for run in &report.runs {
+        let s = &run.stats;
         println!(
             "{:>8} {:>12.2} {:>12.3} {:>14.2}",
-            kb * 1024,
+            run.config.icache.bytes,
             s.total_udp_gbps(),
             s.ipc_contribution(StallBucket::IMiss),
             s.icache_hits as f64 * 100.0 / (s.icache_hits + s.icache_misses).max(1) as f64
         );
     }
+    exp.write(&report).expect("write results");
 }

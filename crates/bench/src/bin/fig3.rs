@@ -2,11 +2,13 @@
 //! coherence, per-processor cache sizes 16 B – 32 KB, fully associative,
 //! LRU, 16-byte lines. DMA read/write traces are interleaved into one
 //! cache and MAC TX/RX into another, as the paper does for SMPCache's
-//! 8-cache limit.
+//! 8-cache limit. Writes `results/fig3.json` with the hit-ratio curve
+//! under `"extra"`.
 
 use nicsim::NicConfig;
-use nicsim_bench::{header, measure_with_system};
+use nicsim_bench::header;
 use nicsim_coherence::{sweep_sizes, Access};
+use nicsim_exp::{Experiment, Json};
 use nicsim_mem::AccessKind;
 
 /// The paper filters traces "to include only frame metadata". Locks,
@@ -18,8 +20,8 @@ fn is_frame_metadata(m: &nicsim_firmware::MemMap, addr: u32) -> bool {
     addr >= m.dmard_ring && addr < m.stats
 }
 
-
 fn main() {
+    let exp = Experiment::from_args("fig3");
     header(
         "Figure 3: MESI hit ratio vs per-processor cache size (6 cores)",
         "hit ratio never exceeds ~55%; <1% of writes invalidate",
@@ -29,7 +31,7 @@ fn main() {
         trace_limit: 2_000_000,
         ..NicConfig::default()
     };
-    let (_, mut sys) = measure_with_system(cfg);
+    let (run, mut sys) = exp.run_with_system("rmw@166+trace", cfg);
     let cores = sys.config().cores;
     let m = sys.map();
     let trace = sys.take_trace().expect("trace capture enabled");
@@ -53,13 +55,31 @@ fn main() {
             write: r.kind == AccessKind::Write,
         })
         .collect();
-    println!("replaying {} metadata accesses into 8 caches", accesses.len());
+    println!(
+        "replaying {} metadata accesses into 8 caches",
+        accesses.len()
+    );
     let sizes: Vec<usize> = (4..=15).map(|p| 1usize << p).collect(); // 16B..32KB
-    println!("{:>10} {:>12} {:>22}", "size", "hit ratio %", "invalidating writes %");
+    println!(
+        "{:>10} {:>12} {:>22}",
+        "size", "hit ratio %", "invalidating writes %"
+    );
     let mut max_ratio: f64 = 0.0;
+    let mut curve = Vec::new();
     for (size, ratio, inv) in sweep_sizes(cores + 2, 16, &sizes, &accesses) {
         println!("{:>10} {:>12.1} {:>22.2}", size, ratio, inv * 100.0);
         max_ratio = max_ratio.max(ratio);
+        curve.push(
+            Json::obj()
+                .with("cache_bytes", size)
+                .with("hit_ratio_pct", ratio)
+                .with("invalidating_writes_pct", inv * 100.0),
+        );
     }
     println!("maximum collective hit ratio: {max_ratio:.1}% (paper: never above 55%)");
+    let extra = Json::obj()
+        .with("metadata_accesses", accesses.len())
+        .with("max_hit_ratio_pct", max_ratio)
+        .with("mesi_curve", Json::Arr(curve));
+    exp.finish(vec![run], Some(extra)).expect("write results");
 }

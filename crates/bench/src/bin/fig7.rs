@@ -1,47 +1,61 @@
 //! Figure 7: full-duplex UDP throughput while scaling core frequency and
 //! the number of processors (maximum-sized frames, software-only
 //! firmware as in §6.1).
+//!
+//! The 31 runs are independent, so they execute across the engine's
+//! worker pool: `cargo run --release --bin fig7 -- --jobs 8`. Results
+//! land in `results/fig7.json`.
 
 use nicsim::{FwMode, NicConfig};
-use nicsim_bench::{header, measure};
+use nicsim_bench::header;
+use nicsim_exp::{Experiment, RunSpec, Sweep};
 
 fn main() {
+    let exp = Experiment::from_args("fig7");
     header(
         "Figure 7: throughput vs core frequency and processor count",
         "6 cores @175MHz -> 96.3% of line rate; 8 @175 -> 98.7%; 6 and 8 @200 within 1%; 1 core needs ~800MHz",
     );
     let freqs = [100u64, 125, 150, 166, 175, 200];
     let core_counts = [1usize, 2, 4, 6, 8];
+    let sweep = Sweep::new(NicConfig {
+        mode: FwMode::SoftwareOnly,
+        ..NicConfig::default()
+    })
+    .axis("cpu_mhz", freqs, |cfg, v| cfg.cpu_mhz = v)
+    .axis("cores", core_counts, |cfg, v| cfg.cores = v);
+    let mut specs = sweep.runs().expect("valid sweep");
+    // The single-core scaling claim rides along in the same pool.
+    specs.push(RunSpec::single(
+        "cpu_mhz=800,cores=1",
+        NicConfig {
+            cores: 1,
+            cpu_mhz: 800,
+            mode: FwMode::SoftwareOnly,
+            ..NicConfig::default()
+        },
+    ));
+    let report = exp.run_specs(specs);
+
     println!("Ethernet limit (duplex): 19.15 Gb/s of UDP payload");
     print!("{:>6}", "MHz");
     for c in core_counts {
         print!(" {:>9}", format!("{c} cores"));
     }
     println!();
-    for mhz in freqs {
+    for (fi, mhz) in freqs.iter().enumerate() {
         print!("{mhz:>6}");
-        for cores in core_counts {
-            let cfg = NicConfig {
-                cores,
-                cpu_mhz: mhz,
-                mode: FwMode::SoftwareOnly,
-                ..NicConfig::default()
-            };
-            let s = measure(cfg);
+        for ci in 0..core_counts.len() {
+            let s = &report.runs[fi * core_counts.len() + ci].stats;
             print!(" {:>9.2}", s.total_udp_gbps());
         }
         println!();
     }
-    // The single-core scaling claim.
-    let s = measure(NicConfig {
-        cores: 1,
-        cpu_mhz: 800,
-        mode: FwMode::SoftwareOnly,
-        ..NicConfig::default()
-    });
+    let fast = &report.runs.last().expect("800 MHz run").stats;
     println!(
         "1 core @ 800 MHz: {:.2} Gb/s ({:.1}% of line rate; paper: a single core needs 800 MHz)",
-        s.total_udp_gbps(),
-        100.0 * s.total_udp_gbps() / 19.15
+        fast.total_udp_gbps(),
+        100.0 * fast.total_udp_gbps() / 19.15
     );
+    exp.write(&report).expect("write results");
 }

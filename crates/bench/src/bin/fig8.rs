@@ -1,30 +1,41 @@
 //! Figure 8: full-duplex throughput for various UDP datagram sizes under
 //! the software-only (200 MHz) and RMW-enhanced (166 MHz) configurations.
+//! The 18 runs execute in parallel; writes `results/fig8.json`.
 
 use nicsim::NicConfig;
-use nicsim_bench::{header, measure};
+use nicsim_bench::header;
+use nicsim_exp::{Experiment, Sweep};
 use nicsim_net::link::max_udp_throughput_gbps;
 
 fn main() {
+    let exp = Experiment::from_args("fig8");
     header(
         "Figure 8: throughput vs UDP datagram size",
         "both configurations scale together; small frames saturate ~2.2M frames/s",
     );
     let sizes = [18usize, 100, 200, 400, 600, 800, 1000, 1200, 1472];
+    // Axes apply in declaration order: the firmware axis installs the
+    // whole preset, then the payload axis overrides the datagram size.
+    let sweep = Sweep::new(NicConfig::default())
+        .axis_configs(
+            "firmware",
+            [
+                ("software@200", NicConfig::software_only_200()),
+                ("rmw@166", NicConfig::rmw_166()),
+            ],
+        )
+        .axis("udp_payload", sizes, |cfg, v| cfg.udp_payload = v);
+    let report = exp.sweep(&sweep);
+
     println!(
         "{:>6} {:>10} {:>12} {:>12} | {:>12} {:>12}",
         "bytes", "limit Gb/s", "sw@200 Gb/s", "rmw@166 Gb/s", "sw Mfps", "rmw Mfps"
     );
-    for size in sizes {
-        let limit = 2.0 * max_udp_throughput_gbps(size);
-        let sw = measure(NicConfig {
-            udp_payload: size,
-            ..NicConfig::software_only_200()
-        });
-        let rmw = measure(NicConfig {
-            udp_payload: size,
-            ..NicConfig::rmw_166()
-        });
+    // Row-major over (firmware, size): sw runs first, then rmw.
+    for (si, size) in sizes.iter().enumerate() {
+        let limit = 2.0 * max_udp_throughput_gbps(*size);
+        let sw = &report.runs[si].stats;
+        let rmw = &report.runs[sizes.len() + si].stats;
         println!(
             "{:>6} {:>10.2} {:>12.2} {:>12.2} | {:>12.2} {:>12.2}",
             size,
@@ -35,4 +46,5 @@ fn main() {
             rmw.total_fps() / 1e6,
         );
     }
+    exp.write(&report).expect("write results");
 }

@@ -1,12 +1,14 @@
 //! Table 1: average instructions and data accesses to send and receive
 //! one Ethernet frame, measured on the idealized (single-core,
-//! synchronization-free) firmware.
+//! synchronization-free) firmware. Writes `results/table1.json`.
 
 use nicsim::NicConfig;
-use nicsim_bench::{header, measure};
+use nicsim_bench::header;
 use nicsim_cpu::FwFunc;
+use nicsim_exp::Experiment;
 
 fn main() {
+    let exp = Experiment::from_args("table1");
     header(
         "Table 1: per-frame instructions and data accesses (idealized firmware)",
         "anchors: send 282 instr (229 MIPS), receive 253 instr (206 MIPS) at 812,744 fps",
@@ -17,8 +19,12 @@ fn main() {
         cpu_mhz: 300,
         ..NicConfig::ideal()
     };
-    let s = measure(cfg);
-    println!("{:<22} {:>14} {:>14}", "Function", "Instructions", "Data Accesses");
+    let run = exp.run_labeled("ideal@300", cfg);
+    let s = &run.stats;
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "Function", "Instructions", "Data Accesses"
+    );
     let rows = [
         (FwFunc::FetchSendBd, s.tx_frames),
         (FwFunc::SendFrame, s.tx_frames),
@@ -49,4 +55,5 @@ fn main() {
         send_i * 812_744.0 / 1e6,
         recv_i * 812_744.0 / 1e6
     );
+    exp.finish(vec![run], None).expect("write results");
 }

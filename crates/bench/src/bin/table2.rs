@@ -1,12 +1,15 @@
 //! Table 2: theoretical peak IPCs of NIC firmware for different
 //! processor configurations, from an offline analysis of a dynamic
-//! instruction trace of the idealized firmware.
+//! instruction trace of the idealized firmware. Writes
+//! `results/table2.json` with the IPC matrix under `"extra"`.
 
 use nicsim::NicConfig;
-use nicsim_bench::{header, measure_with_system, to_ilp_trace};
+use nicsim_bench::{header, to_ilp_trace};
+use nicsim_exp::{Experiment, Json};
 use nicsim_ilp::{analyze, expand, BranchModel, IssueOrder, PipelineModel, ProcessorConfig};
 
 fn main() {
+    let exp = Experiment::from_args("table2");
     header(
         "Table 2: theoretical peak IPCs of NIC firmware",
         "trends: in-order prefers hazard removal; out-of-order prefers branch prediction",
@@ -16,7 +19,7 @@ fn main() {
         capture_ilp: true,
         ..NicConfig::ideal()
     };
-    let (_, mut sys) = measure_with_system(cfg);
+    let (run, mut sys) = exp.run_with_system("ideal@300+ilp", cfg);
     let mut events = sys.take_ilp_trace().expect("ILP capture enabled");
     // The IPC limits converge within a few hundred thousand
     // instructions; truncate so the offline analysis stays quick.
@@ -27,9 +30,10 @@ fn main() {
         "{:<10} {:>6} | {:>8} {:>8} | {:>8} {:>8} {:>8}",
         "Issue", "Width", "PP+PBP", "PP+NoBP", "St+PBP", "St+PBP1", "St+NoBP"
     );
+    let mut extra_rows = Vec::new();
     for order in [IssueOrder::InOrder, IssueOrder::OutOfOrder] {
         for width in [1u32, 2, 4] {
-            let run = |pipe, bp| {
+            let run_cfg = |pipe, bp| {
                 analyze(
                     &trace,
                     ProcessorConfig {
@@ -40,17 +44,43 @@ fn main() {
                     },
                 )
             };
+            let cells = [
+                (
+                    "pp_pbp",
+                    run_cfg(PipelineModel::Perfect, BranchModel::Perfect),
+                ),
+                (
+                    "pp_nobp",
+                    run_cfg(PipelineModel::Perfect, BranchModel::None),
+                ),
+                (
+                    "st_pbp",
+                    run_cfg(PipelineModel::Stalls, BranchModel::Perfect),
+                ),
+                ("st_pbp1", run_cfg(PipelineModel::Stalls, BranchModel::Pbp1)),
+                ("st_nobp", run_cfg(PipelineModel::Stalls, BranchModel::None)),
+            ];
+            let issue = if order == IssueOrder::InOrder {
+                "in-order"
+            } else {
+                "OOO"
+            };
             println!(
                 "{:<10} {:>6} | {:>8.2} {:>8.2} | {:>8.2} {:>8.2} {:>8.2}",
-                if order == IssueOrder::InOrder { "in-order" } else { "OOO" },
-                width,
-                run(PipelineModel::Perfect, BranchModel::Perfect),
-                run(PipelineModel::Perfect, BranchModel::None),
-                run(PipelineModel::Stalls, BranchModel::Perfect),
-                run(PipelineModel::Stalls, BranchModel::Pbp1),
-                run(PipelineModel::Stalls, BranchModel::None),
+                issue, width, cells[0].1, cells[1].1, cells[2].1, cells[3].1, cells[4].1,
             );
+            let mut row = Json::obj()
+                .with("issue", issue)
+                .with("width", u64::from(width));
+            for (key, ipc) in cells {
+                row.set(key, ipc);
+            }
+            extra_rows.push(row);
         }
     }
     println!("(PP = perfect pipeline, St = 5-stage with stalls)");
+    let extra = Json::obj()
+        .with("trace_instructions", trace.len())
+        .with("peak_ipc", Json::Arr(extra_rows));
+    exp.finish(vec![run], Some(extra)).expect("write results");
 }

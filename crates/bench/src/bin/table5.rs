@@ -1,22 +1,39 @@
 //! Table 5: execution profiles comparing frame-ordering methods —
 //! instructions and memory accesses per packet for the ideal,
-//! software-only, and RMW-enhanced firmware.
+//! software-only, and RMW-enhanced firmware. The three runs execute in
+//! parallel; writes `results/table5.json`.
 
-use nicsim::{FwMode, NicConfig};
-use nicsim_bench::{header, measure};
+use nicsim::NicConfig;
+use nicsim_bench::header;
 use nicsim_cpu::FwFunc;
+use nicsim_exp::{Experiment, Sweep};
 
 fn main() {
+    let exp = Experiment::from_args("table5");
     header(
         "Table 5: per-packet instructions / accesses by ordering method",
         "RMW cuts send dispatch+ordering instr by 51.5%, recv by 30.8%; accesses by 65.0%/35.2%",
     );
-    let ideal = measure(NicConfig {
-        cpu_mhz: 300,
-        ..NicConfig::ideal()
-    });
-    let sw = measure(NicConfig::software_only_200());
-    let rmw = measure(NicConfig::rmw_166());
+    let sweep = Sweep::new(NicConfig::default()).axis_configs(
+        "firmware",
+        [
+            (
+                "ideal@300",
+                NicConfig {
+                    cpu_mhz: 300,
+                    ..NicConfig::ideal()
+                },
+            ),
+            ("software@200", NicConfig::software_only_200()),
+            ("rmw@166", NicConfig::rmw_166()),
+        ],
+    );
+    let report = exp.sweep(&sweep);
+    let (ideal, sw, rmw) = (
+        &report.runs[0].stats,
+        &report.runs[1].stats,
+        &report.runs[2].stats,
+    );
 
     println!(
         "{:<30} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
@@ -46,22 +63,22 @@ fn main() {
         println!(
             "{:<30} | {:>8.1} {:>8.1} {:>8.1} | {:>8.1} {:>8.1} {:>8.1}",
             f.label(),
-            ideal.instr_per_frame(f, frames(&ideal, f)),
-            sw.instr_per_frame(f, frames(&sw, f)),
-            rmw.instr_per_frame(f, frames(&rmw, f)),
-            ideal.accesses_per_frame(f, frames(&ideal, f)),
-            sw.accesses_per_frame(f, frames(&sw, f)),
-            rmw.accesses_per_frame(f, frames(&rmw, f)),
+            ideal.instr_per_frame(f, frames(ideal, f)),
+            sw.instr_per_frame(f, frames(sw, f)),
+            rmw.instr_per_frame(f, frames(rmw, f)),
+            ideal.accesses_per_frame(f, frames(ideal, f)),
+            sw.accesses_per_frame(f, frames(sw, f)),
+            rmw.accesses_per_frame(f, frames(rmw, f)),
         );
     }
     let ord = |s: &nicsim::RunStats, d: FwFunc| s.instr_per_frame(d, frames(s, d));
-    let sd = 100.0 * (1.0 - ord(&rmw, FwFunc::SendDispatch) / ord(&sw, FwFunc::SendDispatch));
-    let rd = 100.0 * (1.0 - ord(&rmw, FwFunc::RecvDispatch) / ord(&sw, FwFunc::RecvDispatch));
+    let sd = 100.0 * (1.0 - ord(rmw, FwFunc::SendDispatch) / ord(sw, FwFunc::SendDispatch));
+    let rd = 100.0 * (1.0 - ord(rmw, FwFunc::RecvDispatch) / ord(sw, FwFunc::RecvDispatch));
     let orda = |s: &nicsim::RunStats, d: FwFunc| s.accesses_per_frame(d, frames(s, d));
-    let sda = 100.0 * (1.0 - orda(&rmw, FwFunc::SendDispatch) / orda(&sw, FwFunc::SendDispatch));
-    let rda = 100.0 * (1.0 - orda(&rmw, FwFunc::RecvDispatch) / orda(&sw, FwFunc::RecvDispatch));
+    let sda = 100.0 * (1.0 - orda(rmw, FwFunc::SendDispatch) / orda(sw, FwFunc::SendDispatch));
+    let rda = 100.0 * (1.0 - orda(rmw, FwFunc::RecvDispatch) / orda(sw, FwFunc::RecvDispatch));
     println!("----------------------------------------------------------------");
     println!("RMW reduction, dispatch+ordering instructions: send {sd:.1}% (paper 51.5%), recv {rd:.1}% (paper 30.8%)");
     println!("RMW reduction, dispatch+ordering accesses:     send {sda:.1}% (paper 65.0%), recv {rda:.1}% (paper 35.2%)");
-    let _ = FwMode::Ideal;
+    exp.write(&report).expect("write results");
 }

@@ -1,13 +1,20 @@
 //! Shared infrastructure for the table/figure regeneration binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
-//! paper; this library holds the measurement conventions they share so
-//! all results come from identical methodology:
+//! paper through the [`nicsim_exp::Experiment`] engine, so all results
+//! come from identical methodology:
 //!
 //! * warm up 2 ms of simulated time, then measure a 4 ms steady-state
 //!   window (scaled down by `NICSIM_QUICK=1` for smoke runs);
 //! * always validate: every run asserts zero corrupt, reordered, or
-//!   invalid frames end to end.
+//!   invalid frames end to end;
+//! * sweeps run in parallel (`--jobs N` / `NICSIM_JOBS`), and every
+//!   binary writes its structured results to `results/<name>.json`
+//!   (schema documented in EXPERIMENTS.md).
+//!
+//! This crate keeps only what the binaries share beyond the engine:
+//! the report header, the ILP trace conversion, and the dependency-free
+//! micro-benchmark harness used by `benches/`.
 
 use nicsim::{NicConfig, NicSystem, RunStats};
 use nicsim_cpu::OpEvent;
@@ -15,6 +22,10 @@ use nicsim_ilp::TraceOp;
 use nicsim_sim::Ps;
 
 /// Warm-up and measurement window (milliseconds of simulated time).
+#[deprecated(
+    since = "0.2.0",
+    note = "the engine reads NICSIM_QUICK itself; construct a nicsim_exp::Experiment instead"
+)]
 pub fn windows() -> (u64, u64) {
     if std::env::var("NICSIM_QUICK").is_ok_and(|v| v == "1") {
         (1, 1)
@@ -24,7 +35,13 @@ pub fn windows() -> (u64, u64) {
 }
 
 /// Run `cfg` with the standard methodology and return the statistics.
+#[deprecated(
+    since = "0.2.0",
+    note = "use nicsim_exp::Experiment::run (re-exported as nicsim_repro::Experiment), \
+            which also records config + wall-clock and serializes to JSON"
+)]
 pub fn measure(cfg: NicConfig) -> RunStats {
+    #[allow(deprecated)]
     let (warm, win) = windows();
     let mut sys = NicSystem::new(cfg);
     let stats = sys.run_measured(Ps::from_ms(warm), Ps::from_ms(win));
@@ -34,7 +51,13 @@ pub fn measure(cfg: NicConfig) -> RunStats {
 
 /// Run `cfg` and also return the system for post-run inspection
 /// (trace extraction).
+#[deprecated(
+    since = "0.2.0",
+    note = "use nicsim_exp::Experiment::run_with_system, which also records \
+            config + wall-clock and serializes to JSON"
+)]
 pub fn measure_with_system(cfg: NicConfig) -> (RunStats, NicSystem) {
+    #[allow(deprecated)]
     let (warm, win) = windows();
     let mut sys = NicSystem::new(cfg);
     let stats = sys.run_measured(Ps::from_ms(warm), Ps::from_ms(win));
@@ -65,6 +88,30 @@ pub fn header(what: &str, paper: &str) {
     println!("{what}");
     println!("(paper reference: {paper})");
     println!("================================================================");
+}
+
+/// A dependency-free micro-benchmark harness (the container this repo
+/// builds in has no crates.io access, so no criterion).
+pub mod micro {
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// Time `f`, printing mean ns/iteration: warm up briefly, then run
+    /// for ~300 ms of wall clock.
+    pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let target = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < target {
+            black_box(f());
+            iters += 1;
+        }
+        let per = start.elapsed().as_nanos() as f64 / iters as f64;
+        println!("{name:<40} {per:>12.1} ns/iter  ({iters} iters)");
+    }
 }
 
 #[cfg(test)]

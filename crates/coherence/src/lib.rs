@@ -225,7 +225,11 @@ impl MesiSim {
                 if shared {
                     self.downgrade_others(line, cache);
                 }
-                let st = if shared { State::Shared } else { State::Exclusive };
+                let st = if shared {
+                    State::Shared
+                } else {
+                    State::Exclusive
+                };
                 self.install(cache, line, st);
             }
             (None, true) => {

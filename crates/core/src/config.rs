@@ -9,7 +9,7 @@ use nicsim_mem::{FrameMemoryConfig, ICacheConfig};
 /// scratchpad banks at 166 MHz, 8 KB 2-way I-caches with 32-byte lines,
 /// 500 MHz GDDR SDRAM, RMW-enhanced firmware, and full-duplex streams of
 /// maximum-sized (1472-byte) UDP datagrams.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NicConfig {
     /// Number of processing cores (paper sweeps 1–8).
     pub cores: usize,
@@ -68,7 +68,170 @@ impl Default for NicConfig {
     }
 }
 
+/// Why a [`NicConfig`] was rejected by validation.
+///
+/// Returned by [`NicConfigBuilder::build`], [`NicConfig::validate`], and
+/// `NicSystem::try_new`; `NicSystem::new` panics with the same message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `cores` was zero — the firmware needs at least one core.
+    ZeroCores,
+    /// `banks` was zero — the scratchpad crossbar needs at least one bank.
+    ZeroBanks,
+    /// `udp_payload` was zero — frames carry at least one payload byte.
+    ZeroPayload,
+    /// `udp_payload` exceeded the 1472-byte maximum that fits a
+    /// standard 1518-byte Ethernet frame.
+    PayloadTooLarge {
+        /// The rejected payload size.
+        payload: usize,
+    },
+    /// `FwMode::Ideal` with more than one core — the idealized firmware
+    /// is synchronization-free and therefore single-core by definition.
+    IdealMultiCore {
+        /// The rejected core count.
+        cores: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroCores => write!(f, "need at least one core"),
+            ConfigError::ZeroBanks => write!(f, "need at least one scratchpad bank"),
+            ConfigError::ZeroPayload => write!(f, "UDP payload must be nonzero"),
+            ConfigError::PayloadTooLarge { payload } => write!(
+                f,
+                "UDP payload of {payload} bytes exceeds the 1472-byte Ethernet maximum"
+            ),
+            ConfigError::IdealMultiCore { cores } => write!(
+                f,
+                "ideal mode is single-core by definition (got {cores} cores)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`NicConfig`] whose [`build`](NicConfigBuilder::build)
+/// validates the configuration instead of letting an inconsistent one
+/// panic deep inside `NicSystem::new`.
+///
+/// ```
+/// use nicsim::{ConfigError, NicConfig};
+///
+/// let cfg = NicConfig::builder().cores(4).cpu_mhz(200).build().unwrap();
+/// assert_eq!(cfg.cores, 4);
+/// assert_eq!(
+///     NicConfig::builder().cores(0).build(),
+///     Err(ConfigError::ZeroCores)
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NicConfigBuilder {
+    cfg: NicConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $name(mut self, $name: $ty) -> Self {
+                self.cfg.$name = $name;
+                self
+            }
+        )*
+    };
+}
+
+impl NicConfigBuilder {
+    builder_setters! {
+        /// Number of processing cores (paper sweeps 1–8).
+        cores: usize,
+        /// CPU / scratchpad / crossbar clock in MHz.
+        cpu_mhz: u64,
+        /// Scratchpad banks (paper: 4).
+        banks: usize,
+        /// Scratchpad capacity in bytes (paper: 256 KB).
+        scratchpad_bytes: usize,
+        /// Per-core instruction cache geometry.
+        icache: ICacheConfig,
+        /// Frame memory (GDDR SDRAM + frame bus) parameters.
+        frame_memory: FrameMemoryConfig,
+        /// Firmware synchronization mode.
+        mode: FwMode,
+        /// UDP datagram size for both directions (1..=1472).
+        udp_payload: usize,
+        /// Whether the host transmits.
+        send_enabled: bool,
+        /// Whether the wire delivers inbound traffic.
+        recv_enabled: bool,
+        /// Offered transmit load in frames/s (`None` = saturate).
+        offered_tx_fps: Option<f64>,
+        /// Offered receive load in frames/s (`None` = line rate).
+        offered_rx_fps: Option<f64>,
+        /// CPU cycles between driver invocations.
+        driver_interval: u64,
+        /// Record a scratchpad access trace (coherence study).
+        capture_trace: bool,
+        /// Maximum trace records kept when capturing.
+        trace_limit: usize,
+        /// Record core 0's operation trace (ILP study).
+        capture_ilp: bool,
+    }
+
+    /// Validate and produce the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] the configuration violates.
+    pub fn build(self) -> Result<NicConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 impl NicConfig {
+    /// Start building a configuration from the paper's defaults.
+    pub fn builder() -> NicConfigBuilder {
+        NicConfigBuilder {
+            cfg: NicConfig::default(),
+        }
+    }
+
+    /// Start building from an existing configuration (e.g. a preset).
+    pub fn to_builder(self) -> NicConfigBuilder {
+        NicConfigBuilder { cfg: self }
+    }
+
+    /// Check the configuration's internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] the configuration violates.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 {
+            return Err(ConfigError::ZeroCores);
+        }
+        if self.banks == 0 {
+            return Err(ConfigError::ZeroBanks);
+        }
+        if self.udp_payload == 0 {
+            return Err(ConfigError::ZeroPayload);
+        }
+        if self.udp_payload > 1472 {
+            return Err(ConfigError::PayloadTooLarge {
+                payload: self.udp_payload,
+            });
+        }
+        if self.mode == FwMode::Ideal && self.cores != 1 {
+            return Err(ConfigError::IdealMultiCore { cores: self.cores });
+        }
+        Ok(())
+    }
+
     /// The paper's software-only baseline at 200 MHz.
     pub fn software_only_200() -> NicConfig {
         NicConfig {
@@ -106,6 +269,52 @@ mod tests {
         assert_eq!(c.banks, 4);
         assert_eq!(c.mode, FwMode::RmwEnhanced);
         assert_eq!(c.udp_payload, 1472);
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert_eq!(
+            NicConfig::builder().cores(0).build(),
+            Err(ConfigError::ZeroCores)
+        );
+        assert_eq!(
+            NicConfig::builder().banks(0).build(),
+            Err(ConfigError::ZeroBanks)
+        );
+        assert_eq!(
+            NicConfig::builder().udp_payload(0).build(),
+            Err(ConfigError::ZeroPayload)
+        );
+        assert_eq!(
+            NicConfig::builder().udp_payload(1473).build(),
+            Err(ConfigError::PayloadTooLarge { payload: 1473 })
+        );
+        assert_eq!(
+            NicConfig::builder().mode(FwMode::Ideal).cores(2).build(),
+            Err(ConfigError::IdealMultiCore { cores: 2 })
+        );
+        let cfg = NicConfig::builder()
+            .cores(2)
+            .cpu_mhz(500)
+            .udp_payload(256)
+            .build()
+            .unwrap();
+        assert_eq!((cfg.cores, cfg.cpu_mhz, cfg.udp_payload), (2, 500, 256));
+    }
+
+    #[test]
+    fn presets_validate_and_roundtrip_through_builder() {
+        for cfg in [
+            NicConfig::default(),
+            NicConfig::software_only_200(),
+            NicConfig::rmw_166(),
+            NicConfig::ideal(),
+        ] {
+            cfg.validate().unwrap();
+            let rebuilt = cfg.to_builder().build().unwrap();
+            assert_eq!(rebuilt.cores, cfg.cores);
+            assert_eq!(rebuilt.mode, cfg.mode);
+        }
     }
 
     #[test]

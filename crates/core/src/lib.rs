@@ -39,7 +39,7 @@ pub mod config;
 pub mod stats;
 pub mod system;
 
-pub use config::NicConfig;
+pub use config::{ConfigError, NicConfig, NicConfigBuilder};
 pub use nicsim_firmware::FwMode;
 pub use stats::RunStats;
 pub use system::NicSystem;

@@ -8,14 +8,14 @@
 //! internally and are polled at each CPU tick, and the host's mailbox
 //! writes land between cycles as memory-mapped register writes.
 
-use crate::config::NicConfig;
+use crate::config::{ConfigError, NicConfig};
 use crate::stats::RunStats;
 use nicsim_assists::{DmaConfig, DmaRead, DmaWrite, MacRx, MacRxConfig, MacTx, MacTxConfig};
 use nicsim_cpu::{CodeLayout, Core, CoreCtx, CoreProfile, OpEvent};
 use nicsim_firmware::handlers::HostRegs;
 use nicsim_firmware::map::{DMA_RING, MACRX_RING, MACTX_RING, RXBUF_BASE, RXBUF_BYTES};
 use nicsim_firmware::mode::Fw;
-use nicsim_firmware::{dispatch_loop, FwMode, MemMap};
+use nicsim_firmware::{dispatch_loop, MemMap};
 use nicsim_host::{Driver, DriverConfig, HostLayout, HostMemory, Mailbox};
 use nicsim_mem::{AccessTrace, Crossbar, FrameMemory, InstrMemory, Scratchpad, StreamId};
 use nicsim_net::link::RxGenerator;
@@ -47,13 +47,25 @@ impl NicSystem {
     ///
     /// # Panics
     ///
-    /// Panics if `cores` is zero or the configuration is inconsistent.
+    /// Panics if the configuration fails [`NicConfig::validate`]; use
+    /// [`NicSystem::try_new`] to handle the error instead.
     pub fn new(cfg: NicConfig) -> NicSystem {
-        assert!(cfg.cores > 0, "need at least one core");
-        assert!(
-            cfg.mode != FwMode::Ideal || cfg.cores == 1,
-            "ideal mode is single-core by definition"
-        );
+        match NicSystem::try_new(cfg) {
+            Ok(sys) => sys,
+            Err(e) => panic!("invalid NicConfig: {e}"),
+        }
+    }
+
+    /// Build the system from a configuration, rejecting inconsistent
+    /// ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ConfigError`] as [`NicConfig::validate`]
+    /// (zero cores/banks/payload, oversized payload, multi-core ideal
+    /// mode).
+    pub fn try_new(cfg: NicConfig) -> Result<NicSystem, ConfigError> {
+        cfg.validate()?;
         let map = MemMap::new();
         let sp = Scratchpad::new(cfg.scratchpad_bytes, cfg.banks);
         let ports = cfg.cores + 4;
@@ -145,7 +157,7 @@ impl NicSystem {
             cores.push(core);
         }
 
-        NicSystem {
+        Ok(NicSystem {
             cfg,
             map,
             now: Ps::ZERO,
@@ -163,7 +175,7 @@ impl NicSystem {
             driver,
             window_start: Ps::ZERO,
             stopped: false,
-        }
+        })
     }
 
     /// Current simulation time.
@@ -229,8 +241,7 @@ impl NicSystem {
         // Host driver (polling period models interrupt mitigation).
         if Freq::from_mhz(self.cfg.cpu_mhz)
             .cycles_in(now.saturating_sub(Ps::ZERO))
-            % self.cfg.driver_interval
-            == 0
+            .is_multiple_of(self.cfg.driver_interval)
         {
             self.driver.tick(now, &mut self.host_mem);
             for w in self.driver.take_mailbox_writes() {
@@ -311,8 +322,7 @@ impl NicSystem {
             tx_udp_gbps: self.mactx.monitor.udp_gbps(self.now),
             rx_udp_gbps: self.driver.rx_udp_gbps(self.now),
             rx_mac_drops: self.macrx.drops(),
-            tx_errors: self.mactx.monitor.errors().len() as u64
-                + self.mactx.monitor.out_of_order(),
+            tx_errors: self.mactx.monitor.errors().len() as u64 + self.mactx.monitor.out_of_order(),
             rx_corrupt: d.rx_corrupt,
             rx_out_of_order: d.rx_out_of_order,
             profile,
@@ -403,6 +413,25 @@ impl std::fmt::Debug for NicSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nicsim_firmware::FwMode;
+
+    #[test]
+    fn try_new_rejects_what_validate_rejects() {
+        let cfg = NicConfig {
+            cores: 0,
+            ..NicConfig::default()
+        };
+        assert_eq!(NicSystem::try_new(cfg).err(), Some(ConfigError::ZeroCores));
+        let cfg = NicConfig {
+            cores: 2,
+            mode: FwMode::Ideal,
+            ..NicConfig::default()
+        };
+        assert_eq!(
+            NicSystem::try_new(cfg).err(),
+            Some(ConfigError::IdealMultiCore { cores: 2 })
+        );
+    }
 
     /// End-to-end smoke test: a fast small system moves real frames both
     /// directions with full validation.

@@ -568,7 +568,7 @@ mod tests {
         });
         let ticks = rig.run(10_000);
         let instr = rig.core.profile().total(|f| f.instructions);
-        assert!(instr as u64 <= ticks);
+        assert!(instr <= ticks);
         // And cycle accounting is complete: buckets sum to ticks, except
         // the final tick in which the future returned `Ready`.
         let cycles = rig.core.profile().total(|f| f.total_cycles());

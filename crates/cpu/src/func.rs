@@ -7,7 +7,7 @@
 //! the tag active at the time.
 
 /// The profiling buckets of Tables 5 and 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FwFunc {
     /// Fetch send buffer descriptors from host memory (32 per DMA).
     FetchSendBd,
@@ -29,6 +29,7 @@ pub enum FwFunc {
     /// Receive-side locking.
     RecvLock,
     /// Polling with no work available.
+    #[default]
     Idle,
 }
 
@@ -48,7 +49,10 @@ impl FwFunc {
 
     /// Dense index.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&f| f == self).expect("tag in ALL")
+        Self::ALL
+            .iter()
+            .position(|&f| f == self)
+            .expect("tag in ALL")
     }
 
     /// The lock bucket charged while acquiring/releasing locks inside
@@ -110,7 +114,10 @@ impl StallBucket {
 
     /// Dense index.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&b| b == self).expect("bucket in ALL")
+        Self::ALL
+            .iter()
+            .position(|&b| b == self)
+            .expect("bucket in ALL")
     }
 
     /// Row label as printed in Table 3.

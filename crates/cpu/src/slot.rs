@@ -60,12 +60,6 @@ pub struct CoreSlot {
     pub halted: bool,
 }
 
-impl Default for FwFunc {
-    fn default() -> Self {
-        FwFunc::Idle
-    }
-}
-
 /// Reference-counted handle to a [`CoreSlot`]. The simulator is
 /// single-threaded, so `Rc<RefCell<_>>` suffices and keeps polling cheap.
 pub type SharedSlot = Rc<RefCell<CoreSlot>>;

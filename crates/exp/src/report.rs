@@ -1,0 +1,213 @@
+//! Structured results: one run's config + stats + wall-clock, a whole
+//! sweep's report, and their stable JSON schema (`nicsim-exp/v1`).
+//!
+//! The schema is documented in the repository's `EXPERIMENTS.md`; the
+//! golden/round-trip tests in this module pin it. Every numeric field
+//! is serialized with shortest-roundtrip formatting, so two reports
+//! built from bit-identical `RunStats` produce byte-identical JSON.
+
+use crate::json::Json;
+use nicsim::{FwMode, NicConfig, RunStats};
+use nicsim_cpu::{FwFunc, StallBucket};
+use std::time::Duration;
+
+/// Version tag written into every results file.
+pub const SCHEMA: &str = "nicsim-exp/v1";
+
+/// The result of one simulated run: the configuration that produced
+/// it, the measured statistics, and the host wall-clock cost.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Run label (`"axis=value,..."` within a sweep).
+    pub label: String,
+    /// `(axis name, point label)` coordinates within the sweep.
+    pub axes: Vec<(String, String)>,
+    /// The configuration simulated.
+    pub config: NicConfig,
+    /// Statistics of the measurement window.
+    pub stats: RunStats,
+    /// Host wall-clock time the run took.
+    pub wall: Duration,
+}
+
+impl RunReport {
+    /// The run as a `nicsim-exp/v1` JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut axes = Json::obj();
+        for (name, value) in &self.axes {
+            axes.set(name, value.as_str());
+        }
+        Json::obj()
+            .with("label", self.label.as_str())
+            .with("axes", axes)
+            .with("config", config_to_json(&self.config))
+            .with("stats", stats_to_json(&self.stats))
+            .with("wall_s", self.wall.as_secs_f64())
+    }
+}
+
+/// The result of a whole experiment: every run plus methodology
+/// metadata, writable as `results/<experiment>.json`.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Experiment name (the results file stem).
+    pub experiment: String,
+    /// Worker threads the sweep ran with.
+    pub jobs: usize,
+    /// Warm-up window, milliseconds of simulated time.
+    pub warmup_ms: u64,
+    /// Measurement window, milliseconds of simulated time.
+    pub window_ms: u64,
+    /// All runs, in declaration order (independent of execution order).
+    pub runs: Vec<RunReport>,
+    /// Wall-clock time of the whole experiment.
+    pub wall: Duration,
+    /// Experiment-specific derived data (e.g. a post-processed cache
+    /// sweep), appended verbatim under `"extra"`.
+    pub extra: Option<Json>,
+}
+
+impl SweepReport {
+    /// The report as a `nicsim-exp/v1` JSON object. `git` is the
+    /// source revision (see [`crate::git_describe`]).
+    pub fn to_json(&self, git: Option<&str>) -> Json {
+        let mut doc = Json::obj()
+            .with("schema", SCHEMA)
+            .with("experiment", self.experiment.as_str())
+            .with("git", git)
+            .with("jobs", self.jobs)
+            .with("warmup_ms", self.warmup_ms)
+            .with("window_ms", self.window_ms)
+            .with("wall_s", self.wall.as_secs_f64())
+            .with(
+                "runs",
+                Json::Arr(self.runs.iter().map(RunReport::to_json).collect()),
+            );
+        if let Some(extra) = &self.extra {
+            doc.set("extra", extra.clone());
+        }
+        doc
+    }
+}
+
+/// `FwMode` as its schema string.
+pub fn mode_str(mode: FwMode) -> &'static str {
+    match mode {
+        FwMode::Ideal => "ideal",
+        FwMode::SoftwareOnly => "software-only",
+        FwMode::RmwEnhanced => "rmw-enhanced",
+    }
+}
+
+/// A [`NicConfig`] as a `nicsim-exp/v1` JSON object.
+pub fn config_to_json(cfg: &NicConfig) -> Json {
+    Json::obj()
+        .with("cores", cfg.cores)
+        .with("cpu_mhz", cfg.cpu_mhz)
+        .with("banks", cfg.banks)
+        .with("scratchpad_bytes", cfg.scratchpad_bytes)
+        .with(
+            "icache",
+            Json::obj()
+                .with("bytes", cfg.icache.bytes)
+                .with("ways", cfg.icache.ways)
+                .with("line_bytes", cfg.icache.line_bytes),
+        )
+        .with(
+            "frame_memory",
+            Json::obj()
+                .with("mhz", cfg.frame_memory.freq.as_mhz())
+                .with("bytes_per_cycle", cfg.frame_memory.bytes_per_cycle)
+                .with("banks", u64::from(cfg.frame_memory.banks))
+                .with("row_bytes", u64::from(cfg.frame_memory.row_bytes))
+                .with("row_miss_cycles", cfg.frame_memory.row_miss_cycles)
+                .with(
+                    "access_latency_cycles",
+                    cfg.frame_memory.access_latency_cycles,
+                )
+                .with("capacity", u64::from(cfg.frame_memory.capacity)),
+        )
+        .with("mode", mode_str(cfg.mode))
+        .with("udp_payload", cfg.udp_payload)
+        .with("send_enabled", cfg.send_enabled)
+        .with("recv_enabled", cfg.recv_enabled)
+        .with("offered_tx_fps", cfg.offered_tx_fps)
+        .with("offered_rx_fps", cfg.offered_rx_fps)
+        .with("driver_interval", cfg.driver_interval)
+}
+
+/// A [`RunStats`] as a `nicsim-exp/v1` JSON object.
+pub fn stats_to_json(s: &RunStats) -> Json {
+    let mut breakdown = Json::obj();
+    for b in StallBucket::ALL {
+        breakdown.set(b.label(), s.ipc_contribution(b));
+    }
+    let mut profile = Json::obj();
+    for f in FwFunc::ALL {
+        let p = s.profile.func(f);
+        profile.set(
+            f.label(),
+            Json::obj()
+                .with("instructions", p.instructions)
+                .with("mem_accesses", p.mem_accesses)
+                .with("cycles", p.cycles.to_vec()),
+        );
+    }
+    Json::obj()
+        .with("window_ps", s.window.0)
+        .with("cores", s.cores)
+        .with("cpu_mhz", s.cpu_mhz)
+        .with("tx_frames", s.tx_frames)
+        .with("rx_frames", s.rx_frames)
+        .with("tx_udp_gbps", s.tx_udp_gbps)
+        .with("rx_udp_gbps", s.rx_udp_gbps)
+        .with("total_udp_gbps", s.total_udp_gbps())
+        .with("total_fps", s.total_fps())
+        .with("rx_mac_drops", s.rx_mac_drops)
+        .with("tx_errors", s.tx_errors)
+        .with("rx_corrupt", s.rx_corrupt)
+        .with("rx_out_of_order", s.rx_out_of_order)
+        .with("ipc", s.ipc())
+        .with("ipc_breakdown", breakdown)
+        .with("core_ticks", s.core_ticks)
+        .with("core_sp_accesses", s.core_sp_accesses)
+        .with("assist_sp_accesses", s.assist_sp_accesses)
+        .with("scratchpad_gbps", s.scratchpad_gbps)
+        .with("instr_mem_gbps", s.instr_mem_gbps)
+        .with("instr_mem_utilization", s.instr_mem_utilization)
+        .with("frame_mem_gbps", s.frame_mem_gbps)
+        .with("frame_mem_wasted_bytes", s.frame_mem_wasted_bytes)
+        .with("frame_mem_mean_latency_ps", s.frame_mem_mean_latency.0)
+        .with("frame_mem_max_latency_ps", s.frame_mem_max_latency.0)
+        .with("icache_hits", s.icache_hits)
+        .with("icache_misses", s.icache_misses)
+        .with("profile", profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn config_json_roundtrips_and_keeps_schema_keys() {
+        let cfg = NicConfig::software_only_200();
+        let doc = config_to_json(&cfg);
+        let back = parse(&doc.pretty()).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.get("mode").unwrap().as_str(), Some("software-only"));
+        assert_eq!(back.get("cpu_mhz").unwrap().as_f64(), Some(200.0));
+        assert_eq!(
+            back.get("icache").unwrap().get("bytes").unwrap().as_f64(),
+            Some(8192.0)
+        );
+        assert_eq!(back.get("offered_tx_fps"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn mode_strings_are_stable() {
+        assert_eq!(mode_str(FwMode::Ideal), "ideal");
+        assert_eq!(mode_str(FwMode::SoftwareOnly), "software-only");
+        assert_eq!(mode_str(FwMode::RmwEnhanced), "rmw-enhanced");
+    }
+}

@@ -184,8 +184,7 @@ impl Fw {
         let avail = prod.wrapping_sub(fetched);
         // A raw/pool entry may be reused only after its BD is consumed
         // AND read; the slack covers claimed-but-unread entries.
-        let cache_free =
-            (BD_CACHE - BD_POOL_SLACK).saturating_sub(fetched.wrapping_sub(cons));
+        let cache_free = (BD_CACHE - BD_POOL_SLACK).saturating_sub(fetched.wrapping_sub(cons));
         let ring_space = BD_CACHE - fetched % BD_CACHE;
         let batch = avail.min(SEND_BD_BATCH).min(cache_free).min(ring_space);
         if batch == 0 {
@@ -305,7 +304,9 @@ impl Fw {
             ctx.store(slot + 12, 0).await; // option flags
             ctx.store(slot + 24, seq).await;
             ctx.store(slot + 28, 1).await; // state: fragments in flight
-            let prev_state = ctx.load(m.send_slots + ((seq.wrapping_sub(1)) % SLOTS) * 32 + 28).await;
+            let prev_state = ctx
+                .load(m.send_slots + ((seq.wrapping_sub(1)) % SLOTS) * 32 + 28)
+                .await;
             let _ = prev_state; // neighbour-slot sanity check, as Tigon does
             let fence = ctx.load(m.send_txdone_commit).await; // slot-reuse fence
             let _ = fence;
@@ -480,7 +481,12 @@ impl Fw {
             ctx.alu(2).await;
             // Host notification: completed BD count, as an immediate DMA.
             self.dmawr_push(&[(
-                [commit.wrapping_mul(2), host.status_send_cons, 4 | FLAG_IMM, 0],
+                [
+                    commit.wrapping_mul(2),
+                    host.status_send_cons,
+                    4 | FLAG_IMM,
+                    0,
+                ],
                 info::pack(info::NOP, 0),
             )])
             .await;
@@ -505,8 +511,7 @@ impl Fw {
         let cons = ctx.load(m.rbd_cons).await;
         ctx.alu(5).await;
         let avail = prod.wrapping_sub(fetched);
-        let cache_free =
-            (BD_CACHE - BD_POOL_SLACK).saturating_sub(fetched.wrapping_sub(cons));
+        let cache_free = (BD_CACHE - BD_POOL_SLACK).saturating_sub(fetched.wrapping_sub(cons));
         let ring_space = BD_CACHE - fetched % BD_CACHE;
         let batch = avail.min(RECV_BD_BATCH).min(cache_free).min(ring_space);
         if batch == 0 {
@@ -624,11 +629,8 @@ impl Fw {
             ctx.store(slot + 28, 1).await; // state: DMA in flight
             let bytes = ctx.load(m.stat(5)).await; // rx byte counter
             ctx.store(m.stat(5), bytes.wrapping_add(len)).await;
-            self.dmawr_push(&[(
-                [addr, hbuf, len, 0],
-                info::pack(info::RECV_PAYLOAD, sidx),
-            )])
-            .await;
+            self.dmawr_push(&[([addr, hbuf, len, 0], info::pack(info::RECV_PAYLOAD, sidx))])
+                .await;
             ctx.set_func(FwFunc::RecvFrame);
         }
         true

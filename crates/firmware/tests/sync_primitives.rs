@@ -151,7 +151,11 @@ fn claim_ranges_are_disjoint_and_complete_under_contention() {
     }
     rig.run(200_000);
     for u in 0..200u32 {
-        assert_eq!(rig.sp.peek(LOG + u * 4), 1, "unit {u} claimed wrong number of times");
+        assert_eq!(
+            rig.sp.peek(LOG + u * 4),
+            1,
+            "unit {u} claimed wrong number of times"
+        );
     }
     assert_eq!(rig.sp.peek(CLAIM), 200);
 }
@@ -190,6 +194,12 @@ fn software_mark_charges_the_lock_bucket() {
     });
     rig.run(10_000);
     let p = rig.cores[0].profile();
-    assert!(p.func(FwFunc::RecvLock).instructions > 0, "lock acquire charged");
-    assert!(p.func(FwFunc::RecvDispatch).instructions > 0, "mark charged to ordering");
+    assert!(
+        p.func(FwFunc::RecvLock).instructions > 0,
+        "lock acquire charged"
+    );
+    assert!(
+        p.func(FwFunc::RecvDispatch).instructions > 0,
+        "mark charged to ordering"
+    );
 }

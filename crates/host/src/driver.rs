@@ -253,13 +253,14 @@ impl Driver {
             mem.write(hdr_addr, &frame[..HEADER_LEN as usize]);
             mem.write(pay_addr, &frame[HEADER_LEN as usize..eth_len as usize]);
             // Two BDs: header (FIRST) then payload (LAST).
-            let bd0 = self.layout.send_bd_ring + (self.tx_bd_prod % SEND_BD_RING_ENTRIES) * BD_BYTES;
+            let bd0 =
+                self.layout.send_bd_ring + (self.tx_bd_prod % SEND_BD_RING_ENTRIES) * BD_BYTES;
             mem.write_u32(bd0, hdr_addr);
             mem.write_u32(bd0 + 4, HEADER_LEN);
             mem.write_u32(bd0 + 8, BD_FLAG_FIRST);
             mem.write_u32(bd0 + 12, seq);
-            let bd1 =
-                self.layout.send_bd_ring + ((self.tx_bd_prod + 1) % SEND_BD_RING_ENTRIES) * BD_BYTES;
+            let bd1 = self.layout.send_bd_ring
+                + ((self.tx_bd_prod + 1) % SEND_BD_RING_ENTRIES) * BD_BYTES;
             mem.write_u32(bd1, pay_addr);
             mem.write_u32(bd1 + 4, eth_len - HEADER_LEN);
             mem.write_u32(bd1 + 8, BD_FLAG_LAST);

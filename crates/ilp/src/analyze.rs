@@ -204,7 +204,9 @@ mod tests {
             ops.push(TraceOp::Alu(1));
             ops.push(TraceOp::Load);
             ops.push(TraceOp::Alu(1 + i % 2));
-            ops.push(TraceOp::Branch { mispredict: i % 3 == 0 });
+            ops.push(TraceOp::Branch {
+                mispredict: i % 3 == 0,
+            });
             ops.push(TraceOp::Store);
         }
         expand(&ops)
@@ -213,7 +215,15 @@ mod tests {
     #[test]
     fn single_issue_in_order_cannot_exceed_one() {
         let t = firmware_like_trace();
-        let ipc = analyze(&t, cfg(IssueOrder::InOrder, 1, PipelineModel::Perfect, BranchModel::Perfect));
+        let ipc = analyze(
+            &t,
+            cfg(
+                IssueOrder::InOrder,
+                1,
+                PipelineModel::Perfect,
+                BranchModel::Perfect,
+            ),
+        );
         assert!(ipc <= 1.0 + 1e-9);
         assert!(ipc > 0.5);
     }
@@ -248,17 +258,57 @@ mod tests {
     #[test]
     fn stalls_reduce_ipc() {
         let t = firmware_like_trace();
-        let perfect = analyze(&t, cfg(IssueOrder::InOrder, 2, PipelineModel::Perfect, BranchModel::Perfect));
-        let stalls = analyze(&t, cfg(IssueOrder::InOrder, 2, PipelineModel::Stalls, BranchModel::Perfect));
+        let perfect = analyze(
+            &t,
+            cfg(
+                IssueOrder::InOrder,
+                2,
+                PipelineModel::Perfect,
+                BranchModel::Perfect,
+            ),
+        );
+        let stalls = analyze(
+            &t,
+            cfg(
+                IssueOrder::InOrder,
+                2,
+                PipelineModel::Stalls,
+                BranchModel::Perfect,
+            ),
+        );
         assert!(stalls < perfect);
     }
 
     #[test]
     fn branch_models_order_correctly() {
         let t = firmware_like_trace();
-        let perfect = analyze(&t, cfg(IssueOrder::OutOfOrder, 4, PipelineModel::Stalls, BranchModel::Perfect));
-        let pbp1 = analyze(&t, cfg(IssueOrder::OutOfOrder, 4, PipelineModel::Stalls, BranchModel::Pbp1));
-        let none = analyze(&t, cfg(IssueOrder::OutOfOrder, 4, PipelineModel::Stalls, BranchModel::None));
+        let perfect = analyze(
+            &t,
+            cfg(
+                IssueOrder::OutOfOrder,
+                4,
+                PipelineModel::Stalls,
+                BranchModel::Perfect,
+            ),
+        );
+        let pbp1 = analyze(
+            &t,
+            cfg(
+                IssueOrder::OutOfOrder,
+                4,
+                PipelineModel::Stalls,
+                BranchModel::Pbp1,
+            ),
+        );
+        let none = analyze(
+            &t,
+            cfg(
+                IssueOrder::OutOfOrder,
+                4,
+                PipelineModel::Stalls,
+                BranchModel::None,
+            ),
+        );
         // Greedy program-order list scheduling is within a small
         // tolerance of monotone across branch models.
         assert!(perfect * 1.03 >= pbp1, "{perfect} vs {pbp1}");
@@ -270,8 +320,24 @@ mod tests {
         // "For an in-order processor, it is more important to eliminate
         // pipeline hazards than to predict branches."
         let t = firmware_like_trace();
-        let fix_pipe = analyze(&t, cfg(IssueOrder::InOrder, 4, PipelineModel::Perfect, BranchModel::None));
-        let fix_bp = analyze(&t, cfg(IssueOrder::InOrder, 4, PipelineModel::Stalls, BranchModel::Perfect));
+        let fix_pipe = analyze(
+            &t,
+            cfg(
+                IssueOrder::InOrder,
+                4,
+                PipelineModel::Perfect,
+                BranchModel::None,
+            ),
+        );
+        let fix_bp = analyze(
+            &t,
+            cfg(
+                IssueOrder::InOrder,
+                4,
+                PipelineModel::Stalls,
+                BranchModel::Perfect,
+            ),
+        );
         assert!(
             fix_pipe > fix_bp,
             "perfect pipeline ({fix_pipe:.2}) should beat perfect BP ({fix_bp:.2}) in order"
@@ -286,8 +352,10 @@ mod tests {
         // machine (which hides little behind a branch anyway).
         let t = firmware_like_trace();
         let gain = |order| {
-            analyze(&t, cfg(order, 4, PipelineModel::Stalls, BranchModel::Perfect))
-                - analyze(&t, cfg(order, 4, PipelineModel::Stalls, BranchModel::None))
+            analyze(
+                &t,
+                cfg(order, 4, PipelineModel::Stalls, BranchModel::Perfect),
+            ) - analyze(&t, cfg(order, 4, PipelineModel::Stalls, BranchModel::None))
         };
         let ooo = gain(IssueOrder::OutOfOrder);
         let io = gain(IssueOrder::InOrder);
@@ -299,7 +367,18 @@ mod tests {
 
     #[test]
     fn empty_trace_is_zero() {
-        assert_eq!(analyze(&[], cfg(IssueOrder::InOrder, 1, PipelineModel::Perfect, BranchModel::Perfect)), 0.0);
+        assert_eq!(
+            analyze(
+                &[],
+                cfg(
+                    IssueOrder::InOrder,
+                    1,
+                    PipelineModel::Perfect,
+                    BranchModel::Perfect
+                )
+            ),
+            0.0
+        );
     }
 
     #[test]
@@ -314,7 +393,12 @@ mod tests {
             .collect();
         let ipc = analyze(
             &insts,
-            cfg(IssueOrder::OutOfOrder, 4, PipelineModel::Perfect, BranchModel::Perfect),
+            cfg(
+                IssueOrder::OutOfOrder,
+                4,
+                PipelineModel::Perfect,
+                BranchModel::Perfect,
+            ),
         );
         assert!((ipc - 1.0).abs() < 0.05, "chain IPC {ipc}");
     }

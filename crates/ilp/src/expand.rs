@@ -59,7 +59,10 @@ struct Lcg(u64);
 
 impl Lcg {
     fn next(&mut self) -> u32 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (self.0 >> 33) as u32
     }
 
@@ -132,7 +135,8 @@ pub fn expand(ops: &[TraceOp]) -> Vec<Inst> {
                     // Unforced sources skip the most recent producer so
                     // the load-use fraction is governed by the explicit
                     // 50% chain below.
-                    let s0 = forced_src.unwrap_or_else(|| regs.recent(2 + (rng.next() % 3) as usize));
+                    let s0 =
+                        forced_src.unwrap_or_else(|| regs.recent(2 + (rng.next() % 3) as usize));
                     let s1 = if rng.chance(45) {
                         Some(regs.recent(2 + (rng.next() % 4) as usize))
                     } else {
@@ -209,13 +213,23 @@ mod tests {
         ]);
         assert_eq!(insts.len(), 9);
         assert_eq!(insts.iter().filter(|i| i.kind == InstKind::Load).count(), 2);
-        assert_eq!(insts.iter().filter(|i| i.kind == InstKind::Store).count(), 1);
-        assert_eq!(insts.iter().filter(|i| i.kind == InstKind::Branch).count(), 1);
+        assert_eq!(
+            insts.iter().filter(|i| i.kind == InstKind::Store).count(),
+            1
+        );
+        assert_eq!(
+            insts.iter().filter(|i| i.kind == InstKind::Branch).count(),
+            1
+        );
     }
 
     #[test]
     fn expansion_is_deterministic() {
-        let ops = [TraceOp::Alu(10), TraceOp::Load, TraceOp::Branch { mispredict: false }];
+        let ops = [
+            TraceOp::Alu(10),
+            TraceOp::Load,
+            TraceOp::Branch { mispredict: false },
+        ];
         assert_eq!(expand(&ops), expand(&ops));
     }
 

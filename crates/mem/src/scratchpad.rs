@@ -74,7 +74,7 @@ impl Scratchpad {
     ///
     /// Panics if `bytes` is not a multiple of 4 or `banks` is zero.
     pub fn new(bytes: usize, banks: usize) -> Scratchpad {
-        assert!(bytes % 4 == 0, "capacity must be whole words");
+        assert!(bytes.is_multiple_of(4), "capacity must be whole words");
         assert!(banks > 0, "need at least one bank");
         Scratchpad {
             words: vec![0; bytes / 4],
@@ -98,9 +98,15 @@ impl Scratchpad {
     }
 
     fn word_index(&self, addr: u32) -> usize {
-        assert!(addr % 4 == 0, "unaligned scratchpad access: {addr:#x}");
+        assert!(
+            addr.is_multiple_of(4),
+            "unaligned scratchpad access: {addr:#x}"
+        );
         let idx = addr as usize / 4;
-        assert!(idx < self.words.len(), "scratchpad address out of range: {addr:#x}");
+        assert!(
+            idx < self.words.len(),
+            "scratchpad address out of range: {addr:#x}"
+        );
         idx
     }
 
@@ -176,9 +182,27 @@ mod tests {
     #[test]
     fn read_write_roundtrip() {
         let mut s = sp();
-        assert_eq!(s.execute(SpRequest { addr: 8, op: SpOp::Write(0xdead_beef) }), 0xdead_beef);
-        assert_eq!(s.execute(SpRequest { addr: 8, op: SpOp::Read }), 0xdead_beef);
-        assert_eq!(s.execute(SpRequest { addr: 12, op: SpOp::Read }), 0);
+        assert_eq!(
+            s.execute(SpRequest {
+                addr: 8,
+                op: SpOp::Write(0xdead_beef)
+            }),
+            0xdead_beef
+        );
+        assert_eq!(
+            s.execute(SpRequest {
+                addr: 8,
+                op: SpOp::Read
+            }),
+            0xdead_beef
+        );
+        assert_eq!(
+            s.execute(SpRequest {
+                addr: 12,
+                op: SpOp::Read
+            }),
+            0
+        );
     }
 
     #[test]
@@ -194,18 +218,45 @@ mod tests {
     #[test]
     fn test_and_set_acquires_once() {
         let mut s = sp();
-        assert_eq!(s.execute(SpRequest { addr: 0, op: SpOp::TestAndSet }), 0);
-        assert_eq!(s.execute(SpRequest { addr: 0, op: SpOp::TestAndSet }), u32::MAX);
+        assert_eq!(
+            s.execute(SpRequest {
+                addr: 0,
+                op: SpOp::TestAndSet
+            }),
+            0
+        );
+        assert_eq!(
+            s.execute(SpRequest {
+                addr: 0,
+                op: SpOp::TestAndSet
+            }),
+            u32::MAX
+        );
         s.poke(0, 0); // release
-        assert_eq!(s.execute(SpRequest { addr: 0, op: SpOp::TestAndSet }), 0);
+        assert_eq!(
+            s.execute(SpRequest {
+                addr: 0,
+                op: SpOp::TestAndSet
+            }),
+            0
+        );
     }
 
     #[test]
     fn set_bit_is_idempotent_or() {
         let mut s = sp();
-        s.execute(SpRequest { addr: 16, op: SpOp::SetBit(3) });
-        s.execute(SpRequest { addr: 16, op: SpOp::SetBit(5) });
-        let old = s.execute(SpRequest { addr: 16, op: SpOp::SetBit(3) });
+        s.execute(SpRequest {
+            addr: 16,
+            op: SpOp::SetBit(3),
+        });
+        s.execute(SpRequest {
+            addr: 16,
+            op: SpOp::SetBit(5),
+        });
+        let old = s.execute(SpRequest {
+            addr: 16,
+            op: SpOp::SetBit(3),
+        });
         assert_eq!(old, (1 << 3) | (1 << 5));
         assert_eq!(s.peek(16), (1 << 3) | (1 << 5));
     }
@@ -215,7 +266,10 @@ mod tests {
         let mut s = sp();
         // bits 2,3,4 set; bit 5 clear; bit 6 set.
         s.poke(20, 0b101_1100);
-        let run = s.execute(SpRequest { addr: 20, op: SpOp::Update { start_bit: 2 } });
+        let run = s.execute(SpRequest {
+            addr: 20,
+            op: SpOp::Update { start_bit: 2 },
+        });
         assert_eq!(run, 3);
         // Only the consecutive run starting at bit 2 was cleared.
         assert_eq!(s.peek(20), 0b100_0000);
@@ -225,7 +279,10 @@ mod tests {
     fn update_on_clear_bit_returns_zero() {
         let mut s = sp();
         s.poke(24, 0b1000);
-        let run = s.execute(SpRequest { addr: 24, op: SpOp::Update { start_bit: 0 } });
+        let run = s.execute(SpRequest {
+            addr: 24,
+            op: SpOp::Update { start_bit: 0 },
+        });
         assert_eq!(run, 0);
         assert_eq!(s.peek(24), 0b1000, "nothing cleared");
     }
@@ -234,7 +291,10 @@ mod tests {
     fn update_full_word() {
         let mut s = sp();
         s.poke(28, u32::MAX);
-        let run = s.execute(SpRequest { addr: 28, op: SpOp::Update { start_bit: 0 } });
+        let run = s.execute(SpRequest {
+            addr: 28,
+            op: SpOp::Update { start_bit: 0 },
+        });
         assert_eq!(run, 32);
         assert_eq!(s.peek(28), 0);
     }
@@ -243,7 +303,10 @@ mod tests {
     fn update_run_to_word_end() {
         let mut s = sp();
         s.poke(32, 0xc000_0000); // bits 30,31
-        let run = s.execute(SpRequest { addr: 32, op: SpOp::Update { start_bit: 30 } });
+        let run = s.execute(SpRequest {
+            addr: 32,
+            op: SpOp::Update { start_bit: 30 },
+        });
         assert_eq!(run, 2);
         assert_eq!(s.peek(32), 0);
     }
@@ -252,13 +315,19 @@ mod tests {
     #[should_panic(expected = "unaligned")]
     fn unaligned_access_panics() {
         let mut s = sp();
-        s.execute(SpRequest { addr: 2, op: SpOp::Read });
+        s.execute(SpRequest {
+            addr: 2,
+            op: SpOp::Read,
+        });
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_access_panics() {
         let mut s = sp();
-        s.execute(SpRequest { addr: 4096, op: SpOp::Read });
+        s.execute(SpRequest {
+            addr: 4096,
+            op: SpOp::Read,
+        });
     }
 }

@@ -52,7 +52,7 @@ impl StreamId {
 }
 
 /// Frame-memory configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameMemoryConfig {
     /// SDRAM / frame bus clock (paper: 500 MHz).
     pub freq: Freq,
@@ -292,11 +292,9 @@ impl FrameMemory {
 
     /// Mean burst latency (submit to completion).
     pub fn mean_latency(&self) -> Ps {
-        if self.bursts == 0 {
-            Ps::ZERO
-        } else {
-            Ps(self.latency_sum_ps / self.bursts)
-        }
+        self.latency_sum_ps
+            .checked_div(self.bursts)
+            .map_or(Ps::ZERO, Ps)
     }
 
     /// Maximum burst latency observed.

@@ -213,7 +213,13 @@ mod tests {
     fn two_cycle_uncontended_latency() {
         let (mut xb, mut sp) = setup(2, 4);
         sp.poke(8, 77);
-        xb.submit(0, SpRequest { addr: 8, op: SpOp::Read });
+        xb.submit(
+            0,
+            SpRequest {
+                addr: 8,
+                op: SpOp::Read,
+            },
+        );
         // Cycle 1: granted, executes; response not yet consumable.
         xb.tick(&mut sp);
         assert_eq!(xb.take_response(0), None);
@@ -227,8 +233,20 @@ mod tests {
     fn same_bank_conflict_serializes() {
         let (mut xb, mut sp) = setup(2, 4);
         // Both target bank 0 (addr 0 and 16 with 4 banks).
-        xb.submit(0, SpRequest { addr: 0, op: SpOp::Write(1) });
-        xb.submit(1, SpRequest { addr: 16, op: SpOp::Write(2) });
+        xb.submit(
+            0,
+            SpRequest {
+                addr: 0,
+                op: SpOp::Write(1),
+            },
+        );
+        xb.submit(
+            1,
+            SpRequest {
+                addr: 16,
+                op: SpOp::Write(2),
+            },
+        );
         xb.tick(&mut sp); // one granted
         xb.tick(&mut sp); // other granted
         xb.tick(&mut sp);
@@ -236,8 +254,7 @@ mod tests {
         let r1 = xb.take_response(1);
         assert!(r0.is_some() && r1.is_some());
         // Exactly one port saw one conflict cycle.
-        let conflicts =
-            xb.port_stats(0).conflict_cycles + xb.port_stats(1).conflict_cycles;
+        let conflicts = xb.port_stats(0).conflict_cycles + xb.port_stats(1).conflict_cycles;
         assert_eq!(conflicts, 1);
         assert_eq!(sp.peek(0), 1);
         assert_eq!(sp.peek(16), 2);
@@ -246,8 +263,20 @@ mod tests {
     #[test]
     fn different_banks_proceed_in_parallel() {
         let (mut xb, mut sp) = setup(2, 4);
-        xb.submit(0, SpRequest { addr: 0, op: SpOp::Write(1) });
-        xb.submit(1, SpRequest { addr: 4, op: SpOp::Write(2) });
+        xb.submit(
+            0,
+            SpRequest {
+                addr: 0,
+                op: SpOp::Write(1),
+            },
+        );
+        xb.submit(
+            1,
+            SpRequest {
+                addr: 4,
+                op: SpOp::Write(2),
+            },
+        );
         xb.tick(&mut sp);
         xb.tick(&mut sp);
         assert_eq!(xb.take_response(0), Some(1));
@@ -263,7 +292,13 @@ mod tests {
         for _ in 0..30 {
             for p in 0..3 {
                 if xb.port_idle(p) {
-                    xb.submit(p, SpRequest { addr: 0, op: SpOp::Read });
+                    xb.submit(
+                        p,
+                        SpRequest {
+                            addr: 0,
+                            op: SpOp::Read,
+                        },
+                    );
                 }
             }
             xb.tick(&mut sp);
@@ -281,15 +316,39 @@ mod tests {
     #[should_panic(expected = "outstanding")]
     fn double_submit_panics() {
         let (mut xb, _) = setup(1, 1);
-        xb.submit(0, SpRequest { addr: 0, op: SpOp::Read });
-        xb.submit(0, SpRequest { addr: 4, op: SpOp::Read });
+        xb.submit(
+            0,
+            SpRequest {
+                addr: 0,
+                op: SpOp::Read,
+            },
+        );
+        xb.submit(
+            0,
+            SpRequest {
+                addr: 4,
+                op: SpOp::Read,
+            },
+        );
     }
 
     #[test]
     fn atomic_tas_through_crossbar() {
         let (mut xb, mut sp) = setup(2, 1);
-        xb.submit(0, SpRequest { addr: 0, op: SpOp::TestAndSet });
-        xb.submit(1, SpRequest { addr: 0, op: SpOp::TestAndSet });
+        xb.submit(
+            0,
+            SpRequest {
+                addr: 0,
+                op: SpOp::TestAndSet,
+            },
+        );
+        xb.submit(
+            1,
+            SpRequest {
+                addr: 0,
+                op: SpOp::TestAndSet,
+            },
+        );
         for _ in 0..4 {
             xb.tick(&mut sp);
         }
@@ -303,7 +362,13 @@ mod tests {
     fn trace_records_grants() {
         let (mut xb, mut sp) = setup(1, 1);
         xb.trace = Some(AccessTrace::new());
-        xb.submit(0, SpRequest { addr: 12, op: SpOp::Write(5) });
+        xb.submit(
+            0,
+            SpRequest {
+                addr: 12,
+                op: SpOp::Write(5),
+            },
+        );
         xb.tick(&mut sp);
         let t = xb.trace.as_ref().unwrap();
         assert_eq!(t.len(), 1);

@@ -83,7 +83,7 @@ impl RxGenerator {
         let at = self.next_at;
         let f = build_udp_frame(self.seq, self.udp_payload);
         self.seq = self.seq.wrapping_add(1);
-        self.next_at = self.next_at + self.period;
+        self.next_at += self.period;
         Some((at, f))
     }
 }
@@ -197,7 +197,7 @@ mod tests {
                 assert_eq!(f.len(), 1518);
                 n += 1;
             } else {
-                now = now + Ps(100);
+                now += Ps(100);
             }
         }
         // 100us at 812744 fps = 81.27 frames.
@@ -209,7 +209,10 @@ mod tests {
         let mut g = RxGenerator::new(100);
         let (_, a) = g.poll(Ps::from_ms(1)).unwrap();
         let (_, b) = g.poll(Ps::from_ms(1)).unwrap();
-        assert_eq!(validate_frame(&a).unwrap().seq + 1, validate_frame(&b).unwrap().seq);
+        assert_eq!(
+            validate_frame(&a).unwrap().seq + 1,
+            validate_frame(&b).unwrap().seq
+        );
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! A compact version of the Figure 3 coherence study: would per-core
 //! coherent caches have worked instead of the scratchpad?
 //!
-//! Captures the metadata access trace of a real 6-core line-rate run,
-//! replays it through the MESI simulator at several cache sizes, and
-//! shows why the paper chose a program-managed scratchpad.
+//! Captures the metadata access trace of a real 6-core line-rate run
+//! (driven through the experiment engine), replays it through the MESI
+//! simulator at several cache sizes, and shows why the paper chose a
+//! program-managed scratchpad.
 //!
 //! Run with:
 //!
@@ -11,10 +12,9 @@
 //! cargo run --release --example cache_study
 //! ```
 
-use nicsim::{NicConfig, NicSystem};
 use nicsim_coherence::{sweep_sizes, Access};
 use nicsim_mem::AccessKind;
-use nicsim_sim::Ps;
+use nicsim_repro::{Experiment, NicConfig};
 
 /// The paper filters traces "to include only frame metadata". Locks,
 /// progress counters, statistics, and the per-core event scratch are
@@ -25,17 +25,15 @@ fn is_frame_metadata(m: &nicsim_firmware::MemMap, addr: u32) -> bool {
     addr >= m.dmard_ring && addr < m.stats
 }
 
-
 fn main() {
+    let exp = Experiment::new("cache_study").windows_ms(1, 1).quiet();
     let cfg = NicConfig {
         capture_trace: true,
         trace_limit: 500_000,
         ..NicConfig::default()
     };
-    let cores = cfg.cores;
-    let mut sys = NicSystem::new(cfg);
-    let stats = sys.run_measured(Ps::from_ms(1), Ps::from_ms(1));
-    stats.assert_clean();
+    let (_, mut sys) = exp.run_with_system("trace", cfg);
+    let cores = sys.config().cores;
 
     let m = sys.map();
     let trace = sys.take_trace().expect("trace capture enabled");

@@ -9,8 +9,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use nicsim::{NicConfig, NicSystem};
-use nicsim_sim::Ps;
+use nicsim_repro::{Experiment, NicConfig};
 
 fn main() {
     let cfg = NicConfig::rmw_166();
@@ -18,11 +17,12 @@ fn main() {
         "configuration: {} cores @ {} MHz, {} scratchpad banks, {:?} firmware",
         cfg.cores, cfg.cpu_mhz, cfg.banks, cfg.mode
     );
-    let mut sys = NicSystem::new(cfg);
 
-    // Warm the pipeline up, then measure a steady-state window.
-    let stats = sys.run_measured(Ps::from_ms(2), Ps::from_ms(4));
-    stats.assert_clean(); // every frame validated byte-for-byte, in order
+    // Warm the pipeline up, then measure a steady-state window. The
+    // engine validates every frame byte-for-byte and in order.
+    let exp = Experiment::new("quickstart").quiet();
+    let run = exp.run(cfg);
+    let stats = &run.stats;
 
     println!(
         "transmit:  {:7.2} Gb/s UDP payload ({} frames)",

@@ -11,26 +11,24 @@
 //! cargo run --release --example rmw_vs_software
 //! ```
 
-use nicsim::{NicConfig, NicSystem};
 use nicsim_cpu::FwFunc;
-use nicsim_sim::Ps;
+use nicsim_repro::{Experiment, NicConfig, RunReport};
 
-fn run(label: &str, cfg: NicConfig) -> nicsim::RunStats {
-    let mut sys = NicSystem::new(cfg);
-    let s = sys.run_measured(Ps::from_ms(2), Ps::from_ms(3));
-    s.assert_clean();
+fn run(exp: &Experiment, label: &str, cfg: NicConfig) -> RunReport {
+    let run = exp.run_labeled(label, cfg);
     println!(
         "{label}: {:.2} Gb/s duplex at {} MHz x {} cores",
-        s.total_udp_gbps(),
-        cfg.cpu_mhz,
-        cfg.cores
+        run.stats.total_udp_gbps(),
+        run.config.cpu_mhz,
+        run.config.cores
     );
-    s
+    run
 }
 
 fn main() {
-    let sw = run("software-only", NicConfig::software_only_200());
-    let rmw = run("RMW-enhanced ", NicConfig::rmw_166());
+    let exp = Experiment::new("rmw_vs_software").quiet();
+    let sw = run(&exp, "software-only", NicConfig::software_only_200()).stats;
+    let rmw = run(&exp, "RMW-enhanced ", NicConfig::rmw_166()).stats;
 
     println!();
     println!("send-side ordering overhead per frame (instructions):");
@@ -38,7 +36,10 @@ fn main() {
     let rmwd = rmw.instr_per_frame(FwFunc::SendDispatch, rmw.tx_frames);
     println!("  software-only: {swd:6.1}   (lock, scan, clear loops)");
     println!("  RMW-enhanced:  {rmwd:6.1}   (single `set` / `update` instructions)");
-    println!("  reduction:     {:6.1}% (paper: 51.5%)", 100.0 * (1.0 - rmwd / swd));
+    println!(
+        "  reduction:     {:6.1}% (paper: 51.5%)",
+        100.0 * (1.0 - rmwd / swd)
+    );
 
     println!();
     println!("receive-side ordering overhead per frame (instructions):");
@@ -46,7 +47,10 @@ fn main() {
     let rmwr = rmw.instr_per_frame(FwFunc::RecvDispatch, rmw.rx_frames);
     println!("  software-only: {swr:6.1}");
     println!("  RMW-enhanced:  {rmwr:6.1}");
-    println!("  reduction:     {:6.1}% (paper: 30.8%)", 100.0 * (1.0 - rmwr / swr));
+    println!(
+        "  reduction:     {:6.1}% (paper: 30.8%)",
+        100.0 * (1.0 - rmwr / swr)
+    );
 
     println!();
     println!(

@@ -29,7 +29,16 @@ fn main() {
     println!("=== Figure 1/2 walkthrough: hardware progress pointers over time ===");
     println!(
         "{:>6} | {:>7} {:>7} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7}",
-        "us", "sb_mbox", "bd_dma", "frm_dma", "mac_tx", "notify", "rb_mbox", "mac_rx", "to_host", "returns"
+        "us",
+        "sb_mbox",
+        "bd_dma",
+        "frm_dma",
+        "mac_tx",
+        "notify",
+        "rb_mbox",
+        "mac_rx",
+        "to_host",
+        "returns"
     );
     for step in 1..=12u64 {
         sys.run_until(Ps::from_us(step * 5));
@@ -52,7 +61,9 @@ fn main() {
     println!("Reading the table:");
     println!(" * send counters flow left to right as Figure 1's steps 2 -> 6;");
     println!(" * receive counters flow as Figure 2's steps 1 -> 4;");
-    println!(" * every frame is validated end-to-end, so the pipeline shown is real data movement.");
+    println!(
+        " * every frame is validated end-to-end, so the pipeline shown is real data movement."
+    );
     let stats = sys.collect();
     stats.assert_clean();
     println!(

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Pre-PR gate: build, test, lint, and check formatting for the whole
+# workspace. Entirely offline — the workspace has no external
+# dependencies, so no network or registry access is ever needed.
+#
+# Usage: scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace --all-targets"
+cargo build --release --workspace --all-targets
+
+echo "==> cargo test --workspace"
+NICSIM_QUICK=1 cargo test --workspace --quiet
+
+echo "==> cargo clippy (deny warnings)"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets --quiet -- -D warnings
+else
+    echo "    clippy not installed; skipping"
+fi
+
+echo "==> cargo fmt --check"
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all --check
+else
+    echo "    rustfmt not installed; skipping"
+fi
+
+echo "all checks passed"

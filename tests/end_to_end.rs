@@ -154,7 +154,8 @@ fn rmw_mode_is_at_least_as_fast_as_software() {
             ..NicConfig::default()
         };
         let mut sys = NicSystem::new(cfg);
-        sys.run_measured(Ps::from_ms(1), Ps::from_ms(1)).total_udp_gbps()
+        sys.run_measured(Ps::from_ms(1), Ps::from_ms(1))
+            .total_udp_gbps()
     };
     let sw = run(FwMode::SoftwareOnly);
     let rmw = run(FwMode::RmwEnhanced);
@@ -169,7 +170,11 @@ fn deterministic_across_runs() {
     let run = || {
         let mut sys = NicSystem::new(small(NicConfig::default()));
         let s = sys.run_measured(Ps::from_us(200), Ps::from_us(200));
-        (s.tx_frames, s.rx_frames, s.profile.total(|p| p.instructions))
+        (
+            s.tx_frames,
+            s.rx_frames,
+            s.profile.total(|p| p.instructions),
+        )
     };
     assert_eq!(run(), run(), "simulation must be deterministic");
 }

@@ -1,0 +1,122 @@
+//! Integration tests for the experiment engine as exposed through the
+//! `nicsim_repro` facade: validated configuration building, the unified
+//! `Experiment::run` entry point, and the structured JSON results file.
+
+use nicsim_repro::{ConfigError, Experiment, Json, NicConfig, NicSystem, Sweep, SCHEMA};
+
+#[test]
+fn builder_rejects_invalid_configurations() {
+    assert_eq!(
+        NicConfig::builder().cores(0).build(),
+        Err(ConfigError::ZeroCores)
+    );
+    assert_eq!(
+        NicConfig::builder().banks(0).build(),
+        Err(ConfigError::ZeroBanks)
+    );
+    assert_eq!(
+        NicConfig::builder().udp_payload(0).build(),
+        Err(ConfigError::ZeroPayload)
+    );
+    assert_eq!(
+        NicConfig::builder().udp_payload(1473).build(),
+        Err(ConfigError::PayloadTooLarge { payload: 1473 })
+    );
+    assert_eq!(
+        NicConfig::builder()
+            .mode(nicsim_repro::FwMode::Ideal)
+            .cores(6)
+            .build(),
+        Err(ConfigError::IdealMultiCore { cores: 6 })
+    );
+    let cfg = NicConfig::builder().cores(4).cpu_mhz(200).build().unwrap();
+    assert_eq!(cfg.cores, 4);
+    assert_eq!(cfg.cpu_mhz, 200);
+}
+
+#[test]
+fn try_new_propagates_validation_errors() {
+    let bad = NicConfig {
+        cores: 0,
+        ..NicConfig::default()
+    };
+    assert!(matches!(
+        NicSystem::try_new(bad),
+        Err(ConfigError::ZeroCores)
+    ));
+    assert!(NicSystem::try_new(NicConfig::default()).is_ok());
+}
+
+#[test]
+fn run_and_results_file_round_trip() {
+    let out_dir = std::env::temp_dir().join(format!("nicsim-exp-test-{}", std::process::id()));
+    let exp = Experiment::new("facade-smoke")
+        .windows_ms(1, 1)
+        .quiet()
+        .jobs(2)
+        .out_dir(&out_dir);
+
+    let cfg = NicConfig::builder().cores(2).cpu_mhz(125).build().unwrap();
+    let run = exp.run(cfg);
+    assert_eq!(run.label, "run");
+    assert!(run.stats.tx_frames > 0, "warmed-up run must move frames");
+
+    let sweep = Sweep::new(cfg).axis("cores", [1usize, 2], |c, v| c.cores = v);
+    let report = exp.sweep(&sweep);
+    let path = exp.write(&report).expect("write results file");
+    assert_eq!(path, out_dir.join("facade-smoke.json"));
+
+    let text = std::fs::read_to_string(&path).expect("read results file");
+    let doc = Json::parse(&text).expect("results file is valid JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+    assert_eq!(
+        doc.get("experiment").and_then(Json::as_str),
+        Some("facade-smoke")
+    );
+    let runs = doc.get("runs").and_then(Json::as_arr).expect("runs array");
+    assert_eq!(runs.len(), 2);
+    for (json, run) in runs.iter().zip(&report.runs) {
+        assert_eq!(
+            json.get("label").and_then(Json::as_str),
+            Some(run.label.as_str())
+        );
+        let cores = json
+            .get("config")
+            .and_then(|c| c.get("cores"))
+            .and_then(Json::as_f64);
+        assert_eq!(cores, Some(run.config.cores as f64));
+        let gbps = json
+            .get("stats")
+            .and_then(|s| s.get("total_udp_gbps"))
+            .and_then(Json::as_f64);
+        assert_eq!(gbps, Some(run.stats.total_udp_gbps()));
+    }
+
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+#[test]
+fn sweep_labels_expand_row_major() {
+    let sweep = Sweep::new(NicConfig::default())
+        .axis("cores", [1usize, 2], |c, v| c.cores = v)
+        .axis("cpu_mhz", [100u64, 200], |c, v| c.cpu_mhz = v);
+    let specs = sweep.runs().expect("valid sweep");
+    let labels: Vec<&str> = specs.iter().map(|s| s.label.as_str()).collect();
+    assert_eq!(
+        labels,
+        [
+            "cores=1,cpu_mhz=100",
+            "cores=1,cpu_mhz=200",
+            "cores=2,cpu_mhz=100",
+            "cores=2,cpu_mhz=200",
+        ]
+    );
+}
+
+#[test]
+fn invalid_sweep_point_fails_before_running() {
+    let sweep = Sweep::new(NicConfig::default()).axis("cores", [1usize, 0], |c, v| c.cores = v);
+    assert_eq!(sweep.runs().unwrap_err(), ConfigError::ZeroCores);
+    let exp = Experiment::new("facade-invalid").quiet();
+    assert!(exp.try_sweep(&sweep).is_err());
+}

@@ -28,7 +28,7 @@ fn check_send_chain(sys: &NicSystem) {
     assert!(fetched <= mbox, "fetch beyond mailbox: {fetched} > {mbox}");
     assert!(parsed <= fetched, "parse beyond fetch");
     assert!(cons <= parsed, "consume beyond parse");
-    assert!(cons % 2 == 0, "BDs consumed in pairs");
+    assert!(cons.is_multiple_of(2), "BDs consumed in pairs");
     assert!(ready <= cons / 2, "commit beyond allocated frames");
     assert_eq!(mactx_prod, ready, "MAC ring producer is the ready commit");
     assert!(mactx_done <= mactx_prod, "MAC done beyond produced");
@@ -240,9 +240,7 @@ fn misalignment_waste_is_nonzero_but_bounded() {
     // Headers are 42 bytes and frames land at +2 offsets, so some waste
     // is inevitable (§6.2) — but it must stay a small fraction.
     assert!(s.frame_mem_wasted_bytes > 0, "expected misalignment waste");
-    let frac = s.frame_mem_wasted_bytes as f64 * 8.0
-        / s.window.as_secs_f64()
-        / 1e9
-        / s.frame_mem_gbps;
+    let frac =
+        s.frame_mem_wasted_bytes as f64 * 8.0 / s.window.as_secs_f64() / 1e9 / s.frame_mem_gbps;
     assert!(frac < 0.05, "waste fraction {frac} too high");
 }

@@ -84,9 +84,7 @@ fn driver_reassembles_every_posted_frame() {
     for pair in 0..bds / 2 {
         let bd0 = layout.send_bd_ring + pair * 32;
         let bd1 = bd0 + 16;
-        let mut frame = mem
-            .read(mem.read_u32(bd0), mem.read_u32(bd0 + 4))
-            .to_vec();
+        let mut frame = mem.read(mem.read_u32(bd0), mem.read_u32(bd0 + 4)).to_vec();
         frame.extend_from_slice(mem.read(mem.read_u32(bd1), mem.read_u32(bd1 + 4)));
         frame.extend_from_slice(&[0u8; 4]);
         let info = validate_frame(&frame).unwrap();
@@ -126,7 +124,12 @@ fn frame_memory_handles_interleaved_duplex_streams() {
     assert_eq!(done.len(), 32);
     for c in done {
         let i = (c.tag % 100) as usize;
-        assert_eq!(c.data.as_deref(), Some(&frames[i][..]), "stream {:?}", c.stream);
+        assert_eq!(
+            c.data.as_deref(),
+            Some(&frames[i][..]),
+            "stream {:?}",
+            c.stream
+        );
     }
 }
 
@@ -185,21 +188,21 @@ fn memory_map_counters_are_bank_spread() {
         m.dmawr_done,
         m.rb_mailbox_prod,
     ];
-    let banks: std::collections::HashSet<usize> =
-        hot.iter().map(|&a| sp.bank_of(a)).collect();
+    let banks: std::collections::HashSet<usize> = hot.iter().map(|&a| sp.bank_of(a)).collect();
     assert!(banks.len() >= 3, "hot counters bunched on {banks:?}");
 }
 
 #[test]
+#[allow(clippy::assertions_on_constants)] // the relations, not the values, are under test
 fn map_constants_are_mutually_consistent() {
     // Structural relations other components rely on.
     assert_eq!(map::SLOTS % 32, 0, "bit arrays are whole words");
     assert!(map::MACTX_RING >= map::SLOTS, "MAC TX ring cannot overflow");
     assert!(map::STAGING >= map::SLOTS, "staging outlives slot reuse");
     assert!(
-        map::DMA_RING >= 2 * map::SLOTS + map::BD_CACHE / map::SEND_BD_BATCH as u32,
+        map::DMA_RING >= 2 * map::SLOTS + map::BD_CACHE / map::SEND_BD_BATCH,
         "DMA ring must exceed its structural outstanding bound"
     );
-    assert!(map::BD_CACHE % map::SEND_BD_BATCH == 0);
-    assert!(map::BD_CACHE % map::RECV_BD_BATCH == 0);
+    assert!(map::BD_CACHE.is_multiple_of(map::SEND_BD_BATCH));
+    assert!(map::BD_CACHE.is_multiple_of(map::RECV_BD_BATCH));
 }
