@@ -18,7 +18,7 @@ use crate::cmd::{DmaCmd, DMA_CMD_WORDS};
 use crate::port::SpPort;
 use nicsim_host::HostMemory;
 use nicsim_mem::{Crossbar, FrameMemory, Scratchpad, SpOp, SpRequest, StreamId};
-use nicsim_sim::Ps;
+use nicsim_sim::{NextEvent, Ps};
 
 const TAG_CMD0: u32 = 1; // ..=4 for the four command words
 const TAG_DATA: u32 = 5;
@@ -228,6 +228,29 @@ impl DmaRead {
         }
         self.tracker.flush(&mut self.sp, self.cfg.done_addr);
     }
+
+    /// Whether the next [`DmaRead::tick`] could do real work. Mirrors
+    /// every gate in `tick` exactly: a scratchpad transaction queued or
+    /// in flight, a done-counter update pending, or a command fetch
+    /// ready to issue. When false, the engine only reacts to external
+    /// input (a doorbell write or an SDRAM completion).
+    pub fn busy(&self, sp_mem: &Scratchpad) -> bool {
+        self.sp.backlog() > 0
+            || self.tracker.done != self.tracker.done_written
+            || (!self.fetch.active
+                && self.fetched != sp_mem.peek(self.cfg.prod_addr)
+                && self.sp_exec.is_none()
+                && self.sdram_outstanding < 2)
+    }
+}
+
+impl NextEvent for DmaRead {
+    /// The DMA engines have no self-timed events: everything they do is
+    /// triggered by crossbar responses, doorbells, or SDRAM completions
+    /// (all bounded elsewhere by the kernel).
+    fn next_event(&self) -> Ps {
+        Ps::MAX
+    }
 }
 
 /// The DMA **write** engine: NIC → host memory.
@@ -377,6 +400,24 @@ impl DmaWrite {
             }
         }
         self.tracker.flush(&mut self.sp, self.cfg.done_addr);
+    }
+
+    /// Whether the next [`DmaWrite::tick`] could do real work (see
+    /// [`DmaRead::busy`]).
+    pub fn busy(&self, sp_mem: &Scratchpad) -> bool {
+        self.sp.backlog() > 0
+            || self.tracker.done != self.tracker.done_written
+            || (!self.fetch.active
+                && self.fetched != sp_mem.peek(self.cfg.prod_addr)
+                && self.sp_src.is_none()
+                && self.sdram_outstanding < 2)
+    }
+}
+
+impl NextEvent for DmaWrite {
+    /// See [`DmaRead::next_event`]: nothing self-timed.
+    fn next_event(&self) -> Ps {
+        Ps::MAX
     }
 }
 

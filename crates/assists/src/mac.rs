@@ -16,7 +16,7 @@
 use crate::port::SpPort;
 use nicsim_mem::{Crossbar, FrameMemory, Scratchpad, SpOp, SpRequest, StreamId};
 use nicsim_net::link::{wire_time, RxGenerator, TxMonitor};
-use nicsim_sim::Ps;
+use nicsim_sim::{NextEvent, Ps};
 use std::collections::VecDeque;
 
 const TAG_ENTRY0: u32 = 1;
@@ -176,6 +176,26 @@ impl MacTx {
             self.done_written = self.done;
             self.done_inflight = true;
         }
+    }
+
+    /// Whether the next [`MacTx::tick`] could do real work. Mirrors the
+    /// tick's gates: scratchpad traffic pending, a done-counter update
+    /// owed, or a ring-entry fetch ready to issue. Wire completions are
+    /// time-driven and reported via [`NextEvent`] instead.
+    pub fn busy(&self, sp_mem: &Scratchpad) -> bool {
+        self.sp.backlog() > 0
+            || self.done != self.done_written
+            || (!self.fetch_active
+                && self.fetched != sp_mem.peek(self.cfg.prod_addr)
+                && (self.reads_outstanding as usize + self.tx_done.len()) < 2)
+    }
+}
+
+impl NextEvent for MacTx {
+    /// The next wire completion: `tick` pops `tx_done` entries whose
+    /// time has come, so the clock must not jump past the head.
+    fn next_event(&self) -> Ps {
+        self.tx_done.front().map_or(Ps::MAX, |(t, _)| *t)
     }
 }
 
@@ -342,6 +362,29 @@ impl MacRx {
             self.writes_outstanding += 1;
             self.pending_desc.push_back((addr, len));
             self.frames_received += 1;
+        }
+    }
+
+    /// Whether the next [`MacRx::tick`] could do real work besides
+    /// accepting an arrival (arrivals are time-driven, see
+    /// [`NextEvent`]): descriptor or producer writes pending on the
+    /// scratchpad port.
+    pub fn busy(&self) -> bool {
+        self.sp.backlog() > 0
+    }
+}
+
+impl NextEvent for MacRx {
+    /// The next frame arrival — but only while the MAC has buffer
+    /// capacity to accept it. At two writes outstanding the accept loop
+    /// cannot run regardless of arrivals (overdue frames wait, without
+    /// being dropped, exactly as in the dense kernel); the wake then
+    /// comes from the SDRAM completion that frees a buffer.
+    fn next_event(&self) -> Ps {
+        if self.writes_outstanding < 2 {
+            self.generator.next_arrival()
+        } else {
+            Ps::MAX
         }
     }
 }

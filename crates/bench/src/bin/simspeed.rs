@@ -1,0 +1,172 @@
+//! Simulation-speed benchmark: dense reference kernel vs the hybrid
+//! event-driven kernel, on the workloads the paper's figures hinge on.
+//!
+//! Two configurations bracket the speedup range:
+//!
+//! * 1 core @ 200 MHz (a Figure 7 point): the firmware is the
+//!   bottleneck and core stall spans (multi-cycle ALU runs, I-miss
+//!   fills) let the event kernel skip ~34% of cycles and bypass idle
+//!   components on the rest — measured ~1.7x wall-clock, floor 1.4x.
+//!   The skip fraction is structural, not an implementation gap: the
+//!   paper's firmware is a *polling* design, so even a quiescent NIC
+//!   keeps a scratchpad load in flight on roughly half of all cycles
+//!   (the dispatch loop sweeps ten event sources), and saturated
+//!   firmware issues an op every 1-2 cycles.
+//! * 6 cores @ 200 MHz (the line-rate configuration): nearly every
+//!   cycle has crossbar traffic, so nothing is skippable — the event
+//!   kernel must at least break even (per-component gating pays for
+//!   the wake checks; measured ~1.05x).
+//!
+//! Each configuration runs on both kernels with identical windows; the
+//! stats must be bit-identical (the equivalence guarantee, re-asserted
+//! here on the real benchmark workload). Results land in
+//! `results/BENCH_simspeed.json` with per-point wall times, simulated
+//! cycles, cycles-per-host-second, and speedups.
+//!
+//! Smoke mode (`NICSIM_SIMSPEED_SMOKE=1`, implied by `NICSIM_QUICK=1`)
+//! shrinks the windows and exits non-zero on a correctness mismatch or
+//! an event-kernel slowdown beyond 30% — the CI guardrail.
+
+use nicsim::{FwMode, NicConfig, NicSystem};
+use nicsim_bench::header;
+use nicsim_exp::{Experiment, Json, RunReport};
+use std::time::Instant;
+
+struct Point {
+    label: &'static str,
+    cfg: NicConfig,
+    /// Minimum acceptable dense/event wall-clock ratio: the 1-core
+    /// point must show a real speedup (measured ~1.7x, floored at 1.4x
+    /// to ride out host timing noise), the 6-core point only "no
+    /// meaningful regression".
+    target_speedup: f64,
+}
+
+fn main() {
+    let exp = Experiment::from_args("BENCH_simspeed");
+    header(
+        "Simulation speed: dense vs event-driven kernel",
+        "event kernel >= 1.4x on 1-core Fig 7 point, no regression at 6-core line rate",
+    );
+    let smoke = env_is("NICSIM_SIMSPEED_SMOKE") || env_is("NICSIM_QUICK");
+    // Smoke runs shrink further than NICSIM_QUICK's 1ms/1ms default:
+    // wall-clock ratios stabilize within a 200us window and CI wants
+    // this under a couple of seconds.
+    let (warmup, window) = if smoke {
+        (nicsim_sim::Ps::from_us(100), nicsim_sim::Ps::from_us(200))
+    } else {
+        (exp.warmup(), exp.window())
+    };
+
+    let points = [
+        Point {
+            label: "cores=1,cpu_mhz=200",
+            cfg: NicConfig {
+                cores: 1,
+                cpu_mhz: 200,
+                mode: FwMode::SoftwareOnly,
+                ..NicConfig::default()
+            },
+            target_speedup: 1.4,
+        },
+        Point {
+            label: "cores=6,cpu_mhz=200",
+            cfg: NicConfig {
+                cores: 6,
+                cpu_mhz: 200,
+                mode: FwMode::SoftwareOnly,
+                ..NicConfig::default()
+            },
+            target_speedup: 0.95,
+        },
+    ];
+
+    let mut runs = Vec::new();
+    let mut detail = Vec::new();
+    let mut failures = Vec::new();
+    println!(
+        "{:>22} {:>10} {:>10} {:>8} {:>14}",
+        "point", "dense s", "event s", "speedup", "Mcycles/host-s"
+    );
+    for p in &points {
+        let t0 = Instant::now();
+        let mut dense_sys = NicSystem::new(p.cfg);
+        let dense_stats = dense_sys.run_measured_dense(warmup, window);
+        let dense_wall = t0.elapsed();
+
+        let t0 = Instant::now();
+        let mut event_sys = NicSystem::new(p.cfg);
+        let event_stats = event_sys.run_measured(warmup, window);
+        let event_wall = t0.elapsed();
+
+        let stats_identical = event_stats == dense_stats;
+        if !stats_identical {
+            failures.push(format!("{}: kernels disagree on RunStats", p.label));
+        }
+        let (skipped, stepped) = event_sys.kernel_cycle_split();
+
+        let sim_cycles = event_stats.core_ticks;
+        let speedup = dense_wall.as_secs_f64() / event_wall.as_secs_f64().max(1e-9);
+        let cps = sim_cycles as f64 / event_wall.as_secs_f64().max(1e-9);
+        println!(
+            "{:>22} {:>10.3} {:>10.3} {:>7.2}x {:>14.1}",
+            p.label,
+            dense_wall.as_secs_f64(),
+            event_wall.as_secs_f64(),
+            speedup,
+            cps / 1e6
+        );
+        // In smoke mode only the 30% guardrail applies (tiny windows
+        // make ratios noisy); full runs check each point's target.
+        let floor = if smoke { 0.7 } else { p.target_speedup };
+        if speedup < floor {
+            failures.push(format!(
+                "{}: event kernel speedup {speedup:.2}x below floor {floor:.2}x",
+                p.label
+            ));
+        }
+
+        runs.push(RunReport {
+            label: format!("event {}", p.label),
+            axes: Vec::new(),
+            config: p.cfg,
+            stats: event_stats,
+            wall: event_wall,
+        });
+        detail.push(
+            Json::obj()
+                .with("point", p.label)
+                .with("dense_wall_s", dense_wall.as_secs_f64())
+                .with("event_wall_s", event_wall.as_secs_f64())
+                .with("speedup", speedup)
+                .with("sim_cycles", sim_cycles)
+                .with("cycles_per_host_sec", cps)
+                .with("skipped_cycles", skipped)
+                .with("stepped_cycles", stepped)
+                .with("target_speedup", p.target_speedup)
+                .with("stats_identical", stats_identical),
+        );
+    }
+
+    // Smoke runs don't overwrite the committed full-run results.
+    if smoke {
+        println!("smoke mode: results file not written");
+    } else {
+        let extra = Json::obj()
+            .with("warmup_us", warmup.0 / 1_000_000)
+            .with("window_us", window.0 / 1_000_000)
+            .with("kernels", Json::Arr(detail));
+        exp.finish(runs, Some(extra)).expect("write results");
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn env_is(key: &str) -> bool {
+    std::env::var(key).is_ok_and(|v| v == "1")
+}

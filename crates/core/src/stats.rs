@@ -5,7 +5,12 @@ use nicsim_cpu::{CoreProfile, FwFunc, StallBucket};
 use nicsim_sim::Ps;
 
 /// Statistics collected over one measurement window.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field (including the derived-rate `f64`s,
+/// which are exact functions of the integer counters and the window):
+/// the dense-vs-event kernel equivalence tests assert bit-identical
+/// stats with it.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Window length.
     pub window: Ps,

@@ -19,7 +19,7 @@ use nicsim_firmware::{dispatch_loop, MemMap};
 use nicsim_host::{Driver, DriverConfig, HostLayout, HostMemory, Mailbox};
 use nicsim_mem::{AccessTrace, Crossbar, FrameMemory, InstrMemory, Scratchpad, StreamId};
 use nicsim_net::link::RxGenerator;
-use nicsim_sim::{Freq, Ps};
+use nicsim_sim::{Freq, NextEvent, Ps, WakeTracker};
 
 /// The assembled NIC + host + network simulation.
 pub struct NicSystem {
@@ -38,6 +38,20 @@ pub struct NicSystem {
     macrx: MacRx,
     host_mem: HostMemory,
     driver: Driver,
+    /// Cycles until the next driver poll (replaces a per-cycle
+    /// frequency-division-and-modulo check); `u64::MAX` when the driver
+    /// never polls.
+    driver_countdown: u64,
+    /// The driver's last poll changed nothing and the NIC has not
+    /// written host memory since, so every poll until the next host
+    /// write is a provable no-op: the event kernel elides them and may
+    /// skip across poll boundaries. Never set under offered-load
+    /// pacing, whose send budget also depends on the clock.
+    driver_idle: bool,
+    /// Cycles elided by the event-driven kernel (diagnostics).
+    skipped_cycles: u64,
+    /// Cycles simulated for real by the event-driven kernel.
+    stepped_cycles: u64,
     window_start: Ps,
     stopped: bool,
 }
@@ -173,6 +187,14 @@ impl NicSystem {
             macrx,
             host_mem,
             driver,
+            driver_countdown: if cfg.driver_interval == 0 {
+                u64::MAX
+            } else {
+                cfg.driver_interval
+            },
+            driver_idle: false,
+            skipped_cycles: 0,
+            stepped_cycles: 0,
             window_start: Ps::ZERO,
             stopped: false,
         })
@@ -198,64 +220,213 @@ impl NicSystem {
         &self.sp
     }
 
-    /// Advance one CPU cycle.
-    fn step(&mut self) {
+    /// Advance one CPU cycle, ticking every component — the dense
+    /// reference semantics. When `gate` is set, components whose tick is
+    /// provably a no-op this cycle are bypassed: each bypass condition
+    /// below is exact ("the tick would change nothing"), so gated and
+    /// ungated steps are bit-identical.
+    #[inline]
+    fn step_inner(&mut self, gate: bool) {
         self.now += self.cpu_period;
         let now = self.now;
 
-        // Crossbar arbitration, then the cores.
-        self.xbar.tick(&mut self.sp);
+        // Crossbar arbitration, then the cores. A tick only does work
+        // when a request awaits a grant; unconsumed responses ride
+        // through `skip_cycles` untouched.
+        if !gate || self.xbar.needs_tick() {
+            self.xbar.tick(&mut self.sp);
+        } else {
+            self.xbar.skip_cycles(1);
+        }
         for core in &mut self.cores {
             core.tick(&mut self.xbar, &mut self.imem);
         }
 
-        // Hardware assists.
-        self.dmard
-            .tick(now, &mut self.xbar, &self.sp, &self.host_mem, &mut self.fm);
-        self.dmawr.tick(
-            now,
-            &mut self.xbar,
-            &self.sp,
-            &mut self.host_mem,
-            &mut self.fm,
-        );
-        self.mactx.tick(now, &mut self.xbar, &self.sp, &mut self.fm);
-        self.macrx.tick(now, &mut self.xbar, &self.sp, &mut self.fm);
+        // Hardware assists. Each `busy` predicate mirrors its tick's
+        // gates exactly (scratchpad traffic queued or in flight, a done
+        // counter owed, a doorbell fetch ready); the MACs additionally
+        // act at their next timed event (wire completion, arrival).
+        if !gate || self.dmard.busy(&self.sp) {
+            self.dmard
+                .tick(now, &mut self.xbar, &self.sp, &self.host_mem, &mut self.fm);
+        }
+        if !gate || self.dmawr.busy(&self.sp) {
+            self.dmawr.tick(
+                now,
+                &mut self.xbar,
+                &self.sp,
+                &mut self.host_mem,
+                &mut self.fm,
+            );
+            // The write engine may have touched host memory (immediate
+            // status updates, scratchpad-source copies): the driver must
+            // poll for real again.
+            self.driver_idle = false;
+        }
+        if !gate || self.mactx.busy(&self.sp) || self.mactx.next_event() <= now {
+            self.mactx.tick(now, &mut self.xbar, &self.sp, &mut self.fm);
+        }
+        if !gate || self.macrx.busy() || self.macrx.next_event() <= now {
+            self.macrx.tick(now, &mut self.xbar, &self.sp, &mut self.fm);
+        }
 
-        // Frame-memory completions route back to their streams.
-        for c in self.fm.advance(now) {
-            match c.stream {
-                StreamId::DmaRead => self.dmard.on_sdram_complete(c.tag),
-                StreamId::DmaWrite => self.dmawr.on_sdram_complete(
-                    c.tag,
-                    c.data.as_deref().expect("read data"),
-                    &mut self.host_mem,
-                ),
-                StreamId::MacTx => self
-                    .mactx
-                    .on_sdram_complete(c.at, c.data.as_deref().expect("read data")),
-                StreamId::MacRx => self.macrx.on_sdram_complete(),
+        // Frame-memory completions route back to their streams. The
+        // controller changes state only at `next_event` (a burst start
+        // or completion falling due).
+        if !gate || self.fm.next_event() <= now {
+            for c in self.fm.advance(now) {
+                match c.stream {
+                    StreamId::DmaRead => self.dmard.on_sdram_complete(c.tag),
+                    StreamId::DmaWrite => {
+                        self.dmawr.on_sdram_complete(
+                            c.tag,
+                            c.data.as_deref().expect("read data"),
+                            &mut self.host_mem,
+                        );
+                        self.driver_idle = false;
+                    }
+                    StreamId::MacTx => self
+                        .mactx
+                        .on_sdram_complete(c.at, c.data.as_deref().expect("read data")),
+                    StreamId::MacRx => self.macrx.on_sdram_complete(),
+                }
             }
         }
 
-        // Host driver (polling period models interrupt mitigation).
-        if Freq::from_mhz(self.cfg.cpu_mhz)
-            .cycles_in(now.saturating_sub(Ps::ZERO))
-            .is_multiple_of(self.cfg.driver_interval)
-        {
-            self.driver.tick(now, &mut self.host_mem);
-            for w in self.driver.take_mailbox_writes() {
-                let addr = match w.reg {
-                    Mailbox::SendBdProd => self.map.sb_mailbox_prod,
-                    Mailbox::RxBdProd => self.map.rb_mailbox_prod,
-                };
-                self.sp.poke(addr, w.value);
+        // Host driver (polling period models interrupt mitigation). An
+        // idle driver's poll is elided when gating: nothing wrote host
+        // memory since a poll that did nothing, so this one would too.
+        if self.driver_countdown != u64::MAX {
+            self.driver_countdown -= 1;
+            if self.driver_countdown == 0 {
+                self.driver_countdown = self.cfg.driver_interval;
+                if !gate || !self.driver_idle {
+                    let acted = self.driver.tick(now, &mut self.host_mem);
+                    self.driver_idle = !acted && self.cfg.offered_tx_fps.is_none();
+                    for w in self.driver.take_mailbox_writes() {
+                        let addr = match w.reg {
+                            Mailbox::SendBdProd => self.map.sb_mailbox_prod,
+                            Mailbox::RxBdProd => self.map.rb_mailbox_prod,
+                        };
+                        self.sp.poke(addr, w.value);
+                    }
+                }
             }
         }
     }
 
-    /// Run until simulation time `until`.
+    /// Advance one CPU cycle, ticking every component (the dense
+    /// reference kernel's step).
+    fn step(&mut self) {
+        self.step_inner(false);
+    }
+
+    /// How many cycles the clock may jump before any component can
+    /// change architectural state: 1 means "simulate the next cycle for
+    /// real", `n > 1` means cycles `1..n` are provably no-ops.
+    ///
+    /// Every bound here is a lower bound on the component's next state
+    /// change (the [`NextEvent`] contract), so skipping `n - 1` cycles
+    /// and simulating the `n`-th is bit-identical to ticking densely.
+    fn wake_cycles(&self) -> u64 {
+        // An ungranted request keeps the crossbar arbitration hot:
+        // simulate every cycle. Granted-but-unconsumed *responses* don't:
+        // they ride through skips untouched, and every possible owner is
+        // bounded below — a core awaiting load data is in a wake-1 state,
+        // an assist with an in-flight transaction reports `busy`, and a
+        // buffered store's drain happens at the owning core's next real
+        // tick wherever that lands (draining late is unobservable: no
+        // stats accrue and the core consults the store buffer only in
+        // wake-1 states).
+        if self.xbar.needs_tick() {
+            return 1;
+        }
+        let mut w = WakeTracker::new(self.now, self.cpu_period);
+        // An idle driver's polls are no-ops, so they don't bound the
+        // skip; skipped cycles can't write host memory (nothing acts),
+        // so the driver stays idle across the jump.
+        if !self.driver_idle {
+            w.at_most(self.driver_countdown);
+        }
+        for core in &self.cores {
+            w.at_most(core.wake_in());
+            if w.is_immediate() {
+                return 1;
+            }
+        }
+        // Assists poll doorbells as registers: if one could issue work
+        // on the next tick, no skip.
+        if self.dmard.busy(&self.sp)
+            || self.dmawr.busy(&self.sp)
+            || self.mactx.busy(&self.sp)
+            || self.macrx.busy()
+        {
+            return 1;
+        }
+        // Time-driven events: frame-memory burst starts/completions,
+        // wire completions, frame arrivals.
+        w.at_time(self.fm.next_event());
+        w.at_time(self.mactx.next_event());
+        w.at_time(self.macrx.next_event());
+        w.wake_in()
+    }
+
+    /// Jump the clock over `n` provably-idle cycles, keeping every
+    /// counter exactly as `n` dense steps would have left it.
+    fn skip_cycles(&mut self, n: u64) {
+        self.now += Ps(self.cpu_period.0 * n);
+        self.xbar.skip_cycles(n);
+        for core in &mut self.cores {
+            core.skip_cycles(n);
+        }
+        if self.driver_countdown != u64::MAX {
+            if n < self.driver_countdown {
+                self.driver_countdown -= n;
+            } else {
+                // The skip crossed driver poll boundaries — legal only
+                // while the driver is provably idle (those polls are
+                // no-ops). Realign the countdown to the next boundary
+                // after the jump.
+                debug_assert!(self.driver_idle, "skipped a live driver poll");
+                let past = (n - self.driver_countdown) % self.cfg.driver_interval;
+                self.driver_countdown = self.cfg.driver_interval - past;
+            }
+        }
+    }
+
+    /// Run until simulation time `until` on the hybrid event-driven
+    /// kernel: cycles on which no component can act are skipped in bulk,
+    /// and within simulated cycles, components whose tick is provably a
+    /// no-op are bypassed. Results are bit-identical to
+    /// [`NicSystem::run_until_dense`].
     pub fn run_until(&mut self, until: Ps) {
+        while self.now < until {
+            let wake = self.wake_cycles();
+            if wake > 1 {
+                // Never skip past `until`: the loop must terminate on
+                // the same cycle the dense kernel would.
+                let remaining = (until.0 - self.now.0).div_ceil(self.cpu_period.0);
+                let skip = (wake - 1).min(remaining.saturating_sub(1));
+                if skip > 0 {
+                    self.skipped_cycles += skip;
+                    self.skip_cycles(skip);
+                }
+            }
+            self.stepped_cycles += 1;
+            self.step_inner(true);
+        }
+    }
+
+    /// `(skipped, simulated)` cycle counts accumulated by the
+    /// event-driven kernel, for diagnostics and the simulation-speed
+    /// benchmark. Dense runs leave both at zero.
+    pub fn kernel_cycle_split(&self) -> (u64, u64) {
+        (self.skipped_cycles, self.stepped_cycles)
+    }
+
+    /// Run until simulation time `until`, simulating every cycle (the
+    /// reference kernel the equivalence tests compare against).
+    pub fn run_until_dense(&mut self, until: Ps) {
         while self.now < until {
             self.step();
         }
@@ -266,6 +437,8 @@ impl NicSystem {
     pub fn reset_window(&mut self) {
         let now = self.now;
         self.window_start = now;
+        // Counter resets change what the next driver poll observes.
+        self.driver_idle = false;
         for c in &mut self.cores {
             c.reset_stats();
         }
@@ -285,6 +458,14 @@ impl NicSystem {
         self.run_until(self.now + warmup);
         self.reset_window();
         self.run_until(self.now + window);
+        self.collect()
+    }
+
+    /// [`NicSystem::run_measured`] on the dense reference kernel.
+    pub fn run_measured_dense(&mut self, warmup: Ps, window: Ps) -> RunStats {
+        self.run_until_dense(self.now + warmup);
+        self.reset_window();
+        self.run_until_dense(self.now + window);
         self.collect()
     }
 
@@ -310,9 +491,7 @@ impl NicSystem {
             + self.mactx.sp_accesses()
             + self.macrx.sp_accesses();
         let d = self.driver.stats();
-        let cpu_hz = self.cfg.cpu_mhz as f64 * 1e6;
         let window_cycles = core_ticks.max(1) as f64;
-        let _ = cpu_hz;
         RunStats {
             window,
             cores: self.cfg.cores,

@@ -43,7 +43,7 @@ enum State {
 }
 
 /// Aggregate engine statistics not tied to a firmware function.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreEngineStats {
     /// Total ticks the core has run.
     pub ticks: u64,
@@ -335,6 +335,71 @@ impl Core {
                     return;
                 }
             }
+        }
+    }
+}
+
+impl Core {
+    /// Lower bound, in cycles, on when this core can next change
+    /// architectural state *assuming no crossbar traffic is pending
+    /// anywhere* (the system kernel checks that separately).
+    ///
+    /// `Busy` is the only multi-cycle state with a knowable span: the
+    /// core does nothing but charge stall buckets until the remaining
+    /// `imiss + exec + annul` cycles elapse (the final one performs the
+    /// follow-up action, so it must be simulated for real). Every other
+    /// live state may act on the very next cycle.
+    pub fn wake_in(&self) -> u64 {
+        match self.state {
+            State::Halted => u64::MAX,
+            State::Busy {
+                imiss, exec, annul, ..
+            } => imiss as u64 + exec as u64 + annul as u64,
+            _ => 1,
+        }
+    }
+
+    /// Fast-forward `n` cycles of provably-uneventful work, preserving
+    /// every observable counter exactly as `n` calls to
+    /// [`Core::tick`] would: tick counts, halted-tick counts, and
+    /// per-bucket stall attribution in `imiss -> exec -> annul` order.
+    ///
+    /// Callers must guarantee `n < wake_in()` (the state-changing final
+    /// cycle of a `Busy` span is never skipped) and that no crossbar
+    /// response is pending for this core.
+    pub fn skip_cycles(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.cycle += n;
+        self.stats.ticks += n;
+        match &mut self.state {
+            State::Halted => self.stats.halted_ticks += n,
+            State::Busy {
+                imiss, exec, annul, ..
+            } => {
+                debug_assert!(
+                    (*imiss as u64 + *exec as u64 + *annul as u64) > n,
+                    "skip must not consume the final Busy cycle"
+                );
+                let func = self.slot.borrow().func;
+                let p = self.profile.func_mut(func);
+                let mut left = n;
+                let take = (*imiss as u64).min(left);
+                p.cycles[StallBucket::IMiss.index()] += take;
+                *imiss -= take as u32;
+                left -= take;
+                let take = (*exec as u64).min(left);
+                p.cycles[StallBucket::Exec.index()] += take;
+                *exec -= take as u32;
+                left -= take;
+                let take = (*annul as u64).min(left);
+                p.cycles[StallBucket::Pipeline.index()] += take;
+                *annul -= take as u32;
+                left -= take;
+                debug_assert_eq!(left, 0);
+            }
+            _ => unreachable!("skipped a core in a single-cycle state"),
         }
     }
 }
@@ -674,6 +739,68 @@ mod attribution_tests {
             "warm region should mostly hit, got {} misses",
             core.icache().misses()
         );
+    }
+
+    #[test]
+    fn skip_cycles_matches_ticking_through_a_busy_span() {
+        // Two identical cores run the same firmware; one is fast-forwarded
+        // through the interior of a Busy span, the other ticks densely.
+        // Profiles and engine stats must match exactly.
+        let build = || {
+            let (mut core, xbar, sp, imem) = rig();
+            let ctx = CoreCtx::new(core.slot(), 0);
+            core.install(async move {
+                ctx.set_func(FwFunc::SendFrame);
+                ctx.alu(12).await;
+                ctx.branch_miss().await;
+                ctx.alu(3).await;
+            });
+            (core, xbar, sp, imem)
+        };
+        let (mut dense, mut dx, mut dsp, mut dim) = build();
+        let (mut fast, mut fx, mut fsp, mut fim) = build();
+
+        // First tick enters Busy { exec: 12 } and charges one cycle.
+        dx.tick(&mut dsp);
+        dense.tick(&mut dx, &mut dim);
+        fx.tick(&mut fsp);
+        fast.tick(&mut fx, &mut fim);
+        assert!(fast.wake_in() > 1, "core should be mid-Busy");
+
+        // Skip all but the final Busy cycle on the fast core; tick the
+        // dense core the same number of times.
+        let skip = fast.wake_in() - 1;
+        fast.skip_cycles(skip);
+        for _ in 0..skip {
+            dx.tick(&mut dsp);
+            dense.tick(&mut dx, &mut dim);
+        }
+        assert_eq!(fast.wake_in(), 1);
+        assert_eq!(fast.profile(), dense.profile());
+        assert_eq!(fast.engine_stats(), dense.engine_stats());
+
+        // Both finish identically.
+        run(&mut dense, &mut dx, &mut dsp, &mut dim);
+        run(&mut fast, &mut fx, &mut fsp, &mut fim);
+        assert_eq!(fast.profile(), dense.profile());
+        assert_eq!(fast.engine_stats(), dense.engine_stats());
+    }
+
+    #[test]
+    fn halted_wake_is_never_and_skip_counts_halted_ticks() {
+        let (mut core, mut xbar, mut sp, mut imem) = rig();
+        let ctx = CoreCtx::new(core.slot(), 0);
+        core.install(async move {
+            ctx.alu(1).await;
+        });
+        run(&mut core, &mut xbar, &mut sp, &mut imem);
+        assert!(core.halted());
+        assert_eq!(core.wake_in(), u64::MAX);
+        let before = core.engine_stats();
+        core.skip_cycles(1000);
+        let after = core.engine_stats();
+        assert_eq!(after.ticks, before.ticks + 1000);
+        assert_eq!(after.halted_ticks, before.halted_ticks + 1000);
     }
 
     #[test]

@@ -151,7 +151,7 @@ impl FuncProfile {
 }
 
 /// The complete profile of one core.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CoreProfile {
     per_func: [FuncProfile; 9],
 }

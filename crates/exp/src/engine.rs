@@ -132,6 +132,16 @@ impl Experiment {
         self.jobs
     }
 
+    /// The configured warm-up window (simulated time).
+    pub fn warmup(&self) -> Ps {
+        self.warmup
+    }
+
+    /// The configured measurement window (simulated time).
+    pub fn window(&self) -> Ps {
+        self.window
+    }
+
     /// Run one configuration with the standard methodology (warm up,
     /// measure, validate every frame) and return its report.
     ///

@@ -227,12 +227,13 @@ impl Driver {
         std::mem::take(&mut self.mailbox)
     }
 
-    fn post_send_frames(&mut self, now: Ps, mem: &mut HostMemory) {
+    fn post_send_frames(&mut self, now: Ps, mem: &mut HostMemory) -> bool {
         if !self.cfg.send_enabled {
-            return;
+            return false;
         }
         let completed_bds = mem.read_u32(self.layout.status);
         let completed_frames = completed_bds / 2;
+        let completed_changed = self.stats.tx_completed != completed_frames as u64;
         self.stats.tx_completed = completed_frames as u64;
         let in_flight = self.tx_seq_next - completed_frames;
         let mut budget = (SEND_FRAME_WINDOW - in_flight).min(self.cfg.post_burst);
@@ -241,7 +242,7 @@ impl Driver {
             budget = budget.min((allowed.saturating_sub(self.tx_seq_next as u64)) as u32);
         }
         if budget == 0 {
-            return;
+            return completed_changed;
         }
         for _ in 0..budget {
             let seq = self.tx_seq_next;
@@ -273,9 +274,10 @@ impl Driver {
             reg: Mailbox::SendBdProd,
             value: self.tx_bd_prod,
         });
+        true
     }
 
-    fn post_rx_buffers(&mut self, mem: &mut HostMemory) {
+    fn post_rx_buffers(&mut self, mem: &mut HostMemory) -> bool {
         let outstanding = self.rx_bd_prod - self.rx_frames_returned;
         let room = RX_BD_RING_ENTRIES - outstanding;
         let mut posted = 0;
@@ -299,10 +301,12 @@ impl Driver {
                 value: self.rx_bd_prod,
             });
         }
+        posted > 0
     }
 
-    fn consume_returns(&mut self, mem: &mut HostMemory) {
+    fn consume_returns(&mut self, mem: &mut HostMemory) -> bool {
         let prod = mem.read_u32(self.layout.status + 4);
+        let consumed = self.ret_cons != prod;
         while self.ret_cons != prod {
             let d = self.layout.return_ring + (self.ret_cons % RETURN_RING_ENTRIES) * BD_BYTES;
             let addr = mem.read_u32(d);
@@ -341,13 +345,23 @@ impl Driver {
             self.rx_frames_returned += 1;
             self.ret_cons += 1;
         }
+        consumed
     }
 
     /// Run one driver invocation: replenish rings, consume completions.
-    pub fn tick(&mut self, now: Ps, mem: &mut HostMemory) {
-        self.consume_returns(mem);
-        self.post_send_frames(now, mem);
-        self.post_rx_buffers(mem);
+    ///
+    /// Returns whether the invocation changed any state (a return
+    /// consumed, a send or receive buffer posted, or the completion
+    /// count advanced). When it returns `false`, an identical invocation
+    /// with the same host-memory contents is a provable no-op — except
+    /// under offered-load pacing, where the send budget also depends on
+    /// `now`. The event-driven kernel uses this to elide polls while the
+    /// NIC leaves host memory untouched.
+    pub fn tick(&mut self, now: Ps, mem: &mut HostMemory) -> bool {
+        let consumed = self.consume_returns(mem);
+        let sent = self.post_send_frames(now, mem);
+        let posted = self.post_rx_buffers(mem);
+        consumed || sent || posted
     }
 }
 

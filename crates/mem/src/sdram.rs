@@ -15,7 +15,7 @@
 //! "the unused bytes ... [are] lost SDRAM bandwidth that cannot be
 //! recovered, so it is counted in the totals."
 
-use nicsim_sim::{EventHeap, Freq, Ps, RoundRobin};
+use nicsim_sim::{EventHeap, Freq, NextEvent, Ps, RoundRobin};
 use std::collections::VecDeque;
 
 /// The four frame-data streams (one per hardware assist).
@@ -110,6 +110,9 @@ struct Burst {
 /// over the shared bus, open-row tracking per bank, and bandwidth meters.
 pub struct FrameMemory {
     cfg: FrameMemoryConfig,
+    /// SDRAM clock period, cached so per-burst service-time math avoids
+    /// re-deriving it from the frequency (an integer division).
+    period: Ps,
     data: Vec<u8>,
     queues: [VecDeque<Burst>; 4],
     arbiter: RoundRobin,
@@ -130,6 +133,7 @@ impl FrameMemory {
     pub fn new(cfg: FrameMemoryConfig) -> FrameMemory {
         FrameMemory {
             cfg,
+            period: cfg.freq.period(),
             data: vec![0; cfg.capacity as usize],
             queues: Default::default(),
             arbiter: RoundRobin::new(4),
@@ -210,7 +214,7 @@ impl FrameMemory {
             self.row_activations += 1;
         }
         cycles += padded.div_ceil(self.cfg.bytes_per_cycle);
-        self.cfg.freq.cycles(cycles)
+        Ps(self.period.0 * cycles)
     }
 
     /// Advance the controller to `now`: start any bursts whose turn has
@@ -262,11 +266,7 @@ impl FrameMemory {
                 },
             );
         }
-        let mut out = Vec::new();
-        while let Some((_, c)) = self.completions.pop_before(now) {
-            out.push(c);
-        }
-        out
+        self.completions.drain_before(now).map(|(_, c)| c).collect()
     }
 
     /// Bytes moved over the bus including alignment padding (Table 4's
@@ -315,6 +315,27 @@ impl FrameMemory {
         self.bursts = 0;
         self.latency_sum_ps = 0;
         self.latency_max = Ps::ZERO;
+    }
+}
+
+impl NextEvent for FrameMemory {
+    /// Lower bound on the controller's next state change: the earliest
+    /// pending completion, or the start time of the next queued burst
+    /// (`max(bus free, submission)`), whichever comes first. Starting a
+    /// burst is a state change because it sets `busy_until` and
+    /// schedules the completion — [`FrameMemory::advance`] must run at
+    /// that instant to keep arbitration decisions time-coherent.
+    fn next_event(&self) -> Ps {
+        let mut t = self.completions.peek_time().unwrap_or(Ps::MAX);
+        let earliest = self
+            .queues
+            .iter()
+            .filter_map(|q| q.front().map(|b| b.submitted))
+            .min();
+        if let Some(e) = earliest {
+            t = t.min(self.busy_until.max(e));
+        }
+        t
     }
 }
 

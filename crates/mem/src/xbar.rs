@@ -59,6 +59,12 @@ pub struct Crossbar {
     arbiters: Vec<RoundRobin>,
     stats: Vec<PortStats>,
     cycle: u64,
+    /// Ports with an outstanding transaction (pending request or
+    /// unconsumed response), so the idle check is O(1) per cycle.
+    busy_ports: usize,
+    /// Ports with an ungranted request — the only state [`Crossbar::tick`]
+    /// acts on (responses just sit until their owner consumes them).
+    pending_reqs: usize,
     bank_busy_cycles: Vec<u64>,
     /// Optional metadata access trace for the coherence study.
     pub trace: Option<AccessTrace>,
@@ -73,6 +79,8 @@ impl Crossbar {
             arbiters: vec![RoundRobin::new(ports); banks],
             stats: vec![PortStats::default(); ports],
             cycle: 0,
+            busy_ports: 0,
+            pending_reqs: 0,
             bank_busy_cycles: vec![0; banks],
             trace: None,
         }
@@ -96,6 +104,40 @@ impl Crossbar {
             "port {port} already has an outstanding transaction"
         );
         self.pending[port] = Some(Pending { req });
+        self.busy_ports += 1;
+        self.pending_reqs += 1;
+    }
+
+    /// Whether any port has an outstanding transaction (pending request
+    /// or unconsumed response). When false, a [`Crossbar::tick`] is a
+    /// pure no-op apart from the cycle counter, so the event-driven
+    /// kernel may [`Crossbar::skip_cycles`] instead.
+    pub fn has_pending(&self) -> bool {
+        self.busy_ports > 0
+    }
+
+    /// Whether the next [`Crossbar::tick`] would do real work, i.e. some
+    /// port has an ungranted request. A tick with no pending requests is
+    /// a pure cycle increment: unconsumed responses are untouched, the
+    /// round-robin pointers only move on grants, and no conflict cycles
+    /// accrue — so the kernel may [`Crossbar::skip_cycles`] instead.
+    pub fn needs_tick(&self) -> bool {
+        self.pending_reqs > 0
+    }
+
+    /// Advance the cycle counter by `n` without arbitrating — exactly
+    /// equivalent to `n` calls to [`Crossbar::tick`] while no request is
+    /// pending (no grants, no conflict accrual, and the round-robin
+    /// pointers only move on grants). Outstanding *responses* are fine:
+    /// they become consumable once `ready_at <= cycle` and ticks never
+    /// touch them.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that no request is pending.
+    pub fn skip_cycles(&mut self, n: u64) {
+        debug_assert!(!self.needs_tick(), "cannot skip with requests pending");
+        self.cycle += n;
     }
 
     /// Whether `port` has neither a pending request nor an unconsumed
@@ -109,6 +151,7 @@ impl Crossbar {
         match self.responses[port] {
             Some(r) if r.ready_at <= self.cycle => {
                 self.responses[port] = None;
+                self.busy_ports -= 1;
                 Some(r.value)
             }
             _ => None,
@@ -162,6 +205,7 @@ impl Crossbar {
             };
             if let Some(p) = winner {
                 let q = self.pending[p].take().expect("winner has request");
+                self.pending_reqs -= 1;
                 let value = sp.execute(q.req);
                 if let Some(t) = &mut self.trace {
                     let kind = if q.req.op.is_write() {
@@ -356,6 +400,81 @@ mod tests {
         let b = xb.take_response(1).unwrap();
         // Exactly one acquired (saw 0).
         assert!((a == 0) ^ (b == 0), "a={a:#x} b={b:#x}");
+    }
+
+    #[test]
+    fn has_pending_tracks_transaction_lifetime() {
+        let (mut xb, mut sp) = setup(2, 4);
+        assert!(!xb.has_pending());
+        xb.submit(
+            0,
+            SpRequest {
+                addr: 8,
+                op: SpOp::Read,
+            },
+        );
+        assert!(xb.has_pending(), "pending request");
+        xb.tick(&mut sp);
+        assert!(xb.has_pending(), "response not yet consumable");
+        xb.tick(&mut sp);
+        assert!(xb.has_pending(), "response consumable but unconsumed");
+        assert!(xb.take_response(0).is_some());
+        assert!(!xb.has_pending(), "fully drained");
+    }
+
+    #[test]
+    fn needs_tick_tracks_requests_not_responses() {
+        let (mut xb, mut sp) = setup(2, 4);
+        assert!(!xb.needs_tick());
+        xb.submit(
+            0,
+            SpRequest {
+                addr: 8,
+                op: SpOp::Read,
+            },
+        );
+        assert!(xb.needs_tick(), "ungranted request");
+        xb.tick(&mut sp);
+        assert!(
+            !xb.needs_tick(),
+            "granted: only a response remains, ticks are no-ops"
+        );
+        assert!(xb.has_pending(), "but the port is still busy");
+        // Skipping while the response waits must leave it consumable.
+        xb.skip_cycles(3);
+        assert_eq!(xb.take_response(0), Some(0));
+    }
+
+    #[test]
+    fn skip_cycles_matches_idle_ticks() {
+        // Two crossbars: one skips 10 idle cycles, the other ticks
+        // through them. Subsequent behavior must be identical.
+        let (mut a, mut spa) = setup(2, 4);
+        let (mut b, mut spb) = setup(2, 4);
+        a.skip_cycles(10);
+        for _ in 0..10 {
+            b.tick(&mut spb);
+        }
+        for xb in [&mut a, &mut b] {
+            xb.submit(
+                0,
+                SpRequest {
+                    addr: 8,
+                    op: SpOp::Write(3),
+                },
+            );
+        }
+        a.tick(&mut spa);
+        b.tick(&mut spb);
+        assert_eq!(a.take_response(0), b.take_response(0));
+        a.tick(&mut spa);
+        b.tick(&mut spb);
+        assert_eq!(a.take_response(0), Some(3));
+        assert_eq!(b.take_response(0), Some(3));
+        assert_eq!(
+            a.port_stats(0).conflict_cycles,
+            b.port_stats(0).conflict_cycles
+        );
     }
 
     #[test]

@@ -75,6 +75,17 @@ impl RxGenerator {
         self.seq
     }
 
+    /// Arrival time of the next frame ([`Ps::MAX`] when disabled) — the
+    /// event-driven kernel's bound on how far it may skip while the
+    /// receive path is otherwise idle.
+    pub fn next_arrival(&self) -> Ps {
+        if self.enabled {
+            self.next_at
+        } else {
+            Ps::MAX
+        }
+    }
+
     /// Produce the next frame if its arrival time has come.
     pub fn poll(&mut self, now: Ps) -> Option<(Ps, Vec<u8>)> {
         if !self.enabled || now < self.next_at {

@@ -91,6 +91,15 @@ impl<E> EventHeap<E> {
         self.heap.pop().map(|e| (e.at, e.event))
     }
 
+    /// Iterate over (and remove) every event firing at or before `now`,
+    /// in time order with FIFO tie-breaking — the loop shape every
+    /// caller of [`EventHeap::pop_before`] otherwise hand-rolls.
+    ///
+    /// The iterator is lazy: events left unconsumed stay on the heap.
+    pub fn drain_before(&mut self, now: Ps) -> DrainBefore<'_, E> {
+        DrainBefore { heap: self, now }
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -99,6 +108,20 @@ impl<E> EventHeap<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+}
+
+/// Iterator returned by [`EventHeap::drain_before`].
+pub struct DrainBefore<'a, E> {
+    heap: &'a mut EventHeap<E>,
+    now: Ps,
+}
+
+impl<E> Iterator for DrainBefore<'_, E> {
+    type Item = (Ps, E);
+
+    fn next(&mut self) -> Option<(Ps, E)> {
+        self.heap.pop_before(self.now)
     }
 }
 
@@ -151,6 +174,49 @@ mod tests {
         assert_eq!(h.pop_before(Ps(9)), None);
         assert_eq!(h.pop_before(Ps(10)), Some((Ps(10), "later")));
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn drain_before_yields_in_time_order() {
+        let mut h = EventHeap::new();
+        h.push(Ps(30), 'c');
+        h.push(Ps(10), 'a');
+        h.push(Ps(20), 'b');
+        h.push(Ps(40), 'd');
+        let got: Vec<_> = h.drain_before(Ps(30)).collect();
+        assert_eq!(got, vec![(Ps(10), 'a'), (Ps(20), 'b'), (Ps(30), 'c')]);
+        // Later events stay queued.
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.pop(), Some((Ps(40), 'd')));
+    }
+
+    #[test]
+    fn drain_before_breaks_ties_fifo() {
+        let mut h = EventHeap::new();
+        for i in 0..50 {
+            h.push(Ps(7), i);
+        }
+        let got: Vec<_> = h.drain_before(Ps(7)).map(|(_, e)| e).collect();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn drain_before_is_lazy() {
+        let mut h = EventHeap::new();
+        h.push(Ps(1), 1);
+        h.push(Ps(2), 2);
+        let first = h.drain_before(Ps(5)).next();
+        assert_eq!(first, Some((Ps(1), 1)));
+        // The unconsumed event is still there.
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.peek_time(), Some(Ps(2)));
+    }
+
+    #[test]
+    fn drain_before_empty_heap() {
+        let mut h: EventHeap<u32> = EventHeap::new();
+        assert_eq!(h.drain_before(Ps(100)).count(), 0);
     }
 
     #[test]

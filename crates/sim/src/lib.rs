@@ -23,10 +23,12 @@
 
 pub mod arbiter;
 pub mod events;
+pub mod sched;
 pub mod stats;
 pub mod time;
 
 pub use arbiter::RoundRobin;
-pub use events::EventHeap;
+pub use events::{DrainBefore, EventHeap};
+pub use sched::{NextEvent, WakeTracker};
 pub use stats::{BandwidthMeter, Counter};
 pub use time::{Freq, Ps};

@@ -14,6 +14,15 @@ cargo build --release --workspace --all-targets
 echo "==> cargo test --workspace"
 NICSIM_QUICK=1 cargo test --workspace --quiet
 
+echo "==> kernel equivalence (release: dense vs event-driven)"
+# The quick-mode test run above already covers these in debug; the
+# release run guards against optimization-dependent divergence in the
+# skip/gating fast paths.
+cargo test --release --quiet -p nicsim --test kernel_equivalence
+
+echo "==> simspeed smoke (event kernel sanity, ~2 s)"
+NICSIM_SIMSPEED_SMOKE=1 ./target/release/simspeed
+
 echo "==> cargo clippy (deny warnings)"
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets --quiet -- -D warnings
