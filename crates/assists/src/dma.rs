@@ -18,6 +18,7 @@ use crate::cmd::{DmaCmd, DMA_CMD_WORDS};
 use crate::port::SpPort;
 use nicsim_host::HostMemory;
 use nicsim_mem::{Crossbar, FrameMemory, Scratchpad, SpOp, SpRequest, StreamId};
+use nicsim_obs::{DmaDir, Event, NullProbe, Probe};
 use nicsim_sim::{NextEvent, Ps};
 
 const TAG_CMD0: u32 = 1; // ..=4 for the four command words
@@ -131,18 +132,39 @@ impl DmaRead {
 
     /// A frame-memory burst tagged `tag` completed.
     pub fn on_sdram_complete(&mut self, tag: u64) {
-        self.sdram_outstanding -= 1;
-        self.tracker.complete(tag as u32);
+        self.on_sdram_complete_probed(tag, Ps::ZERO, &mut NullProbe);
     }
 
-    fn start_command(
+    /// Probed variant of [`DmaRead::on_sdram_complete`].
+    pub fn on_sdram_complete_probed<P: Probe>(&mut self, tag: u64, now: Ps, probe: &mut P) {
+        self.sdram_outstanding -= 1;
+        self.tracker.complete(tag as u32);
+        if P::ENABLED {
+            probe.emit(Event::DmaDone {
+                dir: DmaDir::Read,
+                idx: tag as u32,
+                at: now,
+            });
+        }
+    }
+
+    fn start_command<P: Probe>(
         &mut self,
         cmd: DmaCmd,
         idx: u32,
         host: &HostMemory,
         fm: &mut FrameMemory,
         now: Ps,
+        probe: &mut P,
     ) {
+        if P::ENABLED {
+            probe.emit(Event::DmaStart {
+                dir: DmaDir::Read,
+                idx,
+                bytes: cmd.len,
+                at: now,
+            });
+        }
         let data = host.read(cmd.w0, cmd.len).to_vec();
         if cmd.is_scratchpad() {
             // Copy descriptor words into the scratchpad, one word-write
@@ -177,6 +199,22 @@ impl DmaRead {
         host: &HostMemory,
         fm: &mut FrameMemory,
     ) {
+        self.tick_probed(now, xbar, sp_mem, host, fm, &mut NullProbe);
+    }
+
+    /// Probed variant of [`DmaRead::tick`]: emits [`Event::DmaStart`]
+    /// when a command begins moving data and [`Event::DmaDone`] when a
+    /// scratchpad-destination copy retires (frame-memory completions are
+    /// reported through [`DmaRead::on_sdram_complete_probed`]).
+    pub fn tick_probed<P: Probe>(
+        &mut self,
+        now: Ps,
+        xbar: &mut Crossbar,
+        sp_mem: &Scratchpad,
+        host: &HostMemory,
+        fm: &mut FrameMemory,
+        probe: &mut P,
+    ) {
         if let Some((tag, value)) = self.sp.tick(xbar) {
             match tag {
                 TAG_CMD0..=4 => {
@@ -188,7 +226,7 @@ impl DmaRead {
                         let idx = self.fetched;
                         self.fetched += 1;
                         let cmd = DmaCmd::decode(self.fetch.words);
-                        self.start_command(cmd, idx, host, fm, now);
+                        self.start_command(cmd, idx, host, fm, now, probe);
                     }
                 }
                 TAG_DATA => {
@@ -196,6 +234,13 @@ impl DmaRead {
                         if remaining == 1 {
                             self.sp_exec = None;
                             self.tracker.complete(idx);
+                            if P::ENABLED {
+                                probe.emit(Event::DmaDone {
+                                    dir: DmaDir::Read,
+                                    idx,
+                                    at: now,
+                                });
+                            }
                         } else {
                             self.sp_exec = Some((idx, remaining - 1));
                         }
@@ -299,6 +344,18 @@ impl DmaWrite {
 
     /// A frame-memory read burst completed; write its data to the host.
     pub fn on_sdram_complete(&mut self, tag: u64, data: &[u8], host: &mut HostMemory) {
+        self.on_sdram_complete_probed(tag, data, host, Ps::ZERO, &mut NullProbe);
+    }
+
+    /// Probed variant of [`DmaWrite::on_sdram_complete`].
+    pub fn on_sdram_complete_probed<P: Probe>(
+        &mut self,
+        tag: u64,
+        data: &[u8],
+        host: &mut HostMemory,
+        now: Ps,
+        probe: &mut P,
+    ) {
         let idx = tag as u32;
         let dst = self.sdram_dst[(idx % self.cfg.cmd_entries) as usize]
             .take()
@@ -306,19 +363,42 @@ impl DmaWrite {
         host.write(dst, data);
         self.sdram_outstanding -= 1;
         self.tracker.complete(idx);
+        if P::ENABLED {
+            probe.emit(Event::DmaDone {
+                dir: DmaDir::Write,
+                idx,
+                at: now,
+            });
+        }
     }
 
-    fn start_command(
+    fn start_command<P: Probe>(
         &mut self,
         cmd: DmaCmd,
         idx: u32,
         host: &mut HostMemory,
         fm: &mut FrameMemory,
         now: Ps,
+        probe: &mut P,
     ) {
+        if P::ENABLED {
+            probe.emit(Event::DmaStart {
+                dir: DmaDir::Write,
+                idx,
+                bytes: cmd.len,
+                at: now,
+            });
+        }
         if cmd.is_immediate() {
             host.write_u32(cmd.w1, cmd.w0);
             self.tracker.complete(idx);
+            if P::ENABLED {
+                probe.emit(Event::DmaDone {
+                    dir: DmaDir::Write,
+                    idx,
+                    at: now,
+                });
+            }
         } else if cmd.is_scratchpad() {
             let words = cmd.len.div_ceil(4);
             for k in 0..words {
@@ -350,6 +430,22 @@ impl DmaWrite {
         host: &mut HostMemory,
         fm: &mut FrameMemory,
     ) {
+        self.tick_probed(now, xbar, sp_mem, host, fm, &mut NullProbe);
+    }
+
+    /// Probed variant of [`DmaWrite::tick`]: emits [`Event::DmaStart`]
+    /// when a command begins and [`Event::DmaDone`] when an immediate or
+    /// scratchpad-source command retires (frame-memory completions are
+    /// reported through [`DmaWrite::on_sdram_complete_probed`]).
+    pub fn tick_probed<P: Probe>(
+        &mut self,
+        now: Ps,
+        xbar: &mut Crossbar,
+        sp_mem: &Scratchpad,
+        host: &mut HostMemory,
+        fm: &mut FrameMemory,
+        probe: &mut P,
+    ) {
         if let Some((tag, value)) = self.sp.tick(xbar) {
             match tag {
                 TAG_CMD0..=4 => {
@@ -361,7 +457,7 @@ impl DmaWrite {
                         let idx = self.fetched;
                         self.fetched += 1;
                         let cmd = DmaCmd::decode(self.fetch.words);
-                        self.start_command(cmd, idx, host, fm, now);
+                        self.start_command(cmd, idx, host, fm, now, probe);
                     }
                 }
                 TAG_SRC => {
@@ -372,6 +468,13 @@ impl DmaWrite {
                         buf.truncate(len as usize);
                         host.write(dst, &buf);
                         self.tracker.complete(idx);
+                        if P::ENABLED {
+                            probe.emit(Event::DmaDone {
+                                dir: DmaDir::Write,
+                                idx,
+                                at: now,
+                            });
+                        }
                     } else {
                         self.sp_src = Some((idx, dst, buf, len));
                     }

@@ -16,6 +16,7 @@
 use crate::port::SpPort;
 use nicsim_mem::{Crossbar, FrameMemory, Scratchpad, SpOp, SpRequest, StreamId};
 use nicsim_net::link::{wire_time, RxGenerator, TxMonitor};
+use nicsim_obs::{Event, NullProbe, Probe};
 use nicsim_sim::{NextEvent, Ps};
 use std::collections::VecDeque;
 
@@ -61,6 +62,13 @@ pub struct MacTx {
     done_written: u32,
     done_inflight: bool,
     frames_sent: u64,
+    /// Observability only (maintained when the probe is enabled): frame
+    /// sequence numbers whose frame-memory read is in flight. Reads
+    /// complete in ring order, so a FIFO pairs fetches to completions.
+    obs_fetch_seq: VecDeque<u32>,
+    /// Observability only: sequence numbers on the wire, parallel to
+    /// `tx_done`.
+    obs_wire_seq: VecDeque<u32>,
 }
 
 impl MacTx {
@@ -81,6 +89,8 @@ impl MacTx {
             done_written: 0,
             done_inflight: false,
             frames_sent: 0,
+            obs_fetch_seq: VecDeque::new(),
+            obs_wire_seq: VecDeque::new(),
         }
     }
 
@@ -104,6 +114,14 @@ impl MacTx {
     /// Reads complete in ring order (per-stream FIFO), preserving the
     /// in-order transmit guarantee.
     pub fn on_sdram_complete(&mut self, now: Ps, data: &[u8]) {
+        self.on_sdram_complete_probed(now, data, &mut NullProbe);
+    }
+
+    /// Probed variant of [`MacTx::on_sdram_complete`]: emits
+    /// [`Event::MacTxWireStart`] at the moment the frame starts
+    /// occupying the wire (which may be later than `now` when the wire
+    /// is busy).
+    pub fn on_sdram_complete_probed<P: Probe>(&mut self, now: Ps, data: &[u8], probe: &mut P) {
         self.reads_outstanding -= 1;
         let mut frame = data.to_vec();
         frame.extend_from_slice(&[0u8; 4]); // MAC appends the FCS
@@ -111,6 +129,14 @@ impl MacTx {
         let done = start + wire_time(frame.len());
         self.wire_busy_until = done;
         self.tx_done.push_back((done, frame));
+        if P::ENABLED {
+            let seq = self
+                .obs_fetch_seq
+                .pop_front()
+                .expect("sdram completion without fetched seq");
+            probe.emit(Event::MacTxWireStart { seq, at: start });
+            self.obs_wire_seq.push_back(seq);
+        }
     }
 
     /// Advance one CPU cycle.
@@ -120,6 +146,21 @@ impl MacTx {
         xbar: &mut Crossbar,
         sp_mem: &Scratchpad,
         fm: &mut FrameMemory,
+    ) {
+        self.tick_probed(now, xbar, sp_mem, fm, &mut NullProbe);
+    }
+
+    /// Probed variant of [`MacTx::tick`]: emits [`Event::MacTxFetch`]
+    /// when a ring entry has been read (the entry's fourth word is the
+    /// frame sequence number the firmware stored there) and
+    /// [`Event::MacTxWireDone`] as each frame leaves the wire.
+    pub fn tick_probed<P: Probe>(
+        &mut self,
+        now: Ps,
+        xbar: &mut Crossbar,
+        sp_mem: &Scratchpad,
+        fm: &mut FrameMemory,
+        probe: &mut P,
     ) {
         if let Some((tag, value)) = self.sp.tick(xbar) {
             match tag {
@@ -131,6 +172,13 @@ impl MacTx {
                     self.fetched += 1;
                     fm.submit_read(StreamId::MacTx, self.entry_addr, self.entry_len, 0, now);
                     self.reads_outstanding += 1;
+                    if P::ENABLED {
+                        probe.emit(Event::MacTxFetch {
+                            seq: value,
+                            at: now,
+                        });
+                        self.obs_fetch_seq.push_back(value);
+                    }
                 }
                 TAG_DONE => self.done_inflight = false,
                 _ => unreachable!("unknown tag {tag}"),
@@ -139,10 +187,17 @@ impl MacTx {
         // Wire completions advance the done counter (in order); the
         // frame is validated and accounted as it leaves the wire.
         while self.tx_done.front().is_some_and(|(t, _)| *t <= now) {
-            let (_, frame) = self.tx_done.pop_front().expect("nonempty");
+            let (t, frame) = self.tx_done.pop_front().expect("nonempty");
             self.monitor.on_frame(&frame);
             self.done += 1;
             self.frames_sent += 1;
+            if P::ENABLED {
+                let seq = self
+                    .obs_wire_seq
+                    .pop_front()
+                    .expect("wire completion without seq");
+                probe.emit(Event::MacTxWireDone { seq, at: t });
+            }
         }
         // Fetch the next ring entry; the MAC buffers at most two frames
         // (paper: "enough buffering for two maximum-sized frames in each
@@ -240,6 +295,9 @@ pub struct MacRx {
     writes_outstanding: u32,
     /// Frames whose SDRAM write is in flight: (addr, len).
     pending_desc: VecDeque<(u32, u32)>,
+    /// Observability only (maintained when the probe is enabled): wire
+    /// sequence numbers parallel to `pending_desc`.
+    obs_pending_seq: VecDeque<u32>,
     prod: u32,
     drops: u64,
     frames_received: u64,
@@ -264,6 +322,7 @@ impl MacRx {
             head: 0,
             writes_outstanding: 0,
             pending_desc: VecDeque::new(),
+            obs_pending_seq: VecDeque::new(),
             prod: 0,
             drops: 0,
             frames_received: 0,
@@ -296,7 +355,20 @@ impl MacRx {
     /// An SDRAM write completed: the frame is visible, produce its
     /// descriptor (writes complete in arrival order).
     pub fn on_sdram_complete(&mut self) {
+        self.on_sdram_complete_probed(Ps::ZERO, &mut NullProbe);
+    }
+
+    /// Probed variant of [`MacRx::on_sdram_complete`]: emits
+    /// [`Event::MacRxDescPublish`] as the descriptor is produced.
+    pub fn on_sdram_complete_probed<P: Probe>(&mut self, now: Ps, probe: &mut P) {
         self.writes_outstanding -= 1;
+        if P::ENABLED {
+            let seq = self
+                .obs_pending_seq
+                .pop_front()
+                .expect("sdram completion without pending seq");
+            probe.emit(Event::MacRxDescPublish { seq, at: now });
+        }
         let (addr, len) = self
             .pending_desc
             .pop_front()
@@ -330,6 +402,19 @@ impl MacRx {
         sp_mem: &Scratchpad,
         fm: &mut FrameMemory,
     ) {
+        self.tick_probed(now, xbar, sp_mem, fm, &mut NullProbe);
+    }
+
+    /// Probed variant of [`MacRx::tick`]: emits [`Event::MacRxArrival`]
+    /// for every frame taken off the wire, accepted or dropped.
+    pub fn tick_probed<P: Probe>(
+        &mut self,
+        now: Ps,
+        xbar: &mut Crossbar,
+        sp_mem: &Scratchpad,
+        fm: &mut FrameMemory,
+        probe: &mut P,
+    ) {
         let _ = self.sp.tick(xbar);
         // Accept arrivals whose time has come.
         while self.writes_outstanding < 2 {
@@ -350,12 +435,31 @@ impl MacRx {
                 >= self.cfg.entries - self.cfg.claim_slack;
             if new_head.wrapping_sub(tail) > self.cfg.buf_bytes || ring_full {
                 self.drops += 1;
+                if P::ENABLED {
+                    let seq = u32::from_be_bytes([frame[42], frame[43], frame[44], frame[45]]);
+                    probe.emit(Event::MacRxArrival {
+                        seq,
+                        len,
+                        dropped: true,
+                        at: now,
+                    });
+                }
                 continue;
             }
             let addr = self.cfg.buf_base + head % self.cfg.buf_bytes + 2;
             if self.dbg_accepted.len() < 4096 {
                 let seq = u32::from_be_bytes([frame[42], frame[43], frame[44], frame[45]]);
                 self.dbg_accepted.push(seq);
+            }
+            if P::ENABLED {
+                let seq = u32::from_be_bytes([frame[42], frame[43], frame[44], frame[45]]);
+                probe.emit(Event::MacRxArrival {
+                    seq,
+                    len,
+                    dropped: false,
+                    at: now,
+                });
+                self.obs_pending_seq.push_back(seq);
             }
             fm.submit_write(StreamId::MacRx, addr, &frame, 0, now);
             self.head = new_head;

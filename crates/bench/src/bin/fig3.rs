@@ -9,7 +9,7 @@ use nicsim::NicConfig;
 use nicsim_bench::header;
 use nicsim_coherence::{sweep_sizes, Access};
 use nicsim_exp::{Experiment, Json};
-use nicsim_mem::AccessKind;
+use nicsim_mem::{AccessKind, AccessTrace};
 
 /// The paper filters traces "to include only frame metadata". Locks,
 /// progress counters, statistics, and the per-core event scratch are
@@ -26,15 +26,11 @@ fn main() {
         "Figure 3: MESI hit ratio vs per-processor cache size (6 cores)",
         "hit ratio never exceeds ~55%; <1% of writes invalidate",
     );
-    let cfg = NicConfig {
-        capture_trace: true,
-        trace_limit: 2_000_000,
-        ..NicConfig::default()
-    };
-    let (run, mut sys) = exp.run_with_system("rmw@166+trace", cfg);
+    let cfg = NicConfig::default();
+    let (run, sys) = exp.run_with_probe("rmw@166+trace", cfg, AccessTrace::with_limit(2_000_000));
     let cores = sys.config().cores;
     let m = sys.map();
-    let trace = sys.take_trace().expect("trace capture enabled");
+    let trace = sys.into_probe();
     // Cores keep their ids; DMA pair -> cache 6; MAC pair -> cache 7.
     let merged = trace.merge_requesters(|r| {
         if r < cores {

@@ -7,7 +7,7 @@
 //! land in `results/fig7.json`.
 
 use nicsim::{FwMode, NicConfig};
-use nicsim_bench::header;
+use nicsim_bench::{header, traced_run};
 use nicsim_exp::{Experiment, RunSpec, Sweep};
 
 fn main() {
@@ -35,7 +35,7 @@ fn main() {
             ..NicConfig::default()
         },
     ));
-    let report = exp.run_specs(specs);
+    let mut report = exp.run_specs(specs);
 
     println!("Ethernet limit (duplex): 19.15 Gb/s of UDP payload");
     print!("{:>6}", "MHz");
@@ -57,5 +57,22 @@ fn main() {
         fast.total_udp_gbps(),
         100.0 * fast.total_udp_gbps() / 19.15
     );
+    // `--trace <path>`: re-run the headline point (6 cores @ 175 MHz,
+    // the paper's 96.3%-of-line-rate configuration) with the full
+    // observability bundle and append its traced report.
+    if let Some(path) = exp.trace_path() {
+        let traced = traced_run(
+            &exp,
+            "cpu_mhz=175,cores=6+trace",
+            NicConfig {
+                cores: 6,
+                cpu_mhz: 175,
+                mode: FwMode::SoftwareOnly,
+                ..NicConfig::default()
+            },
+            path,
+        );
+        report.runs.push(traced);
+    }
     exp.write(&report).expect("write results");
 }

@@ -26,6 +26,14 @@
 //! Smoke mode (`NICSIM_SIMSPEED_SMOKE=1`, implied by `NICSIM_QUICK=1`)
 //! shrinks the windows and exits non-zero on a correctness mismatch or
 //! an event-kernel slowdown beyond 30% — the CI guardrail.
+//!
+//! Overhead guard: `NICSIM_SIMSPEED_BASELINE=<results file>` compares
+//! each point's `cycles_per_host_sec` against the committed baseline
+//! (`results/BENCH_simspeed.json`) and fails on a regression beyond
+//! 5% (`NICSIM_BASELINE_TOL` overrides the fraction). This is how the
+//! observability layer proves its disabled-probe ([`nicsim::NullProbe`])
+//! path costs nothing: the simulator must still hit the throughput it
+//! hit before the probe layer existed.
 
 use nicsim::{FwMode, NicConfig, NicSystem};
 use nicsim_bench::header;
@@ -131,6 +139,7 @@ fn main() {
             axes: Vec::new(),
             config: p.cfg,
             stats: event_stats,
+            latency: None,
             wall: event_wall,
         });
         detail.push(
@@ -146,6 +155,30 @@ fn main() {
                 .with("target_speedup", p.target_speedup)
                 .with("stats_identical", stats_identical),
         );
+        if let Some(base_cps) = baseline_cps(p.label) {
+            let tol: f64 = std::env::var("NICSIM_BASELINE_TOL")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.05);
+            let floor = base_cps * (1.0 - tol);
+            println!(
+                "{:>22} baseline {:.1} Mcycles/host-s, floor {:.1} (tol {:.0}%)",
+                "",
+                base_cps / 1e6,
+                floor / 1e6,
+                tol * 100.0
+            );
+            if cps < floor {
+                failures.push(format!(
+                    "{}: {:.1} Mcycles/host-s regressed more than {:.0}% below \
+                     baseline {:.1}",
+                    p.label,
+                    cps / 1e6,
+                    tol * 100.0,
+                    base_cps / 1e6
+                ));
+            }
+        }
     }
 
     // Smoke runs don't overwrite the committed full-run results.
@@ -169,4 +202,33 @@ fn main() {
 
 fn env_is(key: &str) -> bool {
     std::env::var(key).is_ok_and(|v| v == "1")
+}
+
+/// The baseline `cycles_per_host_sec` for one benchmark point, from the
+/// results file named by `NICSIM_SIMSPEED_BASELINE` (unset: no guard).
+fn baseline_cps(label: &str) -> Option<f64> {
+    let path = std::env::var("NICSIM_SIMSPEED_BASELINE").ok()?;
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: baseline {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match nicsim_exp::json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("FAIL: baseline {path}: invalid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    let kernels = doc.get("extra")?.get("kernels")?;
+    let Json::Arr(points) = kernels else {
+        return None;
+    };
+    points
+        .iter()
+        .find(|p| p.get("point").and_then(|v| v.as_str()) == Some(label))?
+        .get("cycles_per_host_sec")?
+        .as_f64()
 }

@@ -1,0 +1,62 @@
+//! Frame-lifecycle trace capture: run the 6-core line-rate
+//! configuration with the full observability bundle and write a Chrome
+//! `trace_event` JSON (open it at <https://ui.perfetto.dev>) plus the
+//! per-frame latency stage breakdown in `results/BENCH_trace.json`.
+//!
+//! ```text
+//! cargo run --release --bin trace -- --trace results/trace_events.json
+//! cargo run --release --bin trace -- --cores 1
+//! ```
+//!
+//! `--trace <path>` picks the trace-file destination (default
+//! `results/trace_events.json`); `--cores N` overrides the core count.
+//! The run fails if the probe observes an inconsistent frame lifecycle
+//! (a stage start without its completion) or if the written trace does
+//! not parse back as non-empty JSON.
+
+use nicsim::NicConfig;
+use nicsim_bench::{header, traced_run};
+use nicsim_exp::{Experiment, Json};
+use std::path::Path;
+
+fn main() {
+    let exp = Experiment::from_args("BENCH_trace");
+    header(
+        "Frame-lifecycle trace: Chrome trace_event + latency percentiles",
+        "per-frame stage breakdown for the line-rate configuration",
+    );
+    let mut cfg = NicConfig::default();
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--cores" {
+            cfg.cores = args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--cores needs a positive integer");
+                    std::process::exit(2);
+                });
+        }
+    }
+    let default_path = Path::new("results/trace_events.json");
+    let path = exp.trace_path().unwrap_or(default_path);
+    let label = format!("cores={},cpu_mhz={}", cfg.cores, cfg.cpu_mhz);
+    let run = traced_run(&exp, &label, cfg, path);
+
+    // The trace file must round-trip as non-empty JSON: this is the
+    // smoke check CI leans on (scripts/check.sh).
+    let text = std::fs::read_to_string(path).expect("read back trace file");
+    let doc = nicsim_exp::json::parse(&text).expect("trace file is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| match v {
+            Json::Arr(a) => Some(a.len()),
+            _ => None,
+        })
+        .expect("trace file has a traceEvents array");
+    assert!(events > 0, "trace file has no events");
+    println!("trace file round-trips: {events} events");
+
+    let extra = Json::obj().with("trace_file", path.display().to_string());
+    exp.finish(vec![run], Some(extra)).expect("write results");
+}

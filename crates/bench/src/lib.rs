@@ -16,53 +16,62 @@
 //! the report header, the ILP trace conversion, and the dependency-free
 //! micro-benchmark harness used by `benches/`.
 
-use nicsim::{NicConfig, NicSystem, RunStats};
+use nicsim::{ChromeTrace, FrameTracker, Metrics, NicConfig};
 use nicsim_cpu::OpEvent;
+use nicsim_exp::{latency_to_json, Experiment, RunReport};
 use nicsim_ilp::TraceOp;
-use nicsim_sim::Ps;
+use std::path::Path;
 
-/// Warm-up and measurement window (milliseconds of simulated time).
-#[deprecated(
-    since = "0.2.0",
-    note = "the engine reads NICSIM_QUICK itself; construct a nicsim_exp::Experiment instead"
-)]
-pub fn windows() -> (u64, u64) {
-    if std::env::var("NICSIM_QUICK").is_ok_and(|v| v == "1") {
-        (1, 1)
-    } else {
-        (2, 4)
-    }
-}
+/// Run `cfg` once with the full observability bundle — a Chrome
+/// `trace_event` exporter, the per-frame latency tracker, and the
+/// counter/histogram metrics — writing the Perfetto-openable trace
+/// JSON to `path` and merging the latency stage breakdown into the
+/// returned report (its `"latency"` key in `nicsim-exp/v1` results).
+///
+/// This is the `--trace <path>` implementation every bench binary
+/// shares (see [`Experiment::trace_path`]).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, the run fails validation,
+/// the trace file cannot be written, or the frame lifecycle the probe
+/// observed is inconsistent (a start without a matching completion).
+pub fn traced_run(exp: &Experiment, label: &str, cfg: NicConfig, path: &Path) -> RunReport {
+    let probe = (ChromeTrace::new(), (FrameTracker::new(), Metrics::new()));
+    let (mut report, sys) = exp.run_with_probe(label, cfg, probe);
+    let (chrome, (tracker, metrics)) = sys.into_probe();
 
-/// Run `cfg` with the standard methodology and return the statistics.
-#[deprecated(
-    since = "0.2.0",
-    note = "use nicsim_exp::Experiment::run (re-exported as nicsim_repro::Experiment), \
-            which also records config + wall-clock and serializes to JSON"
-)]
-pub fn measure(cfg: NicConfig) -> RunStats {
-    #[allow(deprecated)]
-    let (warm, win) = windows();
-    let mut sys = NicSystem::new(cfg);
-    let stats = sys.run_measured(Ps::from_ms(warm), Ps::from_ms(win));
-    stats.assert_clean();
-    stats
-}
+    let violations = tracker.violations();
+    assert!(
+        violations.is_empty(),
+        "frame lifecycle violations: {violations:?}"
+    );
+    report.latency = Some(latency_to_json(&tracker.summary()));
 
-/// Run `cfg` and also return the system for post-run inspection
-/// (trace extraction).
-#[deprecated(
-    since = "0.2.0",
-    note = "use nicsim_exp::Experiment::run_with_system, which also records \
-            config + wall-clock and serializes to JSON"
-)]
-pub fn measure_with_system(cfg: NicConfig) -> (RunStats, NicSystem) {
-    #[allow(deprecated)]
-    let (warm, win) = windows();
-    let mut sys = NicSystem::new(cfg);
-    let stats = sys.run_measured(Ps::from_ms(warm), Ps::from_ms(win));
-    stats.assert_clean();
-    (stats, sys)
+    chrome.write(path).expect("write chrome trace");
+    println!(
+        "wrote {} ({} trace events{}) — open at https://ui.perfetto.dev",
+        path.display(),
+        chrome.len(),
+        if chrome.dropped() > 0 {
+            format!(", {} dropped at the entry limit", chrome.dropped())
+        } else {
+            String::new()
+        }
+    );
+    let grants: u64 = metrics.sp_grants().iter().sum();
+    let conflicts: u64 = metrics.sp_conflicts().iter().sum();
+    let [dma_rd, dma_wr] = metrics.dma_depth();
+    println!(
+        "probed window: icache hit rate {:.1}%, {} crossbar grants / {} conflicts, \
+         mean dma inflight rd {:.2} / wr {:.2}",
+        metrics.icache_hit_rate() * 100.0,
+        grants,
+        conflicts,
+        dma_rd.mean(),
+        dma_wr.mean(),
+    );
+    report
 }
 
 /// Convert the core model's coarse operation events into the ILP

@@ -37,10 +37,6 @@ pub struct NicConfig {
     pub offered_rx_fps: Option<f64>,
     /// CPU cycles between driver invocations (host-side polling period).
     pub driver_interval: u64,
-    /// Record a scratchpad access trace (for the coherence study).
-    pub capture_trace: bool,
-    /// Maximum trace records kept when capturing.
-    pub trace_limit: usize,
     /// Record core 0's operation trace (for the ILP study).
     pub capture_ilp: bool,
 }
@@ -61,8 +57,6 @@ impl Default for NicConfig {
             offered_tx_fps: None,
             offered_rx_fps: None,
             driver_interval: 16,
-            capture_trace: false,
-            trace_limit: 4_000_000,
             capture_ilp: false,
         }
     }
@@ -174,10 +168,6 @@ impl NicConfigBuilder {
         offered_rx_fps: Option<f64>,
         /// CPU cycles between driver invocations.
         driver_interval: u64,
-        /// Record a scratchpad access trace (coherence study).
-        capture_trace: bool,
-        /// Maximum trace records kept when capturing.
-        trace_limit: usize,
         /// Record core 0's operation trace (ILP study).
         capture_ilp: bool,
     }

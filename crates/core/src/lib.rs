@@ -41,5 +41,9 @@ pub mod system;
 
 pub use config::{ConfigError, NicConfig, NicConfigBuilder};
 pub use nicsim_firmware::FwMode;
-pub use stats::RunStats;
+pub use nicsim_obs::{
+    ChromeTrace, DmaDir, Event, EventLog, FmStream, FrameTracker, LatencySummary, Metrics,
+    NullProbe, Probe, StageStats,
+};
+pub use stats::{RunStats, StatValue, SUMMARY_VERSION};
 pub use system::NicSystem;

@@ -1,8 +1,47 @@
 //! Aggregated run statistics: everything the paper's tables and figures
 //! are built from.
+//!
+//! Downstream code should prefer the versioned snapshot surface —
+//! [`RunStats::summary`] and the derived-metric accessors — over direct
+//! field access: the summary enumerates every scalar metric with a
+//! stable name and order (the `nicsim-exp/v1` key order), so writers
+//! and dashboards keep working when fields are added.
 
 use nicsim_cpu::{CoreProfile, FwFunc, StallBucket};
 use nicsim_sim::Ps;
+
+/// Version of the [`RunStats::summary`] field list. Bumped whenever a
+/// field is added, removed, renamed, or reordered.
+pub const SUMMARY_VERSION: u32 = 1;
+
+/// One scalar statistic value, preserving whether the source field is
+/// an exact counter or a derived rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatValue {
+    /// An exact integer counter (frame counts, accesses, picoseconds).
+    Int(u64),
+    /// A derived floating-point rate or ratio.
+    Float(f64),
+}
+
+impl StatValue {
+    /// The value as `f64` (counters convert losslessly up to 2^53 —
+    /// far beyond any window's counts).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            StatValue::Int(v) => v as f64,
+            StatValue::Float(v) => v,
+        }
+    }
+
+    /// The value as an integer counter, if it is one.
+    pub fn as_int(self) -> Option<u64> {
+        match self {
+            StatValue::Int(v) => Some(v),
+            StatValue::Float(_) => None,
+        }
+    }
+}
 
 /// Statistics collected over one measurement window.
 ///
@@ -64,6 +103,63 @@ pub struct RunStats {
 }
 
 impl RunStats {
+    /// Every scalar statistic as `(name, value)` pairs, in the
+    /// `nicsim-exp/v1` schema's key order (see [`SUMMARY_VERSION`]).
+    /// The two structured members — the per-bucket IPC breakdown and
+    /// the per-function profile — are exposed through
+    /// [`RunStats::stall_shares`] and [`RunStats::profile`] instead.
+    ///
+    /// This is the supported way to enumerate statistics without
+    /// hard-coding field names; serializers should iterate this list
+    /// rather than reaching into fields.
+    pub fn summary(&self) -> Vec<(&'static str, StatValue)> {
+        use StatValue::{Float, Int};
+        vec![
+            ("window_ps", Int(self.window.0)),
+            ("cores", Int(self.cores as u64)),
+            ("cpu_mhz", Int(self.cpu_mhz)),
+            ("tx_frames", Int(self.tx_frames)),
+            ("rx_frames", Int(self.rx_frames)),
+            ("tx_udp_gbps", Float(self.tx_udp_gbps)),
+            ("rx_udp_gbps", Float(self.rx_udp_gbps)),
+            ("total_udp_gbps", Float(self.total_udp_gbps())),
+            ("total_fps", Float(self.total_fps())),
+            ("rx_mac_drops", Int(self.rx_mac_drops)),
+            ("tx_errors", Int(self.tx_errors)),
+            ("rx_corrupt", Int(self.rx_corrupt)),
+            ("rx_out_of_order", Int(self.rx_out_of_order)),
+            ("ipc", Float(self.ipc())),
+            ("core_ticks", Int(self.core_ticks)),
+            ("core_sp_accesses", Int(self.core_sp_accesses)),
+            ("assist_sp_accesses", Int(self.assist_sp_accesses)),
+            ("scratchpad_gbps", Float(self.scratchpad_gbps)),
+            ("instr_mem_gbps", Float(self.instr_mem_gbps)),
+            ("instr_mem_utilization", Float(self.instr_mem_utilization)),
+            ("frame_mem_gbps", Float(self.frame_mem_gbps)),
+            ("frame_mem_wasted_bytes", Int(self.frame_mem_wasted_bytes)),
+            (
+                "frame_mem_mean_latency_ps",
+                Int(self.frame_mem_mean_latency.0),
+            ),
+            (
+                "frame_mem_max_latency_ps",
+                Int(self.frame_mem_max_latency.0),
+            ),
+            ("icache_hits", Int(self.icache_hits)),
+            ("icache_misses", Int(self.icache_misses)),
+        ]
+    }
+
+    /// Per-stall-bucket IPC contributions as `(label, share)` pairs, in
+    /// the schema's `ipc_breakdown` key order. Shares sum to 1.0 when
+    /// cores never halt.
+    pub fn stall_shares(&self) -> Vec<(&'static str, f64)> {
+        StallBucket::ALL
+            .into_iter()
+            .map(|b| (b.label(), self.ipc_contribution(b)))
+            .collect()
+    }
+
     /// Total full-duplex UDP payload throughput, Gb/s.
     pub fn total_udp_gbps(&self) -> f64 {
         self.tx_udp_gbps + self.rx_udp_gbps
@@ -131,5 +227,104 @@ impl RunStats {
             self.rx_out_of_order, 0,
             "in-order delivery violated (paper §3.3 requires it)"
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunStats {
+        RunStats {
+            window: Ps(1_000_000),
+            cores: 6,
+            cpu_mhz: 166,
+            tx_frames: 100,
+            rx_frames: 200,
+            tx_udp_gbps: 3.5,
+            rx_udp_gbps: 4.5,
+            rx_mac_drops: 1,
+            tx_errors: 0,
+            rx_corrupt: 0,
+            rx_out_of_order: 0,
+            profile: CoreProfile::new(),
+            core_ticks: 1000,
+            core_sp_accesses: 42,
+            assist_sp_accesses: 24,
+            scratchpad_gbps: 1.25,
+            instr_mem_gbps: 0.5,
+            instr_mem_utilization: 0.1,
+            frame_mem_gbps: 9.0,
+            frame_mem_wasted_bytes: 8,
+            frame_mem_mean_latency: Ps(123),
+            frame_mem_max_latency: Ps(456),
+            icache_hits: 900,
+            icache_misses: 100,
+        }
+    }
+
+    /// Pins the `nicsim-exp/v1` scalar field list: name set, order, and
+    /// Int/Float classification (see [`SUMMARY_VERSION`]).
+    #[test]
+    fn summary_order_and_values_are_stable() {
+        let s = sample();
+        let fields = s.summary();
+        let names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "window_ps",
+                "cores",
+                "cpu_mhz",
+                "tx_frames",
+                "rx_frames",
+                "tx_udp_gbps",
+                "rx_udp_gbps",
+                "total_udp_gbps",
+                "total_fps",
+                "rx_mac_drops",
+                "tx_errors",
+                "rx_corrupt",
+                "rx_out_of_order",
+                "ipc",
+                "core_ticks",
+                "core_sp_accesses",
+                "assist_sp_accesses",
+                "scratchpad_gbps",
+                "instr_mem_gbps",
+                "instr_mem_utilization",
+                "frame_mem_gbps",
+                "frame_mem_wasted_bytes",
+                "frame_mem_mean_latency_ps",
+                "frame_mem_max_latency_ps",
+                "icache_hits",
+                "icache_misses",
+            ]
+        );
+        let get = |name: &str| {
+            fields
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("tx_frames"), StatValue::Int(100));
+        assert_eq!(get("total_udp_gbps"), StatValue::Float(8.0));
+        assert_eq!(get("frame_mem_mean_latency_ps"), StatValue::Int(123));
+        assert_eq!(get("window_ps").as_f64(), 1e6);
+        assert_eq!(get("cores").as_int(), Some(6));
+        assert_eq!(get("ipc").as_int(), None);
+        assert_eq!(SUMMARY_VERSION, 1);
+    }
+
+    #[test]
+    fn stall_shares_cover_all_buckets() {
+        let s = sample();
+        let shares = s.stall_shares();
+        assert_eq!(shares.len(), StallBucket::ALL.len());
+        for (label, share) in shares {
+            assert!(!label.is_empty());
+            assert_eq!(share, 0.0, "empty profile has no cycles");
+        }
     }
 }

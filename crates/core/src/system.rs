@@ -17,12 +17,23 @@ use nicsim_firmware::map::{DMA_RING, MACRX_RING, MACTX_RING, RXBUF_BASE, RXBUF_B
 use nicsim_firmware::mode::Fw;
 use nicsim_firmware::{dispatch_loop, MemMap};
 use nicsim_host::{Driver, DriverConfig, HostLayout, HostMemory, Mailbox};
-use nicsim_mem::{AccessTrace, Crossbar, FrameMemory, InstrMemory, Scratchpad, StreamId};
+use nicsim_mem::{Crossbar, FrameMemory, InstrMemory, Scratchpad, StreamId};
 use nicsim_net::link::RxGenerator;
+use nicsim_obs::{Event, NullProbe, Probe};
 use nicsim_sim::{Freq, NextEvent, Ps, WakeTracker};
 
 /// The assembled NIC + host + network simulation.
-pub struct NicSystem {
+///
+/// The type parameter is the observability [`Probe`] every component
+/// reports frame-lifecycle events to. The default, [`NullProbe`],
+/// disables observation at compile time: emission sites are gated on
+/// `P::ENABLED` (an associated constant), so the unprobed system
+/// monomorphizes to exactly the code it had before the probe layer
+/// existed — timing, statistics, and the event-driven kernel's
+/// skip decisions are bit-identical. Build a probed system with
+/// [`NicSystem::with_probe`].
+pub struct NicSystem<P: Probe = NullProbe> {
+    probe: P,
     cfg: NicConfig,
     map: MemMap,
     now: Ps,
@@ -57,7 +68,8 @@ pub struct NicSystem {
 }
 
 impl NicSystem {
-    /// Build the system from a configuration.
+    /// Build the system from a configuration, with observation disabled
+    /// ([`NullProbe`]).
     ///
     /// # Panics
     ///
@@ -71,7 +83,7 @@ impl NicSystem {
     }
 
     /// Build the system from a configuration, rejecting inconsistent
-    /// ones.
+    /// ones. Observation is disabled ([`NullProbe`]).
     ///
     /// # Errors
     ///
@@ -79,14 +91,39 @@ impl NicSystem {
     /// (zero cores/banks/payload, oversized payload, multi-core ideal
     /// mode).
     pub fn try_new(cfg: NicConfig) -> Result<NicSystem, ConfigError> {
+        NicSystem::try_with_probe(cfg, NullProbe)
+    }
+}
+
+impl<P: Probe> NicSystem<P> {
+    /// Build the system with an observability probe attached. Every
+    /// frame-lifecycle edge — host posts, mailbox doorbells, firmware
+    /// handler entries, crossbar grants, DMA and frame-memory bursts,
+    /// wire occupancy, driver completions — is reported to `probe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`NicConfig::validate`]; use
+    /// [`NicSystem::try_with_probe`] to handle the error instead.
+    pub fn with_probe(cfg: NicConfig, probe: P) -> NicSystem<P> {
+        match NicSystem::try_with_probe(cfg, probe) {
+            Ok(sys) => sys,
+            Err(e) => panic!("invalid NicConfig: {e}"),
+        }
+    }
+
+    /// Build the system with an observability probe attached, rejecting
+    /// inconsistent configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ConfigError`] as [`NicConfig::validate`].
+    pub fn try_with_probe(cfg: NicConfig, probe: P) -> Result<NicSystem<P>, ConfigError> {
         cfg.validate()?;
         let map = MemMap::new();
         let sp = Scratchpad::new(cfg.scratchpad_bytes, cfg.banks);
         let ports = cfg.cores + 4;
-        let mut xbar = Crossbar::new(ports, cfg.banks);
-        if cfg.capture_trace {
-            xbar.trace = Some(AccessTrace::with_limit(cfg.trace_limit));
-        }
+        let xbar = Crossbar::new(ports, cfg.banks);
         let imem = InstrMemory::new();
         let fm = FrameMemory::new(cfg.frame_memory);
 
@@ -172,6 +209,7 @@ impl NicSystem {
         }
 
         Ok(NicSystem {
+            probe,
             cfg,
             map,
             now: Ps::ZERO,
@@ -198,6 +236,22 @@ impl NicSystem {
             window_start: Ps::ZERO,
             stopped: false,
         })
+    }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// The attached probe, mutably (e.g. to drain a sink mid-run).
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Consume the system and return the probe with everything it
+    /// collected.
+    pub fn into_probe(self) -> P {
+        self.probe
     }
 
     /// Current simulation time.
@@ -234,12 +288,12 @@ impl NicSystem {
         // when a request awaits a grant; unconsumed responses ride
         // through `skip_cycles` untouched.
         if !gate || self.xbar.needs_tick() {
-            self.xbar.tick(&mut self.sp);
+            self.xbar.tick_probed(&mut self.sp, now, &mut self.probe);
         } else {
             self.xbar.skip_cycles(1);
         }
         for core in &mut self.cores {
-            core.tick(&mut self.xbar, &mut self.imem);
+            core.tick_probed(&mut self.xbar, &mut self.imem, now, &mut self.probe);
         }
 
         // Hardware assists. Each `busy` predicate mirrors its tick's
@@ -247,16 +301,23 @@ impl NicSystem {
         // counter owed, a doorbell fetch ready); the MACs additionally
         // act at their next timed event (wire completion, arrival).
         if !gate || self.dmard.busy(&self.sp) {
-            self.dmard
-                .tick(now, &mut self.xbar, &self.sp, &self.host_mem, &mut self.fm);
+            self.dmard.tick_probed(
+                now,
+                &mut self.xbar,
+                &self.sp,
+                &self.host_mem,
+                &mut self.fm,
+                &mut self.probe,
+            );
         }
         if !gate || self.dmawr.busy(&self.sp) {
-            self.dmawr.tick(
+            self.dmawr.tick_probed(
                 now,
                 &mut self.xbar,
                 &self.sp,
                 &mut self.host_mem,
                 &mut self.fm,
+                &mut self.probe,
             );
             // The write engine may have touched host memory (immediate
             // status updates, scratchpad-source copies): the driver must
@@ -264,31 +325,40 @@ impl NicSystem {
             self.driver_idle = false;
         }
         if !gate || self.mactx.busy(&self.sp) || self.mactx.next_event() <= now {
-            self.mactx.tick(now, &mut self.xbar, &self.sp, &mut self.fm);
+            self.mactx
+                .tick_probed(now, &mut self.xbar, &self.sp, &mut self.fm, &mut self.probe);
         }
         if !gate || self.macrx.busy() || self.macrx.next_event() <= now {
-            self.macrx.tick(now, &mut self.xbar, &self.sp, &mut self.fm);
+            self.macrx
+                .tick_probed(now, &mut self.xbar, &self.sp, &mut self.fm, &mut self.probe);
         }
 
         // Frame-memory completions route back to their streams. The
         // controller changes state only at `next_event` (a burst start
         // or completion falling due).
         if !gate || self.fm.next_event() <= now {
-            for c in self.fm.advance(now) {
+            for c in self.fm.advance_probed(now, &mut self.probe) {
                 match c.stream {
-                    StreamId::DmaRead => self.dmard.on_sdram_complete(c.tag),
+                    StreamId::DmaRead => {
+                        self.dmard
+                            .on_sdram_complete_probed(c.tag, c.at, &mut self.probe)
+                    }
                     StreamId::DmaWrite => {
-                        self.dmawr.on_sdram_complete(
+                        self.dmawr.on_sdram_complete_probed(
                             c.tag,
                             c.data.as_deref().expect("read data"),
                             &mut self.host_mem,
+                            c.at,
+                            &mut self.probe,
                         );
                         self.driver_idle = false;
                     }
-                    StreamId::MacTx => self
-                        .mactx
-                        .on_sdram_complete(c.at, c.data.as_deref().expect("read data")),
-                    StreamId::MacRx => self.macrx.on_sdram_complete(),
+                    StreamId::MacTx => self.mactx.on_sdram_complete_probed(
+                        c.at,
+                        c.data.as_deref().expect("read data"),
+                        &mut self.probe,
+                    ),
+                    StreamId::MacRx => self.macrx.on_sdram_complete_probed(c.at, &mut self.probe),
                 }
             }
         }
@@ -301,14 +371,23 @@ impl NicSystem {
             if self.driver_countdown == 0 {
                 self.driver_countdown = self.cfg.driver_interval;
                 if !gate || !self.driver_idle {
-                    let acted = self.driver.tick(now, &mut self.host_mem);
+                    let acted = self
+                        .driver
+                        .tick_probed(now, &mut self.host_mem, &mut self.probe);
                     self.driver_idle = !acted && self.cfg.offered_tx_fps.is_none();
                     for w in self.driver.take_mailbox_writes() {
-                        let addr = match w.reg {
-                            Mailbox::SendBdProd => self.map.sb_mailbox_prod,
-                            Mailbox::RxBdProd => self.map.rb_mailbox_prod,
+                        let (addr, reg) = match w.reg {
+                            Mailbox::SendBdProd => (self.map.sb_mailbox_prod, "send_bd_prod"),
+                            Mailbox::RxBdProd => (self.map.rb_mailbox_prod, "rx_bd_prod"),
                         };
                         self.sp.poke(addr, w.value);
+                        if P::ENABLED {
+                            self.probe.emit(Event::MailboxWrite {
+                                reg,
+                                value: w.value,
+                                at: now,
+                            });
+                        }
                     }
                 }
             }
@@ -433,9 +512,16 @@ impl NicSystem {
     }
 
     /// Discard statistics gathered so far and restart the measurement
-    /// window at the current time.
+    /// window at the current time. The probe observes this as an
+    /// [`Event::WindowReset`], so sinks can align with the measurement
+    /// window (e.g. [`nicsim_obs::FrameTracker`] filters its summary to
+    /// in-window frames, and [`nicsim_mem::AccessTrace`] discards
+    /// warmup accesses).
     pub fn reset_window(&mut self) {
         let now = self.now;
+        if P::ENABLED {
+            self.probe.emit(Event::WindowReset { at: now });
+        }
         self.window_start = now;
         // Counter resets change what the next driver poll observes.
         self.driver_idle = false;
@@ -540,12 +626,6 @@ impl NicSystem {
         self.cores.iter().all(|c| c.halted())
     }
 
-    /// Take the scratchpad access trace captured so far (requires
-    /// `capture_trace`).
-    pub fn take_trace(&mut self) -> Option<AccessTrace> {
-        self.xbar.trace.take()
-    }
-
     /// Take core 0's operation trace (requires `capture_ilp`).
     pub fn take_ilp_trace(&mut self) -> Option<Vec<OpEvent>> {
         self.cores[0].slot().borrow_mut().trace.take()
@@ -578,7 +658,7 @@ impl NicSystem {
     }
 }
 
-impl std::fmt::Debug for NicSystem {
+impl<P: Probe> std::fmt::Debug for NicSystem<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NicSystem")
             .field("cores", &self.cfg.cores)

@@ -10,6 +10,8 @@ use crate::func::{CoreProfile, FwFunc, StallBucket};
 use crate::layout::CodeLayout;
 use crate::slot::{new_slot, PendingOp, SharedSlot};
 use nicsim_mem::{Crossbar, ICache, ICacheConfig, InstrMemory, SpOp, SpRequest};
+use nicsim_obs::{Event, NullProbe, Probe};
+use nicsim_sim::Ps;
 use std::future::Future;
 use std::pin::Pin;
 use std::task::{Context, Poll, Waker};
@@ -143,8 +145,16 @@ impl Core {
     }
 
     /// Walk the fetch pointer over `n` instructions of the current
-    /// function's code region, returning I-miss stall cycles.
-    fn touch_code(&mut self, mut n: u32, imem: &mut InstrMemory) -> u32 {
+    /// function's code region, returning I-miss stall cycles. Emits
+    /// [`Event::HandlerEnter`] when the fetch target moves to a different
+    /// firmware function and [`Event::IcacheAccess`] per line touched.
+    fn touch_code<P: Probe>(
+        &mut self,
+        mut n: u32,
+        imem: &mut InstrMemory,
+        at: Ps,
+        probe: &mut P,
+    ) -> u32 {
         let func = self.slot.borrow().func;
         let (base, len_instr) = self.layout.region(func);
         let region_bytes = len_instr as u64 * 4;
@@ -153,6 +163,13 @@ impl Core {
             self.fetch_func = func;
             self.vpc_off = 0;
             self.last_line = None;
+            if P::ENABLED {
+                probe.emit(Event::HandlerEnter {
+                    core: self.id,
+                    func: func.label(),
+                    at,
+                });
+            }
         }
         let line_bytes = self.icache.config().line_bytes as u64;
         let mut stall = 0u32;
@@ -161,7 +178,15 @@ impl Core {
             let line = addr / line_bytes;
             if self.last_line != Some(line) {
                 self.last_line = Some(line);
-                if !self.icache.access(addr) {
+                let hit = self.icache.access(addr);
+                if P::ENABLED {
+                    probe.emit(Event::IcacheAccess {
+                        core: self.id,
+                        hit,
+                        at,
+                    });
+                }
+                if !hit {
                     let now = self.cycle + stall as u64;
                     let done = imem.fill(now, line_bytes);
                     stall += (done - now) as u32;
@@ -179,6 +204,18 @@ impl Core {
     /// Advance one CPU cycle. Must be called after `xbar.tick()` for the
     /// same cycle.
     pub fn tick(&mut self, xbar: &mut Crossbar, imem: &mut InstrMemory) {
+        self.tick_probed(xbar, imem, Ps::ZERO, &mut NullProbe);
+    }
+
+    /// [`Core::tick`] with probe instrumentation, stamping events with
+    /// the simulated time `now`.
+    pub fn tick_probed<P: Probe>(
+        &mut self,
+        xbar: &mut Crossbar,
+        imem: &mut InstrMemory,
+        now: Ps,
+        probe: &mut P,
+    ) {
         self.cycle += 1;
         self.stats.ticks += 1;
 
@@ -223,7 +260,7 @@ impl Core {
                         PendingOp::Mem(req) => (1, 1, 0, Then::Mem(req), true),
                     };
                     debug_assert!(n_instr > 0, "alu(0) is filtered in CoreCtx");
-                    let imiss = self.touch_code(n_instr, imem);
+                    let imiss = self.touch_code(n_instr, imem, now, probe);
                     {
                         let f = self.slot.borrow().func;
                         let p = self.profile.func_mut(f);

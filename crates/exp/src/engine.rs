@@ -12,7 +12,7 @@
 use crate::json::Json;
 use crate::report::{RunReport, SweepReport};
 use crate::sweep::{RunSpec, Sweep};
-use nicsim::{ConfigError, NicConfig, NicSystem, RunStats};
+use nicsim::{ConfigError, NicConfig, NicSystem, Probe, RunStats};
 use nicsim_sim::Ps;
 use std::io;
 use std::path::PathBuf;
@@ -31,6 +31,7 @@ pub struct Experiment {
     jobs: usize,
     out_dir: PathBuf,
     quiet: bool,
+    trace_path: Option<PathBuf>,
     started: Instant,
 }
 
@@ -65,13 +66,17 @@ impl Experiment {
             jobs,
             out_dir,
             quiet: env_is("NICSIM_QUIET", "1"),
+            trace_path: None,
             started: Instant::now(),
         }
     }
 
     /// [`Experiment::new`] plus command-line overrides: `--jobs <n>`
-    /// (or `--jobs=<n>`) and `--quiet`. Unrecognized arguments are
-    /// ignored so binaries can layer their own flags.
+    /// (or `--jobs=<n>`), `--quiet`, and `--trace <path>` (or
+    /// `--trace=<path>`: ask the binary to emit a Chrome `trace_event`
+    /// JSON file there — binaries opt in via
+    /// [`Experiment::trace_path`]). Unrecognized arguments are ignored
+    /// so binaries can layer their own flags.
     pub fn from_args(name: &str) -> Experiment {
         let mut exp = Experiment::new(name);
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -86,10 +91,25 @@ impl Experiment {
                 i += 1;
                 let v = args.get(i).unwrap_or_else(|| usage_jobs());
                 exp = exp.jobs(parse_jobs(v));
+            } else if let Some(v) = arg.strip_prefix("--trace=") {
+                exp.trace_path = Some(PathBuf::from(v));
+            } else if arg == "--trace" {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| usage_trace());
+                exp.trace_path = Some(PathBuf::from(v));
             }
             i += 1;
         }
         exp
+    }
+
+    /// Where `--trace <path>` asked for a Chrome `trace_event` JSON
+    /// file, if it did. Binaries that support tracing check this and
+    /// run their traced configuration through
+    /// [`Experiment::run_with_probe`] with a
+    /// [`nicsim::ChromeTrace`] sink.
+    pub fn trace_path(&self) -> Option<&std::path::Path> {
+        self.trace_path.as_deref()
     }
 
     /// Override the worker-thread count (clamped to at least 1).
@@ -180,8 +200,26 @@ impl Experiment {
     ///
     /// Same contract as [`Experiment::run`].
     pub fn run_with_system(&self, label: &str, cfg: NicConfig) -> (RunReport, NicSystem) {
+        self.run_with_probe(label, cfg, nicsim::NullProbe)
+    }
+
+    /// Run one configuration with an observability probe attached —
+    /// every frame-lifecycle event of warmup and window goes to
+    /// `probe` — and return the report plus the probed system (extract
+    /// the probe with [`NicSystem::into_probe`] or inspect it via
+    /// [`NicSystem::probe`]).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Experiment::run`].
+    pub fn run_with_probe<P: Probe>(
+        &self,
+        label: &str,
+        cfg: NicConfig,
+        probe: P,
+    ) -> (RunReport, NicSystem<P>) {
         let start = Instant::now();
-        let mut sys = match NicSystem::try_new(cfg) {
+        let mut sys = match NicSystem::try_with_probe(cfg, probe) {
             Ok(sys) => sys,
             Err(e) => panic!("run '{label}': invalid NicConfig: {e}"),
         };
@@ -192,6 +230,7 @@ impl Experiment {
             axes: Vec::new(),
             config: cfg,
             stats,
+            latency: None,
             wall: start.elapsed(),
         };
         self.progress(1, 1, &report);
@@ -345,6 +384,7 @@ impl Experiment {
             axes: spec.axes.clone(),
             config: spec.cfg,
             stats,
+            latency: None,
             wall: start.elapsed(),
         }
     }
@@ -393,6 +433,11 @@ fn parse_jobs(v: &str) -> usize {
 
 fn usage_jobs() -> ! {
     eprintln!("usage: --jobs <positive integer>");
+    std::process::exit(2)
+}
+
+fn usage_trace() -> ! {
+    eprintln!("usage: --trace <output path>");
     std::process::exit(2)
 }
 

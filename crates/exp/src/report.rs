@@ -7,8 +7,8 @@
 //! built from bit-identical `RunStats` produce byte-identical JSON.
 
 use crate::json::Json;
-use nicsim::{FwMode, NicConfig, RunStats};
-use nicsim_cpu::{FwFunc, StallBucket};
+use nicsim::{FwMode, NicConfig, RunStats, StatValue};
+use nicsim_cpu::FwFunc;
 use std::time::Duration;
 
 /// Version tag written into every results file.
@@ -26,6 +26,11 @@ pub struct RunReport {
     pub config: NicConfig,
     /// Statistics of the measurement window.
     pub stats: RunStats,
+    /// Per-frame latency stage breakdown, when the run was observed
+    /// with a [`nicsim::FrameTracker`] probe (see
+    /// [`latency_to_json`]); serialized under `"latency"` only when
+    /// present, so unobserved runs keep their exact schema.
+    pub latency: Option<Json>,
     /// Host wall-clock time the run took.
     pub wall: Duration,
 }
@@ -37,13 +42,42 @@ impl RunReport {
         for (name, value) in &self.axes {
             axes.set(name, value.as_str());
         }
-        Json::obj()
+        let mut doc = Json::obj()
             .with("label", self.label.as_str())
             .with("axes", axes)
             .with("config", config_to_json(&self.config))
-            .with("stats", stats_to_json(&self.stats))
-            .with("wall_s", self.wall.as_secs_f64())
+            .with("stats", stats_to_json(&self.stats));
+        if let Some(latency) = &self.latency {
+            doc.set("latency", latency.clone());
+        }
+        doc.with("wall_s", self.wall.as_secs_f64())
     }
+}
+
+/// A [`nicsim::LatencySummary`] as a `nicsim-exp/v1` JSON object: frame
+/// counts plus per-stage count/mean/p50/p99/max in picoseconds, for the
+/// transmit and receive paths.
+pub fn latency_to_json(summary: &nicsim::LatencySummary) -> Json {
+    fn stages(list: &[nicsim::StageStats]) -> Json {
+        let mut obj = Json::obj();
+        for s in list {
+            obj.set(
+                s.name,
+                Json::obj()
+                    .with("count", s.count)
+                    .with("mean_ps", s.mean_ps)
+                    .with("p50_ps", s.p50_ps)
+                    .with("p99_ps", s.p99_ps)
+                    .with("max_ps", s.max_ps),
+            );
+        }
+        obj
+    }
+    Json::obj()
+        .with("tx_frames", summary.tx_frames)
+        .with("rx_frames", summary.rx_frames)
+        .with("tx_stages", stages(&summary.tx_stages))
+        .with("rx_stages", stages(&summary.rx_stages))
 }
 
 /// The result of a whole experiment: every run plus methodology
@@ -137,10 +171,16 @@ pub fn config_to_json(cfg: &NicConfig) -> Json {
 }
 
 /// A [`RunStats`] as a `nicsim-exp/v1` JSON object.
+///
+/// Scalar fields come from [`RunStats::summary`] — names, order, and
+/// values are whatever that versioned surface reports — with the two
+/// structured members spliced in at their schema positions: the
+/// per-bucket IPC breakdown right after `ipc`, the per-function
+/// profile last.
 pub fn stats_to_json(s: &RunStats) -> Json {
     let mut breakdown = Json::obj();
-    for b in StallBucket::ALL {
-        breakdown.set(b.label(), s.ipc_contribution(b));
+    for (label, share) in s.stall_shares() {
+        breakdown.set(label, share);
     }
     let mut profile = Json::obj();
     for f in FwFunc::ALL {
@@ -153,35 +193,17 @@ pub fn stats_to_json(s: &RunStats) -> Json {
                 .with("cycles", p.cycles.to_vec()),
         );
     }
-    Json::obj()
-        .with("window_ps", s.window.0)
-        .with("cores", s.cores)
-        .with("cpu_mhz", s.cpu_mhz)
-        .with("tx_frames", s.tx_frames)
-        .with("rx_frames", s.rx_frames)
-        .with("tx_udp_gbps", s.tx_udp_gbps)
-        .with("rx_udp_gbps", s.rx_udp_gbps)
-        .with("total_udp_gbps", s.total_udp_gbps())
-        .with("total_fps", s.total_fps())
-        .with("rx_mac_drops", s.rx_mac_drops)
-        .with("tx_errors", s.tx_errors)
-        .with("rx_corrupt", s.rx_corrupt)
-        .with("rx_out_of_order", s.rx_out_of_order)
-        .with("ipc", s.ipc())
-        .with("ipc_breakdown", breakdown)
-        .with("core_ticks", s.core_ticks)
-        .with("core_sp_accesses", s.core_sp_accesses)
-        .with("assist_sp_accesses", s.assist_sp_accesses)
-        .with("scratchpad_gbps", s.scratchpad_gbps)
-        .with("instr_mem_gbps", s.instr_mem_gbps)
-        .with("instr_mem_utilization", s.instr_mem_utilization)
-        .with("frame_mem_gbps", s.frame_mem_gbps)
-        .with("frame_mem_wasted_bytes", s.frame_mem_wasted_bytes)
-        .with("frame_mem_mean_latency_ps", s.frame_mem_mean_latency.0)
-        .with("frame_mem_max_latency_ps", s.frame_mem_max_latency.0)
-        .with("icache_hits", s.icache_hits)
-        .with("icache_misses", s.icache_misses)
-        .with("profile", profile)
+    let mut doc = Json::obj();
+    for (name, value) in s.summary() {
+        match value {
+            StatValue::Int(v) => doc.set(name, v),
+            StatValue::Float(v) => doc.set(name, v),
+        };
+        if name == "ipc" {
+            doc.set("ipc_breakdown", breakdown.clone());
+        }
+    }
+    doc.with("profile", profile)
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 
 use crate::memory::HostMemory;
 use nicsim_net::frame::{build_udp_frame, validate_frame};
+use nicsim_obs::{Event, NullProbe, Probe};
 use nicsim_sim::Ps;
 use std::collections::VecDeque;
 
@@ -227,13 +228,19 @@ impl Driver {
         std::mem::take(&mut self.mailbox)
     }
 
-    fn post_send_frames(&mut self, now: Ps, mem: &mut HostMemory) -> bool {
+    fn post_send_frames<P: Probe>(&mut self, now: Ps, mem: &mut HostMemory, probe: &mut P) -> bool {
         if !self.cfg.send_enabled {
             return false;
         }
         let completed_bds = mem.read_u32(self.layout.status);
         let completed_frames = completed_bds / 2;
         let completed_changed = self.stats.tx_completed != completed_frames as u64;
+        if P::ENABLED && completed_changed {
+            probe.emit(Event::HostTxComplete {
+                upto: completed_frames,
+                at: now,
+            });
+        }
         self.stats.tx_completed = completed_frames as u64;
         let in_flight = self.tx_seq_next - completed_frames;
         let mut budget = (SEND_FRAME_WINDOW - in_flight).min(self.cfg.post_burst);
@@ -269,6 +276,9 @@ impl Driver {
             self.tx_bd_prod += 2;
             self.tx_seq_next += 1;
             self.stats.tx_posted += 1;
+            if P::ENABLED {
+                probe.emit(Event::HostTxPost { seq, at: now });
+            }
         }
         self.mailbox.push(MailboxWrite {
             reg: Mailbox::SendBdProd,
@@ -304,7 +314,7 @@ impl Driver {
         posted > 0
     }
 
-    fn consume_returns(&mut self, mem: &mut HostMemory) -> bool {
+    fn consume_returns<P: Probe>(&mut self, now: Ps, mem: &mut HostMemory, probe: &mut P) -> bool {
         let prod = mem.read_u32(self.layout.status + 4);
         let consumed = self.ret_cons != prod;
         while self.ret_cons != prod {
@@ -332,6 +342,13 @@ impl Driver {
                     self.rx_expected_seq = Some(info.seq.wrapping_add(1));
                     self.stats.rx_frames += 1;
                     self.stats.rx_udp_payload_bytes += info.udp_payload as u64;
+                    if P::ENABLED {
+                        probe.emit(Event::HostRxDeliver {
+                            seq: info.seq,
+                            udp_payload: info.udp_payload as u32,
+                            at: now,
+                        });
+                    }
                 }
                 Err(_) => self.stats.rx_corrupt += 1,
             }
@@ -358,8 +375,16 @@ impl Driver {
     /// `now`. The event-driven kernel uses this to elide polls while the
     /// NIC leaves host memory untouched.
     pub fn tick(&mut self, now: Ps, mem: &mut HostMemory) -> bool {
-        let consumed = self.consume_returns(mem);
-        let sent = self.post_send_frames(now, mem);
+        self.tick_probed(now, mem, &mut NullProbe)
+    }
+
+    /// [`Driver::tick`] with probe instrumentation: emits
+    /// [`Event::HostTxPost`] per frame posted, [`Event::HostTxComplete`]
+    /// when the NIC's completion count advances, and
+    /// [`Event::HostRxDeliver`] per validated frame delivered.
+    pub fn tick_probed<P: Probe>(&mut self, now: Ps, mem: &mut HostMemory, probe: &mut P) -> bool {
+        let consumed = self.consume_returns(now, mem, probe);
+        let sent = self.post_send_frames(now, mem, probe);
         let posted = self.post_rx_buffers(mem);
         consumed || sent || posted
     }

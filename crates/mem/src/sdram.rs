@@ -15,6 +15,7 @@
 //! "the unused bytes ... [are] lost SDRAM bandwidth that cannot be
 //! recovered, so it is counted in the totals."
 
+use nicsim_obs::{Event, FmStream, NullProbe, Probe};
 use nicsim_sim::{EventHeap, Freq, NextEvent, Ps, RoundRobin};
 use std::collections::VecDeque;
 
@@ -49,6 +50,16 @@ impl StreamId {
         StreamId::MacTx,
         StreamId::MacRx,
     ];
+
+    /// The observability-layer mirror of this stream.
+    pub fn obs(self) -> FmStream {
+        match self {
+            StreamId::DmaRead => FmStream::DmaRead,
+            StreamId::DmaWrite => FmStream::DmaWrite,
+            StreamId::MacTx => FmStream::MacTx,
+            StreamId::MacRx => FmStream::MacRx,
+        }
+    }
 }
 
 /// Frame-memory configuration.
@@ -220,6 +231,14 @@ impl FrameMemory {
     /// Advance the controller to `now`: start any bursts whose turn has
     /// come, and return all completions with `at <= now` (in time order).
     pub fn advance(&mut self, now: Ps) -> Vec<SdramCompletion> {
+        self.advance_probed(now, &mut NullProbe)
+    }
+
+    /// [`FrameMemory::advance`] with probe instrumentation: emits one
+    /// [`Event::FmBurst`] per serviced burst, carrying the bus grant and
+    /// completion times plus the stream's residual queue depth
+    /// (frame-memory occupancy).
+    pub fn advance_probed<P: Probe>(&mut self, now: Ps, probe: &mut P) -> Vec<SdramCompletion> {
         // Start bursts while the bus frees up at or before `now`.
         loop {
             let free_at = self.busy_until;
@@ -250,6 +269,16 @@ impl FrameMemory {
             let lat = done - burst.submitted;
             self.latency_sum_ps += lat.0;
             self.latency_max = self.latency_max.max(lat);
+            if P::ENABLED {
+                probe.emit(Event::FmBurst {
+                    stream: StreamId::ALL[s].obs(),
+                    write: burst.write,
+                    bytes: burst.len,
+                    start: t,
+                    done,
+                    queued: self.queues[s].len() as u32,
+                });
+            }
             let data = if burst.write {
                 None
             } else {

@@ -3,10 +3,15 @@
 //! Paper §2.3: "separate data access traces were collected for each
 //! processor core and hardware assist in a 6-core configuration ... These
 //! traces were filtered to include only frame metadata and then analyzed
-//! using SMPCache". The crossbar records every granted scratchpad
-//! transaction here; since only frame *metadata* ever crosses the
-//! crossbar (frame contents live in the frame memory), the filter is
-//! structural.
+//! using SMPCache". [`AccessTrace`] is a [`Probe`] sink over
+//! [`Event::SpGrant`] — attach it with `NicSystem::with_probe` and every
+//! granted scratchpad transaction is recorded; since only frame
+//! *metadata* ever crosses the crossbar (frame contents live in the
+//! frame memory), the filter is structural. [`Event::WindowReset`]
+//! clears the trace, so a measured run captures exactly the
+//! post-warm-up window.
+
+use nicsim_obs::{Event, Probe};
 
 /// Read or write, as seen by a coherence protocol (all atomic RMW
 /// operations count as writes).
@@ -102,9 +107,32 @@ impl AccessTrace {
     }
 }
 
+impl Probe for AccessTrace {
+    fn emit(&mut self, ev: Event) {
+        match ev {
+            Event::SpGrant {
+                port, addr, write, ..
+            } => {
+                let kind = if write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                self.record(port, addr, kind);
+            }
+            // Mirror the stats-window semantics the crossbar-embedded
+            // capture had: warm-up accesses are discarded at the window
+            // edge so Figure 3 sees only steady state.
+            Event::WindowReset { .. } => self.clear(),
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nicsim_sim::Ps;
 
     #[test]
     fn records_in_order() {
@@ -131,6 +159,29 @@ mod tests {
         t.record(7, 4, AccessKind::Write); // DMA write assist
         let merged = t.merge_requesters(|r| if r >= 6 { 6 } else { r });
         assert!(merged.records().iter().all(|r| r.requester == 6));
+    }
+
+    #[test]
+    fn probe_sink_records_grants_and_clears_on_window_reset() {
+        let mut t = AccessTrace::new();
+        t.emit(Event::SpGrant {
+            port: 2,
+            bank: 0,
+            addr: 64,
+            write: false,
+            at: Ps(10),
+        });
+        t.emit(Event::SpGrant {
+            port: 7,
+            bank: 1,
+            addr: 68,
+            write: true,
+            at: Ps(11),
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.records()[1].kind, AccessKind::Write);
+        t.emit(Event::WindowReset { at: Ps(12) });
+        assert!(t.is_empty(), "warm-up records discarded at window edge");
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! The typed event vocabulary of the observability layer.
+//!
+//! One [`Event`] is emitted at every frame-lifecycle edge the simulator
+//! models: the host posting a send descriptor, the mailbox doorbell, the
+//! firmware entering a handler, scratchpad crossbar grants and retries,
+//! DMA and frame-memory bursts, the MAC putting bits on the wire, and the
+//! driver consuming a return descriptor. Events are small `Copy` values —
+//! identifiers, byte counts, and picosecond timestamps — so a disabled
+//! probe pays nothing and an enabled one pays a few stores per event.
+//!
+//! Frame identity: the simulated workload stamps a 32-bit sequence number
+//! into every UDP payload (bytes 42..46 of the Ethernet frame), and the
+//! descriptor rings carry the same number, so TX events from
+//! [`Event::HostTxPost`] through [`Event::MacTxWireDone`] and RX events
+//! from [`Event::MacRxArrival`] through [`Event::HostRxDeliver`] can be
+//! joined on `seq` to reconstruct a per-frame timeline.
+
+use nicsim_sim::Ps;
+
+/// The four frame-data streams over the shared frame bus, mirroring
+/// `nicsim_mem::StreamId` (this crate sits below `nicsim-mem` in the
+/// dependency order, so it defines its own copy of the vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FmStream {
+    /// DMA read assist: host memory -> frame memory (transmit path).
+    DmaRead,
+    /// DMA write assist: frame memory -> host memory (receive path).
+    DmaWrite,
+    /// MAC transmit: frame memory -> wire.
+    MacTx,
+    /// MAC receive: wire -> frame memory.
+    MacRx,
+}
+
+impl FmStream {
+    /// Dense index, matching `StreamId::index`.
+    pub fn index(self) -> usize {
+        match self {
+            FmStream::DmaRead => 0,
+            FmStream::DmaWrite => 1,
+            FmStream::MacTx => 2,
+            FmStream::MacRx => 3,
+        }
+    }
+
+    /// Stable display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FmStream::DmaRead => "dma_read",
+            FmStream::DmaWrite => "dma_write",
+            FmStream::MacTx => "mac_tx",
+            FmStream::MacRx => "mac_rx",
+        }
+    }
+
+    /// All streams in index order.
+    pub const ALL: [FmStream; 4] = [
+        FmStream::DmaRead,
+        FmStream::DmaWrite,
+        FmStream::MacTx,
+        FmStream::MacRx,
+    ];
+}
+
+/// Which DMA engine an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DmaDir {
+    /// The DMA read engine (host -> NIC, transmit path).
+    Read,
+    /// The DMA write engine (NIC -> host, receive path).
+    Write,
+}
+
+impl DmaDir {
+    /// Stable display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DmaDir::Read => "dma_read",
+            DmaDir::Write => "dma_write",
+        }
+    }
+}
+
+/// One frame-lifecycle edge. Every variant carries the simulated time
+/// `at` (or an explicit start/done pair) in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// The host driver posted one send frame (buffer descriptors written
+    /// to host memory; the mailbox write follows in the same driver poll).
+    HostTxPost {
+        /// Frame sequence number.
+        seq: u32,
+        /// Simulated time.
+        at: Ps,
+    },
+    /// The driver observed the NIC's send-completion count advance: all
+    /// frames with `seq < upto` are now reclaimable.
+    HostTxComplete {
+        /// One past the highest completed frame sequence number.
+        upto: u32,
+        /// Simulated time.
+        at: Ps,
+    },
+    /// The driver consumed a return descriptor and delivered a validated
+    /// frame to the host stack.
+    HostRxDeliver {
+        /// Frame sequence number recovered from the payload.
+        seq: u32,
+        /// UDP payload bytes delivered.
+        udp_payload: u32,
+        /// Simulated time.
+        at: Ps,
+    },
+    /// The driver rang a doorbell: a mailbox register write crossed the
+    /// PCI bus into the scratchpad.
+    MailboxWrite {
+        /// Stable register name (`"send_bd_prod"` or `"rx_bd_prod"`).
+        reg: &'static str,
+        /// Value written.
+        value: u32,
+        /// Simulated time.
+        at: Ps,
+    },
+    /// A core entered a firmware handler (the fetch target moved to a
+    /// different firmware function).
+    HandlerEnter {
+        /// Core index.
+        core: usize,
+        /// Stable handler label (`FwFunc::label`).
+        func: &'static str,
+        /// Simulated time.
+        at: Ps,
+    },
+    /// The crossbar granted a scratchpad transaction.
+    SpGrant {
+        /// Requester port (cores first, then the four assists).
+        port: usize,
+        /// Scratchpad bank that serviced the access.
+        bank: usize,
+        /// Byte address.
+        addr: u32,
+        /// Store or atomic RMW (coherence-relevant write).
+        write: bool,
+        /// Simulated time.
+        at: Ps,
+    },
+    /// A pending scratchpad request lost arbitration this cycle and
+    /// retries next cycle (one bank-conflict stall cycle).
+    SpConflict {
+        /// Requester port.
+        port: usize,
+        /// Contended bank.
+        bank: usize,
+        /// Simulated time.
+        at: Ps,
+    },
+    /// An instruction-cache line access.
+    IcacheAccess {
+        /// Core index.
+        core: usize,
+        /// Hit (false = miss + fill from instruction memory).
+        hit: bool,
+        /// Simulated time.
+        at: Ps,
+    },
+    /// A DMA engine accepted a descriptor and started moving payload
+    /// (for the read engine this is the descriptor-fetch completion that
+    /// launches the host-to-NIC transfer).
+    DmaStart {
+        /// Which engine.
+        dir: DmaDir,
+        /// Descriptor ring index.
+        idx: u32,
+        /// Payload bytes.
+        bytes: u32,
+        /// Simulated time.
+        at: Ps,
+    },
+    /// A DMA descriptor completed (payload landed and the engine marked
+    /// the descriptor done).
+    DmaDone {
+        /// Which engine.
+        dir: DmaDir,
+        /// Descriptor ring index.
+        idx: u32,
+        /// Simulated time.
+        at: Ps,
+    },
+    /// The frame-memory controller serviced one burst over the shared
+    /// frame bus.
+    FmBurst {
+        /// Which stream issued the burst.
+        stream: FmStream,
+        /// Write (toward SDRAM) or read.
+        write: bool,
+        /// Burst length before alignment padding.
+        bytes: u32,
+        /// Bus grant time.
+        start: Ps,
+        /// Completion time.
+        done: Ps,
+        /// Bursts still queued on this stream after the grant
+        /// (frame-memory occupancy).
+        queued: u32,
+    },
+    /// The MAC TX assist consumed a transmit-ring entry and issued the
+    /// frame-memory read for the frame contents.
+    MacTxFetch {
+        /// Frame sequence number (ring entry word 3).
+        seq: u32,
+        /// Simulated time.
+        at: Ps,
+    },
+    /// First bit of a frame on the wire.
+    MacTxWireStart {
+        /// Frame sequence number.
+        seq: u32,
+        /// Simulated time.
+        at: Ps,
+    },
+    /// Last bit of a frame on the wire; the frame counts as sent.
+    MacTxWireDone {
+        /// Frame sequence number.
+        seq: u32,
+        /// Simulated time.
+        at: Ps,
+    },
+    /// A frame arrived from the wire at the MAC RX assist.
+    MacRxArrival {
+        /// Frame sequence number.
+        seq: u32,
+        /// Frame length in bytes (without FCS).
+        len: u32,
+        /// True if the assist dropped it (receive ring full).
+        dropped: bool,
+        /// Simulated time.
+        at: Ps,
+    },
+    /// The MAC RX assist published the receive descriptor for a frame
+    /// whose contents finished landing in frame memory.
+    MacRxDescPublish {
+        /// Frame sequence number.
+        seq: u32,
+        /// Simulated time.
+        at: Ps,
+    },
+    /// The measurement window (re)started: warm-up state is being
+    /// discarded. Sinks that mirror `RunStats` window semantics reset
+    /// here.
+    WindowReset {
+        /// Simulated time.
+        at: Ps,
+    },
+}
+
+impl Event {
+    /// The timestamp of the event (for span-shaped events, the end).
+    pub fn at(&self) -> Ps {
+        match *self {
+            Event::HostTxPost { at, .. }
+            | Event::HostTxComplete { at, .. }
+            | Event::HostRxDeliver { at, .. }
+            | Event::MailboxWrite { at, .. }
+            | Event::HandlerEnter { at, .. }
+            | Event::SpGrant { at, .. }
+            | Event::SpConflict { at, .. }
+            | Event::IcacheAccess { at, .. }
+            | Event::DmaStart { at, .. }
+            | Event::DmaDone { at, .. }
+            | Event::MacTxFetch { at, .. }
+            | Event::MacTxWireStart { at, .. }
+            | Event::MacTxWireDone { at, .. }
+            | Event::MacRxArrival { at, .. }
+            | Event::MacRxDescPublish { at, .. }
+            | Event::WindowReset { at } => at,
+            Event::FmBurst { done, .. } => done,
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! # nicsim-obs — frame-lifecycle observability behind one Probe API
+//!
+//! The paper's evaluation (§4–5) hinges on per-component visibility:
+//! stall buckets, scratchpad contention, assist utilization, frame
+//! ordering. This crate turns those ad-hoc side channels into a single
+//! redesigned instrumentation surface: every component exposes a
+//! `*_probed` variant of its tick that emits typed [`Event`]s at each
+//! frame-lifecycle edge, and anything that wants to observe a run
+//! implements [`Probe`].
+//!
+//! ## The contract
+//!
+//! * **Monomorphized.** `Probe` is a generic bound, never a trait object.
+//!   Every emission site is gated on the associated constant
+//!   [`Probe::ENABLED`]:
+//!
+//!   ```ignore
+//!   if P::ENABLED {
+//!       probe.emit(Event::SpGrant { port, bank, addr, write, at: now });
+//!   }
+//!   ```
+//!
+//! * **Zero-cost when off.** [`NullProbe`] sets `ENABLED = false`, so the
+//!   branch above is a compile-time constant and the whole arm — event
+//!   construction included — folds away. The simulator with `NullProbe`
+//!   compiles to the same hot loop as before the probe existed; `RunStats`
+//!   is bit-identical (asserted by the kernel-equivalence suite) and
+//!   wall-clock stays within noise (guarded by the simspeed benchmark).
+//!
+//! * **Timing-neutral when on.** Probes observe; they never feed back.
+//!   An enabled probe must not change any simulation outcome, only record
+//!   it. Emission sites may maintain small side queues (e.g. pending
+//!   frame sequence numbers) to label events, but only under `P::ENABLED`
+//!   and never in a way that alters component state machines.
+//!
+//! ## Sinks
+//!
+//! * [`FrameTracker`] — joins events on the frame sequence number into
+//!   per-frame stage timelines and reports p50/p99 stage breakdowns.
+//! * [`ChromeTrace`] — exports a Chrome `trace_event` JSON (one track per
+//!   core, assist, and scratchpad bank) openable at <https://ui.perfetto.dev>.
+//! * [`Metrics`] — counters and depth histograms (crossbar grants and
+//!   retries per bank, I-cache hit rate, DMA/wire queue depths).
+//! * [`EventLog`] — a bounded raw event capture for tests.
+//! * `nicsim_mem::AccessTrace` — the Figure 3 coherence capture is itself
+//!   a `Probe` sink over [`Event::SpGrant`].
+//!
+//! Compose sinks with tuples: `(ChromeTrace, (FrameTracker, Metrics))`
+//! is a `Probe` that feeds all three.
+
+pub mod chrome;
+pub mod event;
+pub mod frame;
+pub mod metrics;
+
+pub use chrome::ChromeTrace;
+pub use event::{DmaDir, Event, FmStream};
+pub use frame::{FrameTracker, LatencySummary, StageStats};
+pub use metrics::{DepthHistogram, Metrics};
+
+/// An observer of frame-lifecycle [`Event`]s.
+///
+/// Implementations are monomorphized into the simulator; see the crate
+/// docs for the zero-cost and timing-neutrality contract. `ENABLED`
+/// defaults to `true` — only [`NullProbe`] turns it off.
+pub trait Probe {
+    /// Compile-time switch checked at every emission site. When `false`
+    /// (the [`NullProbe`] default), event construction and emission fold
+    /// away entirely.
+    const ENABLED: bool = true;
+
+    /// Receive one event. Events arrive in simulation order per
+    /// component; events from different components within the same cycle
+    /// arrive in the system's fixed component order.
+    fn emit(&mut self, ev: Event);
+}
+
+/// The default probe: observes nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn emit(&mut self, _ev: Event) {}
+}
+
+/// Fan-out composition: a pair of probes is a probe.
+impl<A: Probe, B: Probe> Probe for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn emit(&mut self, ev: Event) {
+        if A::ENABLED {
+            self.0.emit(ev);
+        }
+        if B::ENABLED {
+            self.1.emit(ev);
+        }
+    }
+}
+
+/// A bounded in-order capture of raw events, mainly for tests and
+/// debugging.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<Event>,
+    /// Stop recording beyond this many events (0 = unlimited).
+    pub limit: usize,
+}
+
+impl EventLog {
+    /// An unlimited log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// A log that stops recording after `limit` events.
+    pub fn with_limit(limit: usize) -> EventLog {
+        EventLog {
+            events: Vec::new(),
+            limit,
+        }
+    }
+
+    /// The captured events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drop all captured events (keeps the limit).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl Probe for EventLog {
+    fn emit(&mut self, ev: Event) {
+        if self.limit == 0 || self.events.len() < self.limit {
+            self.events.push(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nicsim_sim::Ps;
+
+    #[test]
+    fn null_probe_is_disabled() {
+        const { assert!(!NullProbe::ENABLED) };
+        const { assert!(EventLog::ENABLED) };
+    }
+
+    #[test]
+    fn tuple_composition_fans_out() {
+        let mut pair = (EventLog::new(), EventLog::new());
+        pair.emit(Event::WindowReset { at: Ps(5) });
+        assert_eq!(pair.0.len(), 1);
+        assert_eq!(pair.1.len(), 1);
+        const { assert!(<(EventLog, EventLog)>::ENABLED) };
+    }
+
+    #[test]
+    fn tuple_with_null_stays_enabled() {
+        let mut pair = (NullProbe, EventLog::new());
+        pair.emit(Event::WindowReset { at: Ps::ZERO });
+        assert_eq!(pair.1.len(), 1);
+        const { assert!(<(NullProbe, EventLog)>::ENABLED) };
+        const { assert!(!<(NullProbe, NullProbe)>::ENABLED) };
+    }
+
+    #[test]
+    fn event_log_limit() {
+        let mut log = EventLog::with_limit(2);
+        for i in 0..5 {
+            log.emit(Event::WindowReset { at: Ps(i) });
+        }
+        assert_eq!(log.len(), 2);
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn event_at_extracts_timestamp() {
+        let ev = Event::FmBurst {
+            stream: FmStream::MacRx,
+            write: true,
+            bytes: 64,
+            start: Ps(10),
+            done: Ps(90),
+            queued: 1,
+        };
+        assert_eq!(ev.at(), Ps(90));
+        assert_eq!(Event::WindowReset { at: Ps(3) }.at(), Ps(3));
+    }
+}

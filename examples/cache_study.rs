@@ -13,7 +13,7 @@
 //! ```
 
 use nicsim_coherence::{sweep_sizes, Access};
-use nicsim_mem::AccessKind;
+use nicsim_mem::{AccessKind, AccessTrace};
 use nicsim_repro::{Experiment, NicConfig};
 
 /// The paper filters traces "to include only frame metadata". Locks,
@@ -27,16 +27,12 @@ fn is_frame_metadata(m: &nicsim_firmware::MemMap, addr: u32) -> bool {
 
 fn main() {
     let exp = Experiment::new("cache_study").windows_ms(1, 1).quiet();
-    let cfg = NicConfig {
-        capture_trace: true,
-        trace_limit: 500_000,
-        ..NicConfig::default()
-    };
-    let (_, mut sys) = exp.run_with_system("trace", cfg);
+    let cfg = NicConfig::default();
+    let (_, sys) = exp.run_with_probe("trace", cfg, AccessTrace::with_limit(500_000));
     let cores = sys.config().cores;
 
     let m = sys.map();
-    let trace = sys.take_trace().expect("trace capture enabled");
+    let trace = sys.into_probe();
     // SMPCache models at most 8 caches: merge the DMA engines into one
     // requester and the MAC units into another, like the paper.
     let merged = trace.merge_requesters(|r| {

@@ -23,6 +23,24 @@ cargo test --release --quiet -p nicsim --test kernel_equivalence
 echo "==> simspeed smoke (event kernel sanity, ~2 s)"
 NICSIM_SIMSPEED_SMOKE=1 ./target/release/simspeed
 
+echo "==> probe overhead guard (full windows vs committed baseline, ~5 s)"
+# The baseline comparison proves the disabled-probe (NullProbe) path is
+# free: cycles/host-second must stay within 5% of the committed
+# results/BENCH_simspeed.json (NICSIM_BASELINE_TOL overrides). Full
+# windows match the baseline's methodology — smoke windows would pay a
+# fixed per-run cost the committed numbers amortize away.
+NICSIM_QUICK=0 NICSIM_SIMSPEED_SMOKE=0 NICSIM_RESULTS_DIR=target \
+NICSIM_SIMSPEED_BASELINE=results/BENCH_simspeed.json \
+    ./target/release/simspeed --quiet
+rm -f target/BENCH_simspeed.json
+
+echo "==> trace smoke (Chrome trace_event + latency percentiles)"
+# The trace binary validates its own output: lifecycle violations
+# panic, and the written file must round-trip as non-empty JSON.
+NICSIM_QUICK=1 NICSIM_RESULTS_DIR=target ./target/release/trace \
+    --trace target/trace_smoke.json >/dev/null
+rm -f target/trace_smoke.json target/BENCH_trace.json
+
 echo "==> cargo clippy (deny warnings)"
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets --quiet -- -D warnings

@@ -181,17 +181,15 @@ fn deterministic_across_runs() {
 
 #[test]
 fn trace_capture_produces_metadata_accesses() {
-    let cfg = NicConfig {
-        capture_trace: true,
-        trace_limit: 100_000,
-        ..small(NicConfig::default())
-    };
-    let mut sys = NicSystem::new(cfg);
+    let mut sys = NicSystem::with_probe(
+        small(NicConfig::default()),
+        nicsim_mem::AccessTrace::with_limit(100_000),
+    );
     sys.run_until(Ps::from_us(200));
-    let trace = sys.take_trace().expect("trace enabled");
+    let end = sys.map().end;
+    let trace = sys.into_probe();
     assert!(trace.len() > 1000, "got {} records", trace.len());
     // All addresses must be inside the scratchpad.
-    let end = sys.map().end;
     assert!(trace.records().iter().all(|r| r.addr < end));
 }
 
