@@ -16,9 +16,10 @@
 
 use crate::cmd::{DmaCmd, DMA_CMD_WORDS};
 use crate::port::SpPort;
+use nicsim_fault::{CmdOutcome, DmaFaults};
 use nicsim_host::HostMemory;
 use nicsim_mem::{Crossbar, FrameMemory, Scratchpad, SpOp, SpRequest, StreamId};
-use nicsim_obs::{DmaDir, Event, NullProbe, Probe};
+use nicsim_obs::{DmaDir, Event, FaultKind, FaultUnit, NullProbe, Probe, RecoveryKind};
 use nicsim_sim::{NextEvent, Ps};
 
 const TAG_CMD0: u32 = 1; // ..=4 for the four command words
@@ -93,6 +94,19 @@ struct Fetch {
     active: bool,
 }
 
+/// A payload command held back by the fault plan: it resolves (executes
+/// or aborts) once the injected stall/backoff delay has elapsed. One
+/// slot per engine — a deferred command blocks further fetches, exactly
+/// like a real engine serialising on a wedged PCI transaction.
+#[derive(Debug)]
+struct Deferred {
+    cmd: DmaCmd,
+    idx: u32,
+    resolve_at: Ps,
+    attempts: u32,
+    abort: bool,
+}
+
 /// The DMA **read** engine: host memory → NIC.
 #[derive(Debug)]
 pub struct DmaRead {
@@ -104,6 +118,8 @@ pub struct DmaRead {
     /// Scratchpad-destination command being executed (BD fetches).
     sp_exec: Option<(u32, u32)>, // (cmd idx, remaining word writes)
     sdram_outstanding: u32,
+    faults: Option<DmaFaults>,
+    deferred: Option<Deferred>,
 }
 
 impl DmaRead {
@@ -117,6 +133,8 @@ impl DmaRead {
             tracker: DoneTracker::new(cfg.cmd_entries),
             sp_exec: None,
             sdram_outstanding: 0,
+            faults: None,
+            deferred: None,
         }
     }
 
@@ -128,6 +146,22 @@ impl DmaRead {
     /// Zero counters.
     pub fn reset_stats(&mut self) {
         self.sp.reset_stats();
+    }
+
+    /// Enable fault injection on this engine.
+    pub fn set_faults(&mut self, f: DmaFaults) {
+        self.faults = Some(f);
+    }
+
+    /// Fault-site state, when injection is enabled.
+    pub fn faults(&self) -> Option<&DmaFaults> {
+        self.faults.as_ref()
+    }
+
+    /// Mutable fault-site state (the watchdog in `NicSystem` drives the
+    /// stuck/reset bookkeeping from outside the engine).
+    pub fn faults_mut(&mut self) -> Option<&mut DmaFaults> {
+        self.faults.as_mut()
     }
 
     /// A frame-memory burst tagged `tag` completed.
@@ -190,6 +224,94 @@ impl DmaRead {
         }
     }
 
+    /// Route a freshly fetched command through the fault plan: payload
+    /// commands (frame transfers, never descriptor/control traffic) may
+    /// be stalled, retried, or aborted. Clean commands start immediately.
+    fn launch<P: Probe>(
+        &mut self,
+        cmd: DmaCmd,
+        idx: u32,
+        host: &HostMemory,
+        fm: &mut FrameMemory,
+        now: Ps,
+        probe: &mut P,
+    ) {
+        if let Some(f) = self.faults.as_mut() {
+            if f.commands_faulty() && !cmd.is_scratchpad() {
+                let o = f.draw_command();
+                if P::ENABLED {
+                    if o.stalled {
+                        probe.emit(Event::Fault {
+                            kind: FaultKind::PciStall,
+                            unit: FaultUnit::DmaRead,
+                            info: idx,
+                            at: now,
+                        });
+                    }
+                    if o.attempts > 0 {
+                        probe.emit(Event::Fault {
+                            kind: FaultKind::DmaError,
+                            unit: FaultUnit::DmaRead,
+                            info: o.attempts,
+                            at: now,
+                        });
+                    }
+                }
+                if o != CmdOutcome::CLEAN {
+                    self.deferred = Some(Deferred {
+                        cmd,
+                        idx,
+                        resolve_at: now + o.delay,
+                        attempts: o.attempts,
+                        abort: o.abort,
+                    });
+                    return;
+                }
+            }
+        }
+        self.start_command(cmd, idx, host, fm, now, probe);
+    }
+
+    /// Resolve a deferred command whose stall/backoff delay has elapsed:
+    /// either execute it (a successful retry) or abort it — the frame-
+    /// memory destination is poisoned so the stale frame cannot later
+    /// validate as goodput, and the ring slot retires so firmware's
+    /// pipeline keeps moving.
+    fn resolve_deferred<P: Probe>(
+        &mut self,
+        host: &HostMemory,
+        fm: &mut FrameMemory,
+        now: Ps,
+        probe: &mut P,
+    ) {
+        if self.deferred.as_ref().is_none_or(|d| now < d.resolve_at) {
+            return;
+        }
+        let d = self.deferred.take().expect("checked above");
+        if d.abort {
+            fm.poison(d.cmd.w1, d.cmd.len);
+            self.tracker.complete(d.idx);
+            if P::ENABLED {
+                probe.emit(Event::Recovery {
+                    kind: RecoveryKind::FrameAbort,
+                    unit: FaultUnit::DmaRead,
+                    info: d.idx,
+                    at: now,
+                });
+            }
+        } else {
+            if d.attempts > 0 && P::ENABLED {
+                probe.emit(Event::Recovery {
+                    kind: RecoveryKind::DmaRetried,
+                    unit: FaultUnit::DmaRead,
+                    info: d.attempts,
+                    at: now,
+                });
+            }
+            self.start_command(d.cmd, d.idx, host, fm, now, probe);
+        }
+    }
+
     /// Advance one CPU cycle.
     pub fn tick(
         &mut self,
@@ -215,6 +337,15 @@ impl DmaRead {
         fm: &mut FrameMemory,
         probe: &mut P,
     ) {
+        if self.faults.is_some() {
+            if self.faults.as_mut().expect("checked").hang_active(now) {
+                // Wedged: the unit freezes until the watchdog resets it.
+                // Pending work keeps `busy()` true, so both kernels step
+                // densely and the watchdog counts identical cycles.
+                return;
+            }
+            self.resolve_deferred(host, fm, now, probe);
+        }
         if let Some((tag, value)) = self.sp.tick(xbar) {
             match tag {
                 TAG_CMD0..=4 => {
@@ -226,7 +357,7 @@ impl DmaRead {
                         let idx = self.fetched;
                         self.fetched += 1;
                         let cmd = DmaCmd::decode(self.fetch.words);
-                        self.start_command(cmd, idx, host, fm, now, probe);
+                        self.launch(cmd, idx, host, fm, now, probe);
                     }
                 }
                 TAG_DATA => {
@@ -256,6 +387,7 @@ impl DmaRead {
         if !self.fetch.active
             && self.fetched != prod
             && self.sp_exec.is_none()
+            && self.deferred.is_none()
             && self.sdram_outstanding < 2
         {
             self.fetch.active = true;
@@ -281,6 +413,7 @@ impl DmaRead {
     /// input (a doorbell write or an SDRAM completion).
     pub fn busy(&self, sp_mem: &Scratchpad) -> bool {
         self.sp.backlog() > 0
+            || self.deferred.is_some()
             || self.tracker.done != self.tracker.done_written
             || (!self.fetch.active
                 && self.fetched != sp_mem.peek(self.cfg.prod_addr)
@@ -312,6 +445,8 @@ pub struct DmaWrite {
     /// SDRAM-source commands in flight: host destination per tag.
     sdram_dst: Vec<Option<u32>>,
     sdram_outstanding: u32,
+    faults: Option<DmaFaults>,
+    deferred: Option<Deferred>,
     /// Debug: (src, dst, len) of every SDRAM-source command (capped).
     pub dbg_payloads: Vec<(u32, u32, u32)>,
 }
@@ -328,6 +463,8 @@ impl DmaWrite {
             sp_src: None,
             sdram_dst: vec![None; cfg.cmd_entries as usize],
             sdram_outstanding: 0,
+            faults: None,
+            deferred: None,
             dbg_payloads: Vec::new(),
         }
     }
@@ -340,6 +477,21 @@ impl DmaWrite {
     /// Zero counters.
     pub fn reset_stats(&mut self) {
         self.sp.reset_stats();
+    }
+
+    /// Enable fault injection on this engine.
+    pub fn set_faults(&mut self, f: DmaFaults) {
+        self.faults = Some(f);
+    }
+
+    /// Fault-site state, when injection is enabled.
+    pub fn faults(&self) -> Option<&DmaFaults> {
+        self.faults.as_ref()
+    }
+
+    /// Mutable fault-site state (see [`DmaRead::faults_mut`]).
+    pub fn faults_mut(&mut self) -> Option<&mut DmaFaults> {
+        self.faults.as_mut()
     }
 
     /// A frame-memory read burst completed; write its data to the host.
@@ -421,6 +573,93 @@ impl DmaWrite {
         }
     }
 
+    /// Fault-plan gate for fetched commands; see [`DmaRead::launch`].
+    /// Only payload transfers (frame memory → host buffer) are faulted —
+    /// immediate and scratchpad-source commands carry control state.
+    fn launch<P: Probe>(
+        &mut self,
+        cmd: DmaCmd,
+        idx: u32,
+        host: &mut HostMemory,
+        fm: &mut FrameMemory,
+        now: Ps,
+        probe: &mut P,
+    ) {
+        if let Some(f) = self.faults.as_mut() {
+            if f.commands_faulty() && !cmd.is_immediate() && !cmd.is_scratchpad() {
+                let o = f.draw_command();
+                if P::ENABLED {
+                    if o.stalled {
+                        probe.emit(Event::Fault {
+                            kind: FaultKind::PciStall,
+                            unit: FaultUnit::DmaWrite,
+                            info: idx,
+                            at: now,
+                        });
+                    }
+                    if o.attempts > 0 {
+                        probe.emit(Event::Fault {
+                            kind: FaultKind::DmaError,
+                            unit: FaultUnit::DmaWrite,
+                            info: o.attempts,
+                            at: now,
+                        });
+                    }
+                }
+                if o != CmdOutcome::CLEAN {
+                    self.deferred = Some(Deferred {
+                        cmd,
+                        idx,
+                        resolve_at: now + o.delay,
+                        attempts: o.attempts,
+                        abort: o.abort,
+                    });
+                    return;
+                }
+            }
+        }
+        self.start_command(cmd, idx, host, fm, now, probe);
+    }
+
+    /// Resolve a deferred command (see [`DmaRead::resolve_deferred`]).
+    /// An abort zeroes the host destination buffer — the frame bytes
+    /// never left the NIC, so stale host memory must not validate — and
+    /// retires the ring slot.
+    fn resolve_deferred<P: Probe>(
+        &mut self,
+        host: &mut HostMemory,
+        fm: &mut FrameMemory,
+        now: Ps,
+        probe: &mut P,
+    ) {
+        if self.deferred.as_ref().is_none_or(|d| now < d.resolve_at) {
+            return;
+        }
+        let d = self.deferred.take().expect("checked above");
+        if d.abort {
+            host.write(d.cmd.w1, &vec![0u8; d.cmd.len as usize]);
+            self.tracker.complete(d.idx);
+            if P::ENABLED {
+                probe.emit(Event::Recovery {
+                    kind: RecoveryKind::FrameAbort,
+                    unit: FaultUnit::DmaWrite,
+                    info: d.idx,
+                    at: now,
+                });
+            }
+        } else {
+            if d.attempts > 0 && P::ENABLED {
+                probe.emit(Event::Recovery {
+                    kind: RecoveryKind::DmaRetried,
+                    unit: FaultUnit::DmaWrite,
+                    info: d.attempts,
+                    at: now,
+                });
+            }
+            self.start_command(d.cmd, d.idx, host, fm, now, probe);
+        }
+    }
+
     /// Advance one CPU cycle.
     pub fn tick(
         &mut self,
@@ -446,6 +685,12 @@ impl DmaWrite {
         fm: &mut FrameMemory,
         probe: &mut P,
     ) {
+        if self.faults.is_some() {
+            if self.faults.as_mut().expect("checked").hang_active(now) {
+                return; // wedged until the watchdog resets the unit
+            }
+            self.resolve_deferred(host, fm, now, probe);
+        }
         if let Some((tag, value)) = self.sp.tick(xbar) {
             match tag {
                 TAG_CMD0..=4 => {
@@ -457,7 +702,7 @@ impl DmaWrite {
                         let idx = self.fetched;
                         self.fetched += 1;
                         let cmd = DmaCmd::decode(self.fetch.words);
-                        self.start_command(cmd, idx, host, fm, now, probe);
+                        self.launch(cmd, idx, host, fm, now, probe);
                     }
                 }
                 TAG_SRC => {
@@ -487,6 +732,7 @@ impl DmaWrite {
         if !self.fetch.active
             && self.fetched != prod
             && self.sp_src.is_none()
+            && self.deferred.is_none()
             && self.sdram_outstanding < 2
         {
             self.fetch.active = true;
@@ -509,6 +755,7 @@ impl DmaWrite {
     /// [`DmaRead::busy`]).
     pub fn busy(&self, sp_mem: &Scratchpad) -> bool {
         self.sp.backlog() > 0
+            || self.deferred.is_some()
             || self.tracker.done != self.tracker.done_written
             || (!self.fetch.active
                 && self.fetched != sp_mem.peek(self.cfg.prod_addr)
@@ -706,6 +953,96 @@ mod tests {
         }
         assert_eq!(rig.host.read(0xa000, 1518), &frame[..]);
         assert_eq!(rig.sp.peek(0x104), 1);
+    }
+
+    #[test]
+    fn read_engine_abort_poisons_destination_and_retires_slot() {
+        use nicsim_fault::{DmaFaults, FaultPlan, SITE_DMA_READ};
+        let mut rig = Rig::new();
+        let mut eng = DmaRead::new(cfg());
+        let plan = FaultPlan {
+            dma_error: 1.0,
+            max_retries: 0,
+            backoff_ns: 10,
+            ..FaultPlan::default()
+        };
+        eng.set_faults(DmaFaults::new(&plan, SITE_DMA_READ));
+        // Stale bytes at the destination must not survive the abort.
+        rig.fm
+            .submit_write(StreamId::DmaRead, 0x4000, &[0xff; 200], 99, Ps::ZERO);
+        rig.fm.advance(Ps::from_us(1));
+        rig.host.write(0x800, &(0..200u8).collect::<Vec<_>>());
+        rig.write_cmd(
+            0x1000,
+            0,
+            DmaCmd {
+                w0: 0x800,
+                w1: 0x4000,
+                len: 200,
+                flags: 0,
+                tag: 0,
+            },
+        );
+        rig.sp.poke(0x100, 1);
+        rig.now = Ps::from_us(1);
+        for _ in 0..400 {
+            rig.now += Ps(5000);
+            rig.xbar.tick(&mut rig.sp);
+            eng.tick(rig.now, &mut rig.xbar, &rig.sp, &rig.host, &mut rig.fm);
+            for c in rig.fm.advance(rig.now) {
+                eng.on_sdram_complete(c.tag);
+            }
+        }
+        assert_eq!(rig.sp.peek(0x104), 1, "aborted command still retires");
+        assert!(
+            rig.fm.peek(0x4000, 200).iter().all(|&b| b == 0),
+            "destination poisoned"
+        );
+        let f = eng.faults().unwrap();
+        assert_eq!(f.aborts, 1);
+        assert_eq!(f.transient_errors, 1);
+    }
+
+    #[test]
+    fn write_engine_stall_delays_but_delivers() {
+        use nicsim_fault::{DmaFaults, FaultPlan, SITE_DMA_WRITE};
+        let mut rig = Rig::new();
+        let mut eng = DmaWrite::new(cfg());
+        let plan = FaultPlan {
+            dma_stall: 1.0,
+            stall_ns: 500,
+            ..FaultPlan::default()
+        };
+        eng.set_faults(DmaFaults::new(&plan, SITE_DMA_WRITE));
+        let frame: Vec<u8> = (0..255u8).cycle().take(600).collect();
+        rig.fm
+            .submit_write(StreamId::MacRx, 0x6000, &frame, 99, Ps::ZERO);
+        rig.fm.advance(Ps::from_us(2));
+        rig.write_cmd(
+            0x1000,
+            0,
+            DmaCmd {
+                w0: 0x6000,
+                w1: 0xa000,
+                len: 600,
+                flags: 0,
+                tag: 0,
+            },
+        );
+        rig.sp.poke(0x100, 1);
+        rig.now = Ps::from_us(2);
+        for _ in 0..600 {
+            rig.now += Ps(5000);
+            rig.xbar.tick(&mut rig.sp);
+            eng.tick(rig.now, &mut rig.xbar, &rig.sp, &mut rig.host, &mut rig.fm);
+            for c in rig.fm.advance(rig.now) {
+                eng.on_sdram_complete(c.tag, c.data.as_deref().unwrap(), &mut rig.host);
+            }
+        }
+        assert_eq!(rig.host.read(0xa000, 600), &frame[..], "stalled, not lost");
+        assert_eq!(rig.sp.peek(0x104), 1);
+        assert_eq!(eng.faults().unwrap().stalls, 1);
+        assert_eq!(eng.faults().unwrap().aborts, 0);
     }
 
     #[test]

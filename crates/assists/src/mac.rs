@@ -14,9 +14,11 @@
 //! firmware cannot keep up.
 
 use crate::port::SpPort;
+use nicsim_fault::LinkFault;
 use nicsim_mem::{Crossbar, FrameMemory, Scratchpad, SpOp, SpRequest, StreamId};
+use nicsim_net::frame::fcs_valid;
 use nicsim_net::link::{wire_time, RxGenerator, TxMonitor};
-use nicsim_obs::{Event, NullProbe, Probe};
+use nicsim_obs::{Event, FaultKind, FaultUnit, NullProbe, Probe, RecoveryKind};
 use nicsim_sim::{NextEvent, Ps};
 use std::collections::VecDeque;
 
@@ -293,17 +295,36 @@ pub struct MacRx {
     /// matching the firmware's 32-bit tail counter).
     head: u32,
     writes_outstanding: u32,
-    /// Frames whose SDRAM write is in flight: (addr, len).
-    pending_desc: VecDeque<(u32, u32)>,
+    /// Descriptors awaiting publication, in arrival order. Good frames
+    /// wait for their SDRAM write; CRC-dropped frames carry an error
+    /// status and no buffer, but still publish in order behind any
+    /// in-flight predecessors.
+    pending_desc: VecDeque<PendingDesc>,
     /// Observability only (maintained when the probe is enabled): wire
     /// sequence numbers parallel to `pending_desc`.
     obs_pending_seq: VecDeque<u32>,
     prod: u32,
     drops: u64,
     frames_received: u64,
+    /// Whether the MAC verifies the CRC32 FCS of arriving frames
+    /// (enabled only under a fault plan; fault-free generators leave the
+    /// FCS bytes zero, which would never verify).
+    crc_check: bool,
+    crc_dropped: u64,
     /// Debug: wire sequence number of each accepted frame, in
     /// acceptance order (capped).
     pub dbg_accepted: Vec<u32>,
+}
+
+/// One receive descriptor queued for in-order publication.
+#[derive(Debug)]
+struct PendingDesc {
+    addr: u32,
+    len: u32,
+    /// Descriptor status word: 1 = OK, 2 = CRC error (no buffer).
+    status: u32,
+    /// The frame's SDRAM write is still in flight.
+    write_pending: bool,
 }
 
 /// Pad to the next 8-byte boundary (frames land at a +2 offset, so both
@@ -326,6 +347,8 @@ impl MacRx {
             prod: 0,
             drops: 0,
             frames_received: 0,
+            crc_check: false,
+            crc_dropped: 0,
             dbg_accepted: Vec::new(),
         }
     }
@@ -333,6 +356,17 @@ impl MacRx {
     /// Frames dropped because the descriptor ring or buffer was full.
     pub fn drops(&self) -> u64 {
         self.drops
+    }
+
+    /// Enable FCS verification of arriving frames (fault plans only).
+    pub fn set_crc_check(&mut self, on: bool) {
+        self.crc_check = on;
+    }
+
+    /// Frames the CRC check caught and dropped (each one published an
+    /// error descriptor instead of a payload).
+    pub fn crc_dropped(&self) -> u64 {
+        self.crc_dropped
     }
 
     /// Frames accepted off the wire.
@@ -359,39 +393,50 @@ impl MacRx {
     }
 
     /// Probed variant of [`MacRx::on_sdram_complete`]: emits
-    /// [`Event::MacRxDescPublish`] as the descriptor is produced.
+    /// [`Event::MacRxDescPublish`] as each descriptor is produced.
     pub fn on_sdram_complete_probed<P: Probe>(&mut self, now: Ps, probe: &mut P) {
         self.writes_outstanding -= 1;
-        if P::ENABLED {
-            let seq = self
-                .obs_pending_seq
-                .pop_front()
-                .expect("sdram completion without pending seq");
-            probe.emit(Event::MacRxDescPublish { seq, at: now });
-        }
-        let (addr, len) = self
-            .pending_desc
-            .pop_front()
-            .expect("sdram completion without pending frame");
-        let base = self.cfg.ring + (self.prod % self.cfg.entries) * 16;
-        // addr, len, status (OK), checksum info.
-        for (k, val) in [(0, addr), (1, len), (2, 1), (3, 0)] {
+        // Writes complete in submission order: retire the oldest one.
+        self.pending_desc
+            .iter_mut()
+            .find(|d| d.write_pending)
+            .expect("sdram completion without pending frame")
+            .write_pending = false;
+        self.publish_ready(now, probe);
+    }
+
+    /// Publish descriptors from the front of the queue whose frames are
+    /// settled (write done, or an error descriptor with no write).
+    fn publish_ready<P: Probe>(&mut self, now: Ps, probe: &mut P) {
+        while self.pending_desc.front().is_some_and(|d| !d.write_pending) {
+            let d = self.pending_desc.pop_front().expect("nonempty");
+            if P::ENABLED {
+                let seq = self
+                    .obs_pending_seq
+                    .pop_front()
+                    .expect("publication without pending seq");
+                probe.emit(Event::MacRxDescPublish { seq, at: now });
+            }
+            let base = self.cfg.ring + (self.prod % self.cfg.entries) * 16;
+            // addr, len, status, checksum info.
+            for (k, val) in [(0, d.addr), (1, d.len), (2, d.status), (3, 0)] {
+                self.sp.push(
+                    SpRequest {
+                        addr: base + k * 4,
+                        op: SpOp::Write(val),
+                    },
+                    TAG_DESC,
+                );
+            }
+            self.prod += 1;
             self.sp.push(
                 SpRequest {
-                    addr: base + k * 4,
-                    op: SpOp::Write(val),
+                    addr: self.cfg.prod_addr,
+                    op: SpOp::Write(self.prod),
                 },
-                TAG_DESC,
+                TAG_PROD,
             );
         }
-        self.prod += 1;
-        self.sp.push(
-            SpRequest {
-                addr: self.cfg.prod_addr,
-                op: SpOp::Write(self.prod),
-            },
-            TAG_PROD,
-        );
     }
 
     /// Advance one CPU cycle.
@@ -422,6 +467,64 @@ impl MacRx {
                 break;
             };
             let len = frame.len() as u32;
+            if self.crc_check {
+                let injected = self.generator.take_injection();
+                if P::ENABLED {
+                    if let Some(f) = injected {
+                        probe.emit(Event::Fault {
+                            kind: match f {
+                                LinkFault::Corrupt => FaultKind::LinkCorrupt,
+                                LinkFault::Truncate => FaultKind::LinkTruncate,
+                            },
+                            unit: FaultUnit::Link,
+                            info: len,
+                            at: now,
+                        });
+                    }
+                }
+                if !fcs_valid(&frame) {
+                    // Truncated frames may not even carry a sequence word.
+                    let seq = if frame.len() >= 46 {
+                        u32::from_be_bytes([frame[42], frame[43], frame[44], frame[45]])
+                    } else {
+                        0
+                    };
+                    if P::ENABLED {
+                        probe.emit(Event::MacRxArrival {
+                            seq,
+                            len,
+                            dropped: true,
+                            at: now,
+                        });
+                    }
+                    let ring_full = self.prod.wrapping_sub(sp_mem.peek(self.cfg.claim_addr))
+                        >= self.cfg.entries - self.cfg.claim_slack;
+                    if ring_full {
+                        self.drops += 1;
+                        continue;
+                    }
+                    self.crc_dropped += 1;
+                    if P::ENABLED {
+                        probe.emit(Event::Recovery {
+                            kind: RecoveryKind::CrcDrop,
+                            unit: FaultUnit::MacRx,
+                            info: seq,
+                            at: now,
+                        });
+                        self.obs_pending_seq.push_back(seq);
+                    }
+                    // An error descriptor: no buffer, no SDRAM write —
+                    // but it still publishes in arrival order.
+                    self.pending_desc.push_back(PendingDesc {
+                        addr: 0,
+                        len,
+                        status: 2,
+                        write_pending: false,
+                    });
+                    self.publish_ready(now, probe);
+                    continue;
+                }
+            }
             let tail = sp_mem.peek(self.cfg.tail_addr);
             // Compute the candidate allocation (a wrap bump keeps each
             // frame contiguous in the region).
@@ -464,7 +567,12 @@ impl MacRx {
             fm.submit_write(StreamId::MacRx, addr, &frame, 0, now);
             self.head = new_head;
             self.writes_outstanding += 1;
-            self.pending_desc.push_back((addr, len));
+            self.pending_desc.push_back(PendingDesc {
+                addr,
+                len,
+                status: 1,
+                write_pending: true,
+            });
             self.frames_received += 1;
         }
     }
@@ -613,6 +721,50 @@ mod tests {
         }
         assert!(mac.drops() > 0, "overrun must drop");
         assert_eq!(sp.peek(0x200), 4, "only ring-many frames delivered");
+    }
+
+    #[test]
+    fn mac_rx_crc_drops_publish_error_descriptors() {
+        use nicsim_fault::{FaultPlan, LinkFaults};
+        let mut sp = Scratchpad::new(64 * 1024, 4);
+        let mut xbar = Crossbar::new(1, 4);
+        let mut fmem = fm();
+        let cfg = MacRxConfig {
+            port: 0,
+            ring: 0x2000,
+            entries: 64,
+            prod_addr: 0x200,
+            claim_addr: 0x204,
+            claim_slack: 0,
+            buf_base: 0x10_0000,
+            buf_bytes: 0x10_0000,
+            tail_addr: 0x208,
+        };
+        let plan = FaultPlan {
+            link_corrupt: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut generator = RxGenerator::new(1472);
+        generator.set_faults(LinkFaults::new(&plan));
+        let mut mac = MacRx::new(cfg, generator);
+        mac.set_crc_check(true);
+        let mut now = Ps::ZERO;
+        for _ in 0..3000 {
+            now += Ps(5000);
+            xbar.tick(&mut sp);
+            mac.tick(now, &mut xbar, &sp, &mut fmem);
+            for _ in fmem.advance(now) {
+                mac.on_sdram_complete();
+            }
+            if sp.peek(0x200) >= 3 {
+                break;
+            }
+        }
+        assert!(sp.peek(0x200) >= 3, "error descriptors still produce");
+        assert!(mac.crc_dropped() >= 3);
+        assert_eq!(mac.frames_received(), 0, "no corrupt frame accepted");
+        assert_eq!(sp.peek(0x2000), 0, "error descriptor carries no buffer");
+        assert_eq!(sp.peek(0x2008), 2, "status marks the CRC error");
     }
 
     #[test]

@@ -26,7 +26,10 @@ fn main() {
         "Figure 3: MESI hit ratio vs per-processor cache size (6 cores)",
         "hit ratio never exceeds ~55%; <1% of writes invalidate",
     );
-    let cfg = NicConfig::default();
+    let cfg = NicConfig {
+        faults: exp.faults(),
+        ..NicConfig::default()
+    };
     let (run, sys) = exp.run_with_probe("rmw@166+trace", cfg, AccessTrace::with_limit(2_000_000));
     let cores = sys.config().cores;
     let m = sys.map();

@@ -20,6 +20,7 @@ fn main() {
     let core_counts = [1usize, 2, 4, 6, 8];
     let sweep = Sweep::new(NicConfig {
         mode: FwMode::SoftwareOnly,
+        faults: exp.faults(),
         ..NicConfig::default()
     })
     .axis("cpu_mhz", freqs, |cfg, v| cfg.cpu_mhz = v)
@@ -32,6 +33,7 @@ fn main() {
             cores: 1,
             cpu_mhz: 800,
             mode: FwMode::SoftwareOnly,
+            faults: exp.faults(),
             ..NicConfig::default()
         },
     ));

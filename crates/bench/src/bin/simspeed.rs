@@ -98,12 +98,12 @@ fn main() {
     );
     for p in &points {
         let t0 = Instant::now();
-        let mut dense_sys = NicSystem::new(p.cfg);
+        let mut dense_sys = NicSystem::try_new(p.cfg).unwrap();
         let dense_stats = dense_sys.run_measured_dense(warmup, window);
         let dense_wall = t0.elapsed();
 
         let t0 = Instant::now();
-        let mut event_sys = NicSystem::new(p.cfg);
+        let mut event_sys = NicSystem::try_new(p.cfg).unwrap();
         let event_stats = event_sys.run_measured(warmup, window);
         let event_wall = t0.elapsed();
 

@@ -1,5 +1,6 @@
 //! Full-system configuration.
 
+use nicsim_fault::FaultPlan;
 use nicsim_firmware::FwMode;
 use nicsim_mem::{FrameMemoryConfig, ICacheConfig};
 
@@ -39,6 +40,12 @@ pub struct NicConfig {
     pub driver_interval: u64,
     /// Record core 0's operation trace (for the ILP study).
     pub capture_ilp: bool,
+    /// Deterministic fault-injection plan (`None` = clean run, the
+    /// default). A configured plan enables the MAC RX CRC32 check, the
+    /// DMA retry/abort machinery, ECC events, assist hangs with the
+    /// system watchdog, and the firmware/driver recovery paths; runs are
+    /// reproducible from `(plan.seed, plan)`.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for NicConfig {
@@ -58,6 +65,7 @@ impl Default for NicConfig {
             offered_rx_fps: None,
             driver_interval: 16,
             capture_ilp: false,
+            faults: None,
         }
     }
 }
@@ -65,7 +73,7 @@ impl Default for NicConfig {
 /// Why a [`NicConfig`] was rejected by validation.
 ///
 /// Returned by [`NicConfigBuilder::build`], [`NicConfig::validate`], and
-/// `NicSystem::try_new`; `NicSystem::new` panics with the same message.
+/// `NicSystem::try_new` / `NicSystem::try_with_probe`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConfigError {
     /// `cores` was zero — the firmware needs at least one core.
@@ -110,7 +118,7 @@ impl std::error::Error for ConfigError {}
 
 /// Builder for [`NicConfig`] whose [`build`](NicConfigBuilder::build)
 /// validates the configuration instead of letting an inconsistent one
-/// panic deep inside `NicSystem::new`.
+/// surface as an error deep inside `NicSystem::try_new`.
 ///
 /// ```
 /// use nicsim::{ConfigError, NicConfig};
@@ -170,6 +178,8 @@ impl NicConfigBuilder {
         driver_interval: u64,
         /// Record core 0's operation trace (ILP study).
         capture_ilp: bool,
+        /// Deterministic fault-injection plan (`None` = clean run).
+        faults: Option<FaultPlan>,
     }
 
     /// Validate and produce the configuration.

@@ -29,17 +29,28 @@
 //!     udp_payload: 1472,
 //!     ..NicConfig::default()
 //! };
-//! let mut sys = NicSystem::new(cfg);
+//! let mut sys = NicSystem::try_new(cfg).expect("config validates");
 //! let stats = sys.run_measured(Ps::from_us(120), Ps::from_us(120));
 //! assert!(stats.tx_frames > 0 && stats.rx_frames > 0);
 //! stats.assert_clean();
 //! ```
+//!
+//! # Fault injection
+//!
+//! A [`nicsim_fault::FaultPlan`] on [`NicConfig::faults`] arms the
+//! deterministic fault plane: link corruption caught by the MAC RX
+//! CRC32 check, transient DMA errors with retry/backoff/abort, PCI
+//! stalls, correctable ECC events, and stuck-assist hangs recovered by
+//! the system watchdog. Runs replay exactly from `(seed, plan)`, and
+//! [`RunStats::errors`](stats::RunStats::errors) carries the injection
+//! and recovery counters.
 
 pub mod config;
 pub mod stats;
 pub mod system;
 
 pub use config::{ConfigError, NicConfig, NicConfigBuilder};
+pub use nicsim_fault::{ErrorStats, FaultPlan};
 pub use nicsim_firmware::FwMode;
 pub use nicsim_obs::{
     ChromeTrace, DmaDir, Event, EventLog, FmStream, FrameTracker, LatencySummary, Metrics,

@@ -8,6 +8,7 @@
 //! and dashboards keep working when fields are added.
 
 use nicsim_cpu::{CoreProfile, FwFunc, StallBucket};
+use nicsim_fault::ErrorStats;
 use nicsim_sim::Ps;
 
 /// Version of the [`RunStats::summary`] field list. Bumped whenever a
@@ -100,6 +101,11 @@ pub struct RunStats {
     pub icache_hits: u64,
     /// I-cache misses across cores.
     pub icache_misses: u64,
+    /// Fault-injection and recovery counters — `Some` exactly when the
+    /// run had a [`nicsim_fault::FaultPlan`] configured. Clean runs
+    /// report `None`, keeping their summary byte-identical to builds
+    /// without the fault plane.
+    pub errors: Option<ErrorStats>,
 }
 
 impl RunStats {
@@ -114,7 +120,7 @@ impl RunStats {
     /// rather than reaching into fields.
     pub fn summary(&self) -> Vec<(&'static str, StatValue)> {
         use StatValue::{Float, Int};
-        vec![
+        let mut rows = vec![
             ("window_ps", Int(self.window.0)),
             ("cores", Int(self.cores as u64)),
             ("cpu_mhz", Int(self.cpu_mhz)),
@@ -147,7 +153,13 @@ impl RunStats {
             ),
             ("icache_hits", Int(self.icache_hits)),
             ("icache_misses", Int(self.icache_misses)),
-        ]
+        ];
+        // The err_* rows appear only under a fault plan, so clean runs
+        // keep the exact `nicsim-exp/v1` field list of prior builds.
+        if let Some(e) = self.errors {
+            rows.extend(e.summary().into_iter().map(|(n, v)| (n, Int(v))));
+        }
+        rows
     }
 
     /// Per-stall-bucket IPC contributions as `(label, share)` pairs, in
@@ -260,6 +272,7 @@ mod tests {
             frame_mem_max_latency: Ps(456),
             icache_hits: 900,
             icache_misses: 100,
+            errors: None,
         }
     }
 
@@ -315,6 +328,25 @@ mod tests {
         assert_eq!(get("cores").as_int(), Some(6));
         assert_eq!(get("ipc").as_int(), None);
         assert_eq!(SUMMARY_VERSION, 1);
+    }
+
+    /// Under a fault plan the 13 `err_*` rows are appended after the
+    /// clean-run field list, in `ErrorStats::summary()` order.
+    #[test]
+    fn summary_appends_error_rows_only_under_a_plan() {
+        let clean = sample();
+        let mut faulted = sample();
+        faulted.errors = Some(ErrorStats {
+            crc_dropped: 7,
+            tx_retries: 2,
+            ..ErrorStats::default()
+        });
+        let base = clean.summary();
+        let rows = faulted.summary();
+        assert_eq!(rows.len(), base.len() + 13);
+        assert_eq!(rows[..base.len()], base[..]);
+        assert_eq!(rows[base.len() + 2], ("err_crc_dropped", StatValue::Int(7)));
+        assert_eq!(rows[base.len() + 11], ("err_tx_retries", StatValue::Int(2)));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::config::{ConfigError, NicConfig};
 use crate::stats::RunStats;
 use nicsim_assists::{DmaConfig, DmaRead, DmaWrite, MacRx, MacRxConfig, MacTx, MacTxConfig};
 use nicsim_cpu::{CodeLayout, Core, CoreCtx, CoreProfile, OpEvent};
+use nicsim_fault::{DmaFaults, EccFaults, ErrorStats, LinkFaults, SITE_DMA_READ, SITE_DMA_WRITE};
 use nicsim_firmware::handlers::HostRegs;
 use nicsim_firmware::map::{DMA_RING, MACRX_RING, MACTX_RING, RXBUF_BASE, RXBUF_BYTES};
 use nicsim_firmware::mode::Fw;
@@ -19,7 +20,7 @@ use nicsim_firmware::{dispatch_loop, MemMap};
 use nicsim_host::{Driver, DriverConfig, HostLayout, HostMemory, Mailbox};
 use nicsim_mem::{Crossbar, FrameMemory, InstrMemory, Scratchpad, StreamId};
 use nicsim_net::link::RxGenerator;
-use nicsim_obs::{Event, NullProbe, Probe};
+use nicsim_obs::{Event, FaultKind, FaultUnit, NullProbe, Probe, RecoveryKind};
 use nicsim_sim::{Freq, NextEvent, Ps, WakeTracker};
 
 /// The assembled NIC + host + network simulation.
@@ -31,7 +32,7 @@ use nicsim_sim::{Freq, NextEvent, Ps, WakeTracker};
 /// monomorphizes to exactly the code it had before the probe layer
 /// existed — timing, statistics, and the event-driven kernel's
 /// skip decisions are bit-identical. Build a probed system with
-/// [`NicSystem::with_probe`].
+/// [`NicSystem::try_with_probe`].
 pub struct NicSystem<P: Probe = NullProbe> {
     probe: P,
     cfg: NicConfig,
@@ -65,23 +66,18 @@ pub struct NicSystem<P: Probe = NullProbe> {
     stepped_cycles: u64,
     window_start: Ps,
     stopped: bool,
+    /// Host-memory address the system publishes the cumulative DMA-read
+    /// abort count to (`status + 8`); the driver turns the delta into
+    /// transmit retries.
+    status_aborts_addr: u32,
+    /// Last abort count published to the host status block.
+    aborts_published: u32,
+    /// Frame-bus read completions that arrived without data, recovered
+    /// by substituting an empty transfer instead of panicking.
+    fm_short_reads: u64,
 }
 
 impl NicSystem {
-    /// Build the system from a configuration, with observation disabled
-    /// ([`NullProbe`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration fails [`NicConfig::validate`]; use
-    /// [`NicSystem::try_new`] to handle the error instead.
-    pub fn new(cfg: NicConfig) -> NicSystem {
-        match NicSystem::try_new(cfg) {
-            Ok(sys) => sys,
-            Err(e) => panic!("invalid NicConfig: {e}"),
-        }
-    }
-
     /// Build the system from a configuration, rejecting inconsistent
     /// ones. Observation is disabled ([`NullProbe`]).
     ///
@@ -96,24 +92,11 @@ impl NicSystem {
 }
 
 impl<P: Probe> NicSystem<P> {
-    /// Build the system with an observability probe attached. Every
-    /// frame-lifecycle edge — host posts, mailbox doorbells, firmware
-    /// handler entries, crossbar grants, DMA and frame-memory bursts,
-    /// wire occupancy, driver completions — is reported to `probe`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration fails [`NicConfig::validate`]; use
-    /// [`NicSystem::try_with_probe`] to handle the error instead.
-    pub fn with_probe(cfg: NicConfig, probe: P) -> NicSystem<P> {
-        match NicSystem::try_with_probe(cfg, probe) {
-            Ok(sys) => sys,
-            Err(e) => panic!("invalid NicConfig: {e}"),
-        }
-    }
-
     /// Build the system with an observability probe attached, rejecting
-    /// inconsistent configurations.
+    /// inconsistent configurations. Every frame-lifecycle edge — host
+    /// posts, mailbox doorbells, firmware handler entries, crossbar
+    /// grants, DMA and frame-memory bursts, wire occupancy, driver
+    /// completions — is reported to `probe`.
     ///
     /// # Errors
     ///
@@ -125,7 +108,7 @@ impl<P: Probe> NicSystem<P> {
         let ports = cfg.cores + 4;
         let xbar = Crossbar::new(ports, cfg.banks);
         let imem = InstrMemory::new();
-        let fm = FrameMemory::new(cfg.frame_memory);
+        let mut fm = FrameMemory::new(cfg.frame_memory);
 
         // Host.
         let layout = HostLayout::default();
@@ -136,6 +119,7 @@ impl<P: Probe> NicSystem<P> {
                 offered_fps: cfg.offered_tx_fps,
                 send_enabled: cfg.send_enabled,
                 post_burst: 32,
+                fault_aware: cfg.faults.is_some(),
             },
             layout,
         );
@@ -148,14 +132,14 @@ impl<P: Probe> NicSystem<P> {
         };
 
         // Assists.
-        let dmard = DmaRead::new(DmaConfig {
+        let mut dmard = DmaRead::new(DmaConfig {
             port: cfg.cores,
             cmd_ring: map.dmard_ring,
             cmd_entries: DMA_RING,
             prod_addr: map.dmard_prod,
             done_addr: map.dmard_done,
         });
-        let dmawr = DmaWrite::new(DmaConfig {
+        let mut dmawr = DmaWrite::new(DmaConfig {
             port: cfg.cores + 1,
             cmd_ring: map.dmawr_ring,
             cmd_entries: DMA_RING,
@@ -176,7 +160,10 @@ impl<P: Probe> NicSystem<P> {
         if !cfg.recv_enabled {
             generator.disable();
         }
-        let macrx = MacRx::new(
+        if let Some(plan) = &cfg.faults {
+            generator.set_faults(LinkFaults::new(plan));
+        }
+        let mut macrx = MacRx::new(
             MacRxConfig {
                 port: cfg.cores + 3,
                 ring: map.macrx_ring,
@@ -190,6 +177,15 @@ impl<P: Probe> NicSystem<P> {
             },
             generator,
         );
+        if let Some(plan) = &cfg.faults {
+            // Arm every injection site and its recovery mechanism. The
+            // CRC check only runs under a plan: clean builds never pay
+            // for (or depend on) FCS computation.
+            macrx.set_crc_check(true);
+            dmard.set_faults(DmaFaults::new(plan, SITE_DMA_READ));
+            dmawr.set_faults(DmaFaults::new(plan, SITE_DMA_WRITE));
+            fm.set_faults(EccFaults::new(plan));
+        }
 
         // Cores + firmware.
         let mut cores = Vec::with_capacity(cfg.cores);
@@ -203,6 +199,7 @@ impl<P: Probe> NicSystem<P> {
                 ctx: ctx.clone(),
                 m: map,
                 mode: cfg.mode,
+                fault_aware: cfg.faults.is_some(),
             };
             core.install(dispatch_loop(ctx, fw, host_regs));
             cores.push(core);
@@ -235,6 +232,9 @@ impl<P: Probe> NicSystem<P> {
             stepped_cycles: 0,
             window_start: Ps::ZERO,
             stopped: false,
+            status_aborts_addr: layout.status + 8,
+            aborts_published: 0,
+            fm_short_reads: 0,
         })
     }
 
@@ -333,6 +333,13 @@ impl<P: Probe> NicSystem<P> {
                 .tick_probed(now, &mut self.xbar, &self.sp, &mut self.fm, &mut self.probe);
         }
 
+        // Fault supervision: the per-assist watchdog and the abort-count
+        // publication to the host status block. Only live under a plan —
+        // clean runs take one branch here and nothing else.
+        if self.cfg.faults.is_some() {
+            self.fault_supervision(now);
+        }
+
         // Frame-memory completions route back to their streams. The
         // controller changes state only at `next_event` (a burst start
         // or completion falling due).
@@ -344,20 +351,27 @@ impl<P: Probe> NicSystem<P> {
                             .on_sdram_complete_probed(c.tag, c.at, &mut self.probe)
                     }
                     StreamId::DmaWrite => {
+                        let data = match c.data.as_deref() {
+                            Some(d) => d,
+                            None => self.on_short_read(c.at),
+                        };
                         self.dmawr.on_sdram_complete_probed(
                             c.tag,
-                            c.data.as_deref().expect("read data"),
+                            data,
                             &mut self.host_mem,
                             c.at,
                             &mut self.probe,
                         );
                         self.driver_idle = false;
                     }
-                    StreamId::MacTx => self.mactx.on_sdram_complete_probed(
-                        c.at,
-                        c.data.as_deref().expect("read data"),
-                        &mut self.probe,
-                    ),
+                    StreamId::MacTx => {
+                        let data = match c.data.as_deref() {
+                            Some(d) => d,
+                            None => self.on_short_read(c.at),
+                        };
+                        self.mactx
+                            .on_sdram_complete_probed(c.at, data, &mut self.probe)
+                    }
                     StreamId::MacRx => self.macrx.on_sdram_complete_probed(c.at, &mut self.probe),
                 }
             }
@@ -398,6 +412,94 @@ impl<P: Probe> NicSystem<P> {
     /// reference kernel's step).
     fn step(&mut self) {
         self.step_inner(false);
+    }
+
+    /// Recover a frame-bus read completion that arrived without data:
+    /// count it, report it, and substitute an empty transfer. The
+    /// downstream unit completes its descriptor with nothing written,
+    /// which end-to-end validation then surfaces as a frame error.
+    #[cold]
+    fn on_short_read(&mut self, at: Ps) -> &'static [u8] {
+        self.fm_short_reads += 1;
+        if P::ENABLED {
+            self.probe.emit(Event::Fault {
+                kind: FaultKind::ShortRead,
+                unit: FaultUnit::FrameMemory,
+                info: 0,
+                at,
+            });
+        }
+        &[]
+    }
+
+    /// Watchdog pass over the DMA engines plus the abort-count
+    /// publication the driver's transmit-retry accounting reads.
+    ///
+    /// A hung engine with work pending is "stuck"; the first stuck
+    /// observation counts the hang, and once the observation is older
+    /// than the plan's watchdog timeout the system resets the unit.
+    /// Both kernels observe identical cycles here: a stuck engine's
+    /// pending work keeps `busy()` true, which pins the event-driven
+    /// kernel to dense stepping for the whole episode.
+    fn fault_supervision(&mut self, now: Ps) {
+        let busy = self.dmard.busy(&self.sp);
+        if let Some(f) = self.dmard.faults_mut() {
+            if f.hung && busy {
+                let first = f.stuck_since.is_none();
+                if f.observe_stuck(now) {
+                    f.watchdog_reset(now);
+                    if P::ENABLED {
+                        self.probe.emit(Event::Recovery {
+                            kind: RecoveryKind::WatchdogReset,
+                            unit: FaultUnit::DmaRead,
+                            info: 0,
+                            at: now,
+                        });
+                    }
+                } else if first && P::ENABLED {
+                    self.probe.emit(Event::Fault {
+                        kind: FaultKind::AssistHang,
+                        unit: FaultUnit::DmaRead,
+                        info: 0,
+                        at: now,
+                    });
+                }
+            }
+        }
+        let busy = self.dmawr.busy(&self.sp);
+        if let Some(f) = self.dmawr.faults_mut() {
+            if f.hung && busy {
+                let first = f.stuck_since.is_none();
+                if f.observe_stuck(now) {
+                    f.watchdog_reset(now);
+                    if P::ENABLED {
+                        self.probe.emit(Event::Recovery {
+                            kind: RecoveryKind::WatchdogReset,
+                            unit: FaultUnit::DmaWrite,
+                            info: 0,
+                            at: now,
+                        });
+                    }
+                } else if first && P::ENABLED {
+                    self.probe.emit(Event::Fault {
+                        kind: FaultKind::AssistHang,
+                        unit: FaultUnit::DmaWrite,
+                        info: 0,
+                        at: now,
+                    });
+                }
+            }
+        }
+        // Aborted DMA reads are aborted transmit frames: publish the
+        // cumulative count so the driver can re-post them.
+        if let Some(f) = self.dmard.faults() {
+            let aborts = f.aborts as u32;
+            if aborts != self.aborts_published {
+                self.aborts_published = aborts;
+                self.host_mem.write_u32(self.status_aborts_addr, aborts);
+                self.driver_idle = false;
+            }
+        }
     }
 
     /// How many cycles the clock may jump before any component can
@@ -578,6 +680,27 @@ impl<P: Probe> NicSystem<P> {
             + self.macrx.sp_accesses();
         let d = self.driver.stats();
         let window_cycles = core_ticks.max(1) as f64;
+        let errors = self.cfg.faults.map(|_| {
+            let (link_corrupt_injected, link_truncate_injected) = self.macrx.generator.injected();
+            let rd = self.dmard.faults();
+            let wr = self.dmawr.faults();
+            let sum = |pick: fn(&DmaFaults) -> u64| rd.map_or(0, pick) + wr.map_or(0, pick);
+            ErrorStats {
+                link_corrupt_injected,
+                link_truncate_injected,
+                crc_dropped: self.macrx.crc_dropped(),
+                dma_transient_errors: sum(|f| f.transient_errors),
+                dma_retries_ok: sum(|f| f.retries_ok),
+                dma_aborts: sum(|f| f.aborts),
+                pci_stalls: sum(|f| f.stalls),
+                ecc_corrections: self.fm.ecc_corrections(),
+                assist_hangs: sum(|f| f.hangs),
+                watchdog_resets: sum(|f| f.watchdog_resets),
+                rx_error_returns: d.rx_error_returns,
+                tx_retries: d.tx_retries,
+                fm_short_reads: self.fm_short_reads,
+            }
+        });
         RunStats {
             window,
             cores: self.cfg.cores,
@@ -603,6 +726,7 @@ impl<P: Probe> NicSystem<P> {
             frame_mem_max_latency: self.fm.max_latency(),
             icache_hits,
             icache_misses,
+            errors,
         }
     }
 
@@ -701,7 +825,7 @@ mod tests {
             cpu_mhz: 500,
             ..NicConfig::default()
         };
-        let mut sys = NicSystem::new(cfg);
+        let mut sys = NicSystem::try_new(cfg).unwrap();
         let stats = sys.run_measured(Ps::from_us(150), Ps::from_us(150));
         assert!(stats.tx_frames > 20, "tx_frames = {}", stats.tx_frames);
         assert!(stats.rx_frames > 20, "rx_frames = {}", stats.rx_frames);
@@ -715,7 +839,7 @@ mod tests {
             cpu_mhz: 500,
             ..NicConfig::default()
         };
-        let mut sys = NicSystem::new(cfg);
+        let mut sys = NicSystem::try_new(cfg).unwrap();
         sys.run_until(Ps::from_us(50));
         sys.stop(Ps::from_ms(5));
         assert!(sys.halted());
@@ -723,7 +847,7 @@ mod tests {
 
     #[test]
     fn ideal_mode_processes_frames() {
-        let mut sys = NicSystem::new(NicConfig::ideal());
+        let mut sys = NicSystem::try_new(NicConfig::ideal()).unwrap();
         let stats = sys.run_measured(Ps::from_us(200), Ps::from_us(200));
         assert!(stats.tx_frames > 10);
         assert!(stats.rx_frames > 10);
@@ -738,7 +862,7 @@ mod tests {
             mode: FwMode::SoftwareOnly,
             ..NicConfig::default()
         };
-        let mut sys = NicSystem::new(cfg);
+        let mut sys = NicSystem::try_new(cfg).unwrap();
         let stats = sys.run_measured(Ps::from_us(150), Ps::from_us(150));
         assert!(stats.tx_frames > 10);
         assert!(stats.rx_frames > 10);

@@ -1,0 +1,172 @@
+//! Fault-plane determinism and zero-fault bit-identity.
+//!
+//! The fault plane's contract has two halves:
+//!
+//! * **Zero-fault bit-identity** — a configuration without a plan, and
+//!   one with a plan whose every probability is zero (and hangs off),
+//!   produce identical `RunStats` apart from the `errors` field (`None`
+//!   vs `Some(zeros)`). The fault-aware firmware branches, the CRC
+//!   stamping, and the armed-but-silent sites must not move a single
+//!   cycle or counter.
+//! * **Reproducibility** — any `(seed, plan)` replays exactly: same
+//!   stats and same `ErrorStats` across repeats *and* across the dense
+//!   and event-driven kernels.
+
+use nicsim::{ErrorStats, FaultPlan, FwMode, NicConfig, NicSystem, RunStats};
+use nicsim_sim::Ps;
+
+const WARMUP: Ps = Ps(100_000_000); // 100 us
+const WINDOW: Ps = Ps(150_000_000); // 150 us
+
+fn small(faults: Option<FaultPlan>) -> NicConfig {
+    NicConfig {
+        cores: 2,
+        cpu_mhz: 500,
+        faults,
+        ..NicConfig::default()
+    }
+}
+
+fn run_event(cfg: NicConfig) -> RunStats {
+    NicSystem::try_new(cfg)
+        .unwrap()
+        .run_measured(WARMUP, WINDOW)
+}
+
+fn run_dense(cfg: NicConfig) -> RunStats {
+    NicSystem::try_new(cfg)
+        .unwrap()
+        .run_measured_dense(WARMUP, WINDOW)
+}
+
+#[test]
+fn zero_probability_plan_is_bit_identical_to_no_plan() {
+    let clean = run_event(small(None));
+    let armed = run_event(small(Some(FaultPlan::default())));
+    assert_eq!(
+        armed.errors,
+        Some(ErrorStats::default()),
+        "a silent plan must report all-zero error counters"
+    );
+    let mut stripped = armed.clone();
+    stripped.errors = None;
+    assert_eq!(
+        clean, stripped,
+        "arming the fault plane at zero rates moved the simulation"
+    );
+    assert!(clean.tx_frames > 20 && clean.rx_frames > 20, "no traffic");
+}
+
+#[test]
+fn faulted_runs_replay_and_match_across_kernels() {
+    for (seed, rate) in [(1u64, 2e-3), (7, 5e-3)] {
+        let mut plan = FaultPlan::with_rate(seed, rate);
+        plan.hang_period_us = 400;
+        plan.watchdog_us = 30;
+        let cfg = small(Some(plan));
+        let a = run_event(cfg);
+        let b = run_event(cfg);
+        assert_eq!(a, b, "seed {seed}: repeat run diverged");
+        let d = run_dense(cfg);
+        assert_eq!(a, d, "seed {seed}: kernels diverged under faults");
+        assert_eq!(a.errors, d.errors, "seed {seed}: error stats diverged");
+    }
+}
+
+#[test]
+fn different_seeds_draw_different_fault_schedules() {
+    let a = run_event(small(Some(FaultPlan::with_rate(3, 5e-3))));
+    let b = run_event(small(Some(FaultPlan::with_rate(4, 5e-3))));
+    let (ea, eb) = (a.errors.unwrap(), b.errors.unwrap());
+    assert!(ea.injected() > 0 && eb.injected() > 0, "rates too low");
+    assert_ne!(
+        (ea, a.tx_frames, a.rx_frames),
+        (eb, b.tx_frames, b.rx_frames),
+        "independent seeds should not coincide"
+    );
+}
+
+#[test]
+fn heavy_faults_recover_without_wedging() {
+    let mut plan = FaultPlan::with_rate(11, 2e-2);
+    plan.hang_period_us = 150;
+    plan.watchdog_us = 25;
+    let cfg = small(Some(plan));
+    let s = run_event(cfg);
+    let e = s.errors.expect("plan configured");
+    let injected = e.link_corrupt_injected + e.link_truncate_injected;
+    assert!(e.crc_dropped > 0, "no CRC drops at 2% corruption: {e:?}");
+    // Frames still on the wire when the window closes are injected but
+    // not yet checked; the CRC check must catch everything else and
+    // must never drop a clean frame.
+    assert!(
+        e.crc_dropped <= injected,
+        "dropped more than injected: {e:?}"
+    );
+    assert!(
+        injected - e.crc_dropped <= 4,
+        "injected link faults escaped the CRC check: {e:?}"
+    );
+    assert!(e.dma_transient_errors > 0, "no DMA errors: {e:?}");
+    assert!(e.dma_retries_ok > 0, "no successful retries: {e:?}");
+    assert!(e.ecc_corrections > 0, "no ECC events: {e:?}");
+    assert!(e.assist_hangs > 0, "no hangs at 150 us period: {e:?}");
+    // At most one hang per engine may still be waiting on the watchdog.
+    assert!(e.watchdog_resets > 0, "watchdog never fired: {e:?}");
+    assert!(
+        e.assist_hangs - e.watchdog_resets <= 2,
+        "hangs outran the watchdog: {e:?}"
+    );
+    // Every error descriptor the driver consumed was a genuine drop;
+    // a few may still be queued in the return ring at the cutoff.
+    assert!(
+        e.rx_error_returns > 0,
+        "no error returns reached the driver"
+    );
+    assert!(
+        e.rx_error_returns <= e.crc_dropped,
+        "driver saw more error returns than drops: {e:?}"
+    );
+    // Traffic keeps flowing through the episode soup.
+    assert!(s.tx_frames > 20, "tx starved: {}", s.tx_frames);
+    assert!(s.rx_frames > 20, "rx starved: {}", s.rx_frames);
+    assert_eq!(s.rx_corrupt, 0, "CRC-dropped frames must never validate");
+    assert_eq!(s.rx_out_of_order, 0, "recovery must preserve ordering");
+}
+
+#[test]
+fn dma_aborts_surface_as_tx_retries() {
+    // Retries exhausted quickly: max_retries 0 turns every transient
+    // error into an abort, which the driver must account and re-post.
+    let plan = FaultPlan {
+        dma_error: 5e-3,
+        max_retries: 0,
+        ..FaultPlan::default()
+    };
+    let s = run_event(small(Some(plan)));
+    let e = s.errors.expect("plan configured");
+    assert!(e.dma_aborts > 0, "no aborts: {e:?}");
+    assert_eq!(e.dma_retries_ok, 0, "max_retries 0 can never retry-ok");
+    assert!(
+        e.tx_retries > 0,
+        "driver saw no aborts to retry: {e:?} (stats {s:?})"
+    );
+    assert!(s.tx_frames > 20 && s.rx_frames > 20, "traffic starved");
+}
+
+#[test]
+fn software_only_mode_survives_faults() {
+    let cfg = NicConfig {
+        cores: 2,
+        cpu_mhz: 500,
+        mode: FwMode::SoftwareOnly,
+        faults: Some(FaultPlan::with_rate(5, 5e-3)),
+        ..NicConfig::default()
+    };
+    let a = run_event(cfg);
+    let d = run_dense(cfg);
+    assert_eq!(a, d, "software-only kernels diverged under faults");
+    let e = a.errors.unwrap();
+    assert!(e.injected() > 0, "no faults injected: {e:?}");
+    assert!(a.rx_frames > 20, "rx starved");
+}

@@ -19,10 +19,10 @@ const WARMUP: Ps = Ps(100_000_000); // 100 us
 const WINDOW: Ps = Ps(150_000_000); // 150 us
 
 fn assert_lifecycle(cfg: NicConfig, label: &str) {
-    let mut plain = NicSystem::new(cfg);
+    let mut plain = NicSystem::try_new(cfg).unwrap();
     let base = plain.run_measured(WARMUP, WINDOW);
 
-    let mut probed = NicSystem::with_probe(cfg, FrameTracker::new());
+    let mut probed = NicSystem::try_with_probe(cfg, FrameTracker::new()).unwrap();
     let stats = probed.run_measured(WARMUP, WINDOW);
     assert_eq!(
         base, stats,

@@ -14,9 +14,9 @@ const WARMUP: Ps = Ps(100_000_000); // 100 us
 const WINDOW: Ps = Ps(150_000_000); // 150 us
 
 fn run_pair(cfg: NicConfig, warmup: Ps, window: Ps) -> (RunStats, RunStats, Ps, Ps) {
-    let mut dense = NicSystem::new(cfg);
+    let mut dense = NicSystem::try_new(cfg).unwrap();
     let d = dense.run_measured_dense(warmup, window);
-    let mut event = NicSystem::new(cfg);
+    let mut event = NicSystem::try_new(cfg).unwrap();
     let e = event.run_measured(warmup, window);
     (d, e, dense.now(), event.now())
 }

@@ -12,7 +12,7 @@
 use crate::json::Json;
 use crate::report::{RunReport, SweepReport};
 use crate::sweep::{RunSpec, Sweep};
-use nicsim::{ConfigError, NicConfig, NicSystem, Probe, RunStats};
+use nicsim::{ConfigError, FaultPlan, NicConfig, NicSystem, Probe, RunStats};
 use nicsim_sim::Ps;
 use std::io;
 use std::path::PathBuf;
@@ -32,6 +32,7 @@ pub struct Experiment {
     out_dir: PathBuf,
     quiet: bool,
     trace_path: Option<PathBuf>,
+    faults: Option<FaultPlan>,
     started: Instant,
 }
 
@@ -67,16 +68,20 @@ impl Experiment {
             out_dir,
             quiet: env_is("NICSIM_QUIET", "1"),
             trace_path: None,
+            faults: None,
             started: Instant::now(),
         }
     }
 
     /// [`Experiment::new`] plus command-line overrides: `--jobs <n>`
-    /// (or `--jobs=<n>`), `--quiet`, and `--trace <path>` (or
+    /// (or `--jobs=<n>`), `--quiet`, `--trace <path>` (or
     /// `--trace=<path>`: ask the binary to emit a Chrome `trace_event`
     /// JSON file there — binaries opt in via
-    /// [`Experiment::trace_path`]). Unrecognized arguments are ignored
-    /// so binaries can layer their own flags.
+    /// [`Experiment::trace_path`]), and `--faults <spec>` (or
+    /// `--faults=<spec>`: a [`FaultPlan::parse`] spec such as
+    /// `seed=7,rate=1e-4` — binaries opt in by applying
+    /// [`Experiment::faults`] to their configurations). Unrecognized
+    /// arguments are ignored so binaries can layer their own flags.
     pub fn from_args(name: &str) -> Experiment {
         let mut exp = Experiment::new(name);
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -97,6 +102,12 @@ impl Experiment {
                 i += 1;
                 let v = args.get(i).unwrap_or_else(|| usage_trace());
                 exp.trace_path = Some(PathBuf::from(v));
+            } else if let Some(v) = arg.strip_prefix("--faults=") {
+                exp.faults = Some(parse_faults(v));
+            } else if arg == "--faults" {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| usage_faults());
+                exp.faults = Some(parse_faults(v));
             }
             i += 1;
         }
@@ -110,6 +121,23 @@ impl Experiment {
     /// [`nicsim::ChromeTrace`] sink.
     pub fn trace_path(&self) -> Option<&std::path::Path> {
         self.trace_path.as_deref()
+    }
+
+    /// The fault plan `--faults <spec>` asked for, if any. Binaries
+    /// that support fault injection apply it to every configuration
+    /// they run (`cfg.faults = exp.faults()`); under a plan the engine
+    /// skips the end-to-end cleanliness assertions — drops and retries
+    /// are the point — and the report carries `err_*` counters plus the
+    /// plan's spec string.
+    pub fn faults(&self) -> Option<FaultPlan> {
+        self.faults
+    }
+
+    /// Set the fault plan programmatically (the `--faults` equivalent).
+    #[must_use]
+    pub fn with_faults(mut self, plan: Option<FaultPlan>) -> Experiment {
+        self.faults = plan;
+        self
     }
 
     /// Override the worker-thread count (clamped to at least 1).
@@ -224,7 +252,9 @@ impl Experiment {
             Err(e) => panic!("run '{label}': invalid NicConfig: {e}"),
         };
         let stats = sys.run_measured(self.warmup, self.window);
-        stats.assert_clean();
+        if cfg.faults.is_none() {
+            stats.assert_clean();
+        }
         let report = RunReport {
             label: label.to_string(),
             axes: Vec::new(),
@@ -378,7 +408,9 @@ impl Experiment {
             Err(e) => panic!("run '{}': invalid NicConfig: {e}", spec.label),
         };
         let stats = sys.run_measured(self.warmup, self.window);
-        assert_run_clean(&spec.label, &stats);
+        if spec.cfg.faults.is_none() {
+            assert_run_clean(&spec.label, &stats);
+        }
         RunReport {
             label: spec.label.clone(),
             axes: spec.axes.clone(),
@@ -438,6 +470,18 @@ fn usage_jobs() -> ! {
 
 fn usage_trace() -> ! {
     eprintln!("usage: --trace <output path>");
+    std::process::exit(2)
+}
+
+fn parse_faults(v: &str) -> FaultPlan {
+    FaultPlan::parse(v).unwrap_or_else(|e| {
+        eprintln!("--faults {v}: {e}");
+        std::process::exit(2)
+    })
+}
+
+fn usage_faults() -> ! {
+    eprintln!("usage: --faults <spec>, e.g. --faults seed=7,rate=1e-4");
     std::process::exit(2)
 }
 

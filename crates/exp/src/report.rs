@@ -133,9 +133,11 @@ pub fn mode_str(mode: FwMode) -> &'static str {
     }
 }
 
-/// A [`NicConfig`] as a `nicsim-exp/v1` JSON object.
+/// A [`NicConfig`] as a `nicsim-exp/v1` JSON object. The `"faults"`
+/// key (the fault plan's spec string) appears only when a plan is
+/// configured, so clean-run reports keep their exact schema.
 pub fn config_to_json(cfg: &NicConfig) -> Json {
-    Json::obj()
+    let mut doc = Json::obj()
         .with("cores", cfg.cores)
         .with("cpu_mhz", cfg.cpu_mhz)
         .with("banks", cfg.banks)
@@ -167,7 +169,11 @@ pub fn config_to_json(cfg: &NicConfig) -> Json {
         .with("recv_enabled", cfg.recv_enabled)
         .with("offered_tx_fps", cfg.offered_tx_fps)
         .with("offered_rx_fps", cfg.offered_rx_fps)
-        .with("driver_interval", cfg.driver_interval)
+        .with("driver_interval", cfg.driver_interval);
+    if let Some(plan) = &cfg.faults {
+        doc.set("faults", plan.spec().as_str());
+    }
+    doc
 }
 
 /// A [`RunStats`] as a `nicsim-exp/v1` JSON object.
@@ -224,6 +230,20 @@ mod tests {
             Some(8192.0)
         );
         assert_eq!(back.get("offered_tx_fps"), Some(&Json::Null));
+        assert_eq!(back.get("faults"), None, "clean configs carry no key");
+    }
+
+    #[test]
+    fn fault_plan_serializes_as_its_spec_string() {
+        use nicsim::FaultPlan;
+        let plan = FaultPlan::with_rate(7, 1e-4);
+        let cfg = NicConfig {
+            faults: Some(plan),
+            ..NicConfig::default()
+        };
+        let doc = config_to_json(&cfg);
+        let spec = doc.get("faults").unwrap().as_str().unwrap();
+        assert_eq!(FaultPlan::parse(spec), Ok(plan), "spec must round-trip");
     }
 
     #[test]

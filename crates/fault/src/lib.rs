@@ -1,0 +1,729 @@
+//! # nicsim-fault — the deterministic fault-injection plane
+//!
+//! The paper evaluates the NIC only under clean traffic; this crate adds
+//! the unhappy paths a production 10 GbE controller must survive: CRC-bad
+//! frames on the wire, transient DMA/PCI errors and stalls, single-bit
+//! SDRAM ECC events, and wedged assist units. Everything is policy and
+//! bookkeeping — the *mechanisms* (corrupting a frame, retrying a DMA,
+//! resetting an assist) live at each layer's natural boundary in
+//! `nicsim-net`, `nicsim-assists`, `nicsim-mem`, and `nicsim` core.
+//!
+//! ## Determinism contract
+//!
+//! A run is reproducible from `(seed, plan)`:
+//!
+//! * Every injection site owns an independent xorshift64* stream, derived
+//!   from the plan seed and a fixed site id via splitmix64, so adding or
+//!   removing draws at one site never perturbs another.
+//! * Draws happen only at *event-shaped* points — a frame leaving the
+//!   generator, a payload DMA command starting, a read burst being
+//!   granted — which occur at identical simulated times in both the
+//!   dense and event-driven kernels. No site ever draws per tick.
+//! * Hang onset and watchdog deadlines are expressed in simulated time
+//!   (`Ps`), never in executed-step counts, so cycle skipping cannot
+//!   shift them.
+//!
+//! With no [`FaultPlan`] configured every site is `None`, no RNG exists,
+//! and the simulator's behavior (and `RunStats`) is bit-identical to a
+//! build without this crate wired in.
+
+use nicsim_sim::Ps;
+
+/// Site id for the link-level generator stream.
+pub const SITE_LINK: u64 = 1;
+/// Site id for the DMA read (host → NIC) engine stream.
+pub const SITE_DMA_READ: u64 = 2;
+/// Site id for the DMA write (NIC → host) engine stream.
+pub const SITE_DMA_WRITE: u64 = 3;
+/// Site id for the frame-memory ECC stream.
+pub const SITE_ECC: u64 = 4;
+
+/// splitmix64 — seeds the per-site streams from `seed ^ site`.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xorshift64* — the workspace's standard dependency-free PRNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// A stream seeded for `site` under the plan seed (never zero).
+    pub fn for_site(seed: u64, site: u64) -> XorShift64 {
+        let s = splitmix64(seed ^ site.wrapping_mul(0xa076_1d64_78bd_642f));
+        XorShift64 {
+            state: if s == 0 { 0x853c_49e6_748f_ea9b } else { s },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// One Bernoulli draw with probability `p` (clamped to [0, 1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            // Still consume a draw so enabling a zero-rate fault class
+            // does not shift the stream of the others at this site.
+            self.next_u64();
+            return false;
+        }
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Uniform draw in `[0, n)` (`n` must be nonzero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// A complete, `Copy` fault schedule: per-event probabilities, retry and
+/// watchdog policy, and the master seed. Configured through
+/// `NicConfig::builder().faults(..)` or parsed from a `--faults` spec
+/// (see [`FaultPlan::parse`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed; each site derives its own stream from it.
+    pub seed: u64,
+    /// Per-frame probability of a single-bit corruption on the inbound
+    /// link (caught by the MAC RX CRC32 check).
+    pub link_corrupt: f64,
+    /// Per-frame probability of frame truncation on the inbound link.
+    pub link_truncate: f64,
+    /// Per-payload-command probability of a transient DMA completion
+    /// error (retried with exponential backoff, then aborted).
+    pub dma_error: f64,
+    /// Per-payload-command probability of a bounded PCI stall.
+    pub dma_stall: f64,
+    /// Duration of one PCI stall, nanoseconds.
+    pub stall_ns: u64,
+    /// Retry attempts before a failing DMA command is aborted.
+    pub max_retries: u32,
+    /// Base retry backoff, nanoseconds; attempt `n` waits
+    /// `backoff_ns << n`.
+    pub backoff_ns: u64,
+    /// Per-read-burst probability of a correctable single-bit ECC event
+    /// in the frame memory.
+    pub ecc: f64,
+    /// Microseconds between stuck-assist hangs on each DMA engine
+    /// (0 disables hang injection). A hang persists until the watchdog
+    /// resets the unit.
+    pub hang_period_us: u64,
+    /// Watchdog timeout, microseconds: how long an assist may sit stuck
+    /// (hung with work pending) before `NicSystem` resets it.
+    pub watchdog_us: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 1,
+            link_corrupt: 0.0,
+            link_truncate: 0.0,
+            dma_error: 0.0,
+            dma_stall: 0.0,
+            stall_ns: 200,
+            max_retries: 4,
+            backoff_ns: 100,
+            ecc: 0.0,
+            hang_period_us: 0,
+            watchdog_us: 50,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan applying `rate` uniformly to the per-event fault classes
+    /// (link corruption, truncation at a tenth, DMA errors, stalls,
+    /// ECC) — the axis the `fault_sweep` bench walks.
+    pub fn with_rate(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            link_corrupt: rate,
+            link_truncate: rate * 0.1,
+            dma_error: rate,
+            dma_stall: rate,
+            ecc: rate,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Parse a `--faults` spec: a comma-separated `key=value` list.
+    ///
+    /// | key           | meaning                                    |
+    /// |---------------|--------------------------------------------|
+    /// | `seed`        | master seed (u64, default 1)               |
+    /// | `rate`        | shorthand: sets `crc`, `dma`, `stall`, `ecc` to the value and `trunc` to a tenth |
+    /// | `crc`         | per-frame link corruption probability      |
+    /// | `trunc`       | per-frame link truncation probability      |
+    /// | `dma`         | per-command transient DMA error probability|
+    /// | `stall`       | per-command PCI stall probability          |
+    /// | `stall_ns`    | stall duration (default 200)               |
+    /// | `retries`     | DMA retry attempts before abort (default 4)|
+    /// | `backoff_ns`  | base retry backoff (default 100)           |
+    /// | `ecc`         | per-read-burst ECC event probability       |
+    /// | `hang_us`     | hang injection period, 0 = off (default 0) |
+    /// | `watchdog_us` | watchdog timeout (default 50)              |
+    ///
+    /// Example: `--faults seed=7,crc=1e-3,dma=1e-4,hang_us=500`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for item in spec.split(',').filter(|s| !s.trim().is_empty()) {
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| format!("'{item}': expected key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            fn parse_as<T: std::str::FromStr>(item: &str, key: &str, v: &str) -> Result<T, String> {
+                v.parse()
+                    .map_err(|_| format!("'{item}': bad value for {key}"))
+            }
+            match key {
+                "seed" => plan.seed = parse_as(item, key, value)?,
+                "rate" => {
+                    let r: f64 = parse_as(item, key, value)?;
+                    let seeded = plan.seed;
+                    plan = FaultPlan {
+                        stall_ns: plan.stall_ns,
+                        max_retries: plan.max_retries,
+                        backoff_ns: plan.backoff_ns,
+                        hang_period_us: plan.hang_period_us,
+                        watchdog_us: plan.watchdog_us,
+                        ..FaultPlan::with_rate(seeded, r)
+                    };
+                }
+                "crc" => plan.link_corrupt = parse_as(item, key, value)?,
+                "trunc" => plan.link_truncate = parse_as(item, key, value)?,
+                "dma" => plan.dma_error = parse_as(item, key, value)?,
+                "stall" => plan.dma_stall = parse_as(item, key, value)?,
+                "stall_ns" => plan.stall_ns = parse_as(item, key, value)?,
+                "retries" => plan.max_retries = parse_as(item, key, value)?,
+                "backoff_ns" => plan.backoff_ns = parse_as(item, key, value)?,
+                "ecc" => plan.ecc = parse_as(item, key, value)?,
+                "hang_us" => plan.hang_period_us = parse_as(item, key, value)?,
+                "watchdog_us" => plan.watchdog_us = parse_as(item, key, value)?,
+                _ => return Err(format!("'{item}': unknown key '{key}'")),
+            }
+        }
+        for (name, p) in [
+            ("crc", plan.link_corrupt),
+            ("trunc", plan.link_truncate),
+            ("dma", plan.dma_error),
+            ("stall", plan.dma_stall),
+            ("ecc", plan.ecc),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name}={p}: probability must be in [0, 1]"));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The spec string that re-parses to this plan (results metadata).
+    pub fn spec(&self) -> String {
+        format!(
+            "seed={},crc={},trunc={},dma={},stall={},stall_ns={},retries={},\
+             backoff_ns={},ecc={},hang_us={},watchdog_us={}",
+            self.seed,
+            self.link_corrupt,
+            self.link_truncate,
+            self.dma_error,
+            self.dma_stall,
+            self.stall_ns,
+            self.max_retries,
+            self.backoff_ns,
+            self.ecc,
+            self.hang_period_us,
+            self.watchdog_us
+        )
+    }
+}
+
+/// Injection and recovery counters, aggregated by `NicSystem` into
+/// `RunStats` (and from there into the `nicsim-exp/v1` results JSON)
+/// whenever a [`FaultPlan`] is configured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ErrorStats {
+    /// Frames bit-corrupted on the inbound link.
+    pub link_corrupt_injected: u64,
+    /// Frames truncated on the inbound link.
+    pub link_truncate_injected: u64,
+    /// Frames the MAC RX CRC32 check caught and dropped (an error
+    /// descriptor was published instead of the payload).
+    pub crc_dropped: u64,
+    /// Transient DMA completion errors injected (counts every failed
+    /// attempt, including retries of the same command).
+    pub dma_transient_errors: u64,
+    /// DMA commands that eventually succeeded through retry.
+    pub dma_retries_ok: u64,
+    /// DMA commands aborted after exhausting retries (frame abort with
+    /// ring cleanup).
+    pub dma_aborts: u64,
+    /// Bounded PCI stalls injected.
+    pub pci_stalls: u64,
+    /// Correctable single-bit ECC events in the frame memory.
+    pub ecc_corrections: u64,
+    /// Stuck-assist hangs that took effect (the unit had work pending).
+    pub assist_hangs: u64,
+    /// Watchdog resets of stuck assists.
+    pub watchdog_resets: u64,
+    /// Error return descriptors the host driver consumed and recycled.
+    pub rx_error_returns: u64,
+    /// Aborted transmit frames the host driver accounted and re-posted.
+    pub tx_retries: u64,
+    /// Frame-bus read completions that arrived without data and were
+    /// recovered as aborted transfers.
+    pub fm_short_reads: u64,
+}
+
+impl ErrorStats {
+    /// Total injected faults (not recoveries).
+    pub fn injected(&self) -> u64 {
+        self.link_corrupt_injected
+            + self.link_truncate_injected
+            + self.dma_transient_errors
+            + self.pci_stalls
+            + self.ecc_corrections
+            + self.assist_hangs
+    }
+
+    /// The stable `(name, value)` rows appended to `RunStats::summary()`.
+    pub fn summary(&self) -> [(&'static str, u64); 13] {
+        [
+            ("err_link_corrupt", self.link_corrupt_injected),
+            ("err_link_truncate", self.link_truncate_injected),
+            ("err_crc_dropped", self.crc_dropped),
+            ("err_dma_transient", self.dma_transient_errors),
+            ("err_dma_retried", self.dma_retries_ok),
+            ("err_dma_aborts", self.dma_aborts),
+            ("err_pci_stalls", self.pci_stalls),
+            ("err_ecc", self.ecc_corrections),
+            ("err_assist_hangs", self.assist_hangs),
+            ("err_watchdog_resets", self.watchdog_resets),
+            ("err_rx_error_returns", self.rx_error_returns),
+            ("err_tx_retries", self.tx_retries),
+            ("err_fm_short_reads", self.fm_short_reads),
+        ]
+    }
+}
+
+/// What the link decided to do to one generated frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// Flip one bit somewhere in the frame body.
+    Corrupt,
+    /// Cut the frame short of its full length.
+    Truncate,
+}
+
+/// Link-site state: the per-frame draw for bit corruption and
+/// truncation. The mechanism (CRC stamping, the actual mutation) lives
+/// in `nicsim-net`; this is only the policy stream and its counters.
+#[derive(Debug, Clone)]
+pub struct LinkFaults {
+    rng: XorShift64,
+    p_corrupt: f64,
+    p_truncate: f64,
+    /// Frames corrupted so far.
+    pub injected_corrupt: u64,
+    /// Frames truncated so far.
+    pub injected_truncate: u64,
+}
+
+impl LinkFaults {
+    /// Site state under `plan`.
+    pub fn new(plan: &FaultPlan) -> LinkFaults {
+        LinkFaults {
+            rng: XorShift64::for_site(plan.seed, SITE_LINK),
+            p_corrupt: plan.link_corrupt,
+            p_truncate: plan.link_truncate,
+            injected_corrupt: 0,
+            injected_truncate: 0,
+        }
+    }
+
+    /// Draw the fate of the next frame. Consumes exactly two Bernoulli
+    /// draws per frame regardless of outcome, so enabling one class
+    /// never shifts the other's stream.
+    pub fn draw(&mut self) -> Option<LinkFault> {
+        let corrupt = self.rng.chance(self.p_corrupt);
+        let truncate = self.rng.chance(self.p_truncate);
+        if corrupt {
+            self.injected_corrupt += 1;
+            Some(LinkFault::Corrupt)
+        } else if truncate {
+            self.injected_truncate += 1;
+            Some(LinkFault::Truncate)
+        } else {
+            None
+        }
+    }
+
+    /// A raw draw for picking the corruption position / truncated length.
+    pub fn pick(&mut self, n: u64) -> u64 {
+        self.rng.below(n.max(1))
+    }
+}
+
+/// The fate of one payload DMA command under the fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmdOutcome {
+    /// Extra delay (stall + retry backoff) before the command resolves.
+    pub delay: Ps,
+    /// Failed attempts before resolution (each one a transient error).
+    pub attempts: u32,
+    /// Whether a PCI stall was injected.
+    pub stalled: bool,
+    /// Whether the command ultimately aborts instead of transferring.
+    pub abort: bool,
+}
+
+impl CmdOutcome {
+    /// A clean pass-through outcome.
+    pub const CLEAN: CmdOutcome = CmdOutcome {
+        delay: Ps::ZERO,
+        attempts: 0,
+        stalled: false,
+        abort: false,
+    };
+}
+
+/// DMA-engine site state: transient errors with retry/backoff/abort,
+/// PCI stalls, and stuck-unit hangs, plus the engine's fault counters.
+#[derive(Debug, Clone)]
+pub struct DmaFaults {
+    rng: XorShift64,
+    p_error: f64,
+    p_stall: f64,
+    stall: Ps,
+    max_retries: u32,
+    backoff: Ps,
+    hang_period: Ps,
+    watchdog: Ps,
+    /// Next scheduled hang onset (`Ps::MAX` when hangs are disabled).
+    next_hang_at: Ps,
+    /// The unit is currently wedged (cleared by a watchdog reset).
+    pub hung: bool,
+    /// When the unit was first observed stuck (hung with work pending).
+    pub stuck_since: Option<Ps>,
+    /// Transient errors injected (failed attempts).
+    pub transient_errors: u64,
+    /// Commands recovered through retry.
+    pub retries_ok: u64,
+    /// Commands aborted after exhausting retries.
+    pub aborts: u64,
+    /// PCI stalls injected.
+    pub stalls: u64,
+    /// Hangs that took effect (counted at first stuck observation).
+    pub hangs: u64,
+    /// Watchdog resets of this unit.
+    pub watchdog_resets: u64,
+}
+
+impl DmaFaults {
+    /// Site state for `site` (one of [`SITE_DMA_READ`] /
+    /// [`SITE_DMA_WRITE`]) under `plan`.
+    pub fn new(plan: &FaultPlan, site: u64) -> DmaFaults {
+        let hang_period = if plan.hang_period_us == 0 {
+            Ps::MAX
+        } else {
+            Ps::from_us(plan.hang_period_us)
+        };
+        DmaFaults {
+            rng: XorShift64::for_site(plan.seed, site),
+            p_error: plan.dma_error,
+            p_stall: plan.dma_stall,
+            stall: Ps(plan.stall_ns * 1000),
+            max_retries: plan.max_retries,
+            backoff: Ps(plan.backoff_ns * 1000),
+            hang_period,
+            watchdog: Ps::from_us(plan.watchdog_us.max(1)),
+            next_hang_at: hang_period,
+            hung: false,
+            stuck_since: None,
+            transient_errors: 0,
+            retries_ok: 0,
+            aborts: 0,
+            stalls: 0,
+            hangs: 0,
+            watchdog_resets: 0,
+        }
+    }
+
+    /// Decide the fate of one payload command: an optional stall, then a
+    /// geometric chain of failed attempts, each backed off exponentially.
+    /// The accumulated delay is served before the command executes (or
+    /// aborts); counters update immediately.
+    pub fn draw_command(&mut self) -> CmdOutcome {
+        let stalled = self.rng.chance(self.p_stall);
+        let mut delay = if stalled {
+            self.stalls += 1;
+            self.stall
+        } else {
+            Ps::ZERO
+        };
+        let mut attempts = 0u32;
+        while attempts <= self.max_retries && self.rng.chance(self.p_error) {
+            delay += Ps(self.backoff.0 << attempts.min(16));
+            attempts += 1;
+        }
+        let abort = attempts > self.max_retries;
+        self.transient_errors += attempts as u64;
+        if abort {
+            self.aborts += 1;
+        } else if attempts > 0 {
+            self.retries_ok += 1;
+        }
+        CmdOutcome {
+            delay,
+            attempts,
+            stalled,
+            abort,
+        }
+    }
+
+    /// Whether any fault class is live at this site (used to skip the
+    /// draw entirely for control-plane commands).
+    pub fn commands_faulty(&self) -> bool {
+        self.p_error > 0.0 || self.p_stall > 0.0
+    }
+
+    /// Advance the hang schedule: returns `true` while the unit is
+    /// wedged. Onset is a pure function of simulated time, so dense and
+    /// event-driven kernels agree regardless of cycle skipping.
+    pub fn hang_active(&mut self, now: Ps) -> bool {
+        if !self.hung && now >= self.next_hang_at {
+            self.hung = true;
+        }
+        self.hung
+    }
+
+    /// Record a stuck observation (hung with work pending) at `now`;
+    /// returns `true` when the watchdog deadline has expired and the
+    /// unit must be reset. The first stuck observation counts the hang.
+    pub fn observe_stuck(&mut self, now: Ps) -> bool {
+        match self.stuck_since {
+            None => {
+                self.stuck_since = Some(now);
+                self.hangs += 1;
+                false
+            }
+            Some(since) => now >= since + self.watchdog,
+        }
+    }
+
+    /// Watchdog reset: clear the wedge, reschedule the next hang, count
+    /// the recovery.
+    pub fn watchdog_reset(&mut self, now: Ps) {
+        self.hung = false;
+        self.stuck_since = None;
+        self.watchdog_resets += 1;
+        self.next_hang_at = if self.hang_period == Ps::MAX {
+            Ps::MAX
+        } else {
+            now + self.hang_period
+        };
+    }
+
+    /// Clear the stuck observation (the unit made progress or drained).
+    pub fn clear_stuck(&mut self) {
+        self.stuck_since = None;
+    }
+}
+
+/// Frame-memory site state: correctable single-bit ECC events on read
+/// bursts, each costing a fixed correction latency.
+#[derive(Debug, Clone)]
+pub struct EccFaults {
+    rng: XorShift64,
+    p: f64,
+    /// Extra service latency charged per corrected burst.
+    pub extra: Ps,
+    /// Corrections so far.
+    pub corrections: u64,
+}
+
+impl EccFaults {
+    /// Site state under `plan`. The correction penalty is fixed at 8 ns
+    /// (a resync + scrub write at GDDR timescales).
+    pub fn new(plan: &FaultPlan) -> EccFaults {
+        EccFaults {
+            rng: XorShift64::for_site(plan.seed, SITE_ECC),
+            p: plan.ecc,
+            extra: Ps(8_000),
+            corrections: 0,
+        }
+    }
+
+    /// Draw one read burst: `true` when a single-bit error was injected
+    /// (and corrected).
+    pub fn draw(&mut self) -> bool {
+        if self.rng.chance(self.p) {
+            self.corrections += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_streams_are_independent_and_reproducible() {
+        let mut a = XorShift64::for_site(7, SITE_LINK);
+        let mut b = XorShift64::for_site(7, SITE_LINK);
+        let mut c = XorShift64::for_site(7, SITE_DMA_READ);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y, "same (seed, site) must replay");
+        assert_ne!(x, z, "different sites must not correlate");
+    }
+
+    #[test]
+    fn chance_respects_extremes() {
+        let mut r = XorShift64::for_site(3, SITE_ECC);
+        for _ in 0..64 {
+            assert!(!r.chance(0.0));
+            assert!(r.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn chance_tracks_probability_roughly() {
+        let mut r = XorShift64::for_site(11, SITE_LINK);
+        let hits = (0..10_000).filter(|_| r.chance(0.1)).count();
+        assert!((800..1200).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn parse_roundtrips_through_spec() {
+        let plan =
+            FaultPlan::parse("seed=9,crc=0.001,dma=0.0002,hang_us=500,watchdog_us=80").unwrap();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.link_corrupt, 0.001);
+        assert_eq!(plan.hang_period_us, 500);
+        assert_eq!(FaultPlan::parse(&plan.spec()).unwrap(), plan);
+    }
+
+    #[test]
+    fn parse_rate_shorthand_and_errors() {
+        let plan = FaultPlan::parse("seed=2,rate=1e-3").unwrap();
+        assert_eq!(plan.link_corrupt, 1e-3);
+        assert_eq!(plan.dma_error, 1e-3);
+        assert_eq!(plan.ecc, 1e-3);
+        assert_eq!(plan.link_truncate, 1e-4);
+        assert_eq!(plan.seed, 2);
+        assert!(FaultPlan::parse("bogus").is_err());
+        assert!(FaultPlan::parse("crc=2.0").is_err());
+        assert!(FaultPlan::parse("martians=1").is_err());
+    }
+
+    #[test]
+    fn link_draw_counts_and_replays() {
+        let plan = FaultPlan {
+            link_corrupt: 0.5,
+            link_truncate: 0.5,
+            ..FaultPlan::default()
+        };
+        let mut a = LinkFaults::new(&plan);
+        let mut b = LinkFaults::new(&plan);
+        let fa: Vec<_> = (0..100).map(|_| a.draw()).collect();
+        let fb: Vec<_> = (0..100).map(|_| b.draw()).collect();
+        assert_eq!(fa, fb);
+        assert!(a.injected_corrupt > 0);
+        assert!(a.injected_truncate > 0);
+    }
+
+    #[test]
+    fn dma_outcomes_cover_retry_and_abort() {
+        let plan = FaultPlan {
+            dma_error: 0.9,
+            dma_stall: 0.2,
+            max_retries: 2,
+            ..FaultPlan::default()
+        };
+        let mut d = DmaFaults::new(&plan, SITE_DMA_READ);
+        let outcomes: Vec<_> = (0..200).map(|_| d.draw_command()).collect();
+        assert!(outcomes.iter().any(|o| o.abort));
+        assert!(outcomes.iter().any(|o| o.attempts > 0 && !o.abort));
+        assert!(outcomes.iter().any(|o| o.stalled));
+        assert_eq!(
+            d.transient_errors,
+            outcomes.iter().map(|o| o.attempts as u64).sum::<u64>()
+        );
+        assert!(d.aborts > 0 && d.retries_ok > 0 && d.stalls > 0);
+        // Abort only after exhausting max_retries attempts.
+        for o in &outcomes {
+            if o.abort {
+                assert_eq!(o.attempts, plan.max_retries + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn hang_onset_is_time_pure_and_watchdog_resets() {
+        let plan = FaultPlan {
+            hang_period_us: 10,
+            watchdog_us: 5,
+            ..FaultPlan::default()
+        };
+        let mut d = DmaFaults::new(&plan, SITE_DMA_WRITE);
+        assert!(!d.hang_active(Ps::from_us(9)));
+        assert!(d.hang_active(Ps::from_us(10)));
+        // Skipping straight past the onset gives the same answer.
+        let mut e = DmaFaults::new(&plan, SITE_DMA_WRITE);
+        assert!(e.hang_active(Ps::from_us(25)));
+        // Stuck observations arm the watchdog after the timeout.
+        assert!(!d.observe_stuck(Ps::from_us(10)));
+        assert!(!d.observe_stuck(Ps::from_us(12)));
+        assert!(d.observe_stuck(Ps::from_us(15)));
+        d.watchdog_reset(Ps::from_us(15));
+        assert!(!d.hung);
+        assert_eq!(d.watchdog_resets, 1);
+        assert_eq!(d.hangs, 1);
+        // The next hang is rescheduled relative to the reset.
+        assert!(!d.hang_active(Ps::from_us(24)));
+        assert!(d.hang_active(Ps::from_us(25)));
+    }
+
+    #[test]
+    fn ecc_draws_count() {
+        let plan = FaultPlan {
+            ecc: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut e = EccFaults::new(&plan);
+        assert!(e.draw());
+        assert_eq!(e.corrections, 1);
+    }
+
+    #[test]
+    fn error_stats_summary_is_stable() {
+        let s = ErrorStats {
+            crc_dropped: 3,
+            ..ErrorStats::default()
+        };
+        let rows = s.summary();
+        assert_eq!(rows[2], ("err_crc_dropped", 3));
+        assert_eq!(rows.len(), 13);
+        assert_eq!(s.injected(), 0);
+    }
+}

@@ -613,6 +613,35 @@ impl Fw {
             ctx.branch().await;
             ctx.branch_miss().await; // status/error dispatch
             ctx.branch_miss().await; // buffer-size class
+            if self.fault_aware && status != 1 {
+                // CRC-error descriptor: the MAC dropped the payload, so
+                // there is nothing to DMA. Consume the BD and the slot
+                // anyway — ordering stays intact — flag the return
+                // descriptor so the driver recycles the buffer, and mark
+                // the frame done immediately (no completion will come).
+                ctx.alu(8).await; // error statistics, flag packing
+                let st = ctx.load(m.stat(2)).await;
+                ctx.store(m.stat(2), st.wrapping_add(1)).await;
+                let slot = m.recv_slot(seq);
+                ctx.store(slot, addr).await;
+                ctx.store(slot + 4, len).await;
+                ctx.store(slot + 8, hbuf).await;
+                ctx.store(slot + 12, seq).await;
+                ctx.store(slot + 16, 0).await;
+                ctx.store(slot + 20, 1).await; // error flag
+                ctx.store(slot + 28, 2).await; // state: settled, no DMA
+                mark_bit(
+                    ctx,
+                    self.mode,
+                    m.recv_done_bits,
+                    sidx,
+                    m.lock_recv_commit,
+                    self.recv_dispatch_tag(),
+                )
+                .await;
+                ctx.set_func(FwFunc::RecvFrame);
+                continue;
+            }
             let _ = status;
             let st = ctx.load(m.stat(2)).await; // rx frames started
             ctx.store(m.stat(2), st.wrapping_add(1)).await;
@@ -744,17 +773,29 @@ impl Fw {
                 ctx.store(st + 8, fseq).await;
                 ctx.store(st + 12, 0).await; // flags / vlan
                 let flags = ctx.load(slot + 20).await;
-                let _ = flags;
+                if self.fault_aware && flags != 0 {
+                    // Error frame: patch the staged return descriptor so
+                    // the driver sees the flag and recycles the buffer.
+                    ctx.alu(1).await;
+                    ctx.store(st + 12, flags).await;
+                }
                 let sw = ctx.load(m.stat(3)).await; // rx frames returned
                 ctx.store(m.stat(3), sw.wrapping_add(1)).await;
                 ctx.set_func(self.recv_dispatch_tag());
-                // Mirror the MAC RX allocator to retire buffer bytes.
-                let off = tail % RXBUF_BYTES;
-                if off + 2 + len > RXBUF_BYTES {
-                    tail = tail.wrapping_add(RXBUF_BYTES - off);
-                    ctx.alu(1).await;
+                if self.fault_aware && flags != 0 {
+                    // No buffer was allocated for a CRC-dropped frame —
+                    // the MAC never advanced its head, so the tail must
+                    // not move either.
+                    ctx.branch().await;
+                } else {
+                    // Mirror the MAC RX allocator to retire buffer bytes.
+                    let off = tail % RXBUF_BYTES;
+                    if off + 2 + len > RXBUF_BYTES {
+                        tail = tail.wrapping_add(RXBUF_BYTES - off);
+                        ctx.alu(1).await;
+                    }
+                    tail = tail.wrapping_add((2 + len + 7) & !7);
                 }
-                tail = tail.wrapping_add((2 + len + 7) & !7);
             }
             // DMA the staged return descriptors (split at ring wrap).
             let mut first = commit;

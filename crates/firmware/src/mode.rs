@@ -230,6 +230,11 @@ pub struct Fw {
     pub m: MemMap,
     /// Synchronization mode.
     pub mode: FwMode,
+    /// Whether the error-recovery branches are live (set only when a
+    /// fault plan is configured). With this false, the handlers charge
+    /// exactly the same instruction sequence as a build without the
+    /// fault plane, keeping fault-free runs bit-identical.
+    pub fault_aware: bool,
 }
 
 impl std::fmt::Debug for Fw {

@@ -15,7 +15,7 @@
 
 use crate::memory::HostMemory;
 use nicsim_net::frame::{build_udp_frame, validate_frame};
-use nicsim_obs::{Event, NullProbe, Probe};
+use nicsim_obs::{Event, FaultUnit, NullProbe, Probe, RecoveryKind};
 use nicsim_sim::Ps;
 use std::collections::VecDeque;
 
@@ -109,6 +109,11 @@ pub struct DriverConfig {
     pub send_enabled: bool,
     /// Maximum frames posted per driver invocation.
     pub post_burst: u32,
+    /// Whether the NIC runs under a fault plan: the driver then honors
+    /// error-flagged return descriptors (recycling the buffer instead of
+    /// validating it) and re-posts transmit frames the NIC aborted,
+    /// reading the cumulative abort count from `status + 8`.
+    pub fault_aware: bool,
 }
 
 impl Default for DriverConfig {
@@ -118,6 +123,7 @@ impl Default for DriverConfig {
             offered_fps: None,
             send_enabled: true,
             post_burst: 32,
+            fault_aware: false,
         }
     }
 }
@@ -141,6 +147,11 @@ pub struct DriverStats {
     pub rx_out_of_order: u64,
     /// Frames failing byte-level validation.
     pub rx_corrupt: u64,
+    /// Error-flagged return descriptors consumed (CRC-dropped frames
+    /// whose buffers were recycled without validation).
+    pub rx_error_returns: u64,
+    /// Transmit frames re-posted after the NIC aborted their DMA.
+    pub tx_retries: u64,
 }
 
 /// The device driver.
@@ -162,6 +173,8 @@ pub struct Driver {
     dbg_outstanding: Vec<bool>,
     /// Debug: count of returns for buffers that were not outstanding.
     pub dbg_bad_returns: u64,
+    /// Cumulative NIC abort count already folded into `tx_retries`.
+    aborts_seen: u32,
     mailbox: Vec<MailboxWrite>,
     stats: DriverStats,
     window_start: Ps,
@@ -183,6 +196,7 @@ impl Driver {
             ooo_samples: Vec::new(),
             dbg_outstanding: vec![false; RX_BUF_COUNT as usize],
             dbg_bad_returns: 0,
+            aborts_seen: 0,
             mailbox: Vec::new(),
             stats: DriverStats::default(),
             window_start: Ps::ZERO,
@@ -247,6 +261,26 @@ impl Driver {
         if let Some(fps) = self.cfg.offered_fps {
             let allowed = (now.as_secs_f64() * fps) as u64;
             budget = budget.min((allowed.saturating_sub(self.tx_seq_next as u64)) as u32);
+        }
+        if self.cfg.fault_aware {
+            // Frames whose payload DMA the NIC aborted never reached the
+            // wire: grant extra posting credit on top of the paced
+            // budget so the offered load is made good.
+            let aborts = mem.read_u32(self.layout.status + 8);
+            let lost = aborts.wrapping_sub(self.aborts_seen);
+            if lost > 0 {
+                self.aborts_seen = aborts;
+                self.stats.tx_retries += lost as u64;
+                budget = (budget + lost).min(SEND_FRAME_WINDOW - in_flight);
+                if P::ENABLED {
+                    probe.emit(Event::Recovery {
+                        kind: RecoveryKind::TxRetry,
+                        unit: FaultUnit::Driver,
+                        info: lost,
+                        at: now,
+                    });
+                }
+            }
         }
         if budget == 0 {
             return completed_changed;
@@ -321,6 +355,23 @@ impl Driver {
             let d = self.layout.return_ring + (self.ret_cons % RETURN_RING_ENTRIES) * BD_BYTES;
             let addr = mem.read_u32(d);
             let len = mem.read_u32(d + 4);
+            if self.cfg.fault_aware && mem.read_u32(d + 12) != 0 {
+                // Error return: the MAC dropped the frame at the CRC
+                // check, so the buffer carries no payload — recycle it
+                // without validating and account the drop.
+                self.stats.rx_error_returns += 1;
+                if P::ENABLED {
+                    probe.emit(Event::Recovery {
+                        kind: RecoveryKind::RxErrorReturn,
+                        unit: FaultUnit::Driver,
+                        info: len,
+                        at: now,
+                    });
+                }
+                self.recycle(addr);
+                self.ret_cons += 1;
+                continue;
+            }
             let frame = mem.read(addr, len).to_vec();
             match validate_frame(&frame) {
                 Ok(info) => {
@@ -352,17 +403,21 @@ impl Driver {
                 }
                 Err(_) => self.stats.rx_corrupt += 1,
             }
-            // Recycle the buffer.
-            let buf = (addr - 2 - self.layout.rx_bufs) / RX_BUF_BYTES;
-            if !self.dbg_outstanding[buf as usize] {
-                self.dbg_bad_returns += 1;
-            }
-            self.dbg_outstanding[buf as usize] = false;
-            self.rx_free_bufs.push_back(buf);
-            self.rx_frames_returned += 1;
+            self.recycle(addr);
             self.ret_cons += 1;
         }
         consumed
+    }
+
+    /// Return a buffer to the free pool by its posted address.
+    fn recycle(&mut self, addr: u32) {
+        let buf = (addr - 2 - self.layout.rx_bufs) / RX_BUF_BYTES;
+        if !self.dbg_outstanding[buf as usize] {
+            self.dbg_bad_returns += 1;
+        }
+        self.dbg_outstanding[buf as usize] = false;
+        self.rx_free_bufs.push_back(buf);
+        self.rx_frames_returned += 1;
     }
 
     /// Run one driver invocation: replenish rings, consume completions.
@@ -521,6 +576,49 @@ mod tests {
         mem.write_u32(l.status + 4, 1);
         d.tick(Ps::from_us(1), &mut mem);
         assert_eq!(d.rx_bd_prod, RX_BUF_COUNT + 1, "buffer 0 reposted");
+    }
+
+    #[test]
+    fn error_returns_recycle_without_validation() {
+        let layout = HostLayout::default();
+        let mut mem = HostMemory::new(layout.memory_size());
+        let cfg = DriverConfig {
+            fault_aware: true,
+            ..DriverConfig::default()
+        };
+        let mut d = Driver::new(cfg, layout);
+        d.tick(Ps::ZERO, &mut mem);
+        let l = d.layout();
+        // Error return for buffer 0: flags word nonzero, no payload.
+        mem.write_u32(l.return_ring, l.rx_bufs + 2);
+        mem.write_u32(l.return_ring + 4, 64);
+        mem.write_u32(l.return_ring + 12, 1);
+        mem.write_u32(l.status + 4, 1);
+        d.tick(Ps::from_us(1), &mut mem);
+        let s = d.stats();
+        assert_eq!(s.rx_error_returns, 1);
+        assert_eq!(s.rx_corrupt, 0, "error returns bypass validation");
+        assert_eq!(s.rx_frames, 0);
+        assert_eq!(d.dbg_bad_returns, 0, "the buffer was recycled");
+    }
+
+    #[test]
+    fn nic_aborts_grant_tx_retry_credit() {
+        let layout = HostLayout::default();
+        let mut mem = HostMemory::new(layout.memory_size());
+        let cfg = DriverConfig {
+            fault_aware: true,
+            offered_fps: Some(1_000_000.0),
+            ..DriverConfig::default()
+        };
+        let mut d = Driver::new(cfg, layout);
+        d.tick(Ps::from_us(10), &mut mem); // 10 us at 1 Mfps = 10 frames
+        assert_eq!(d.stats().tx_posted, 10);
+        mem.write_u32(layout.status + 8, 3); // NIC aborted 3 of them
+        d.tick(Ps::from_us(10), &mut mem);
+        let s = d.stats();
+        assert_eq!(s.tx_retries, 3);
+        assert_eq!(s.tx_posted, 13, "aborted frames re-posted beyond pacing");
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! "the unused bytes ... [are] lost SDRAM bandwidth that cannot be
 //! recovered, so it is counted in the totals."
 
-use nicsim_obs::{Event, FmStream, NullProbe, Probe};
+use nicsim_fault::EccFaults;
+use nicsim_obs::{Event, FaultKind, FaultUnit, FmStream, NullProbe, Probe};
 use nicsim_sim::{EventHeap, Freq, NextEvent, Ps, RoundRobin};
 use std::collections::VecDeque;
 
@@ -130,6 +131,10 @@ pub struct FrameMemory {
     busy_until: Ps,
     open_row: Vec<Option<u32>>,
     completions: EventHeap<SdramCompletion>,
+    /// Optional ECC fault injection: single-bit errors on read bursts,
+    /// corrected in place for a fixed extra latency. `None` keeps the
+    /// controller bit-identical to a fault-free build (no RNG draws).
+    ecc: Option<EccFaults>,
     // stats
     padded_bytes: u64,
     wasted_bytes: u64,
@@ -151,6 +156,7 @@ impl FrameMemory {
             busy_until: Ps::ZERO,
             open_row: vec![None; cfg.banks as usize],
             completions: EventHeap::new(),
+            ecc: None,
             padded_bytes: 0,
             wasted_bytes: 0,
             row_activations: 0,
@@ -163,6 +169,31 @@ impl FrameMemory {
     /// The configuration.
     pub fn config(&self) -> &FrameMemoryConfig {
         &self.cfg
+    }
+
+    /// Enable single-bit ECC fault injection on read bursts. Each faulted
+    /// burst is corrected in place (data stays intact) but pays
+    /// `EccFaults::extra` of additional service latency.
+    pub fn set_faults(&mut self, ecc: EccFaults) {
+        self.ecc = Some(ecc);
+    }
+
+    /// Single-bit ECC corrections performed so far.
+    pub fn ecc_corrections(&self) -> u64 {
+        self.ecc.as_ref().map_or(0, |e| e.corrections)
+    }
+
+    /// Zero `len` bytes at `addr` directly (no burst, no timing): abort
+    /// cleanup for DMA transfers cancelled mid-frame, so stale frame
+    /// bytes cannot later validate as goodput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the capacity.
+    pub fn poison(&mut self, addr: u32, len: u32) {
+        let end = addr as usize + len as usize;
+        assert!(end <= self.data.len(), "frame memory poison out of range");
+        self.data[addr as usize..end].fill(0);
     }
 
     /// Queue a write burst of `bytes` to `addr`, submitted at time `now`.
@@ -263,7 +294,26 @@ impl FrameMemory {
             let Some(s) = winner else { break };
             let burst = self.queues[s].pop_front().expect("winner has burst");
             let dur = self.service_time(&burst);
-            let done = t + dur;
+            let mut done = t + dur;
+            // ECC: draw once per read burst at grant time (never per
+            // cycle), so the stream of draws is identical in the dense
+            // and event-driven kernels. A hit stretches the burst by the
+            // fixed correction latency; data is corrected, not lost.
+            if !burst.write {
+                if let Some(ecc) = self.ecc.as_mut() {
+                    if ecc.draw() {
+                        done += ecc.extra;
+                        if P::ENABLED {
+                            probe.emit(Event::Fault {
+                                kind: FaultKind::EccSingleBit,
+                                unit: FaultUnit::FrameMemory,
+                                info: burst.len,
+                                at: done,
+                            });
+                        }
+                    }
+                }
+            }
             self.busy_until = done;
             self.bursts += 1;
             let lat = done - burst.submitted;
@@ -479,5 +529,51 @@ mod tests {
         let mut m = fm();
         let cap = m.config().capacity;
         m.submit_write(StreamId::MacRx, cap - 4, &[0u8; 8], 0, Ps::ZERO);
+    }
+
+    #[test]
+    fn poison_zeroes_range() {
+        let mut m = fm();
+        m.submit_write(StreamId::MacRx, 16, &[0xaa; 64], 0, Ps::ZERO);
+        m.advance(Ps::from_us(1));
+        m.poison(16, 64);
+        assert!(m.peek(16, 64).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn ecc_correction_adds_latency_and_counts() {
+        use nicsim_fault::{EccFaults, FaultPlan};
+        let clean_at = {
+            let mut m = fm();
+            m.submit_read(StreamId::MacTx, 0, 256, 0, Ps::ZERO);
+            m.advance(Ps::from_us(1))[0].at
+        };
+        let plan = FaultPlan {
+            ecc: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut m = fm();
+        m.set_faults(EccFaults::new(&plan));
+        m.submit_read(StreamId::MacTx, 0, 256, 0, Ps::ZERO);
+        let done = m.advance(Ps::from_us(1));
+        assert_eq!(done[0].at, clean_at + Ps(8_000), "fixed correction cost");
+        assert_eq!(m.ecc_corrections(), 1);
+        // Data is corrected, not corrupted.
+        assert_eq!(done[0].data.as_deref(), Some(&[0u8; 256][..]));
+    }
+
+    #[test]
+    fn zero_rate_ecc_is_timing_neutral() {
+        use nicsim_fault::{EccFaults, FaultPlan};
+        let clean_at = {
+            let mut m = fm();
+            m.submit_read(StreamId::DmaWrite, 0, 1518, 0, Ps::ZERO);
+            m.advance(Ps::from_us(1))[0].at
+        };
+        let mut m = fm();
+        m.set_faults(EccFaults::new(&FaultPlan::default()));
+        m.submit_read(StreamId::DmaWrite, 0, 1518, 0, Ps::ZERO);
+        assert_eq!(m.advance(Ps::from_us(1))[0].at, clean_at);
+        assert_eq!(m.ecc_corrections(), 0);
     }
 }

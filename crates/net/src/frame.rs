@@ -142,6 +142,57 @@ pub fn build_udp_frame(seq: u32, udp_payload: usize) -> Vec<u8> {
     f
 }
 
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`,
+/// computed with a compile-time 256-entry table. The MAC RX path checks
+/// this when a fault plan is active; clean-path runs never compute it.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut n = 0;
+        while n < 256 {
+            let mut c = n as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[n] = c;
+            n += 1;
+        }
+        table
+    };
+    let mut crc = 0xffff_ffffu32;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Stamp the frame's 4-byte FCS with the CRC32 of everything before it.
+///
+/// # Panics
+///
+/// Panics if the frame is shorter than the FCS itself.
+pub fn write_fcs(frame: &mut [u8]) {
+    let body = frame.len() - CRC_BYTES;
+    let c = crc32(&frame[..body]);
+    frame[body..].copy_from_slice(&c.to_le_bytes());
+}
+
+/// Whether the frame's FCS matches its contents. Frames shorter than the
+/// minimum carry no trustworthy FCS and always fail.
+pub fn fcs_valid(frame: &[u8]) -> bool {
+    if frame.len() < MIN_FRAME {
+        return false;
+    }
+    let body = frame.len() - CRC_BYTES;
+    crc32(&frame[..body]).to_le_bytes() == frame[body..]
+}
+
 /// Validate a frame end-to-end: header structure, IP checksum, length
 /// consistency, and the deterministic payload pattern.
 ///
@@ -243,5 +294,30 @@ mod tests {
     #[should_panic(expected = "exceeds")]
     fn oversized_payload_panics() {
         build_udp_frame(0, 1473);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fcs_roundtrip_and_detection() {
+        let mut f = build_udp_frame(5, 1472);
+        assert!(!fcs_valid(&f), "zeroed FCS placeholder must not verify");
+        write_fcs(&mut f);
+        assert!(fcs_valid(&f));
+        // Any bit flip anywhere in the body breaks the FCS.
+        f[200] ^= 0x04;
+        assert!(!fcs_valid(&f));
+        f[200] ^= 0x04;
+        assert!(fcs_valid(&f));
+        // Truncation breaks it too (the FCS bytes move).
+        assert!(!fcs_valid(&f[..f.len() - 10]));
+        assert!(!fcs_valid(&f[..30]));
+        // Stamping does not disturb validation (FCS is opaque to it).
+        assert_eq!(validate_frame(&f).unwrap().seq, 5);
     }
 }

@@ -6,7 +6,8 @@
 //! that is (1518 + 20) * 0.8 ns = 1230.4 ns, i.e. the paper's 812,744
 //! frames per second per direction.
 
-use crate::frame::{build_udp_frame, validate_frame, FrameError};
+use crate::frame::{build_udp_frame, validate_frame, write_fcs, FrameError};
+use nicsim_fault::{LinkFault, LinkFaults};
 use nicsim_sim::Ps;
 
 /// Preamble + interframe gap, in bytes of wire time.
@@ -43,6 +44,13 @@ pub struct RxGenerator {
     seq: u32,
     period: Ps,
     enabled: bool,
+    /// Link-level fault injection (None = clean link: frames leave with
+    /// the zeroed FCS placeholder, exactly as before the fault plane
+    /// existed).
+    faults: Option<LinkFaults>,
+    /// What happened to the most recently polled frame, for the MAC RX
+    /// side to label its probe events.
+    last_injection: Option<LinkFault>,
 }
 
 impl RxGenerator {
@@ -55,6 +63,8 @@ impl RxGenerator {
             seq: 0,
             period: wire_time(frame_len),
             enabled: true,
+            faults: None,
+            last_injection: None,
         }
     }
 
@@ -86,13 +96,55 @@ impl RxGenerator {
         }
     }
 
+    /// Attach link-level fault injection. Every generated frame is then
+    /// stamped with a real CRC32 FCS, and the plan's per-frame draws may
+    /// flip a bit or truncate the frame in flight.
+    pub fn set_faults(&mut self, faults: LinkFaults) {
+        self.faults = Some(faults);
+    }
+
+    /// What the fault plane did to the most recently polled frame
+    /// (cleared by the read), for the receiver to label probe events.
+    pub fn take_injection(&mut self) -> Option<LinkFault> {
+        self.last_injection.take()
+    }
+
+    /// `(corrupted, truncated)` frame counts injected so far.
+    pub fn injected(&self) -> (u64, u64) {
+        self.faults
+            .as_ref()
+            .map_or((0, 0), |f| (f.injected_corrupt, f.injected_truncate))
+    }
+
     /// Produce the next frame if its arrival time has come.
     pub fn poll(&mut self, now: Ps) -> Option<(Ps, Vec<u8>)> {
         if !self.enabled || now < self.next_at {
             return None;
         }
         let at = self.next_at;
-        let f = build_udp_frame(self.seq, self.udp_payload);
+        let mut f = build_udp_frame(self.seq, self.udp_payload);
+        if let Some(st) = &mut self.faults {
+            write_fcs(&mut f);
+            let injected = st.draw();
+            match injected {
+                Some(LinkFault::Corrupt) => {
+                    // Flip one bit somewhere in the frame body (never the
+                    // FCS itself, so the damage is real payload/header
+                    // corruption the CRC check must catch).
+                    let body_bits = (f.len() - crate::frame::CRC_BYTES) as u64 * 8;
+                    let bit = st.pick(body_bits) as usize;
+                    f[bit / 8] ^= 1 << (bit % 8);
+                }
+                Some(LinkFault::Truncate) => {
+                    // Cut the frame anywhere past the Ethernet header;
+                    // the result is shorter than its stamped FCS claims.
+                    let keep = 14 + st.pick((f.len() - 14) as u64) as usize;
+                    f.truncate(keep);
+                }
+                None => {}
+            }
+            self.last_injection = injected;
+        }
         self.seq = self.seq.wrapping_add(1);
         self.next_at += self.period;
         Some((at, f))
@@ -264,5 +316,48 @@ mod tests {
         let mut g = RxGenerator::new(100);
         g.disable();
         assert!(g.poll(Ps::from_ms(5)).is_none());
+    }
+
+    #[test]
+    fn faulted_generator_stamps_fcs_and_injects() {
+        use crate::frame::fcs_valid;
+        use nicsim_fault::FaultPlan;
+        let plan = FaultPlan {
+            link_corrupt: 0.5,
+            link_truncate: 0.2,
+            ..FaultPlan::default()
+        };
+        let mut g = RxGenerator::new(256);
+        g.set_faults(LinkFaults::new(&plan));
+        let (mut clean, mut bad) = (0u32, 0u32);
+        for _ in 0..200 {
+            let (_, f) = g.poll(Ps::from_ms(10)).unwrap();
+            match g.take_injection() {
+                None => {
+                    assert!(fcs_valid(&f), "untouched frame must carry a valid FCS");
+                    clean += 1;
+                }
+                Some(_) => {
+                    assert!(!fcs_valid(&f), "injected damage must break the FCS");
+                    bad += 1;
+                }
+            }
+        }
+        let (c, t) = g.injected();
+        assert_eq!(c + t, bad as u64);
+        assert!(clean > 0 && bad > 0, "clean={clean} bad={bad}");
+    }
+
+    #[test]
+    fn clean_generator_replays_identically_with_zero_prob_plan() {
+        use nicsim_fault::FaultPlan;
+        let mut a = RxGenerator::new(100);
+        let mut b = RxGenerator::new(100);
+        b.set_faults(LinkFaults::new(&FaultPlan::default()));
+        let (_, fa) = a.poll(Ps::from_ms(1)).unwrap();
+        let (_, fb) = b.poll(Ps::from_ms(1)).unwrap();
+        // Identical except the stamped FCS tail.
+        assert_eq!(fa[..fa.len() - 4], fb[..fb.len() - 4]);
+        assert!(b.take_injection().is_none());
     }
 }

@@ -271,6 +271,18 @@ impl ChromeTrace {
     }
 }
 
+/// Which track a fault/recovery instant renders on.
+fn unit_track(unit: crate::FaultUnit) -> Track {
+    match unit {
+        crate::FaultUnit::Link | crate::FaultUnit::MacRx => Track::MacRx,
+        crate::FaultUnit::MacTx => Track::MacTx,
+        crate::FaultUnit::DmaRead => Track::DmaRead,
+        crate::FaultUnit::DmaWrite => Track::DmaWrite,
+        crate::FaultUnit::FrameMemory => Track::FrameBus,
+        crate::FaultUnit::Driver | crate::FaultUnit::System => Track::Driver,
+    }
+}
+
 impl Probe for ChromeTrace {
     fn emit(&mut self, ev: Event) {
         match ev {
@@ -375,6 +387,32 @@ impl Probe for ChromeTrace {
             Event::WindowReset { at } => {
                 self.instant(Track::Driver, "window_reset", at, None);
             }
+            Event::Fault {
+                kind,
+                unit,
+                info,
+                at,
+            } => {
+                self.instant(
+                    unit_track(unit),
+                    kind.label(),
+                    at,
+                    Some(("info", info as u64)),
+                );
+            }
+            Event::Recovery {
+                kind,
+                unit,
+                info,
+                at,
+            } => {
+                self.instant(
+                    unit_track(unit),
+                    kind.label(),
+                    at,
+                    Some(("info", info as u64)),
+                );
+            }
             _ => {}
         }
     }
@@ -440,6 +478,30 @@ mod tests {
         }
         assert_eq!(t.len(), 2);
         assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn fault_and_recovery_become_instants() {
+        let mut t = ChromeTrace::new();
+        t.emit(Event::Fault {
+            kind: crate::FaultKind::DmaError,
+            unit: crate::FaultUnit::DmaRead,
+            info: 3,
+            at: Ps(100),
+        });
+        t.emit(Event::Recovery {
+            kind: crate::RecoveryKind::WatchdogReset,
+            unit: crate::FaultUnit::System,
+            info: 0,
+            at: Ps(200),
+        });
+        assert_eq!(t.len(), 2);
+        let mut out = Vec::new();
+        t.write_to(&mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("fault:dma_error"), "{s}");
+        assert!(s.contains("recovery:watchdog_reset"), "{s}");
+        assert!(s.contains("\"info\":3"), "{s}");
     }
 
     #[test]

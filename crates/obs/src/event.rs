@@ -81,6 +81,112 @@ impl DmaDir {
     }
 }
 
+/// The unit a fault or recovery event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultUnit {
+    /// The inbound 10 GbE link (generator side).
+    Link,
+    /// The MAC receive assist.
+    MacRx,
+    /// The MAC transmit assist.
+    MacTx,
+    /// The DMA read engine (host -> NIC).
+    DmaRead,
+    /// The DMA write engine (NIC -> host).
+    DmaWrite,
+    /// The SDRAM frame memory.
+    FrameMemory,
+    /// The host device driver.
+    Driver,
+    /// System-level machinery (the watchdog).
+    System,
+}
+
+impl FaultUnit {
+    /// Stable display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultUnit::Link => "link",
+            FaultUnit::MacRx => "mac_rx",
+            FaultUnit::MacTx => "mac_tx",
+            FaultUnit::DmaRead => "dma_read",
+            FaultUnit::DmaWrite => "dma_write",
+            FaultUnit::FrameMemory => "frame_memory",
+            FaultUnit::Driver => "driver",
+            FaultUnit::System => "system",
+        }
+    }
+}
+
+/// A fault the injection plane introduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A bit flipped in a frame on the inbound link.
+    LinkCorrupt,
+    /// A frame truncated on the inbound link.
+    LinkTruncate,
+    /// A transient DMA completion error (one failed attempt).
+    DmaError,
+    /// A bounded PCI stall before a DMA command executed.
+    PciStall,
+    /// A correctable single-bit ECC event on a frame-memory read burst.
+    EccSingleBit,
+    /// An assist unit wedged (stuck until the watchdog resets it).
+    AssistHang,
+    /// A frame-bus read completion arrived without data (short read).
+    ShortRead,
+}
+
+impl FaultKind {
+    /// Stable display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::LinkCorrupt => "fault:link_corrupt",
+            FaultKind::LinkTruncate => "fault:link_truncate",
+            FaultKind::DmaError => "fault:dma_error",
+            FaultKind::PciStall => "fault:pci_stall",
+            FaultKind::EccSingleBit => "fault:ecc",
+            FaultKind::AssistHang => "fault:hang",
+            FaultKind::ShortRead => "fault:short_read",
+        }
+    }
+}
+
+/// A recovery action the firmware, hardware, or driver took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryKind {
+    /// MAC RX caught a CRC-bad frame and published an error descriptor
+    /// instead of delivering garbage.
+    CrcDrop,
+    /// A DMA command succeeded after transient-error retries.
+    DmaRetried,
+    /// A DMA command was aborted after exhausting retries; the
+    /// descriptor was completed so ring ordering never wedges.
+    FrameAbort,
+    /// The watchdog reset a stuck assist.
+    WatchdogReset,
+    /// The driver consumed an error return descriptor and recycled its
+    /// buffer.
+    RxErrorReturn,
+    /// The driver accounted an aborted transmit frame and re-posted a
+    /// replacement.
+    TxRetry,
+}
+
+impl RecoveryKind {
+    /// Stable display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryKind::CrcDrop => "recovery:crc_drop",
+            RecoveryKind::DmaRetried => "recovery:dma_retry",
+            RecoveryKind::FrameAbort => "recovery:frame_abort",
+            RecoveryKind::WatchdogReset => "recovery:watchdog_reset",
+            RecoveryKind::RxErrorReturn => "recovery:rx_error_return",
+            RecoveryKind::TxRetry => "recovery:tx_retry",
+        }
+    }
+}
+
 /// One frame-lifecycle edge. Every variant carries the simulated time
 /// `at` (or an explicit start/done pair) in picoseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -251,6 +357,29 @@ pub enum Event {
         /// Simulated time.
         at: Ps,
     },
+    /// The fault plane injected a fault at `unit`.
+    Fault {
+        /// What was injected.
+        kind: FaultKind,
+        /// Where.
+        unit: FaultUnit,
+        /// Kind-specific detail (frame seq, descriptor index, or failed
+        /// attempt count).
+        info: u32,
+        /// Simulated time.
+        at: Ps,
+    },
+    /// A recovery action completed at `unit`.
+    Recovery {
+        /// What recovered.
+        kind: RecoveryKind,
+        /// Where.
+        unit: FaultUnit,
+        /// Kind-specific detail (frame seq or descriptor index).
+        info: u32,
+        /// Simulated time.
+        at: Ps,
+    },
 }
 
 impl Event {
@@ -272,6 +401,8 @@ impl Event {
             | Event::MacTxWireDone { at, .. }
             | Event::MacRxArrival { at, .. }
             | Event::MacRxDescPublish { at, .. }
+            | Event::Fault { at, .. }
+            | Event::Recovery { at, .. }
             | Event::WindowReset { at } => at,
             Event::FmBurst { done, .. } => done,
         }

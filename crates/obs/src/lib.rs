@@ -54,7 +54,7 @@ pub mod frame;
 pub mod metrics;
 
 pub use chrome::ChromeTrace;
-pub use event::{DmaDir, Event, FmStream};
+pub use event::{DmaDir, Event, FaultKind, FaultUnit, FmStream, RecoveryKind};
 pub use frame::{FrameTracker, LatencySummary, StageStats};
 pub use metrics::{DepthHistogram, Metrics};
 

@@ -34,6 +34,15 @@ NICSIM_SIMSPEED_BASELINE=results/BENCH_simspeed.json \
     ./target/release/simspeed --quiet
 rm -f target/BENCH_simspeed.json
 
+echo "==> fault smoke (injection + recovery + zero-fault bit-identity)"
+# The fault_sweep binary asserts its own contracts: the zero-rate armed
+# run must be bit-identical to the plan-free baseline, nonzero rates
+# must inject (and the goodput curve must not rise), and every run must
+# terminate cleanly — a hang here would trip the test harness timeout.
+NICSIM_QUICK=1 NICSIM_QUIET=1 NICSIM_RESULTS_DIR=target \
+    ./target/release/fault_sweep >/dev/null
+rm -f target/fault_sweep.json
+
 echo "==> trace smoke (Chrome trace_event + latency percentiles)"
 # The trace binary validates its own output: lifecycle violations
 # panic, and the written file must round-trip as non-empty JSON.
