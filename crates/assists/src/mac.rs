@@ -15,7 +15,7 @@
 
 use crate::port::SpPort;
 use nicsim_fault::LinkFault;
-use nicsim_mem::{Crossbar, FrameMemory, Scratchpad, SpOp, SpRequest, StreamId};
+use nicsim_mem::{Crossbar, FrameMemory, Scratchpad, SpOp, SpRequest, StreamId, XbarPort};
 use nicsim_net::frame::fcs_valid;
 use nicsim_net::link::{wire_time, RxGenerator, TxMonitor};
 use nicsim_obs::{Event, FaultKind, FaultUnit, NullProbe, Probe, RecoveryKind};
@@ -149,17 +149,18 @@ impl MacTx {
         sp_mem: &Scratchpad,
         fm: &mut FrameMemory,
     ) {
-        self.tick_probed(now, xbar, sp_mem, fm, &mut NullProbe);
+        let port = self.sp.port();
+        self.tick_probed(now, &mut xbar.port(port), sp_mem, fm, &mut NullProbe);
     }
 
     /// Probed variant of [`MacTx::tick`]: emits [`Event::MacTxFetch`]
     /// when a ring entry has been read (the entry's fourth word is the
     /// frame sequence number the firmware stored there) and
     /// [`Event::MacTxWireDone`] as each frame leaves the wire.
-    pub fn tick_probed<P: Probe>(
+    pub fn tick_probed<X: XbarPort, P: Probe>(
         &mut self,
         now: Ps,
-        xbar: &mut Crossbar,
+        xbar: &mut X,
         sp_mem: &Scratchpad,
         fm: &mut FrameMemory,
         probe: &mut P,
@@ -447,15 +448,16 @@ impl MacRx {
         sp_mem: &Scratchpad,
         fm: &mut FrameMemory,
     ) {
-        self.tick_probed(now, xbar, sp_mem, fm, &mut NullProbe);
+        let port = self.sp.port();
+        self.tick_probed(now, &mut xbar.port(port), sp_mem, fm, &mut NullProbe);
     }
 
     /// Probed variant of [`MacRx::tick`]: emits [`Event::MacRxArrival`]
     /// for every frame taken off the wire, accepted or dropped.
-    pub fn tick_probed<P: Probe>(
+    pub fn tick_probed<X: XbarPort, P: Probe>(
         &mut self,
         now: Ps,
-        xbar: &mut Crossbar,
+        xbar: &mut X,
         sp_mem: &Scratchpad,
         fm: &mut FrameMemory,
         probe: &mut P,

@@ -19,7 +19,7 @@ fn main() {
                 mode,
                 ..NicConfig::default()
             };
-            let mut sys = NicSystem::try_new(cfg).unwrap();
+            let mut sys = NicSystem::build(cfg).finish().unwrap();
             sys.run_until(Ps::from_us(100));
             black_box(sys.collect().tx_frames)
         });

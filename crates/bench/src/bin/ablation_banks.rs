@@ -4,19 +4,24 @@
 //! writes `results/ablation_banks.json`.
 
 use nicsim::NicConfig;
-use nicsim_bench::header;
+use nicsim_bench::{header, Args};
 use nicsim_cpu::StallBucket;
-use nicsim_exp::{Experiment, Sweep};
+use nicsim_exp::Sweep;
 
 fn main() {
-    let exp = Experiment::from_args("ablation_banks");
+    let args = Args::parse("ablation_banks");
+    let exp = &args.exp;
     header(
         "Ablation: scratchpad banks (6 cores, RMW, 166 MHz)",
         "banked scratchpad overprovisions bandwidth to keep latency low (§2.3)",
     );
-    let sweep = Sweep::new(NicConfig::rmw_166()).axis("banks", [1usize, 2, 4, 8], |cfg, v| {
-        cfg.banks = v;
-    });
+    let sweep = Sweep::new(args.configure(NicConfig::rmw_166())).axis(
+        "banks",
+        [1usize, 2, 4, 8],
+        |cfg, v| {
+            cfg.banks = v;
+        },
+    );
     let report = exp.sweep(&sweep);
     println!(
         "{:>6} {:>12} {:>16} {:>12}",

@@ -4,25 +4,29 @@
 //! `results/ablation_icache.json`.
 
 use nicsim::NicConfig;
-use nicsim_bench::header;
+use nicsim_bench::{header, Args};
 use nicsim_cpu::StallBucket;
-use nicsim_exp::{Experiment, Sweep};
+use nicsim_exp::Sweep;
 use nicsim_mem::ICacheConfig;
 
 fn main() {
-    let exp = Experiment::from_args("ablation_icache");
+    let args = Args::parse("ablation_icache");
+    let exp = &args.exp;
     header(
         "Ablation: per-core I-cache capacity (6 cores, RMW, 166 MHz)",
         "paper: 8 KB 2-way captures the code working set despite task migration",
     );
-    let sweep =
-        Sweep::new(NicConfig::rmw_166()).axis("icache_kb", [1usize, 2, 4, 8, 16], |cfg, kb| {
+    let sweep = Sweep::new(args.configure(NicConfig::rmw_166())).axis(
+        "icache_kb",
+        [1usize, 2, 4, 8, 16],
+        |cfg, kb| {
             cfg.icache = ICacheConfig {
                 bytes: kb * 1024,
                 ways: 2,
                 line_bytes: 32,
             };
-        });
+        },
+    );
     let report = exp.sweep(&sweep);
     println!(
         "{:>8} {:>12} {:>12} {:>14}",

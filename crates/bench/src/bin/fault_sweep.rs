@@ -14,20 +14,24 @@
 //! the swept plans inherit: `fault_sweep --faults seed=42,retries=1`.
 
 use nicsim::{FaultPlan, NicConfig, RunStats};
-use nicsim_bench::header;
-use nicsim_exp::{Experiment, Json, RunSpec};
+use nicsim_bench::{header, Args};
+use nicsim_exp::{Json, RunSpec};
 
 const RATES: [f64; 5] = [0.0, 1e-5, 1e-4, 1e-3, 1e-2];
 
 fn main() {
-    let exp = Experiment::from_args("fault_sweep");
+    let args = Args::parse("fault_sweep");
+    let exp = &args.exp;
     header(
         "Fault sweep: goodput vs injected error rate (6 RMW cores @ 166 MHz)",
         "zero-rate run bit-identical to clean; goodput degrades monotonically; no hangs",
     );
     // `--faults` seeds the sweep's plans; the rates come from RATES.
     let base = exp.faults().unwrap_or(FaultPlan::with_rate(7, 0.0));
-    let mut specs = vec![RunSpec::single("clean", NicConfig::default())];
+    let mut specs = vec![RunSpec::single(
+        "clean",
+        args.configure(NicConfig::default()),
+    )];
     for rate in RATES {
         let plan = FaultPlan {
             link_corrupt: rate,
@@ -41,7 +45,7 @@ fn main() {
             &format!("rate={rate:e}"),
             NicConfig {
                 faults: Some(plan),
-                ..NicConfig::default()
+                ..args.configure(NicConfig::default())
             },
         ));
     }

@@ -6,9 +6,9 @@
 //! under `"extra"`.
 
 use nicsim::NicConfig;
-use nicsim_bench::header;
+use nicsim_bench::{header, Args};
 use nicsim_coherence::{sweep_sizes, Access};
-use nicsim_exp::{Experiment, Json};
+use nicsim_exp::Json;
 use nicsim_mem::{AccessKind, AccessTrace};
 
 /// The paper filters traces "to include only frame metadata". Locks,
@@ -21,19 +21,20 @@ fn is_frame_metadata(m: &nicsim_firmware::MemMap, addr: u32) -> bool {
 }
 
 fn main() {
-    let exp = Experiment::from_args("fig3");
+    let args = Args::parse("fig3");
+    let exp = &args.exp;
     header(
         "Figure 3: MESI hit ratio vs per-processor cache size (6 cores)",
         "hit ratio never exceeds ~55%; <1% of writes invalidate",
     );
-    let cfg = NicConfig {
+    let cfg = args.configure(NicConfig {
         faults: exp.faults(),
         ..NicConfig::default()
-    };
+    });
     let (run, sys) = exp.run_with_probe("rmw@166+trace", cfg, AccessTrace::with_limit(2_000_000));
     let cores = sys.config().cores;
     let m = sys.map();
-    let trace = sys.into_probe();
+    let trace = sys.unwrap_probe();
     // Cores keep their ids; DMA pair -> cache 6; MAC pair -> cache 7.
     let merged = trace.merge_requesters(|r| {
         if r < cores {

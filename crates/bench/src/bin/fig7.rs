@@ -7,22 +7,23 @@
 //! land in `results/fig7.json`.
 
 use nicsim::{FwMode, NicConfig};
-use nicsim_bench::{header, traced_run};
-use nicsim_exp::{Experiment, RunSpec, Sweep};
+use nicsim_bench::{header, traced_run, Args};
+use nicsim_exp::{RunSpec, Sweep};
 
 fn main() {
-    let exp = Experiment::from_args("fig7");
+    let args = Args::parse("fig7");
+    let exp = &args.exp;
     header(
         "Figure 7: throughput vs core frequency and processor count",
         "6 cores @175MHz -> 96.3% of line rate; 8 @175 -> 98.7%; 6 and 8 @200 within 1%; 1 core needs ~800MHz",
     );
     let freqs = [100u64, 125, 150, 166, 175, 200];
     let core_counts = [1usize, 2, 4, 6, 8];
-    let sweep = Sweep::new(NicConfig {
+    let sweep = Sweep::new(args.configure(NicConfig {
         mode: FwMode::SoftwareOnly,
         faults: exp.faults(),
         ..NicConfig::default()
-    })
+    }))
     .axis("cpu_mhz", freqs, |cfg, v| cfg.cpu_mhz = v)
     .axis("cores", core_counts, |cfg, v| cfg.cores = v);
     let mut specs = sweep.runs().expect("valid sweep");
@@ -34,7 +35,7 @@ fn main() {
             cpu_mhz: 800,
             mode: FwMode::SoftwareOnly,
             faults: exp.faults(),
-            ..NicConfig::default()
+            ..args.configure(NicConfig::default())
         },
     ));
     let mut report = exp.run_specs(specs);
@@ -64,7 +65,7 @@ fn main() {
     // observability bundle and append its traced report.
     if let Some(path) = exp.trace_path() {
         let traced = traced_run(
-            &exp,
+            exp,
             "cpu_mhz=175,cores=6+trace",
             NicConfig {
                 cores: 6,

@@ -3,12 +3,13 @@
 //! The 18 runs execute in parallel; writes `results/fig8.json`.
 
 use nicsim::NicConfig;
-use nicsim_bench::header;
-use nicsim_exp::{Experiment, Sweep};
+use nicsim_bench::{header, Args};
+use nicsim_exp::Sweep;
 use nicsim_net::link::max_udp_throughput_gbps;
 
 fn main() {
-    let exp = Experiment::from_args("fig8");
+    let args = Args::parse("fig8");
+    let exp = &args.exp;
     header(
         "Figure 8: throughput vs UDP datagram size",
         "both configurations scale together; small frames saturate ~2.2M frames/s",
@@ -20,8 +21,11 @@ fn main() {
         .axis_configs(
             "firmware",
             [
-                ("software@200", NicConfig::software_only_200()),
-                ("rmw@166", NicConfig::rmw_166()),
+                (
+                    "software@200",
+                    args.configure(NicConfig::software_only_200()),
+                ),
+                ("rmw@166", args.configure(NicConfig::rmw_166())),
             ],
         )
         .axis("udp_payload", sizes, |cfg, v| cfg.udp_payload = v);

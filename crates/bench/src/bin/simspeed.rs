@@ -1,7 +1,7 @@
 //! Simulation-speed benchmark: dense reference kernel vs the hybrid
 //! event-driven kernel, on the workloads the paper's figures hinge on.
 //!
-//! Two configurations bracket the speedup range:
+//! Two saturated configurations bracket the polling speedup range:
 //!
 //! * 1 core @ 200 MHz (a Figure 7 point): the firmware is the
 //!   bottleneck and core stall spans (multi-cycle ALU runs, I-miss
@@ -17,6 +17,17 @@
 //!   kernel must at least break even (per-component gating pays for
 //!   the wake checks; measured ~1.05x).
 //!
+//! Two moderate-load points (1 core, receive-only, 20k frames/s —
+//! well under what one core sustains) expose the dispatch-mode ceiling
+//! that motivates interrupt-driven firmware: polling busy-waits through
+//! the quiet gaps so the event kernel still steps most cycles, while
+//! under `--dispatch interrupt` the core parks in `wfi` and the doorbell
+//! watch makes whole inter-frame gaps skippable — floor 3x over dense,
+//! measured far above it. One more row times the domain-parallel kernel
+//! (`run_until_parallel`) on the line-rate point; it is reported for
+//! the record (the per-cycle rendezvous makes its profit host-and-load
+//! dependent) but its stats must still be bit-identical.
+//!
 //! Each configuration runs on both kernels with identical windows; the
 //! stats must be bit-identical (the equivalence guarantee, re-asserted
 //! here on the real benchmark workload). Results land in
@@ -28,33 +39,56 @@
 //! an event-kernel slowdown beyond 30% — the CI guardrail.
 //!
 //! Overhead guard: `NICSIM_SIMSPEED_BASELINE=<results file>` compares
-//! each point's `cycles_per_host_sec` against the committed baseline
-//! (`results/BENCH_simspeed.json`) and fails on a regression beyond
-//! 5% (`NICSIM_BASELINE_TOL` overrides the fraction). This is how the
+//! the saturated polling points' `cycles_per_host_sec` against the
+//! committed baseline (`results/BENCH_simspeed.json`) and fails on a
+//! regression beyond 5% (`NICSIM_BASELINE_TOL` overrides the
+//! fraction; `scripts/check.sh` widens it — absolute throughput on a
+//! shared CI host is noisy, and the in-process speedup floors are the
+//! tight gates). This is how the
 //! observability layer proves its disabled-probe ([`nicsim::NullProbe`])
 //! path costs nothing: the simulator must still hit the throughput it
 //! hit before the probe layer existed.
 
-use nicsim::{FwMode, NicConfig, NicSystem};
-use nicsim_bench::header;
-use nicsim_exp::{Experiment, Json, RunReport};
+use nicsim::{DispatchMode, FwMode, NicConfig, NicSystem};
+use nicsim_bench::{header, Args};
+use nicsim_exp::{Json, RunReport};
 use std::time::Instant;
+
+/// Which fast kernel a point races against the dense reference.
+#[derive(Clone, Copy, PartialEq)]
+enum Kernel {
+    Event,
+    Parallel,
+}
 
 struct Point {
     label: &'static str,
     cfg: NicConfig,
-    /// Minimum acceptable dense/event wall-clock ratio: the 1-core
-    /// point must show a real speedup (measured ~1.7x, floored at 1.4x
-    /// to ride out host timing noise), the 6-core point only "no
-    /// meaningful regression".
+    kernel: Kernel,
+    /// Whether the absolute cycles-per-host-second baseline guard
+    /// applies. Only the saturated polling points carry it: their wall
+    /// times are long enough for the tolerance to be signal, while the
+    /// interrupt and parallel rows finish in milliseconds and are
+    /// already gated by their in-process speedup floors.
+    guard_cps: bool,
+    /// Minimum acceptable dense/fast wall-clock ratio: the saturated
+    /// 1-core point must show a real speedup (measured ~1.7x, floored
+    /// at 1.4x to ride out host timing noise), the interrupt point a
+    /// 3x (the PR's headline claim), the 6-core point only "no
+    /// meaningful regression", and 0.0 marks an informational row.
     target_speedup: f64,
 }
 
 fn main() {
-    let exp = Experiment::from_args("BENCH_simspeed");
+    // The shared CLI gives this binary the standard flag surface, but
+    // the points below own their dispatch/core settings — applying
+    // `args.configure` here would collapse the very axis the benchmark
+    // measures.
+    let args = Args::parse("BENCH_simspeed");
+    let exp = &args.exp;
     header(
-        "Simulation speed: dense vs event-driven kernel",
-        "event kernel >= 1.4x on 1-core Fig 7 point, no regression at 6-core line rate",
+        "Simulation speed: dense vs event-driven/parallel kernels",
+        "event kernel >= 1.4x on 1-core Fig 7 point, >= 3x under interrupt dispatch at moderate load, no regression at 6-core line rate",
     );
     let smoke = env_is("NICSIM_SIMSPEED_SMOKE") || env_is("NICSIM_QUICK");
     // Smoke runs shrink further than NICSIM_QUICK's 1ms/1ms default:
@@ -66,6 +100,17 @@ fn main() {
         (exp.warmup(), exp.window())
     };
 
+    // The moderate-load pair: identical traffic, only the dispatch mode
+    // differs. Receive-only keeps the host send pacing out of the
+    // picture so the gap measured is purely polling-vs-parking.
+    let moderate = NicConfig {
+        cores: 1,
+        cpu_mhz: 200,
+        mode: FwMode::SoftwareOnly,
+        send_enabled: false,
+        offered_rx_fps: Some(20_000.0),
+        ..NicConfig::default()
+    };
     let points = [
         Point {
             label: "cores=1,cpu_mhz=200",
@@ -75,6 +120,8 @@ fn main() {
                 mode: FwMode::SoftwareOnly,
                 ..NicConfig::default()
             },
+            kernel: Kernel::Event,
+            guard_cps: true,
             target_speedup: 1.4,
         },
         Point {
@@ -85,7 +132,38 @@ fn main() {
                 mode: FwMode::SoftwareOnly,
                 ..NicConfig::default()
             },
+            kernel: Kernel::Event,
+            guard_cps: true,
             target_speedup: 0.95,
+        },
+        Point {
+            label: "cores=1,rx=20kfps,polling",
+            cfg: moderate,
+            kernel: Kernel::Event,
+            guard_cps: false,
+            target_speedup: 0.95,
+        },
+        Point {
+            label: "cores=1,rx=20kfps,interrupt",
+            cfg: NicConfig {
+                dispatch: DispatchMode::Interrupt,
+                ..moderate
+            },
+            kernel: Kernel::Event,
+            guard_cps: false,
+            target_speedup: 3.0,
+        },
+        Point {
+            label: "cores=6,cpu_mhz=200,parallel",
+            cfg: NicConfig {
+                cores: 6,
+                cpu_mhz: 200,
+                mode: FwMode::SoftwareOnly,
+                ..NicConfig::default()
+            },
+            kernel: Kernel::Parallel,
+            guard_cps: false,
+            target_speedup: 0.0,
         },
     ];
 
@@ -97,14 +175,27 @@ fn main() {
         "point", "dense s", "event s", "speedup", "Mcycles/host-s"
     );
     for p in &points {
+        // The parallel row pays the rendezvous per stepped cycle, so on
+        // a host without a spare hardware thread a full window takes
+        // minutes; its contract (bit-identity) is window-independent,
+        // so it always runs on the smoke-sized window.
+        let (warmup, window) = match p.kernel {
+            Kernel::Parallel => (nicsim_sim::Ps::from_us(100), nicsim_sim::Ps::from_us(200)),
+            Kernel::Event => (warmup, window),
+        };
+        // Construction (SDRAM/scratchpad allocation) stays outside the
+        // timed region: the benchmark measures kernel throughput.
+        let mut dense_sys = NicSystem::build(p.cfg).finish().unwrap();
         let t0 = Instant::now();
-        let mut dense_sys = NicSystem::try_new(p.cfg).unwrap();
         let dense_stats = dense_sys.run_measured_dense(warmup, window);
         let dense_wall = t0.elapsed();
 
+        let mut event_sys = NicSystem::build(p.cfg).finish().unwrap();
         let t0 = Instant::now();
-        let mut event_sys = NicSystem::try_new(p.cfg).unwrap();
-        let event_stats = event_sys.run_measured(warmup, window);
+        let event_stats = match p.kernel {
+            Kernel::Event => event_sys.run_measured(warmup, window),
+            Kernel::Parallel => event_sys.run_measured_parallel(warmup, window),
+        };
         let event_wall = t0.elapsed();
 
         let stats_identical = event_stats == dense_stats;
@@ -126,7 +217,12 @@ fn main() {
         );
         // In smoke mode only the 30% guardrail applies (tiny windows
         // make ratios noisy); full runs check each point's target.
-        let floor = if smoke { 0.7 } else { p.target_speedup };
+        // Informational rows (target 0.0) are never gated.
+        let floor = if smoke {
+            p.target_speedup.min(0.7)
+        } else {
+            p.target_speedup
+        };
         if speedup < floor {
             failures.push(format!(
                 "{}: event kernel speedup {speedup:.2}x below floor {floor:.2}x",
@@ -134,8 +230,12 @@ fn main() {
             ));
         }
 
+        let kernel_name = match p.kernel {
+            Kernel::Event => "event",
+            Kernel::Parallel => "parallel",
+        };
         runs.push(RunReport {
-            label: format!("event {}", p.label),
+            label: format!("{kernel_name} {}", p.label),
             axes: Vec::new(),
             config: p.cfg,
             stats: event_stats,
@@ -155,7 +255,7 @@ fn main() {
                 .with("target_speedup", p.target_speedup)
                 .with("stats_identical", stats_identical),
         );
-        if let Some(base_cps) = baseline_cps(p.label) {
+        if let Some(base_cps) = baseline_cps(p.label).filter(|_| p.guard_cps) {
             let tol: f64 = std::env::var("NICSIM_BASELINE_TOL")
                 .ok()
                 .and_then(|v| v.parse().ok())

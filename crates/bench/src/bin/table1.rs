@@ -3,22 +3,22 @@
 //! synchronization-free) firmware. Writes `results/table1.json`.
 
 use nicsim::NicConfig;
-use nicsim_bench::header;
+use nicsim_bench::{header, Args};
 use nicsim_cpu::FwFunc;
-use nicsim_exp::Experiment;
 
 fn main() {
-    let exp = Experiment::from_args("table1");
+    let args = Args::parse("table1");
+    let exp = &args.exp;
     header(
         "Table 1: per-frame instructions and data accesses (idealized firmware)",
         "anchors: send 282 instr (229 MIPS), receive 253 instr (206 MIPS) at 812,744 fps",
     );
     // A 300 MHz single core is near saturation for the ideal firmware,
     // matching the paper's methodology of profiling the loaded firmware.
-    let cfg = NicConfig {
+    let cfg = args.configure(NicConfig {
         cpu_mhz: 300,
         ..NicConfig::ideal()
-    };
+    });
     let run = exp.run_labeled("ideal@300", cfg);
     let s = &run.stats;
     println!(

@@ -4,21 +4,22 @@
 //! `results/table2.json` with the IPC matrix under `"extra"`.
 
 use nicsim::NicConfig;
-use nicsim_bench::{header, to_ilp_trace};
-use nicsim_exp::{Experiment, Json};
+use nicsim_bench::{header, to_ilp_trace, Args};
+use nicsim_exp::Json;
 use nicsim_ilp::{analyze, expand, BranchModel, IssueOrder, PipelineModel, ProcessorConfig};
 
 fn main() {
-    let exp = Experiment::from_args("table2");
+    let args = Args::parse("table2");
+    let exp = &args.exp;
     header(
         "Table 2: theoretical peak IPCs of NIC firmware",
         "trends: in-order prefers hazard removal; out-of-order prefers branch prediction",
     );
-    let cfg = NicConfig {
+    let cfg = args.configure(NicConfig {
         cpu_mhz: 300,
         capture_ilp: true,
         ..NicConfig::ideal()
-    };
+    });
     let (run, mut sys) = exp.run_with_system("ideal@300+ilp", cfg);
     let mut events = sys.take_ilp_trace().expect("ILP capture enabled");
     // The IPC limits converge within a few hundred thousand

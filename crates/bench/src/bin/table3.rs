@@ -4,17 +4,20 @@
 //! `stats.ipc_breakdown`).
 
 use nicsim::NicConfig;
-use nicsim_bench::header;
+use nicsim_bench::{header, Args};
 use nicsim_cpu::StallBucket;
-use nicsim_exp::Experiment;
 
 fn main() {
-    let exp = Experiment::from_args("table3");
+    let args = Args::parse("table3");
+    let exp = &args.exp;
     header(
         "Table 3: per-core IPC breakdown, 6 cores at 200 MHz",
         "paper: execution 0.72, I-miss 0.01, load 0.12, conflicts 0.05, pipeline 0.10",
     );
-    let run = exp.run_labeled("software@200", NicConfig::software_only_200());
+    let run = exp.run_labeled(
+        "software@200",
+        args.configure(NicConfig::software_only_200()),
+    );
     let s = &run.stats;
     println!(
         "line rate achieved: {:.2} Gb/s of 19.15",

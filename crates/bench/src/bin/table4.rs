@@ -3,16 +3,17 @@
 //! configuration. Writes `results/table4.json`.
 
 use nicsim::NicConfig;
-use nicsim_bench::header;
-use nicsim_exp::{Experiment, Json};
+use nicsim_bench::{header, Args};
+use nicsim_exp::Json;
 
 fn main() {
-    let exp = Experiment::from_args("table4");
+    let args = Args::parse("table4");
+    let exp = &args.exp;
     header(
         "Table 4: memory-system bandwidth (6 cores at 200 MHz, line rate)",
         "paper: scratchpad 4.8 required / 9.4 consumed; frame 39.5 required / 39.7 consumed",
     );
-    let cfg = NicConfig::software_only_200();
+    let cfg = args.configure(NicConfig::software_only_200());
     let run = exp.run_labeled("software@200", cfg);
     let s = &run.stats;
     println!(

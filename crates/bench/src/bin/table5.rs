@@ -4,12 +4,13 @@
 //! parallel; writes `results/table5.json`.
 
 use nicsim::NicConfig;
-use nicsim_bench::header;
+use nicsim_bench::{header, Args};
 use nicsim_cpu::FwFunc;
-use nicsim_exp::{Experiment, Sweep};
+use nicsim_exp::Sweep;
 
 fn main() {
-    let exp = Experiment::from_args("table5");
+    let args = Args::parse("table5");
+    let exp = &args.exp;
     header(
         "Table 5: per-packet instructions / accesses by ordering method",
         "RMW cuts send dispatch+ordering instr by 51.5%, recv by 30.8%; accesses by 65.0%/35.2%",
@@ -19,13 +20,16 @@ fn main() {
         [
             (
                 "ideal@300",
-                NicConfig {
+                args.configure(NicConfig {
                     cpu_mhz: 300,
                     ..NicConfig::ideal()
-                },
+                }),
             ),
-            ("software@200", NicConfig::software_only_200()),
-            ("rmw@166", NicConfig::rmw_166()),
+            (
+                "software@200",
+                args.configure(NicConfig::software_only_200()),
+            ),
+            ("rmw@166", args.configure(NicConfig::rmw_166())),
         ],
     );
     let report = exp.sweep(&sweep);

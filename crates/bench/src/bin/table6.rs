@@ -3,12 +3,13 @@
 //! The two runs execute in parallel; writes `results/table6.json`.
 
 use nicsim::NicConfig;
-use nicsim_bench::header;
+use nicsim_bench::{header, Args};
 use nicsim_cpu::FwFunc;
-use nicsim_exp::{Experiment, Sweep};
+use nicsim_exp::Sweep;
 
 fn main() {
-    let exp = Experiment::from_args("table6");
+    let args = Args::parse("table6");
+    let exp = &args.exp;
     header(
         "Table 6: per-packet cycles by function, software@200 vs RMW@166",
         "paper: RMW cuts send cycles 28.4%, receive cycles 4.7%; both reach line rate",
@@ -16,8 +17,11 @@ fn main() {
     let sweep = Sweep::new(NicConfig::default()).axis_configs(
         "firmware",
         [
-            ("software@200", NicConfig::software_only_200()),
-            ("rmw@166", NicConfig::rmw_166()),
+            (
+                "software@200",
+                args.configure(NicConfig::software_only_200()),
+            ),
+            ("rmw@166", args.configure(NicConfig::rmw_166())),
         ],
     );
     let report = exp.sweep(&sweep);

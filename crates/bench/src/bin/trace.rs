@@ -9,39 +9,29 @@
 //! ```
 //!
 //! `--trace <path>` picks the trace-file destination (default
-//! `results/trace_events.json`); `--cores N` overrides the core count.
+//! `results/trace_events.json`); `--cores N` and `--dispatch` come from
+//! the shared bench CLI ([`nicsim_bench::Args`]).
 //! The run fails if the probe observes an inconsistent frame lifecycle
 //! (a stage start without its completion) or if the written trace does
 //! not parse back as non-empty JSON.
 
 use nicsim::NicConfig;
-use nicsim_bench::{header, traced_run};
-use nicsim_exp::{Experiment, Json};
+use nicsim_bench::{header, traced_run, Args};
+use nicsim_exp::Json;
 use std::path::Path;
 
 fn main() {
-    let exp = Experiment::from_args("BENCH_trace");
+    let args = Args::parse("BENCH_trace");
+    let exp = &args.exp;
     header(
         "Frame-lifecycle trace: Chrome trace_event + latency percentiles",
         "per-frame stage breakdown for the line-rate configuration",
     );
-    let mut cfg = NicConfig::default();
-    let args: Vec<String> = std::env::args().collect();
-    for i in 0..args.len() {
-        if args[i] == "--cores" {
-            cfg.cores = args
-                .get(i + 1)
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| {
-                    eprintln!("--cores needs a positive integer");
-                    std::process::exit(2);
-                });
-        }
-    }
+    let cfg = args.configure(NicConfig::default());
     let default_path = Path::new("results/trace_events.json");
     let path = exp.trace_path().unwrap_or(default_path);
     let label = format!("cores={},cpu_mhz={}", cfg.cores, cfg.cpu_mhz);
-    let run = traced_run(&exp, &label, cfg, path);
+    let run = traced_run(exp, &label, cfg, path);
 
     // The trace file must round-trip as non-empty JSON: this is the
     // smoke check CI leans on (scripts/check.sh).

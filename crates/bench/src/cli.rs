@@ -1,0 +1,126 @@
+//! The one command-line surface every bench binary shares.
+//!
+//! [`Args::parse`] wraps [`Experiment::from_args`] (which handles
+//! `--jobs`, `--quiet`, `--trace`, `--faults` and ignores what it does
+//! not know) and adds the simulator-level flags the binaries used to
+//! hand-roll individually:
+//!
+//! * `--dispatch polling|interrupt` — the firmware dispatch mode
+//!   ablation axis ([`DispatchMode`]);
+//! * `--cores N` — override the core count of every configuration the
+//!   binary builds.
+//!
+//! Binaries route each configuration they construct through
+//! [`Args::configure`], so the overrides apply uniformly — sweeps that
+//! set their own core axis simply assign `cores` after `configure` and
+//! win.
+
+use nicsim::{DispatchMode, NicConfig};
+use nicsim_exp::Experiment;
+
+/// Parsed shared command line: the experiment engine plus the
+/// simulator-level overrides.
+pub struct Args {
+    /// The experiment engine (windows, jobs, results output, tracing,
+    /// fault plan).
+    pub exp: Experiment,
+    /// `--dispatch`: how the firmware waits for work (default polling,
+    /// the paper's Figure 5).
+    pub dispatch: DispatchMode,
+    /// `--cores`: core-count override, if given.
+    pub cores: Option<usize>,
+}
+
+impl Args {
+    /// Parse the process's command line for experiment `name`.
+    ///
+    /// Exits with status 2 and a usage message on a malformed value;
+    /// unknown flags are ignored (each layer parses only its own).
+    pub fn parse(name: &str) -> Args {
+        let exp = Experiment::from_args(name);
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut dispatch = DispatchMode::Polling;
+        let mut cores = None;
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            if let Some(v) = arg.strip_prefix("--dispatch=") {
+                dispatch = parse_dispatch(v);
+            } else if arg == "--dispatch" {
+                i += 1;
+                dispatch = parse_dispatch(argv.get(i).unwrap_or_else(|| usage_dispatch()));
+            } else if let Some(v) = arg.strip_prefix("--cores=") {
+                cores = Some(parse_cores(v));
+            } else if arg == "--cores" {
+                i += 1;
+                cores = Some(parse_cores(argv.get(i).unwrap_or_else(|| usage_cores())));
+            }
+            i += 1;
+        }
+        Args {
+            exp,
+            dispatch,
+            cores,
+        }
+    }
+
+    /// Apply the shared overrides to one configuration.
+    #[must_use]
+    pub fn configure(&self, mut cfg: NicConfig) -> NicConfig {
+        cfg.dispatch = self.dispatch;
+        if let Some(c) = self.cores {
+            cfg.cores = c;
+        }
+        cfg
+    }
+}
+
+fn parse_dispatch(v: &str) -> DispatchMode {
+    match v {
+        "polling" => DispatchMode::Polling,
+        "interrupt" => DispatchMode::Interrupt,
+        _ => usage_dispatch(),
+    }
+}
+
+fn parse_cores(v: &str) -> usize {
+    match v.parse() {
+        Ok(n) if n > 0 => n,
+        _ => usage_cores(),
+    }
+}
+
+fn usage_dispatch() -> ! {
+    eprintln!("--dispatch needs 'polling' or 'interrupt'");
+    std::process::exit(2);
+}
+
+fn usage_cores() -> ! {
+    eprintln!("--cores needs a positive integer");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configure_applies_overrides() {
+        let args = Args {
+            exp: Experiment::new("t"),
+            dispatch: DispatchMode::Interrupt,
+            cores: Some(3),
+        };
+        let cfg = args.configure(NicConfig::default());
+        assert_eq!(cfg.dispatch, DispatchMode::Interrupt);
+        assert_eq!(cfg.cores, 3);
+        let args = Args {
+            exp: Experiment::new("t"),
+            dispatch: DispatchMode::Polling,
+            cores: None,
+        };
+        let cfg = args.configure(NicConfig::default());
+        assert_eq!(cfg.dispatch, DispatchMode::Polling);
+        assert_eq!(cfg.cores, NicConfig::default().cores);
+    }
+}

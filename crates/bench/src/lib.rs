@@ -22,6 +22,10 @@ use nicsim_exp::{latency_to_json, Experiment, RunReport};
 use nicsim_ilp::TraceOp;
 use std::path::Path;
 
+pub mod cli;
+
+pub use cli::Args;
+
 /// Run `cfg` once with the full observability bundle — a Chrome
 /// `trace_event` exporter, the per-frame latency tracker, and the
 /// counter/histogram metrics — writing the Perfetto-openable trace
@@ -39,7 +43,7 @@ use std::path::Path;
 pub fn traced_run(exp: &Experiment, label: &str, cfg: NicConfig, path: &Path) -> RunReport {
     let probe = (ChromeTrace::new(), (FrameTracker::new(), Metrics::new()));
     let (mut report, sys) = exp.run_with_probe(label, cfg, probe);
-    let (chrome, (tracker, metrics)) = sys.into_probe();
+    let (chrome, (tracker, metrics)) = sys.unwrap_probe();
 
     let violations = tracker.violations();
     assert!(

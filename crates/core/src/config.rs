@@ -1,7 +1,7 @@
 //! Full-system configuration.
 
 use nicsim_fault::FaultPlan;
-use nicsim_firmware::FwMode;
+use nicsim_firmware::{DispatchMode, FwMode};
 use nicsim_mem::{FrameMemoryConfig, ICacheConfig};
 
 /// Configuration of the simulated NIC and its workload.
@@ -26,6 +26,11 @@ pub struct NicConfig {
     pub frame_memory: FrameMemoryConfig,
     /// Firmware synchronization mode.
     pub mode: FwMode,
+    /// How the dispatch loop waits for work: polling (the paper's
+    /// Figure 5) or interrupt-driven doorbells (the ablation axis; same
+    /// frames and descriptors, different cycle counts, and far faster to
+    /// simulate on the event-driven kernel).
+    pub dispatch: DispatchMode,
     /// UDP datagram size for both directions.
     pub udp_payload: usize,
     /// Whether the host transmits.
@@ -58,6 +63,7 @@ impl Default for NicConfig {
             icache: ICacheConfig::default(),
             frame_memory: FrameMemoryConfig::default(),
             mode: FwMode::RmwEnhanced,
+            dispatch: DispatchMode::Polling,
             udp_payload: 1472,
             send_enabled: true,
             recv_enabled: true,
@@ -73,7 +79,7 @@ impl Default for NicConfig {
 /// Why a [`NicConfig`] was rejected by validation.
 ///
 /// Returned by [`NicConfigBuilder::build`], [`NicConfig::validate`], and
-/// `NicSystem::try_new` / `NicSystem::try_with_probe`.
+/// the system builder's `finish`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConfigError {
     /// `cores` was zero — the firmware needs at least one core.
@@ -118,7 +124,7 @@ impl std::error::Error for ConfigError {}
 
 /// Builder for [`NicConfig`] whose [`build`](NicConfigBuilder::build)
 /// validates the configuration instead of letting an inconsistent one
-/// surface as an error deep inside `NicSystem::try_new`.
+/// surface as an error deep inside the system builder's `finish`.
 ///
 /// ```
 /// use nicsim::{ConfigError, NicConfig};
@@ -164,6 +170,8 @@ impl NicConfigBuilder {
         frame_memory: FrameMemoryConfig,
         /// Firmware synchronization mode.
         mode: FwMode,
+        /// How the dispatch loop waits for work (polling or interrupt).
+        dispatch: DispatchMode,
         /// UDP datagram size for both directions (1..=1472).
         udp_payload: usize,
         /// Whether the host transmits.

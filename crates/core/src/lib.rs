@@ -29,7 +29,7 @@
 //!     udp_payload: 1472,
 //!     ..NicConfig::default()
 //! };
-//! let mut sys = NicSystem::try_new(cfg).expect("config validates");
+//! let mut sys = NicSystem::build(cfg).finish().expect("config validates");
 //! let stats = sys.run_measured(Ps::from_us(120), Ps::from_us(120));
 //! assert!(stats.tx_frames > 0 && stats.rx_frames > 0);
 //! stats.assert_clean();
@@ -46,15 +46,16 @@
 //! and recovery counters.
 
 pub mod config;
+pub mod parallel;
 pub mod stats;
 pub mod system;
 
 pub use config::{ConfigError, NicConfig, NicConfigBuilder};
 pub use nicsim_fault::{ErrorStats, FaultPlan};
-pub use nicsim_firmware::FwMode;
+pub use nicsim_firmware::{DispatchMode, FwMode};
 pub use nicsim_obs::{
     ChromeTrace, DmaDir, Event, EventLog, FmStream, FrameTracker, LatencySummary, Metrics,
     NullProbe, Probe, StageStats,
 };
 pub use stats::{RunStats, StatValue, SUMMARY_VERSION};
-pub use system::NicSystem;
+pub use system::{NicSystem, SystemBuilder};

@@ -1,0 +1,298 @@
+//! The domain-parallel kernel: intra-run parallelism across the NIC's
+//! clock domains.
+//!
+//! The sequential kernels tick all four clock domains (paper §3) in one
+//! loop. This kernel splits each simulated cycle across two threads
+//! along the domain boundary:
+//!
+//! * **main thread** — the CPU domain: crossbar arbitration, the cores,
+//!   and the instruction memory, plus the host driver;
+//! * **worker thread** — the frame-side domains (SDRAM/frame bus, wire,
+//!   host DMA): the four assists and frame-memory completion routing.
+//!
+//! Every stepped cycle runs a three-phase protocol over a
+//! [`DomainBarrier`] rendezvous:
+//!
+//! 1. **Phase 0 (main, exclusive)** — advance the clock and arbitrate
+//!    the crossbar into the scratchpad banks. This is the one point
+//!    where the two sides' state meets, so it runs alone.
+//! 2. **Phase 1 (parallel)** — the main thread ticks the cores against
+//!    their crossbar ports and the I-memory while the worker ticks
+//!    `dmard → dmawr → mactx → macrx` against theirs and routes
+//!    frame-bus completions, in exactly the sequential kernel's order.
+//!    The two slices touch disjoint state: per-port crossbar views
+//!    ([`PortHandle`]), a read-only scratchpad, core-only I-memory, and
+//!    worker-only frame/host memory.
+//! 3. **Phase 2 (main, exclusive)** — the host driver's poll, its
+//!    mailbox doorbells into the scratchpad, and the doorbell wake
+//!    fan-out to the cores.
+//!
+//! Determinism follows from disjointness, not timing: any interleaving
+//! of the two threads inside phase 1 produces the same state, so
+//! [`NicSystem::run_until_parallel`] is bit-identical to
+//! [`NicSystem::run_until`] — the equivalence tests assert exact
+//! `RunStats` equality. Between cycles the main thread reuses the event
+//! kernel's skip machinery unchanged; the worker only wakes for stepped
+//! cycles.
+//!
+//! The kernel is implemented for unprobed systems only ([`NullProbe`]):
+//! a probe is a single sink both sides would have to share, which is
+//! exactly the serialization this kernel exists to avoid. Fault plans
+//! also force the sequential path — fault supervision couples the
+//! frame-side units to the host status block mid-cycle.
+
+use crate::stats::RunStats;
+use crate::system::NicSystem;
+use nicsim_assists::{DmaRead, DmaWrite, MacRx, MacTx};
+use nicsim_host::{HostMemory, Mailbox};
+use nicsim_mem::{FrameMemory, PortHandle, Scratchpad, StreamId};
+use nicsim_obs::NullProbe;
+use nicsim_sim::{DomainBarrier, NextEvent, Ps};
+
+/// Raw pointers to the frame-side state the worker thread owns during
+/// phase 1. Disjointness contract: between `open(g)` and `finish(g)`
+/// the main thread touches none of these fields (it ticks cores and
+/// I-memory only), and outside that window the worker is parked at the
+/// barrier, so every pointer is exclusively held whenever dereferenced.
+struct FrameSide {
+    dmard: *mut DmaRead,
+    dmawr: *mut DmaWrite,
+    mactx: *mut MacTx,
+    macrx: *mut MacRx,
+    fm: *mut FrameMemory,
+    host_mem: *mut HostMemory,
+    /// Read-only in phase 1: the scratchpad is written only by phase 0
+    /// (crossbar bank ops) and phase 2 (mailbox pokes).
+    sp: *const Scratchpad,
+    /// Set by the worker when a host-memory write obliges the driver to
+    /// poll for real; consumed by phase 2.
+    driver_idle: *mut bool,
+    fm_short_reads: *mut u64,
+    /// Current simulation time, written by phase 0 before the open.
+    now: *const Ps,
+}
+
+// SAFETY: the pointers are dereferenced only under the FrameSide
+// disjointness contract above; the barrier's Release/Acquire handshake
+// publishes each side's writes to the other at the phase edges.
+unsafe impl Send for FrameSide {}
+
+/// One phase-1 slice of the frame-side domains: the sequential kernel's
+/// assist section (`step_inner` with gating) verbatim, against raw
+/// per-port crossbar views.
+///
+/// # Safety
+///
+/// Caller must hold the FrameSide disjointness contract: exclusive
+/// access to everything `f` points at (shared read-only for `sp` and
+/// `now`), and `h` must be the assist port handles in unit order
+/// (dmard, dmawr, mactx, macrx) with the crossbar quiescent.
+unsafe fn frame_side_cycle(f: &FrameSide, h: &mut [PortHandle]) {
+    let now = *f.now;
+    let sp = &*f.sp;
+    let dmard = &mut *f.dmard;
+    let dmawr = &mut *f.dmawr;
+    let mactx = &mut *f.mactx;
+    let macrx = &mut *f.macrx;
+    let fm = &mut *f.fm;
+    let host_mem = &mut *f.host_mem;
+    let (h_dmard, rest) = h.split_at_mut(1);
+    let (h_dmawr, rest) = rest.split_at_mut(1);
+    let (h_mactx, h_macrx) = rest.split_at_mut(1);
+
+    if dmard.busy(sp) {
+        dmard.tick_probed(now, &mut h_dmard[0], sp, host_mem, fm, &mut NullProbe);
+    }
+    if dmawr.busy(sp) {
+        dmawr.tick_probed(now, &mut h_dmawr[0], sp, host_mem, fm, &mut NullProbe);
+        *f.driver_idle = false;
+    }
+    if mactx.busy(sp) || mactx.next_event() <= now {
+        mactx.tick_probed(now, &mut h_mactx[0], sp, fm, &mut NullProbe);
+    }
+    if macrx.busy() || macrx.next_event() <= now {
+        macrx.tick_probed(now, &mut h_macrx[0], sp, fm, &mut NullProbe);
+    }
+
+    if fm.next_event() <= now {
+        for c in fm.advance_probed(now, &mut NullProbe) {
+            match c.stream {
+                StreamId::DmaRead => {
+                    dmard.on_sdram_complete_probed(c.tag, c.at, &mut NullProbe);
+                }
+                StreamId::DmaWrite => {
+                    let data = match c.data.as_deref() {
+                        Some(d) => d,
+                        None => {
+                            *f.fm_short_reads += 1;
+                            &[]
+                        }
+                    };
+                    dmawr.on_sdram_complete_probed(c.tag, data, host_mem, c.at, &mut NullProbe);
+                    *f.driver_idle = false;
+                }
+                StreamId::MacTx => {
+                    let data = match c.data.as_deref() {
+                        Some(d) => d,
+                        None => {
+                            *f.fm_short_reads += 1;
+                            &[]
+                        }
+                    };
+                    mactx.on_sdram_complete_probed(c.at, data, &mut NullProbe);
+                }
+                StreamId::MacRx => macrx.on_sdram_complete_probed(c.at, &mut NullProbe),
+            }
+        }
+    }
+}
+
+impl NicSystem {
+    /// Run until simulation time `until` on the domain-parallel kernel:
+    /// the event-driven kernel's skip machinery between cycles, and the
+    /// three-phase split documented at the module level within them.
+    /// Results are bit-identical to [`NicSystem::run_until`] and
+    /// [`NicSystem::run_until_dense`].
+    ///
+    /// Falls back to [`NicSystem::run_until`] when a fault plan is
+    /// configured (fault supervision is inherently cross-domain).
+    pub fn run_until_parallel(&mut self, until: Ps) {
+        if self.cfg.faults.is_some() {
+            return self.run_until(until);
+        }
+        if self.now >= until {
+            return;
+        }
+
+        let n_cores = self.cfg.cores;
+        // SAFETY: the crossbar lives (unmoved, unresized) for the whole
+        // scope below; handles are dereferenced only during phase 1,
+        // when no `&mut Crossbar` method runs and the cycle counter is
+        // frozen; core handles stay on this thread, assist handles move
+        // to the worker, and the two sets are disjoint ports.
+        let mut core_handles = unsafe { self.xbar.port_handles() };
+        let assist_handles = core_handles.split_off(n_cores);
+
+        let frame = FrameSide {
+            dmard: &mut self.dmard,
+            dmawr: &mut self.dmawr,
+            mactx: &mut self.mactx,
+            macrx: &mut self.macrx,
+            fm: &mut self.fm,
+            host_mem: &mut self.host_mem,
+            sp: &self.sp,
+            driver_idle: &mut self.driver_idle,
+            fm_short_reads: &mut self.fm_short_reads,
+            now: &self.now,
+        };
+
+        let barrier = DomainBarrier::new();
+        std::thread::scope(|scope| {
+            let b = &barrier;
+            let worker = scope.spawn(move || {
+                // Poison the barrier if an assist panics, so the
+                // coordinator fails fast instead of spinning.
+                struct Guard<'a>(&'a DomainBarrier);
+                impl Drop for Guard<'_> {
+                    fn drop(&mut self) {
+                        if std::thread::panicking() {
+                            self.0.poison();
+                        }
+                    }
+                }
+                let _guard = Guard(b);
+                let f = frame;
+                let mut handles = assist_handles;
+                let mut last = 0;
+                while let Some(gen) = b.wait_open(last) {
+                    last = gen;
+                    // SAFETY: FrameSide contract — the main thread
+                    // touches no frame-side state between open(gen) and
+                    // wait_done(gen), and the handles are the assist
+                    // ports in unit order.
+                    unsafe { frame_side_cycle(&f, &mut handles) };
+                    b.finish(gen);
+                }
+            });
+            barrier.register_worker(worker.thread().clone());
+
+            let mut gen = 0u64;
+            while self.now < until {
+                // Inter-cycle skip: identical to the event kernel.
+                let wake = self.wake_cycles();
+                if wake > 1 {
+                    let remaining = (until.0 - self.now.0).div_ceil(self.cpu_period.0);
+                    let skip = (wake - 1).min(remaining.saturating_sub(1));
+                    if skip > 0 {
+                        self.skipped_cycles += skip;
+                        self.skip_cycles(skip);
+                    }
+                }
+                self.stepped_cycles += 1;
+
+                // Phase 0 (exclusive): clock edge + crossbar
+                // arbitration into the scratchpad banks.
+                self.now += self.cpu_period;
+                let now = self.now;
+                if self.xbar.needs_tick() {
+                    self.xbar.tick_probed(&mut self.sp, now, &mut NullProbe);
+                } else {
+                    self.xbar.skip_cycles(1);
+                }
+
+                // Phase 1 (parallel): cores here, frame side on the
+                // worker. The open publishes phase 0's writes; the
+                // rendezvous acquires the worker's.
+                gen += 1;
+                barrier.open(gen);
+                for (core, port) in self.cores.iter_mut().zip(core_handles.iter_mut()) {
+                    core.tick_probed(port, &mut self.imem, now, &mut NullProbe);
+                }
+                barrier.wait_done(gen);
+
+                // Phase 2 (exclusive): host driver + doorbells.
+                self.host_phase(now);
+            }
+            barrier.shutdown();
+        });
+    }
+
+    /// Warm the system up, then measure a steady-state window, both on
+    /// the domain-parallel kernel.
+    pub fn run_measured_parallel(&mut self, warmup: Ps, window: Ps) -> RunStats {
+        self.run_until_parallel(self.now + warmup);
+        self.reset_window();
+        self.run_until_parallel(self.now + window);
+        self.collect()
+    }
+
+    /// Phase 2 of the parallel step: the driver section of the
+    /// sequential kernel's `step_inner` (gated), followed by the
+    /// doorbell wake fan-out.
+    fn host_phase(&mut self, now: Ps) {
+        if self.driver_countdown != u64::MAX {
+            self.driver_countdown -= 1;
+            if self.driver_countdown == 0 {
+                self.driver_countdown = self.cfg.driver_interval;
+                if !self.driver_idle {
+                    let acted = self
+                        .driver
+                        .tick_probed(now, &mut self.host_mem, &mut NullProbe);
+                    self.driver_idle = !acted && self.cfg.offered_tx_fps.is_none();
+                    for w in self.driver.take_mailbox_writes() {
+                        let addr = match w.reg {
+                            Mailbox::SendBdProd => self.map.sb_mailbox_prod,
+                            Mailbox::RxBdProd => self.map.rb_mailbox_prod,
+                        };
+                        self.sp.poke(addr, w.value);
+                    }
+                }
+            }
+        }
+        if self.sp.take_signal() {
+            for core in &mut self.cores {
+                core.raise_wake();
+            }
+        }
+    }
+}

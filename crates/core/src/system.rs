@@ -14,9 +14,9 @@ use nicsim_assists::{DmaConfig, DmaRead, DmaWrite, MacRx, MacRxConfig, MacTx, Ma
 use nicsim_cpu::{CodeLayout, Core, CoreCtx, CoreProfile, OpEvent};
 use nicsim_fault::{DmaFaults, EccFaults, ErrorStats, LinkFaults, SITE_DMA_READ, SITE_DMA_WRITE};
 use nicsim_firmware::handlers::HostRegs;
-use nicsim_firmware::map::{DMA_RING, MACRX_RING, MACTX_RING, RXBUF_BASE, RXBUF_BYTES};
+use nicsim_firmware::map::{DMA_RING, MACRX_RING, MACTX_RING, RXBUF_BASE, RXBUF_BYTES, SLOTS};
 use nicsim_firmware::mode::Fw;
-use nicsim_firmware::{dispatch_loop, MemMap};
+use nicsim_firmware::{dispatch_loop, DispatchMode, MemMap};
 use nicsim_host::{Driver, DriverConfig, HostLayout, HostMemory, Mailbox};
 use nicsim_mem::{Crossbar, FrameMemory, InstrMemory, Scratchpad, StreamId};
 use nicsim_net::link::RxGenerator;
@@ -32,52 +32,82 @@ use nicsim_sim::{Freq, NextEvent, Ps, WakeTracker};
 /// monomorphizes to exactly the code it had before the probe layer
 /// existed — timing, statistics, and the event-driven kernel's
 /// skip decisions are bit-identical. Build a probed system with
-/// [`NicSystem::try_with_probe`].
+/// [`NicSystem::build`] + [`SystemBuilder::probe`].
 pub struct NicSystem<P: Probe = NullProbe> {
-    probe: P,
-    cfg: NicConfig,
-    map: MemMap,
-    now: Ps,
-    cpu_period: Ps,
-    sp: Scratchpad,
-    xbar: Crossbar,
-    imem: InstrMemory,
-    fm: FrameMemory,
-    cores: Vec<Core>,
-    dmard: DmaRead,
-    dmawr: DmaWrite,
-    mactx: MacTx,
-    macrx: MacRx,
-    host_mem: HostMemory,
-    driver: Driver,
+    pub(crate) probe: P,
+    pub(crate) cfg: NicConfig,
+    pub(crate) map: MemMap,
+    pub(crate) now: Ps,
+    pub(crate) cpu_period: Ps,
+    pub(crate) sp: Scratchpad,
+    pub(crate) xbar: Crossbar,
+    pub(crate) imem: InstrMemory,
+    pub(crate) fm: FrameMemory,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) dmard: DmaRead,
+    pub(crate) dmawr: DmaWrite,
+    pub(crate) mactx: MacTx,
+    pub(crate) macrx: MacRx,
+    pub(crate) host_mem: HostMemory,
+    pub(crate) driver: Driver,
     /// Cycles until the next driver poll (replaces a per-cycle
     /// frequency-division-and-modulo check); `u64::MAX` when the driver
     /// never polls.
-    driver_countdown: u64,
+    pub(crate) driver_countdown: u64,
     /// The driver's last poll changed nothing and the NIC has not
     /// written host memory since, so every poll until the next host
     /// write is a provable no-op: the event kernel elides them and may
     /// skip across poll boundaries. Never set under offered-load
     /// pacing, whose send budget also depends on the clock.
-    driver_idle: bool,
+    pub(crate) driver_idle: bool,
     /// Cycles elided by the event-driven kernel (diagnostics).
-    skipped_cycles: u64,
+    pub(crate) skipped_cycles: u64,
     /// Cycles simulated for real by the event-driven kernel.
-    stepped_cycles: u64,
-    window_start: Ps,
-    stopped: bool,
+    pub(crate) stepped_cycles: u64,
+    pub(crate) window_start: Ps,
+    pub(crate) stopped: bool,
     /// Host-memory address the system publishes the cumulative DMA-read
     /// abort count to (`status + 8`); the driver turns the delta into
     /// transmit retries.
-    status_aborts_addr: u32,
+    pub(crate) status_aborts_addr: u32,
     /// Last abort count published to the host status block.
-    aborts_published: u32,
+    pub(crate) aborts_published: u32,
     /// Frame-bus read completions that arrived without data, recovered
     /// by substituting an empty transfer instead of panicking.
-    fm_short_reads: u64,
+    pub(crate) fm_short_reads: u64,
+}
+
+/// Staged constructor for [`NicSystem`], the one assembly path for
+/// probed and unprobed systems alike.
+///
+/// [`NicSystem::build`] starts a builder with observation disabled
+/// ([`NullProbe`]); [`SystemBuilder::probe`] swaps in an observability
+/// probe (changing the builder's type parameter); [`SystemBuilder::finish`]
+/// validates the configuration and assembles the system.
+///
+/// ```
+/// use nicsim::{NicConfig, NicSystem};
+///
+/// let sys = NicSystem::build(NicConfig::default()).finish().unwrap();
+/// assert_eq!(sys.config().cores, 6);
+/// ```
+#[derive(Debug)]
+pub struct SystemBuilder<P: Probe = NullProbe> {
+    cfg: NicConfig,
+    probe: P,
 }
 
 impl NicSystem {
+    /// Start building a system from `cfg` with observation disabled.
+    /// Attach a probe with [`SystemBuilder::probe`]; assemble with
+    /// [`SystemBuilder::finish`].
+    pub fn build(cfg: NicConfig) -> SystemBuilder {
+        SystemBuilder {
+            cfg,
+            probe: NullProbe,
+        }
+    }
+
     /// Build the system from a configuration, rejecting inconsistent
     /// ones. Observation is disabled ([`NullProbe`]).
     ///
@@ -86,25 +116,63 @@ impl NicSystem {
     /// Returns the same [`ConfigError`] as [`NicConfig::validate`]
     /// (zero cores/banks/payload, oversized payload, multi-core ideal
     /// mode).
+    #[deprecated(since = "0.7.0", note = "use `NicSystem::build(cfg).finish()`")]
     pub fn try_new(cfg: NicConfig) -> Result<NicSystem, ConfigError> {
-        NicSystem::try_with_probe(cfg, NullProbe)
+        NicSystem::build(cfg).finish()
     }
 }
 
-impl<P: Probe> NicSystem<P> {
-    /// Build the system with an observability probe attached, rejecting
-    /// inconsistent configurations. Every frame-lifecycle edge — host
-    /// posts, mailbox doorbells, firmware handler entries, crossbar
-    /// grants, DMA and frame-memory bursts, wire occupancy, driver
-    /// completions — is reported to `probe`.
+impl<P: Probe> SystemBuilder<P> {
+    /// Attach an observability probe, replacing the current one. Every
+    /// frame-lifecycle edge — host posts, mailbox doorbells, firmware
+    /// handler entries, crossbar grants, DMA and frame-memory bursts,
+    /// wire occupancy, driver completions — is reported to it.
+    pub fn probe<Q: Probe>(self, probe: Q) -> SystemBuilder<Q> {
+        SystemBuilder {
+            cfg: self.cfg,
+            probe,
+        }
+    }
+
+    /// Validate the configuration and assemble the system.
     ///
     /// # Errors
     ///
     /// Returns the same [`ConfigError`] as [`NicConfig::validate`].
-    pub fn try_with_probe(cfg: NicConfig, probe: P) -> Result<NicSystem<P>, ConfigError> {
+    pub fn finish(self) -> Result<NicSystem<P>, ConfigError> {
+        let SystemBuilder { cfg, probe } = self;
         cfg.validate()?;
         let map = MemMap::new();
-        let sp = Scratchpad::new(cfg.scratchpad_bytes, cfg.banks);
+        let mut sp = Scratchpad::new(cfg.scratchpad_bytes, cfg.banks);
+        if cfg.dispatch == DispatchMode::Interrupt {
+            // Doorbell words: every scratchpad location whose write can
+            // make a future dispatch-loop peek succeed. Progress
+            // counters and mailboxes cover the seven pointer sources;
+            // the three status-bit arrays cover the pending-commit
+            // peeks; the stop flag covers shutdown. Claim counters,
+            // commit pointers, and locks are deliberately unwatched:
+            // writes to them only ever *consume* work, and the watched
+            // write that produced the work already woke every core.
+            for addr in [
+                map.sb_mailbox_prod,
+                map.rb_mailbox_prod,
+                map.dmard_done,
+                map.dmawr_done,
+                map.mactx_done,
+                map.macrx_prod,
+                map.sbd_parsed,
+                map.stop_flag,
+            ] {
+                sp.watch_range(addr, 4);
+            }
+            for bits in [
+                map.send_ready_bits,
+                map.send_txdone_bits,
+                map.recv_done_bits,
+            ] {
+                sp.watch_range(bits, SLOTS / 8);
+            }
+        }
         let ports = cfg.cores + 4;
         let xbar = Crossbar::new(ports, cfg.banks);
         let imem = InstrMemory::new();
@@ -199,6 +267,7 @@ impl<P: Probe> NicSystem<P> {
                 ctx: ctx.clone(),
                 m: map,
                 mode: cfg.mode,
+                dispatch: cfg.dispatch,
                 fault_aware: cfg.faults.is_some(),
             };
             core.install(dispatch_loop(ctx, fw, host_regs));
@@ -237,6 +306,22 @@ impl<P: Probe> NicSystem<P> {
             fm_short_reads: 0,
         })
     }
+}
+
+impl<P: Probe> NicSystem<P> {
+    /// Build the system with an observability probe attached, rejecting
+    /// inconsistent configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ConfigError`] as [`NicConfig::validate`].
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `NicSystem::build(cfg).probe(probe).finish()`"
+    )]
+    pub fn try_with_probe(cfg: NicConfig, probe: P) -> Result<NicSystem<P>, ConfigError> {
+        NicSystem::build(cfg).probe(probe).finish()
+    }
 
     /// The attached probe.
     pub fn probe(&self) -> &P {
@@ -250,7 +335,14 @@ impl<P: Probe> NicSystem<P> {
 
     /// Consume the system and return the probe with everything it
     /// collected.
+    #[deprecated(since = "0.7.0", note = "use `NicSystem::unwrap_probe`")]
     pub fn into_probe(self) -> P {
+        self.probe
+    }
+
+    /// Consume the system and return the probe with everything it
+    /// collected.
+    pub fn unwrap_probe(self) -> P {
         self.probe
     }
 
@@ -293,7 +385,13 @@ impl<P: Probe> NicSystem<P> {
             self.xbar.skip_cycles(1);
         }
         for core in &mut self.cores {
-            core.tick_probed(&mut self.xbar, &mut self.imem, now, &mut self.probe);
+            let id = core.id();
+            core.tick_probed(
+                &mut self.xbar.port(id),
+                &mut self.imem,
+                now,
+                &mut self.probe,
+            );
         }
 
         // Hardware assists. Each `busy` predicate mirrors its tick's
@@ -303,7 +401,7 @@ impl<P: Probe> NicSystem<P> {
         if !gate || self.dmard.busy(&self.sp) {
             self.dmard.tick_probed(
                 now,
-                &mut self.xbar,
+                &mut self.xbar.port(self.cfg.cores),
                 &self.sp,
                 &self.host_mem,
                 &mut self.fm,
@@ -313,7 +411,7 @@ impl<P: Probe> NicSystem<P> {
         if !gate || self.dmawr.busy(&self.sp) {
             self.dmawr.tick_probed(
                 now,
-                &mut self.xbar,
+                &mut self.xbar.port(self.cfg.cores + 1),
                 &self.sp,
                 &mut self.host_mem,
                 &mut self.fm,
@@ -325,12 +423,22 @@ impl<P: Probe> NicSystem<P> {
             self.driver_idle = false;
         }
         if !gate || self.mactx.busy(&self.sp) || self.mactx.next_event() <= now {
-            self.mactx
-                .tick_probed(now, &mut self.xbar, &self.sp, &mut self.fm, &mut self.probe);
+            self.mactx.tick_probed(
+                now,
+                &mut self.xbar.port(self.cfg.cores + 2),
+                &self.sp,
+                &mut self.fm,
+                &mut self.probe,
+            );
         }
         if !gate || self.macrx.busy() || self.macrx.next_event() <= now {
-            self.macrx
-                .tick_probed(now, &mut self.xbar, &self.sp, &mut self.fm, &mut self.probe);
+            self.macrx.tick_probed(
+                now,
+                &mut self.xbar.port(self.cfg.cores + 3),
+                &self.sp,
+                &mut self.fm,
+                &mut self.probe,
+            );
         }
 
         // Fault supervision: the per-assist watchdog and the abort-count
@@ -404,6 +512,18 @@ impl<P: Probe> NicSystem<P> {
                         }
                     }
                 }
+            }
+        }
+
+        // Doorbell fan-out (interrupt dispatch only — an unwatched
+        // scratchpad never signals): any write that landed on a watched
+        // word this cycle raises every core's wake line. The wake is
+        // level-triggered and sticky, and both kernels take this branch
+        // at the end of every simulated cycle, so a parked core resumes
+        // on the same cycle under dense and event-driven stepping.
+        if self.sp.take_signal() {
+            for core in &mut self.cores {
+                core.raise_wake();
             }
         }
     }
@@ -509,7 +629,7 @@ impl<P: Probe> NicSystem<P> {
     /// Every bound here is a lower bound on the component's next state
     /// change (the [`NextEvent`] contract), so skipping `n - 1` cycles
     /// and simulating the `n`-th is bit-identical to ticking densely.
-    fn wake_cycles(&self) -> u64 {
+    pub(crate) fn wake_cycles(&self) -> u64 {
         // An ungranted request keeps the crossbar arbitration hot:
         // simulate every cycle. Granted-but-unconsumed *responses* don't:
         // they ride through skips untouched, and every possible owner is
@@ -554,7 +674,7 @@ impl<P: Probe> NicSystem<P> {
 
     /// Jump the clock over `n` provably-idle cycles, keeping every
     /// counter exactly as `n` dense steps would have left it.
-    fn skip_cycles(&mut self, n: u64) {
+    pub(crate) fn skip_cycles(&mut self, n: u64) {
         self.now += Ps(self.cpu_period.0 * n);
         self.xbar.skip_cycles(n);
         for core in &mut self.cores {
@@ -799,19 +919,22 @@ mod tests {
     use nicsim_firmware::FwMode;
 
     #[test]
-    fn try_new_rejects_what_validate_rejects() {
+    fn build_rejects_what_validate_rejects() {
         let cfg = NicConfig {
             cores: 0,
             ..NicConfig::default()
         };
-        assert_eq!(NicSystem::try_new(cfg).err(), Some(ConfigError::ZeroCores));
+        assert_eq!(
+            NicSystem::build(cfg).finish().err(),
+            Some(ConfigError::ZeroCores)
+        );
         let cfg = NicConfig {
             cores: 2,
             mode: FwMode::Ideal,
             ..NicConfig::default()
         };
         assert_eq!(
-            NicSystem::try_new(cfg).err(),
+            NicSystem::build(cfg).finish().err(),
             Some(ConfigError::IdealMultiCore { cores: 2 })
         );
     }
@@ -825,7 +948,7 @@ mod tests {
             cpu_mhz: 500,
             ..NicConfig::default()
         };
-        let mut sys = NicSystem::try_new(cfg).unwrap();
+        let mut sys = NicSystem::build(cfg).finish().unwrap();
         let stats = sys.run_measured(Ps::from_us(150), Ps::from_us(150));
         assert!(stats.tx_frames > 20, "tx_frames = {}", stats.tx_frames);
         assert!(stats.rx_frames > 20, "rx_frames = {}", stats.rx_frames);
@@ -839,7 +962,7 @@ mod tests {
             cpu_mhz: 500,
             ..NicConfig::default()
         };
-        let mut sys = NicSystem::try_new(cfg).unwrap();
+        let mut sys = NicSystem::build(cfg).finish().unwrap();
         sys.run_until(Ps::from_us(50));
         sys.stop(Ps::from_ms(5));
         assert!(sys.halted());
@@ -847,7 +970,7 @@ mod tests {
 
     #[test]
     fn ideal_mode_processes_frames() {
-        let mut sys = NicSystem::try_new(NicConfig::ideal()).unwrap();
+        let mut sys = NicSystem::build(NicConfig::ideal()).finish().unwrap();
         let stats = sys.run_measured(Ps::from_us(200), Ps::from_us(200));
         assert!(stats.tx_frames > 10);
         assert!(stats.rx_frames > 10);
@@ -862,7 +985,7 @@ mod tests {
             mode: FwMode::SoftwareOnly,
             ..NicConfig::default()
         };
-        let mut sys = NicSystem::try_new(cfg).unwrap();
+        let mut sys = NicSystem::build(cfg).finish().unwrap();
         let stats = sys.run_measured(Ps::from_us(150), Ps::from_us(150));
         assert!(stats.tx_frames > 10);
         assert!(stats.rx_frames > 10);

@@ -28,13 +28,15 @@ fn small(faults: Option<FaultPlan>) -> NicConfig {
 }
 
 fn run_event(cfg: NicConfig) -> RunStats {
-    NicSystem::try_new(cfg)
+    NicSystem::build(cfg)
+        .finish()
         .unwrap()
         .run_measured(WARMUP, WINDOW)
 }
 
 fn run_dense(cfg: NicConfig) -> RunStats {
-    NicSystem::try_new(cfg)
+    NicSystem::build(cfg)
+        .finish()
         .unwrap()
         .run_measured_dense(WARMUP, WINDOW)
 }

@@ -19,17 +19,20 @@ const WARMUP: Ps = Ps(100_000_000); // 100 us
 const WINDOW: Ps = Ps(150_000_000); // 150 us
 
 fn assert_lifecycle(cfg: NicConfig, label: &str) {
-    let mut plain = NicSystem::try_new(cfg).unwrap();
+    let mut plain = NicSystem::build(cfg).finish().unwrap();
     let base = plain.run_measured(WARMUP, WINDOW);
 
-    let mut probed = NicSystem::try_with_probe(cfg, FrameTracker::new()).unwrap();
+    let mut probed = NicSystem::build(cfg)
+        .probe(FrameTracker::new())
+        .finish()
+        .unwrap();
     let stats = probed.run_measured(WARMUP, WINDOW);
     assert_eq!(
         base, stats,
         "{label}: probed run diverged from the NullProbe run"
     );
 
-    let tracker = probed.into_probe();
+    let tracker = probed.unwrap_probe();
     let violations = tracker.violations();
     assert!(
         violations.is_empty(),

@@ -7,16 +7,16 @@
 //! These tests run both kernels over identical configurations and assert
 //! exact `RunStats` equality.
 
-use nicsim::{FwMode, NicConfig, NicSystem, RunStats};
+use nicsim::{DispatchMode, FaultPlan, FwMode, NicConfig, NicSystem, RunStats};
 use nicsim_sim::Ps;
 
 const WARMUP: Ps = Ps(100_000_000); // 100 us
 const WINDOW: Ps = Ps(150_000_000); // 150 us
 
 fn run_pair(cfg: NicConfig, warmup: Ps, window: Ps) -> (RunStats, RunStats, Ps, Ps) {
-    let mut dense = NicSystem::try_new(cfg).unwrap();
+    let mut dense = NicSystem::build(cfg).finish().unwrap();
     let d = dense.run_measured_dense(warmup, window);
-    let mut event = NicSystem::try_new(cfg).unwrap();
+    let mut event = NicSystem::build(cfg).finish().unwrap();
     let e = event.run_measured(warmup, window);
     (d, e, dense.now(), event.now())
 }
@@ -109,6 +109,144 @@ fn kernels_match_under_offered_load_pacing() {
         };
         assert_identical(cfg, WARMUP, WINDOW, &format!("paced {fps} fps"));
     }
+}
+
+#[test]
+fn kernels_match_in_interrupt_dispatch() {
+    // Interrupt dispatch is where the event kernel's core-elision does
+    // the most work (a parked core reports an unbounded wake), so the
+    // equivalence matrix covers it across core counts, payloads, and
+    // one-sided traffic.
+    for cores in [1usize, 2, 6] {
+        let cfg = NicConfig {
+            cores,
+            cpu_mhz: 300,
+            dispatch: DispatchMode::Interrupt,
+            ..NicConfig::default()
+        };
+        assert_identical(cfg, WARMUP, WINDOW, &format!("{cores} cores, interrupt"));
+    }
+    let cfg = NicConfig {
+        cores: 2,
+        cpu_mhz: 300,
+        dispatch: DispatchMode::Interrupt,
+        udp_payload: 18,
+        ..NicConfig::default()
+    };
+    assert_identical(cfg, WARMUP, WINDOW, "interrupt, 18B payload");
+    let cfg = NicConfig {
+        cores: 2,
+        cpu_mhz: 300,
+        dispatch: DispatchMode::Interrupt,
+        send_enabled: false,
+        offered_rx_fps: Some(100_000.0),
+        ..NicConfig::default()
+    };
+    assert_identical(cfg, WARMUP, WINDOW, "interrupt, paced recv-only");
+}
+
+#[test]
+fn parallel_kernel_is_bit_identical_to_sequential_kernels() {
+    // The domain-parallel kernel splits each cycle across two threads;
+    // its contract is the same as the event kernel's: exact RunStats
+    // equality with the dense reference, in both dispatch modes and
+    // across core counts.
+    for dispatch in [DispatchMode::Polling, DispatchMode::Interrupt] {
+        for cores in [1usize, 2, 6] {
+            let cfg = NicConfig {
+                cores,
+                cpu_mhz: 300,
+                dispatch,
+                ..NicConfig::default()
+            };
+            let label = format!("parallel, {cores} cores, {dispatch:?}");
+            let mut seq = NicSystem::build(cfg).finish().unwrap();
+            let s = seq.run_measured(WARMUP, WINDOW);
+            let mut par = NicSystem::build(cfg).finish().unwrap();
+            let p = par.run_measured_parallel(WARMUP, WINDOW);
+            assert_eq!(seq.now(), par.now(), "{label}: clocks diverged");
+            assert_eq!(s, p, "{label}: stats diverged");
+            assert_eq!(
+                seq.kernel_cycle_split(),
+                par.kernel_cycle_split(),
+                "{label}: skip decisions diverged"
+            );
+            assert!(s.tx_frames > 0 || s.rx_frames > 0, "{label}: no traffic");
+        }
+    }
+}
+
+#[test]
+fn polling_and_interrupt_deliver_identical_frames() {
+    // The dispatch modes differ only in the cost of waiting: at a paced
+    // load both can sustain, every offered frame must flow through the
+    // same descriptors in the same order. Cycle counts differ (that is
+    // the point), so this compares the frame-visible record instead of
+    // RunStats: the wire sequence numbers the MAC accepted and the
+    // (src, dst, len) of every payload DMA write, under a fault plan
+    // that exercises CRC drops and DMA retries in both modes.
+    let plan = FaultPlan {
+        seed: 7,
+        link_corrupt: 0.01,
+        dma_error: 0.005,
+        ..FaultPlan::default()
+    };
+    let base = NicConfig {
+        cores: 2,
+        cpu_mhz: 400,
+        offered_tx_fps: Some(60_000.0),
+        offered_rx_fps: Some(60_000.0),
+        faults: Some(plan),
+        ..NicConfig::default()
+    };
+    let mut runs = Vec::new();
+    for dispatch in [DispatchMode::Polling, DispatchMode::Interrupt] {
+        let cfg = NicConfig { dispatch, ..base };
+        let mut sys = NicSystem::build(cfg).finish().unwrap();
+        sys.run_until(Ps::from_us(400));
+        let stats = sys.collect();
+        assert!(stats.tx_frames > 10 && stats.rx_frames > 10, "no traffic");
+        runs.push((
+            sys.mac_accepted().to_vec(),
+            sys.dmawr_payloads().to_vec(),
+            stats.errors.expect("fault plan configured"),
+            stats.tx_frames,
+            stats.rx_frames,
+        ));
+    }
+    let (p, i) = (&runs[0], &runs[1]);
+    // The accepted-frame record is cut at the same *wall-clock* instant
+    // in both runs, but in-flight tails may differ by a frame or two;
+    // the common prefix must match exactly.
+    let n = p.0.len().min(i.0.len());
+    assert!(
+        p.0.len().abs_diff(i.0.len()) <= 4,
+        "acceptance counts diverged"
+    );
+    assert_eq!(p.0[..n], i.0[..n], "accepted wire sequences diverged");
+    let n = p.1.len().min(i.1.len());
+    assert!(
+        p.1.len().abs_diff(i.1.len()) <= 4,
+        "payload DMA counts diverged"
+    );
+    assert_eq!(p.1[..n], i.1[..n], "payload DMA commands diverged");
+    assert!(
+        p.3.abs_diff(i.3) <= 4 && p.4.abs_diff(i.4) <= 4,
+        "delivered frame counts diverged: polling ({}, {}), interrupt ({}, {})",
+        p.3,
+        p.4,
+        i.3,
+        i.4
+    );
+    assert_eq!(
+        p.2.crc_dropped, i.2.crc_dropped,
+        "CRC drop accounting diverged"
+    );
+    assert_eq!(
+        (p.2.link_corrupt_injected, p.2.link_truncate_injected),
+        (i.2.link_corrupt_injected, i.2.link_truncate_injected),
+        "link injection schedules diverged"
+    );
 }
 
 /// xorshift64* — deterministic, dependency-free.

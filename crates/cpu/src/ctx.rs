@@ -108,6 +108,15 @@ impl CoreCtx {
         self.issue(PendingOp::Branch { mispredict: true }).await;
     }
 
+    /// Wait for interrupt: issue one instruction, then park the core
+    /// until its wake line is raised by a doorbell (interrupt dispatch
+    /// mode only — polling firmware never calls this). Traced as a
+    /// single ALU instruction for the ILP expansion.
+    pub async fn wfi(&self) {
+        self.trace(OpEvent::Alu(1));
+        self.issue(PendingOp::Wfi).await;
+    }
+
     /// Load a 32-bit word from scratchpad byte address `addr`.
     pub async fn load(&self, addr: u32) -> u32 {
         self.trace(OpEvent::Load);

@@ -9,12 +9,17 @@
 use crate::func::{CoreProfile, FwFunc, StallBucket};
 use crate::layout::CodeLayout;
 use crate::slot::{new_slot, PendingOp, SharedSlot};
-use nicsim_mem::{Crossbar, ICache, ICacheConfig, InstrMemory, SpOp, SpRequest};
+use nicsim_mem::{Crossbar, ICache, ICacheConfig, InstrMemory, SpOp, SpRequest, XbarPort};
 use nicsim_obs::{Event, NullProbe, Probe};
 use nicsim_sim::Ps;
 use std::future::Future;
 use std::pin::Pin;
 use std::task::{Context, Poll, Waker};
+
+/// Cycles from a doorbell raising the wake line of a parked core to the
+/// firmware's first dispatch instruction issuing — the paper's 2-cycle
+/// event-to-dispatch cost, preserved by the interrupt mode.
+const WAKE_DISPATCH_CYCLES: u32 = 2;
 
 /// What to do after the currently-charging cycles elapse.
 #[derive(Debug, Clone, Copy)]
@@ -23,6 +28,8 @@ enum Then {
     Poll,
     /// Submit this memory transaction to the crossbar.
     Mem(SpRequest),
+    /// Park the core until its wake line is raised (`wfi`).
+    Park,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +47,8 @@ enum State {
     WaitStoreDrain { req: SpRequest, is_load: bool },
     /// A load/RMW is in the crossbar; waiting for data.
     WaitMem { waited: u32 },
+    /// Parked by `wfi`; wakes when the wake line is raised.
+    Parked,
     /// Firmware future completed.
     Halted,
 }
@@ -51,6 +60,8 @@ pub struct CoreEngineStats {
     pub ticks: u64,
     /// Ticks spent with the future halted.
     pub halted_ticks: u64,
+    /// Ticks spent parked on `wfi` (interrupt dispatch mode).
+    pub parked_ticks: u64,
 }
 
 /// One simulated processing core.
@@ -60,6 +71,8 @@ pub struct Core {
     fut: Option<Pin<Box<dyn Future<Output = ()>>>>,
     state: State,
     store_inflight: bool,
+    /// Level-triggered wake line, consumed when a parked core resumes.
+    wake_pending: bool,
     icache: ICache,
     layout: CodeLayout,
     /// Offset of the fetch pointer within the current function's region.
@@ -83,6 +96,7 @@ impl Core {
             fut: None,
             state: State::Poll,
             store_inflight: false,
+            wake_pending: false,
             icache: ICache::new(icache_cfg),
             layout,
             vpc_off: 0,
@@ -109,7 +123,20 @@ impl Core {
     pub fn install(&mut self, fut: impl Future<Output = ()> + 'static) {
         self.fut = Some(Box::pin(fut));
         self.state = State::Poll;
+        self.wake_pending = false;
         self.slot.borrow_mut().halted = false;
+    }
+
+    /// Raise the core's wake line. A parked core resumes on its next
+    /// tick, paying the 2-cycle dispatch cost; a running core consumes
+    /// the (level-triggered, sticky) signal at its next `wfi`.
+    pub fn raise_wake(&mut self) {
+        self.wake_pending = true;
+    }
+
+    /// Whether the core is parked on `wfi`.
+    pub fn parked(&self) -> bool {
+        matches!(self.state, State::Parked)
     }
 
     /// Whether the firmware future has completed.
@@ -204,14 +231,18 @@ impl Core {
     /// Advance one CPU cycle. Must be called after `xbar.tick()` for the
     /// same cycle.
     pub fn tick(&mut self, xbar: &mut Crossbar, imem: &mut InstrMemory) {
-        self.tick_probed(xbar, imem, Ps::ZERO, &mut NullProbe);
+        let id = self.id;
+        self.tick_probed(&mut xbar.port(id), imem, Ps::ZERO, &mut NullProbe);
     }
 
     /// [`Core::tick`] with probe instrumentation, stamping events with
-    /// the simulated time `now`.
-    pub fn tick_probed<P: Probe>(
+    /// the simulated time `now`. Generic over the crossbar port view so
+    /// the same engine runs against the sequential kernel
+    /// ([`nicsim_mem::BoundPort`]) and the domain-parallel kernel
+    /// ([`nicsim_mem::PortHandle`]).
+    pub fn tick_probed<X: XbarPort, P: Probe>(
         &mut self,
-        xbar: &mut Crossbar,
+        port: &mut X,
         imem: &mut InstrMemory,
         now: Ps,
         probe: &mut P,
@@ -220,7 +251,7 @@ impl Core {
         self.stats.ticks += 1;
 
         // Drain a completed buffered store.
-        if self.store_inflight && xbar.take_response(self.id).is_some() {
+        if self.store_inflight && port.take_response().is_some() {
             self.store_inflight = false;
         }
 
@@ -258,6 +289,7 @@ impl Core {
                             (1, 1, u32::from(mispredict), Then::Poll, false)
                         }
                         PendingOp::Mem(req) => (1, 1, 0, Then::Mem(req), true),
+                        PendingOp::Wfi => (1, 1, 0, Then::Park, false),
                     };
                     debug_assert!(n_instr > 0, "alu(0) is filtered in CoreCtx");
                     let imiss = self.touch_code(n_instr, imem, now, probe);
@@ -320,7 +352,7 @@ impl Core {
                                     is_load: !is_store,
                                 };
                             } else if is_store {
-                                xbar.submit(self.id, req);
+                                port.submit(req);
                                 self.store_inflight = true;
                                 // Store response value is the written word.
                                 if let SpOp::Write(v) = req.op {
@@ -328,9 +360,14 @@ impl Core {
                                 }
                                 self.state = State::Poll;
                             } else {
-                                xbar.submit(self.id, req);
+                                port.submit(req);
                                 self.state = State::WaitMem { waited: 0 };
                             }
+                        }
+                        Then::Park => {
+                            // The response is deposited on resume, when
+                            // the wake dispatch completes.
+                            self.state = State::Parked;
                         }
                     }
                     return;
@@ -340,7 +377,7 @@ impl Core {
                         // Port freed this cycle; the submit rides the tail
                         // of this (conflict) cycle.
                         self.charge(StallBucket::Conflict);
-                        xbar.submit(self.id, req);
+                        port.submit(req);
                         if is_load {
                             self.state = State::WaitMem { waited: 0 };
                         } else {
@@ -355,8 +392,25 @@ impl Core {
                     }
                     return;
                 }
+                State::Parked => {
+                    if self.wake_pending {
+                        // Doorbell: resume through the fixed wake
+                        // dispatch, whose first cycle charges now.
+                        self.wake_pending = false;
+                        self.state = State::Busy {
+                            imiss: 0,
+                            exec: WAKE_DISPATCH_CYCLES,
+                            annul: 0,
+                            then: Then::Poll,
+                        };
+                        continue;
+                    }
+                    self.charge(StallBucket::Exec);
+                    self.stats.parked_ticks += 1;
+                    return;
+                }
                 State::WaitMem { waited } => {
-                    if let Some(v) = xbar.take_response(self.id) {
+                    if let Some(v) = port.take_response() {
                         self.slot.borrow_mut().response = Some(v);
                         // The dependent instruction issues this very
                         // cycle: chain into Poll without consuming.
@@ -392,6 +446,19 @@ impl Core {
             State::Busy {
                 imiss, exec, annul, ..
             } => imiss as u64 + exec as u64 + annul as u64,
+            // A parked core is inert until a doorbell raises its wake
+            // line; once raised it resumes on the very next cycle. The
+            // kernel re-evaluates wakeups after every stepped cycle, so
+            // a doorbell arriving mid-skip re-aligns the countdown
+            // without losing the 2-cycle dispatch cost (charged by the
+            // resume path in `tick`).
+            State::Parked => {
+                if self.wake_pending {
+                    1
+                } else {
+                    u64::MAX
+                }
+            }
             _ => 1,
         }
     }
@@ -435,6 +502,21 @@ impl Core {
                 *annul -= take as u32;
                 left -= take;
                 debug_assert_eq!(left, 0);
+            }
+            // Parked cores are the common case for the interrupt-mode
+            // event kernel: charge the elided cycles exactly as dense
+            // ticking would (idle exec time to the current function).
+            // The wake line must be down — a raised line makes
+            // `wake_in()` report 1, so the kernel never skips past the
+            // resume cycle and the 2-cycle wake dispatch is preserved.
+            State::Parked => {
+                debug_assert!(
+                    !self.wake_pending,
+                    "skipped a parked core with its wake line raised"
+                );
+                let func = self.slot.borrow().func;
+                self.profile.func_mut(func).cycles[StallBucket::Exec.index()] += n;
+                self.stats.parked_ticks += n;
             }
             _ => unreachable!("skipped a core in a single-cycle state"),
         }
@@ -838,6 +920,117 @@ mod attribution_tests {
         let after = core.engine_stats();
         assert_eq!(after.ticks, before.ticks + 1000);
         assert_eq!(after.halted_ticks, before.halted_ticks + 1000);
+    }
+
+    #[test]
+    fn wfi_parks_until_wake_and_charges_dispatch_cost() {
+        let (mut core, mut xbar, mut sp, mut imem) = rig();
+        let ctx = CoreCtx::new(core.slot(), 0);
+        core.install(async move {
+            ctx.set_func(FwFunc::SendFrame);
+            ctx.alu(2).await;
+            ctx.wfi().await;
+            ctx.alu(3).await;
+        });
+        // Tick until the core parks.
+        for _ in 0..20 {
+            if core.parked() {
+                break;
+            }
+            xbar.tick(&mut sp);
+            core.tick(&mut xbar, &mut imem);
+        }
+        assert!(core.parked());
+        assert_eq!(core.wake_in(), u64::MAX, "no doorbell: inert");
+        let instr_at_park = core.profile().total(|f| f.instructions);
+        assert_eq!(instr_at_park, 3, "alu(2) + the wfi instruction");
+
+        // Parked ticks accumulate idle time but no instructions.
+        let before = core.profile().total(|f| f.total_cycles());
+        for _ in 0..5 {
+            xbar.tick(&mut sp);
+            core.tick(&mut xbar, &mut imem);
+        }
+        assert!(core.parked());
+        assert_eq!(core.engine_stats().parked_ticks, 5);
+        assert_eq!(core.profile().total(|f| f.total_cycles()), before + 5);
+
+        // Doorbell: next wake is immediate, the resume costs exactly the
+        // 2-cycle dispatch plus the post-wake work, with no extra
+        // instructions charged for the wakeup itself.
+        core.raise_wake();
+        assert_eq!(core.wake_in(), 1);
+        let cycles_at_wake = core.profile().total(|f| f.total_cycles());
+        run(&mut core, &mut xbar, &mut sp, &mut imem);
+        let cycles = core.profile().total(|f| f.total_cycles());
+        assert_eq!(
+            cycles - cycles_at_wake,
+            u64::from(WAKE_DISPATCH_CYCLES) + 3,
+            "2-cycle wake dispatch + alu(3)"
+        );
+        assert_eq!(core.profile().total(|f| f.instructions), instr_at_park + 3);
+    }
+
+    #[test]
+    fn parked_skip_matches_dense_ticking() {
+        let build = || {
+            let (mut core, xbar, sp, imem) = rig();
+            let ctx = CoreCtx::new(core.slot(), 0);
+            core.install(async move {
+                ctx.set_func(FwFunc::RecvFrame);
+                ctx.alu(4).await;
+                ctx.wfi().await;
+                ctx.alu(2).await;
+            });
+            (core, xbar, sp, imem)
+        };
+        let (mut dense, mut dx, mut dsp, mut dim) = build();
+        let (mut fast, mut fx, mut fsp, mut fim) = build();
+        for _ in 0..10 {
+            dx.tick(&mut dsp);
+            dense.tick(&mut dx, &mut dim);
+            fx.tick(&mut fsp);
+            fast.tick(&mut fx, &mut fim);
+        }
+        assert!(dense.parked() && fast.parked());
+
+        // The doorbell fires 100 cycles later: the fast core skips the
+        // parked span, the dense core ticks through it. Everything
+        // observable must match, including the preserved wake cost.
+        fast.skip_cycles(100);
+        for _ in 0..100 {
+            dx.tick(&mut dsp);
+            dense.tick(&mut dx, &mut dim);
+        }
+        assert_eq!(fast.profile(), dense.profile());
+        assert_eq!(fast.engine_stats(), dense.engine_stats());
+
+        dense.raise_wake();
+        fast.raise_wake();
+        assert_eq!(fast.wake_in(), dense.wake_in());
+        run(&mut dense, &mut dx, &mut dsp, &mut dim);
+        run(&mut fast, &mut fx, &mut fsp, &mut fim);
+        assert_eq!(fast.profile(), dense.profile());
+        assert_eq!(fast.engine_stats(), dense.engine_stats());
+    }
+
+    #[test]
+    fn wake_before_park_is_consumed_at_the_next_wfi() {
+        // A doorbell that fires while the core is still busy is sticky:
+        // the subsequent wfi completes after one spurious wake.
+        let (mut core, mut xbar, mut sp, mut imem) = rig();
+        let ctx = CoreCtx::new(core.slot(), 0);
+        core.install(async move {
+            ctx.set_func(FwFunc::SendFrame);
+            ctx.alu(8).await;
+            ctx.wfi().await;
+        });
+        xbar.tick(&mut sp);
+        core.tick(&mut xbar, &mut imem);
+        assert!(!core.parked(), "mid-Busy");
+        core.raise_wake();
+        run(&mut core, &mut xbar, &mut sp, &mut imem);
+        assert!(core.halted(), "sticky wake let the wfi complete");
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub enum PendingOp {
     },
     /// A scratchpad transaction (load, store, or atomic RMW).
     Mem(SpRequest),
+    /// Wait-for-interrupt: one instruction to issue, then the core parks
+    /// until its wake line is raised (interrupt dispatch mode).
+    Wfi,
 }
 
 /// A coarse record of one executed operation, for the ILP trace expansion

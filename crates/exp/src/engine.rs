@@ -234,7 +234,7 @@ impl Experiment {
     /// Run one configuration with an observability probe attached —
     /// every frame-lifecycle event of warmup and window goes to
     /// `probe` — and return the report plus the probed system (extract
-    /// the probe with [`NicSystem::into_probe`] or inspect it via
+    /// the probe with [`NicSystem::unwrap_probe`] or inspect it via
     /// [`NicSystem::probe`]).
     ///
     /// # Panics
@@ -247,7 +247,7 @@ impl Experiment {
         probe: P,
     ) -> (RunReport, NicSystem<P>) {
         let start = Instant::now();
-        let mut sys = match NicSystem::try_with_probe(cfg, probe) {
+        let mut sys = match NicSystem::build(cfg).probe(probe).finish() {
             Ok(sys) => sys,
             Err(e) => panic!("run '{label}': invalid NicConfig: {e}"),
         };
@@ -403,7 +403,7 @@ impl Experiment {
     /// completion themselves so counters stay monotone).
     fn run_spec_silent(&self, spec: &RunSpec) -> RunReport {
         let start = Instant::now();
-        let mut sys = match NicSystem::try_new(spec.cfg) {
+        let mut sys = match NicSystem::build(spec.cfg).finish() {
             Ok(sys) => sys,
             Err(e) => panic!("run '{}': invalid NicConfig: {e}", spec.label),
         };

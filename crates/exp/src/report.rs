@@ -135,7 +135,8 @@ pub fn mode_str(mode: FwMode) -> &'static str {
 
 /// A [`NicConfig`] as a `nicsim-exp/v1` JSON object. The `"faults"`
 /// key (the fault plan's spec string) appears only when a plan is
-/// configured, so clean-run reports keep their exact schema.
+/// configured, and the `"dispatch"` key only under the non-default
+/// interrupt mode, so pre-existing reports keep their exact schema.
 pub fn config_to_json(cfg: &NicConfig) -> Json {
     let mut doc = Json::obj()
         .with("cores", cfg.cores)
@@ -172,6 +173,9 @@ pub fn config_to_json(cfg: &NicConfig) -> Json {
         .with("driver_interval", cfg.driver_interval);
     if let Some(plan) = &cfg.faults {
         doc.set("faults", plan.spec().as_str());
+    }
+    if cfg.dispatch == nicsim::DispatchMode::Interrupt {
+        doc.set("dispatch", "interrupt");
     }
     doc
 }
@@ -231,6 +235,18 @@ mod tests {
         );
         assert_eq!(back.get("offered_tx_fps"), Some(&Json::Null));
         assert_eq!(back.get("faults"), None, "clean configs carry no key");
+        assert_eq!(back.get("dispatch"), None, "polling configs carry no key");
+    }
+
+    #[test]
+    fn interrupt_dispatch_serializes_its_key() {
+        use nicsim::DispatchMode;
+        let cfg = NicConfig {
+            dispatch: DispatchMode::Interrupt,
+            ..NicConfig::default()
+        };
+        let doc = config_to_json(&cfg);
+        assert_eq!(doc.get("dispatch").unwrap().as_str(), Some("interrupt"));
     }
 
     #[test]

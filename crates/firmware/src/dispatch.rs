@@ -9,7 +9,7 @@
 //! handlers to the direction's "Dispatch and Ordering" bucket.
 
 use crate::handlers::HostRegs;
-use crate::mode::{peek_bit_pending, peek_work, Fw};
+use crate::mode::{peek_bit_pending, peek_work, DispatchMode, Fw};
 use nicsim_cpu::{CoreCtx, FwFunc};
 
 /// The work sources the dispatch loop polls: the seven hardware progress
@@ -126,10 +126,24 @@ pub async fn dispatch_loop(ctx: CoreCtx, fw: Fw, host: HostRegs) {
         }
         rot = (rot + 1) % N_SOURCES;
         if !did_work {
-            // Nothing anywhere: a short idle spin before re-polling.
             ctx.set_func(FwFunc::Idle);
-            ctx.alu(4).await;
-            ctx.branch_miss().await;
+            match fw.dispatch {
+                DispatchMode::Polling => {
+                    // Nothing anywhere: a short idle spin before
+                    // re-polling.
+                    ctx.alu(4).await;
+                    ctx.branch_miss().await;
+                }
+                DispatchMode::Interrupt => {
+                    // Nothing anywhere: park until a doorbell write
+                    // raises the wake line. The scan above is the only
+                    // consumer-side check needed — any write that could
+                    // make a future peek succeed lands on a watched
+                    // word, and the wake line is sticky, so a doorbell
+                    // racing this wfi is never lost.
+                    ctx.wfi().await;
+                }
+            }
         }
     }
 }

@@ -39,4 +39,4 @@ pub mod mode;
 
 pub use dispatch::dispatch_loop;
 pub use map::MemMap;
-pub use mode::FwMode;
+pub use mode::{DispatchMode, FwMode};

@@ -31,6 +31,22 @@ impl FwMode {
     }
 }
 
+/// How the dispatch loop discovers new work (the polling-vs-interrupt
+/// ablation axis). Either way the same sources are scanned in the same
+/// rotating order and the same handlers run, so delivered frames and
+/// descriptors are identical; only the cost of *waiting* differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Figure 5 as published: an idle pass ends in a short spin and the
+    /// loop re-polls every source's progress pointer.
+    #[default]
+    Polling,
+    /// An idle pass ends in `wfi`: the core parks until a doorbell
+    /// write (hardware progress pointer, status-bit array, mailbox, or
+    /// the stop flag) raises its wake line, then re-scans.
+    Interrupt,
+}
+
 /// Acquire `lock` unless the mode elides synchronization.
 pub async fn sync_lock(ctx: &CoreCtx, mode: FwMode, lock: u32) {
     if mode.locking() {
@@ -230,6 +246,8 @@ pub struct Fw {
     pub m: MemMap,
     /// Synchronization mode.
     pub mode: FwMode,
+    /// How the dispatch loop waits for work.
+    pub dispatch: DispatchMode,
     /// Whether the error-recovery branches are live (set only when a
     /// fault plan is configured). With this false, the handlers charge
     /// exactly the same instruction sequence as a build without the

@@ -56,6 +56,18 @@ pub struct SpRequest {
     pub op: SpOp,
 }
 
+/// Doorbell-watch state for the interrupt dispatch mode: a bitmap over
+/// scratchpad words plus a sticky signal. Present only when at least one
+/// range is watched, so polling-mode systems pay a single `None` branch
+/// per write and nothing else.
+#[derive(Debug, Clone)]
+struct Watch {
+    /// One bit per scratchpad word; set words signal on write.
+    bitmap: Vec<u64>,
+    /// A watched word was written since the last [`Scratchpad::take_signal`].
+    signal: bool,
+}
+
 /// The scratchpad memory array with bank geometry.
 ///
 /// Words are interleaved across banks at word granularity, so consecutive
@@ -65,6 +77,7 @@ pub struct SpRequest {
 pub struct Scratchpad {
     words: Vec<u32>,
     banks: usize,
+    watch: Option<Box<Watch>>,
 }
 
 impl Scratchpad {
@@ -79,6 +92,56 @@ impl Scratchpad {
         Scratchpad {
             words: vec![0; bytes / 4],
             banks,
+            watch: None,
+        }
+    }
+
+    /// Watch the words covering `[addr, addr + bytes)` as doorbells: any
+    /// write-class operation ([`SpOp::is_write`]) landing on a watched
+    /// word — including functional [`Scratchpad::poke`]s from the host
+    /// side — raises a sticky signal collected by
+    /// [`Scratchpad::take_signal`].
+    ///
+    /// Used by the interrupt dispatch mode: producers do not issue any
+    /// extra instruction to ring a doorbell; detection happens here, at
+    /// the instant the write lands, so a wakeup can never be lost between
+    /// a producer's store and a consumer going to sleep.
+    pub fn watch_range(&mut self, addr: u32, bytes: u32) {
+        assert!(bytes > 0, "empty watch range");
+        let first = self.word_index(addr);
+        let last = self.word_index((addr + bytes - 1) & !3);
+        let watch = self.watch.get_or_insert_with(|| {
+            Box::new(Watch {
+                bitmap: vec![0; self.words.len().div_ceil(64)],
+                signal: false,
+            })
+        });
+        for w in first..=last {
+            watch.bitmap[w / 64] |= 1 << (w % 64);
+        }
+    }
+
+    /// Whether any doorbell range is being watched.
+    pub fn watching(&self) -> bool {
+        self.watch.is_some()
+    }
+
+    /// Return (and clear) the sticky doorbell signal: true if a watched
+    /// word was written since the last call. Always false when no range
+    /// is watched.
+    pub fn take_signal(&mut self) -> bool {
+        match &mut self.watch {
+            Some(w) => std::mem::take(&mut w.signal),
+            None => false,
+        }
+    }
+
+    #[inline]
+    fn note_write(&mut self, word: usize) {
+        if let Some(w) = &mut self.watch {
+            if w.bitmap[word / 64] & (1 << (word % 64)) != 0 {
+                w.signal = true;
+            }
         }
     }
 
@@ -116,10 +179,12 @@ impl Scratchpad {
         self.words[self.word_index(addr)]
     }
 
-    /// Debug/functional poke without timing.
+    /// Debug/functional poke without timing. Counts as a write for the
+    /// doorbell watch (host-side mailbox pokes must wake sleeping cores).
     pub fn poke(&mut self, addr: u32, val: u32) {
         let i = self.word_index(addr);
         self.words[i] = val;
+        self.note_write(i);
     }
 
     /// Execute one transaction atomically, returning its response value.
@@ -130,6 +195,9 @@ impl Scratchpad {
     /// of 32 or more.
     pub fn execute(&mut self, req: SpRequest) -> u32 {
         let i = self.word_index(req.addr);
+        if req.op.is_write() {
+            self.note_write(i);
+        }
         match req.op {
             SpOp::Read => self.words[i],
             SpOp::Write(v) => {
@@ -309,6 +377,83 @@ mod tests {
         });
         assert_eq!(run, 2);
         assert_eq!(s.peek(32), 0);
+    }
+
+    #[test]
+    fn unwatched_scratchpad_never_signals() {
+        let mut s = sp();
+        assert!(!s.watching());
+        s.poke(0, 7);
+        s.execute(SpRequest {
+            addr: 4,
+            op: SpOp::Write(1),
+        });
+        assert!(!s.take_signal());
+    }
+
+    #[test]
+    fn watch_signals_on_watched_writes_only() {
+        let mut s = sp();
+        s.watch_range(16, 8); // words 4 and 5
+        assert!(s.watching());
+        assert!(!s.take_signal(), "no signal before any write");
+
+        // A write outside the range does not signal.
+        s.execute(SpRequest {
+            addr: 8,
+            op: SpOp::Write(1),
+        });
+        assert!(!s.take_signal());
+
+        // A read of a watched word does not signal.
+        s.execute(SpRequest {
+            addr: 16,
+            op: SpOp::Read,
+        });
+        assert!(!s.take_signal());
+
+        // A write to either watched word signals, and the signal is
+        // sticky until taken, then cleared.
+        s.execute(SpRequest {
+            addr: 20,
+            op: SpOp::Write(9),
+        });
+        assert!(s.take_signal());
+        assert!(!s.take_signal(), "take clears");
+    }
+
+    #[test]
+    fn watch_covers_rmw_ops_and_pokes() {
+        let mut s = sp();
+        s.watch_range(32, 4);
+        for op in [
+            SpOp::TestAndSet,
+            SpOp::SetBit(2),
+            SpOp::Update { start_bit: 2 },
+            SpOp::Write(0),
+        ] {
+            s.execute(SpRequest { addr: 32, op });
+            assert!(s.take_signal(), "{op:?} should ring the doorbell");
+        }
+        s.poke(32, 5);
+        assert!(s.take_signal(), "host poke should ring the doorbell");
+    }
+
+    #[test]
+    fn watch_range_spans_partial_words() {
+        let mut s = sp();
+        // 5 bytes starting at 40 covers words 10 and 11.
+        s.watch_range(40, 5);
+        s.execute(SpRequest {
+            addr: 44,
+            op: SpOp::Write(1),
+        });
+        assert!(s.take_signal());
+        s.execute(SpRequest {
+            addr: 48,
+            op: SpOp::Write(1),
+        });
+        assert!(!s.take_signal(), "word 12 is outside the range");
     }
 
     #[test]

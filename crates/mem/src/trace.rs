@@ -4,7 +4,7 @@
 //! processor core and hardware assist in a 6-core configuration ... These
 //! traces were filtered to include only frame metadata and then analyzed
 //! using SMPCache". [`AccessTrace`] is a [`Probe`] sink over
-//! [`Event::SpGrant`] — attach it with `NicSystem::try_with_probe` and every
+//! [`Event::SpGrant`] — attach it with the system builder's `probe` and every
 //! granted scratchpad transaction is recorded; since only frame
 //! *metadata* ever crosses the crossbar (frame contents live in the
 //! frame memory), the filter is structural. [`Event::WindowReset`]

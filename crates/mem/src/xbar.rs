@@ -47,6 +47,118 @@ struct Response {
     ready_at: u64,
 }
 
+/// All state owned by one requester port. Ports are disjoint: nothing a
+/// requester does on its own port (submit, take_response, idle) touches
+/// any other port or any crossbar-global state, which is what makes the
+/// per-port [`PortHandle`] split sound for the domain-parallel kernel.
+#[derive(Debug, Clone, Copy, Default)]
+struct Port {
+    pending: Option<Pending>,
+    response: Option<Response>,
+    stats: PortStats,
+}
+
+impl Port {
+    fn submit(&mut self, id: RequesterId, req: SpRequest) {
+        assert!(
+            self.pending.is_none() && self.response.is_none(),
+            "port {id} already has an outstanding transaction"
+        );
+        self.pending = Some(Pending { req });
+    }
+
+    fn take_response(&mut self, cycle: u64) -> Option<u32> {
+        match self.response {
+            Some(r) if r.ready_at <= cycle => {
+                self.response = None;
+                Some(r.value)
+            }
+            _ => None,
+        }
+    }
+
+    fn idle(&self) -> bool {
+        self.pending.is_none() && self.response.is_none()
+    }
+}
+
+/// A requester-side view of one crossbar port: exactly the three
+/// operations a port owner may perform. Implemented by the borrow-checked
+/// sequential view ([`BoundPort`]) and by the thread-splittable raw view
+/// ([`PortHandle`]), so cores and assists can tick against either kernel.
+pub trait XbarPort {
+    /// Submit a request on this port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port already has an outstanding request or an
+    /// unconsumed response — requesters are single-outstanding by
+    /// construction.
+    fn submit(&mut self, req: SpRequest);
+    /// Take the response if it is consumable this cycle.
+    fn take_response(&mut self) -> Option<u32>;
+    /// Whether the port may submit (no pending request or unconsumed
+    /// response).
+    fn idle(&self) -> bool;
+}
+
+/// Sequential port view borrowing the whole crossbar; obtained from
+/// [`Crossbar::port`].
+pub struct BoundPort<'a> {
+    xbar: &'a mut Crossbar,
+    port: RequesterId,
+}
+
+impl XbarPort for BoundPort<'_> {
+    fn submit(&mut self, req: SpRequest) {
+        self.xbar.submit(self.port, req);
+    }
+
+    fn take_response(&mut self) -> Option<u32> {
+        self.xbar.take_response(self.port)
+    }
+
+    fn idle(&self) -> bool {
+        self.xbar.port_idle(self.port)
+    }
+}
+
+/// Raw per-port view for the domain-parallel kernel: a pointer to one
+/// [`Port`] plus a read-only pointer to the crossbar's cycle counter.
+///
+/// Safety contract (upheld by `nicsim-core`'s parallel kernel, see
+/// [`Crossbar::port_handles`]): while any handle is in use, no `&mut
+/// Crossbar` method runs, the cycle counter is not advanced, and each
+/// port's handle is used by at most one thread. Distinct ports are
+/// disjoint state, so concurrent use of *different* handles is sound.
+pub struct PortHandle {
+    id: RequesterId,
+    port: *mut Port,
+    cycle: *const u64,
+}
+
+// SAFETY: a PortHandle only dereferences its own port (disjoint from all
+// other handles) and reads the cycle counter, which is frozen while
+// handles are in use per the contract above.
+unsafe impl Send for PortHandle {}
+
+impl XbarPort for PortHandle {
+    fn submit(&mut self, req: SpRequest) {
+        // SAFETY: exclusive access to this port per the handle contract.
+        unsafe { (*self.port).submit(self.id, req) }
+    }
+
+    fn take_response(&mut self) -> Option<u32> {
+        // SAFETY: as above; the cycle counter is frozen during handle use.
+        unsafe { (*self.port).take_response(*self.cycle) }
+    }
+
+    fn idle(&self) -> bool {
+        // SAFETY: as above.
+        unsafe { (*self.port).idle() }
+    }
+}
+
 /// The crossbar and its per-bank arbiters.
 ///
 /// The paper also routes processor access to the external memory interface
@@ -54,17 +166,9 @@ struct Response {
 /// path is not exercised and is omitted here (the assists access the frame
 /// memory through their own bus — see [`crate::sdram`]).
 pub struct Crossbar {
-    pending: Vec<Option<Pending>>,
-    responses: Vec<Option<Response>>,
+    ports: Vec<Port>,
     arbiters: Vec<RoundRobin>,
-    stats: Vec<PortStats>,
     cycle: u64,
-    /// Ports with an outstanding transaction (pending request or
-    /// unconsumed response), so the idle check is O(1) per cycle.
-    busy_ports: usize,
-    /// Ports with an ungranted request — the only state [`Crossbar::tick`]
-    /// acts on (responses just sit until their owner consumes them).
-    pending_reqs: usize,
     bank_busy_cycles: Vec<u64>,
 }
 
@@ -72,20 +176,49 @@ impl Crossbar {
     /// Create a crossbar with `ports` requesters over the banks of `sp`.
     pub fn new(ports: usize, banks: usize) -> Crossbar {
         Crossbar {
-            pending: vec![None; ports],
-            responses: vec![None; ports],
+            ports: vec![Port::default(); ports],
             arbiters: vec![RoundRobin::new(ports); banks],
-            stats: vec![PortStats::default(); ports],
             cycle: 0,
-            busy_ports: 0,
-            pending_reqs: 0,
             bank_busy_cycles: vec![0; banks],
         }
     }
 
     /// Number of requester ports.
     pub fn ports(&self) -> usize {
-        self.pending.len()
+        self.ports.len()
+    }
+
+    /// A borrow-checked [`XbarPort`] view of `port` for sequential use.
+    pub fn port(&mut self, port: RequesterId) -> BoundPort<'_> {
+        assert!(port < self.ports.len(), "no such port: {port}");
+        BoundPort { xbar: self, port }
+    }
+
+    /// Split the crossbar into one raw [`PortHandle`] per port, for the
+    /// domain-parallel kernel.
+    ///
+    /// # Safety
+    ///
+    /// For the handles' whole lifetime the crossbar must be neither
+    /// moved, dropped, nor have its port set resized. Handle *use* and
+    /// `&mut Crossbar` methods must be time-sliced, never concurrent:
+    /// while any handle is being dereferenced (e.g. during the parallel
+    /// kernel's split phase) no `&mut Crossbar` method may run — in
+    /// particular no tick/skip, so the cycle counter stays put for the
+    /// duration of the phase. Each individual handle is used by at most
+    /// one thread at a time; distinct ports are disjoint state, so
+    /// concurrent use of different handles is sound.
+    pub unsafe fn port_handles(&mut self) -> Vec<PortHandle> {
+        let cycle: *const u64 = &self.cycle;
+        self.ports
+            .iter_mut()
+            .enumerate()
+            .map(|(id, p)| PortHandle {
+                id,
+                port: p as *mut Port,
+                cycle,
+            })
+            .collect()
     }
 
     /// Submit a request on `port`.
@@ -96,13 +229,7 @@ impl Crossbar {
     /// unconsumed response — requesters are single-outstanding by
     /// construction.
     pub fn submit(&mut self, port: RequesterId, req: SpRequest) {
-        assert!(
-            self.pending[port].is_none() && self.responses[port].is_none(),
-            "port {port} already has an outstanding transaction"
-        );
-        self.pending[port] = Some(Pending { req });
-        self.busy_ports += 1;
-        self.pending_reqs += 1;
+        self.ports[port].submit(port, req);
     }
 
     /// Whether any port has an outstanding transaction (pending request
@@ -110,7 +237,7 @@ impl Crossbar {
     /// pure no-op apart from the cycle counter, so the event-driven
     /// kernel may [`Crossbar::skip_cycles`] instead.
     pub fn has_pending(&self) -> bool {
-        self.busy_ports > 0
+        self.ports.iter().any(|p| !p.idle())
     }
 
     /// Whether the next [`Crossbar::tick`] would do real work, i.e. some
@@ -119,7 +246,7 @@ impl Crossbar {
     /// round-robin pointers only move on grants, and no conflict cycles
     /// accrue — so the kernel may [`Crossbar::skip_cycles`] instead.
     pub fn needs_tick(&self) -> bool {
-        self.pending_reqs > 0
+        self.ports.iter().any(|p| p.pending.is_some())
     }
 
     /// Advance the cycle counter by `n` without arbitrating — exactly
@@ -140,24 +267,18 @@ impl Crossbar {
     /// Whether `port` has neither a pending request nor an unconsumed
     /// response (i.e. it may submit).
     pub fn port_idle(&self, port: RequesterId) -> bool {
-        self.pending[port].is_none() && self.responses[port].is_none()
+        self.ports[port].idle()
     }
 
     /// Take the response for `port` if it is consumable this cycle.
     pub fn take_response(&mut self, port: RequesterId) -> Option<u32> {
-        match self.responses[port] {
-            Some(r) if r.ready_at <= self.cycle => {
-                self.responses[port] = None;
-                self.busy_ports -= 1;
-                Some(r.value)
-            }
-            _ => None,
-        }
+        let cycle = self.cycle;
+        self.ports[port].take_response(cycle)
     }
 
     /// Statistics for `port`.
     pub fn port_stats(&self, port: RequesterId) -> PortStats {
-        self.stats[port]
+        self.ports[port].stats
     }
 
     /// Cycles each bank spent servicing a transaction.
@@ -168,13 +289,13 @@ impl Crossbar {
     /// Total words moved through the crossbar (grants), for Table 4's
     /// scratchpad-bandwidth row: bytes = grants * 4.
     pub fn total_grants(&self) -> u64 {
-        self.stats.iter().map(|s| s.grants).sum()
+        self.ports.iter().map(|p| p.stats.grants).sum()
     }
 
     /// Reset all counters (used to discard warm-up before measurement).
     pub fn reset_stats(&mut self) {
-        for s in &mut self.stats {
-            *s = PortStats::default();
+        for p in &mut self.ports {
+            p.stats = PortStats::default();
         }
         for b in &mut self.bank_busy_cycles {
             *b = 0;
@@ -195,19 +316,18 @@ impl Crossbar {
     /// cycle, stamped with `now`.
     pub fn tick_probed<P: Probe>(&mut self, sp: &mut Scratchpad, now: Ps, probe: &mut P) {
         self.cycle += 1;
-        let ports = self.pending.len();
         for bank in 0..self.arbiters.len() {
             let winner = {
-                let pending = &self.pending;
+                let ports = &self.ports;
                 self.arbiters[bank].grant(|p| {
-                    pending[p]
+                    ports[p]
+                        .pending
                         .as_ref()
                         .is_some_and(|q| sp.bank_of(q.req.addr) == bank)
                 })
             };
             if let Some(p) = winner {
-                let q = self.pending[p].take().expect("winner has request");
-                self.pending_reqs -= 1;
+                let q = self.ports[p].pending.take().expect("winner has request");
                 let value = sp.execute(q.req);
                 if P::ENABLED {
                     probe.emit(Event::SpGrant {
@@ -218,20 +338,20 @@ impl Crossbar {
                         at: now,
                     });
                 }
-                self.responses[p] = Some(Response {
+                self.ports[p].response = Some(Response {
                     value,
                     ready_at: self.cycle + 1,
                 });
-                self.stats[p].grants += 1;
+                self.ports[p].stats.grants += 1;
                 self.bank_busy_cycles[bank] += 1;
             }
         }
         // Every request still pending after this arbitration round lost a
         // cycle to a bank conflict (uncontended requests are granted on
         // their first round).
-        for p in 0..ports {
-            if let Some(q) = &self.pending[p] {
-                self.stats[p].conflict_cycles += 1;
+        for p in 0..self.ports.len() {
+            if let Some(q) = self.ports[p].pending {
+                self.ports[p].stats.conflict_cycles += 1;
                 if P::ENABLED {
                     probe.emit(Event::SpConflict {
                         port: p,
@@ -247,7 +367,7 @@ impl Crossbar {
 impl std::fmt::Debug for Crossbar {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Crossbar")
-            .field("ports", &self.pending.len())
+            .field("ports", &self.ports.len())
             .field("banks", &self.arbiters.len())
             .field("cycle", &self.cycle)
             .finish()
@@ -485,6 +605,53 @@ mod tests {
             a.port_stats(0).conflict_cycles,
             b.port_stats(0).conflict_cycles
         );
+    }
+
+    #[test]
+    fn bound_port_view_matches_direct_calls() {
+        let (mut xb, mut sp) = setup(2, 4);
+        sp.poke(8, 42);
+        {
+            let mut p = xb.port(0);
+            assert!(p.idle());
+            p.submit(SpRequest {
+                addr: 8,
+                op: SpOp::Read,
+            });
+            assert!(!p.idle());
+        }
+        xb.tick(&mut sp);
+        xb.tick(&mut sp);
+        assert_eq!(xb.port(0).take_response(), Some(42));
+        assert!(xb.port_idle(0));
+    }
+
+    #[test]
+    fn port_handles_split_ports_disjointly() {
+        let (mut xb, mut sp) = setup(3, 4);
+        sp.poke(0, 10);
+        sp.poke(4, 20);
+        // SAFETY: handles are used (sequentially here) strictly between
+        // &mut Crossbar uses; the crossbar does not move.
+        let mut handles = unsafe { xb.port_handles() };
+        handles[0].submit(SpRequest {
+            addr: 0,
+            op: SpOp::Read,
+        });
+        handles[2].submit(SpRequest {
+            addr: 4,
+            op: SpOp::Read,
+        });
+        assert!(!handles[0].idle() && handles[1].idle() && !handles[2].idle());
+        drop(handles);
+        xb.tick(&mut sp);
+        xb.tick(&mut sp);
+        let mut handles = unsafe { xb.port_handles() };
+        assert_eq!(handles[0].take_response(), Some(10));
+        assert_eq!(handles[1].take_response(), None);
+        assert_eq!(handles[2].take_response(), Some(20));
+        drop(handles);
+        assert!(!xb.has_pending());
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Clock domains and the two-party rendezvous used by the
+//! domain-parallel kernel.
+//!
+//! The paper's NIC has four clock domains (§3): the processor/scratchpad
+//! core clock, the SDRAM/frame-bus clock, the wire-side MAC clock, and
+//! the host-side PCI clock. The simulator normally folds all four into
+//! one sequential loop; the domain-parallel kernel instead ticks the
+//! frame-side domains (assists, frame bus, host memory) on a worker
+//! thread concurrently with the core-side domains (cores, I-memory) on
+//! the main thread, with a deterministic rendezvous at every
+//! cross-domain edge (crossbar arbitration, doorbell fan-out).
+//!
+//! [`DomainBarrier`] is that rendezvous: a generation-numbered, two
+//! party open/finish handshake. The main thread *opens* generation `g`
+//! (publishing all prior writes), both sides do their disjoint slice of
+//! work, the worker *finishes* `g`, and the main thread *waits* for the
+//! finish (acquiring all the worker's writes). Determinism follows from
+//! the disjointness of the two slices, not from timing: any interleaving
+//! of the two threads between open and finish produces the same state.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::thread::Thread;
+use std::time::Duration;
+
+/// The four clock domains of the NIC (paper §3). The domain-parallel
+/// kernel partitions them across two threads; the enum names the
+/// partition for diagnostics and documentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClockDomain {
+    /// Processor cores, scratchpad, crossbar (the CPU clock).
+    Cpu,
+    /// Frame memory / SDRAM and its bus.
+    Sdram,
+    /// Wire-side MACs.
+    Wire,
+    /// Host-side PCI / DMA.
+    Host,
+}
+
+/// Generation published when the barrier shuts down.
+const STOP: u64 = u64::MAX;
+
+/// Spin iterations before a waiting side falls back to yielding. The
+/// per-cycle phases are sub-microsecond, so with a free hardware thread
+/// the rendezvous almost always completes within the spin. On a host
+/// with a single hardware thread the peer cannot run while we spin, so
+/// the spin budget drops to zero and waits go straight to the scheduler.
+const SPIN: u32 = 4096;
+
+/// Yield iterations between spinning and parking on the worker side:
+/// `yield_now` costs a syscall but lets an oversubscribed peer run,
+/// while `park_timeout` adds a full sleep/wake round trip.
+const YIELDS: u32 = 64;
+
+/// Two-party generation rendezvous between the main (coordinator)
+/// thread and one worker thread.
+#[derive(Debug)]
+pub struct DomainBarrier {
+    /// Latest generation the coordinator has opened (STOP = shut down).
+    go: AtomicU64,
+    /// Latest generation the worker has finished.
+    done: AtomicU64,
+    /// Worker thread handle for unparking (set once, before first open).
+    worker: std::sync::Mutex<Option<Thread>>,
+    /// Set if the worker panicked; poisons the coordinator's waits.
+    worker_dead: AtomicBool,
+    /// Per-wait spin budget: [`SPIN`] when a second hardware thread can
+    /// make progress underneath the spin, 0 when there is none.
+    spin: u32,
+}
+
+impl Default for DomainBarrier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DomainBarrier {
+    /// Create a barrier at generation 0 (nothing open, nothing done).
+    pub fn new() -> DomainBarrier {
+        let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+        DomainBarrier {
+            go: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            worker: std::sync::Mutex::new(None),
+            worker_dead: AtomicBool::new(false),
+            spin: if parallelism > 1 { SPIN } else { 0 },
+        }
+    }
+
+    /// Register the worker thread so `open`/`shutdown` can unpark it.
+    /// Must be called before the first [`DomainBarrier::open`].
+    pub fn register_worker(&self, t: Thread) {
+        *self.worker.lock().expect("barrier lock") = Some(t);
+    }
+
+    /// Coordinator side: open generation `gen` (> the previous one),
+    /// releasing all writes made so far to the worker.
+    pub fn open(&self, gen: u64) {
+        debug_assert!(gen != STOP && gen > self.done.load(Ordering::Relaxed));
+        self.go.store(gen, Ordering::Release);
+        if let Some(t) = self.worker.lock().expect("barrier lock").as_ref() {
+            t.unpark();
+        }
+    }
+
+    /// Worker side: block until a generation newer than `last` is
+    /// opened; returns it, or `None` on shutdown. Acquires all
+    /// coordinator writes made before the open.
+    pub fn wait_open(&self, last: u64) -> Option<u64> {
+        let mut spins = 0u32;
+        loop {
+            let g = self.go.load(Ordering::Acquire);
+            if g == STOP {
+                return None;
+            }
+            if g > last {
+                return Some(g);
+            }
+            spins = spins.saturating_add(1);
+            if spins <= self.spin {
+                std::hint::spin_loop();
+            } else if spins <= self.spin + YIELDS {
+                std::thread::yield_now();
+            } else {
+                // Parking races with unpark benignly: unpark on a
+                // not-yet-parked thread makes the next park return
+                // immediately, and the timeout bounds lost wakeups.
+                std::thread::park_timeout(Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Worker side: mark generation `gen` finished, releasing the
+    /// worker's writes to the coordinator.
+    pub fn finish(&self, gen: u64) {
+        self.done.store(gen, Ordering::Release);
+    }
+
+    /// Worker side: mark the worker as dead (call from a panic guard so
+    /// the coordinator fails fast instead of spinning forever).
+    pub fn poison(&self) {
+        self.worker_dead.store(true, Ordering::Release);
+    }
+
+    /// Coordinator side: block until the worker finishes generation
+    /// `gen`, acquiring all its writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker died without finishing (see
+    /// [`DomainBarrier::poison`]).
+    pub fn wait_done(&self, gen: u64) {
+        let mut spins = 0u32;
+        while self.done.load(Ordering::Acquire) < gen {
+            assert!(
+                !self.worker_dead.load(Ordering::Acquire),
+                "domain worker thread died mid-cycle"
+            );
+            spins = spins.saturating_add(1);
+            if spins > self.spin {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Coordinator side: tell the worker to exit its wait loop.
+    pub fn shutdown(&self) {
+        self.go.store(STOP, Ordering::Release);
+        if let Some(t) = self.worker.lock().expect("barrier lock").as_ref() {
+            t.unpark();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_are_nameable_and_hashable() {
+        use std::collections::HashSet;
+        let all = [
+            ClockDomain::Cpu,
+            ClockDomain::Sdram,
+            ClockDomain::Wire,
+            ClockDomain::Host,
+        ];
+        let set: HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn rendezvous_orders_disjoint_work_deterministically() {
+        // The worker doubles cell B each open; the coordinator
+        // increments cell A between cycles. Neither touches the other's
+        // cell during an open generation; the handshake's Release /
+        // Acquire pairs make both sides' writes visible at the edges.
+        struct Cells {
+            a: u64,
+            b: u64,
+        }
+        let barrier = DomainBarrier::new();
+        let mut cells = Cells { a: 0, b: 1 };
+        let cells_ptr = &mut cells as *mut Cells as usize;
+        std::thread::scope(|scope| {
+            let b = &barrier;
+            let worker = scope.spawn(move || {
+                let cells = cells_ptr as *mut Cells;
+                let mut last = 0;
+                while let Some(g) = b.wait_open(last) {
+                    last = g;
+                    // SAFETY: the coordinator does not touch `b`
+                    // between open(g) and wait_done(g).
+                    unsafe { (*cells).b *= 2 };
+                    b.finish(g);
+                }
+            });
+            barrier.register_worker(worker.thread().clone());
+            for gen in 1..=20u64 {
+                barrier.open(gen);
+                // Coordinator's disjoint slice: cell A only.
+                // SAFETY: the worker only touches `b`.
+                unsafe { (*(cells_ptr as *mut Cells)).a += 1 };
+                barrier.wait_done(gen);
+                // Exclusive section: both cells visible and coherent.
+                let c = unsafe { &*(cells_ptr as *mut Cells) };
+                assert_eq!(c.a, gen);
+                assert_eq!(c.b, 1 << gen);
+            }
+            barrier.shutdown();
+        });
+        assert_eq!(cells.a, 20);
+        assert_eq!(cells.b, 1 << 20);
+    }
+
+    #[test]
+    fn shutdown_unblocks_a_waiting_worker() {
+        let barrier = DomainBarrier::new();
+        std::thread::scope(|scope| {
+            let b = &barrier;
+            let worker = scope.spawn(move || b.wait_open(0));
+            barrier.register_worker(worker.thread().clone());
+            barrier.shutdown();
+            assert_eq!(worker.join().expect("worker"), None);
+        });
+    }
+
+    #[test]
+    fn dead_worker_poisons_the_wait() {
+        let barrier = DomainBarrier::new();
+        barrier.poison();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            barrier.open(1);
+            barrier.wait_done(1);
+        }));
+        assert!(r.is_err(), "wait_done must panic on a dead worker");
+    }
+}

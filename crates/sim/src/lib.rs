@@ -22,12 +22,14 @@
 //! ```
 
 pub mod arbiter;
+pub mod domain;
 pub mod events;
 pub mod sched;
 pub mod stats;
 pub mod time;
 
 pub use arbiter::RoundRobin;
+pub use domain::{ClockDomain, DomainBarrier};
 pub use events::{DrainBefore, EventHeap};
 pub use sched::{NextEvent, WakeTracker};
 pub use stats::{BandwidthMeter, Counter};

@@ -32,7 +32,7 @@ fn main() {
     let cores = sys.config().cores;
 
     let m = sys.map();
-    let trace = sys.into_probe();
+    let trace = sys.unwrap_probe();
     // SMPCache models at most 8 caches: merge the DMA engines into one
     // requester and the MAC units into another, like the paper.
     let merged = trace.merge_requesters(|r| {

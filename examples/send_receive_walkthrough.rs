@@ -23,7 +23,7 @@ fn main() {
         cpu_mhz: 500,
         ..NicConfig::default()
     };
-    let mut sys = NicSystem::try_new(cfg).unwrap();
+    let mut sys = NicSystem::build(cfg).finish().unwrap();
     let m = sys.map();
 
     println!("=== Figure 1/2 walkthrough: hardware progress pointers over time ===");

@@ -18,7 +18,9 @@ fn small(cfg: NicConfig) -> NicConfig {
 
 #[test]
 fn duplex_traffic_is_validated_end_to_end() {
-    let mut sys = NicSystem::try_new(small(NicConfig::default())).unwrap();
+    let mut sys = NicSystem::build(small(NicConfig::default()))
+        .finish()
+        .unwrap();
     let s = sys.run_measured(Ps::from_us(200), Ps::from_us(300));
     assert!(s.tx_frames > 50, "tx {}", s.tx_frames);
     assert!(s.rx_frames > 50, "rx {}", s.rx_frames);
@@ -34,7 +36,7 @@ fn all_three_firmware_modes_work() {
             mode,
             ..NicConfig::default()
         };
-        let mut sys = NicSystem::try_new(cfg).unwrap();
+        let mut sys = NicSystem::build(cfg).finish().unwrap();
         let s = sys.run_measured(Ps::from_us(200), Ps::from_us(300));
         assert!(s.tx_frames > 10, "{mode:?}: tx {}", s.tx_frames);
         assert!(s.rx_frames > 10, "{mode:?}: rx {}", s.rx_frames);
@@ -51,7 +53,7 @@ fn frames_are_never_reordered_even_under_pressure() {
         cpu_mhz: 150,
         ..NicConfig::default()
     };
-    let mut sys = NicSystem::try_new(cfg).unwrap();
+    let mut sys = NicSystem::build(cfg).finish().unwrap();
     let s = sys.run_measured(Ps::from_ms(1), Ps::from_ms(1));
     assert!(s.rx_mac_drops > 0, "this config should overrun");
     assert_eq!(s.rx_out_of_order, 0);
@@ -66,7 +68,7 @@ fn small_frames_work_end_to_end() {
             udp_payload: payload,
             ..small(NicConfig::default())
         };
-        let mut sys = NicSystem::try_new(cfg).unwrap();
+        let mut sys = NicSystem::build(cfg).finish().unwrap();
         let s = sys.run_measured(Ps::from_us(150), Ps::from_us(200));
         assert!(s.rx_frames > 20, "payload {payload}: rx {}", s.rx_frames);
         s.assert_clean();
@@ -79,7 +81,7 @@ fn unidirectional_send_only() {
         recv_enabled: false,
         ..small(NicConfig::default())
     };
-    let mut sys = NicSystem::try_new(cfg).unwrap();
+    let mut sys = NicSystem::build(cfg).finish().unwrap();
     let s = sys.run_measured(Ps::from_us(200), Ps::from_us(300));
     assert!(s.tx_frames > 50);
     assert_eq!(s.rx_frames, 0);
@@ -92,7 +94,7 @@ fn unidirectional_receive_only() {
         send_enabled: false,
         ..small(NicConfig::default())
     };
-    let mut sys = NicSystem::try_new(cfg).unwrap();
+    let mut sys = NicSystem::build(cfg).finish().unwrap();
     let s = sys.run_measured(Ps::from_us(200), Ps::from_us(300));
     assert_eq!(s.tx_frames, 0);
     assert!(s.rx_frames > 50);
@@ -106,7 +108,7 @@ fn offered_load_is_respected() {
         offered_rx_fps: Some(100_000.0),
         ..small(NicConfig::default())
     };
-    let mut sys = NicSystem::try_new(cfg).unwrap();
+    let mut sys = NicSystem::build(cfg).finish().unwrap();
     let s = sys.run_measured(Ps::from_ms(1), Ps::from_ms(2));
     s.assert_clean();
     let fps = s.tx_frames as f64 / s.window.as_secs_f64();
@@ -118,7 +120,9 @@ fn offered_load_is_respected() {
 
 #[test]
 fn firmware_halts_on_stop_flag() {
-    let mut sys = NicSystem::try_new(small(NicConfig::default())).unwrap();
+    let mut sys = NicSystem::build(small(NicConfig::default()))
+        .finish()
+        .unwrap();
     sys.run_until(Ps::from_us(100));
     sys.stop(Ps::from_ms(10));
     assert!(sys.halted());
@@ -132,7 +136,7 @@ fn throughput_scales_with_cores() {
             cpu_mhz: 150,
             ..NicConfig::default()
         };
-        let mut sys = NicSystem::try_new(cfg).unwrap();
+        let mut sys = NicSystem::build(cfg).finish().unwrap();
         let s = sys.run_measured(Ps::from_ms(1), Ps::from_ms(1));
         s.total_udp_gbps()
     };
@@ -153,7 +157,7 @@ fn rmw_mode_is_at_least_as_fast_as_software() {
             mode,
             ..NicConfig::default()
         };
-        let mut sys = NicSystem::try_new(cfg).unwrap();
+        let mut sys = NicSystem::build(cfg).finish().unwrap();
         sys.run_measured(Ps::from_ms(1), Ps::from_ms(1))
             .total_udp_gbps()
     };
@@ -168,7 +172,9 @@ fn rmw_mode_is_at_least_as_fast_as_software() {
 #[test]
 fn deterministic_across_runs() {
     let run = || {
-        let mut sys = NicSystem::try_new(small(NicConfig::default())).unwrap();
+        let mut sys = NicSystem::build(small(NicConfig::default()))
+            .finish()
+            .unwrap();
         let s = sys.run_measured(Ps::from_us(200), Ps::from_us(200));
         (
             s.tx_frames,
@@ -181,14 +187,13 @@ fn deterministic_across_runs() {
 
 #[test]
 fn trace_capture_produces_metadata_accesses() {
-    let mut sys = NicSystem::try_with_probe(
-        small(NicConfig::default()),
-        nicsim_mem::AccessTrace::with_limit(100_000),
-    )
-    .unwrap();
+    let mut sys = NicSystem::build(small(NicConfig::default()))
+        .probe(nicsim_mem::AccessTrace::with_limit(100_000))
+        .finish()
+        .unwrap();
     sys.run_until(Ps::from_us(200));
     let end = sys.map().end;
-    let trace = sys.into_probe();
+    let trace = sys.unwrap_probe();
     assert!(trace.len() > 1000, "got {} records", trace.len());
     // All addresses must be inside the scratchpad.
     assert!(trace.records().iter().all(|r| r.addr < end));
@@ -200,7 +205,7 @@ fn ilp_capture_produces_events() {
         capture_ilp: true,
         ..NicConfig::ideal()
     };
-    let mut sys = NicSystem::try_new(cfg).unwrap();
+    let mut sys = NicSystem::build(cfg).finish().unwrap();
     sys.run_until(Ps::from_us(300));
     let events = sys.take_ilp_trace().expect("ilp capture enabled");
     assert!(events.len() > 1000);

@@ -41,10 +41,10 @@ fn try_new_propagates_validation_errors() {
         ..NicConfig::default()
     };
     assert!(matches!(
-        NicSystem::try_new(bad),
+        NicSystem::build(bad).finish(),
         Err(ConfigError::ZeroCores)
     ));
-    assert!(NicSystem::try_new(NicConfig::default()).is_ok());
+    assert!(NicSystem::build(NicConfig::default()).finish().is_ok());
 }
 
 #[test]

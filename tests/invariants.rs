@@ -6,7 +6,7 @@ use nicsim::{FwMode, NicConfig, NicSystem};
 use nicsim_sim::Ps;
 
 fn run_system(cfg: NicConfig, us: u64) -> NicSystem {
-    let mut sys = NicSystem::try_new(cfg).unwrap();
+    let mut sys = NicSystem::build(cfg).finish().unwrap();
     sys.run_until(Ps::from_us(us));
     sys
 }
@@ -62,7 +62,7 @@ fn counter_lattice_holds_over_time() {
         cpu_mhz: 500,
         ..NicConfig::default()
     };
-    let mut sys = NicSystem::try_new(cfg).unwrap();
+    let mut sys = NicSystem::build(cfg).finish().unwrap();
     for step in 1..=20u64 {
         sys.run_until(Ps::from_us(step * 17));
         check_send_chain(&sys);
@@ -79,7 +79,7 @@ fn counter_lattice_holds_under_overload() {
         udp_payload: 100,
         ..NicConfig::default()
     };
-    let mut sys = NicSystem::try_new(cfg).unwrap();
+    let mut sys = NicSystem::build(cfg).finish().unwrap();
     for step in 1..=10u64 {
         sys.run_until(Ps::from_us(step * 60));
         check_send_chain(&sys);
@@ -95,7 +95,7 @@ fn counter_lattice_holds_in_software_mode() {
         mode: FwMode::SoftwareOnly,
         ..NicConfig::default()
     };
-    let mut sys = NicSystem::try_new(cfg).unwrap();
+    let mut sys = NicSystem::build(cfg).finish().unwrap();
     for step in 1..=10u64 {
         sys.run_until(Ps::from_us(step * 40));
         check_send_chain(&sys);
@@ -136,7 +136,7 @@ fn stop_drains_to_a_consistent_state() {
         cpu_mhz: 500,
         ..NicConfig::default()
     };
-    let mut sys = NicSystem::try_new(cfg).unwrap();
+    let mut sys = NicSystem::build(cfg).finish().unwrap();
     sys.run_until(Ps::from_us(120));
     sys.stop(Ps::from_ms(10));
     check_send_chain(&sys);
@@ -195,11 +195,12 @@ fn firmware_statistics_track_progress() {
 
 #[test]
 fn scratchpad_bandwidth_is_within_peak() {
-    let mut sys = NicSystem::try_new(NicConfig {
+    let mut sys = NicSystem::build(NicConfig {
         cores: 2,
         cpu_mhz: 500,
         ..NicConfig::default()
     })
+    .finish()
     .unwrap();
     let s = sys.run_measured(Ps::from_us(150), Ps::from_us(200));
     let peak = sys.config().banks as f64 * 4.0 * 8.0 * sys.config().cpu_mhz as f64 * 1e6 / 1e9;
@@ -214,11 +215,12 @@ fn scratchpad_bandwidth_is_within_peak() {
 #[test]
 fn ipc_breakdown_sums_to_unity_when_busy() {
     use nicsim_cpu::StallBucket;
-    let mut sys = NicSystem::try_new(NicConfig {
+    let mut sys = NicSystem::build(NicConfig {
         cores: 1,
         cpu_mhz: 200, // saturated: the core never idles
         ..NicConfig::default()
     })
+    .finish()
     .unwrap();
     let s = sys.run_measured(Ps::from_us(300), Ps::from_us(300));
     let total: f64 = StallBucket::ALL
@@ -233,11 +235,12 @@ fn ipc_breakdown_sums_to_unity_when_busy() {
 
 #[test]
 fn misalignment_waste_is_nonzero_but_bounded() {
-    let mut sys = NicSystem::try_new(NicConfig {
+    let mut sys = NicSystem::build(NicConfig {
         cores: 2,
         cpu_mhz: 500,
         ..NicConfig::default()
     })
+    .finish()
     .unwrap();
     let s = sys.run_measured(Ps::from_us(200), Ps::from_us(300));
     // Headers are 42 bytes and frames land at +2 offsets, so some waste
