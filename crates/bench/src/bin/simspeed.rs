@@ -1,5 +1,7 @@
 //! Simulation-speed benchmark: dense reference kernel vs the hybrid
-//! event-driven kernel, on the workloads the paper's figures hinge on.
+//! event-driven kernel, on the workloads the paper's figures hinge on —
+//! plus the lookahead-batched domain-parallel kernel raced against the
+//! event kernel it must now beat.
 //!
 //! Two saturated configurations bracket the polling speedup range:
 //!
@@ -23,20 +25,32 @@
 //! the quiet gaps so the event kernel still steps most cycles, while
 //! under `--dispatch interrupt` the core parks in `wfi` and the doorbell
 //! watch makes whole inter-frame gaps skippable — floor 3x over dense,
-//! measured far above it. One more row times the domain-parallel kernel
-//! (`run_until_parallel`) on the line-rate point; it is reported for
-//! the record (the per-cycle rendezvous makes its profit host-and-load
-//! dependent) but its stats must still be bit-identical.
+//! measured far above it.
+//!
+//! The parallel row runs the lookahead-batched domain-parallel kernel
+//! (`run_until_parallel`) on the moderate-load *interrupt* point and
+//! races it against the sequential **event** kernel — the reference
+//! that matters, since both share the skip machinery and differ only in
+//! who executes the stepped cycles. Its floor (1.4x) applies only on a
+//! host with at least two hardware threads: with a single thread the
+//! worker cannot spin and every rendezvous degrades to a park/unpark
+//! syscall pair, so the row is reported for the record there. The
+//! synchronization accounting is gated host-independently in full runs:
+//! the lookahead machinery must keep the rendezvous count below 0.25
+//! per stepped cycle, or batching has silently stopped engaging.
 //!
 //! Each configuration runs on both kernels with identical windows; the
 //! stats must be bit-identical (the equivalence guarantee, re-asserted
 //! here on the real benchmark workload). Results land in
 //! `results/BENCH_simspeed.json` with per-point wall times, simulated
-//! cycles, cycles-per-host-second, and speedups.
+//! cycles, cycles-per-host-second, speedups, and the skip/rendezvous
+//! split (`scripts/bench_compare.sh` diffs two such files).
 //!
 //! Smoke mode (`NICSIM_SIMSPEED_SMOKE=1`, implied by `NICSIM_QUICK=1`)
 //! shrinks the windows and exits non-zero on a correctness mismatch or
-//! an event-kernel slowdown beyond 30% — the CI guardrail.
+//! an event-kernel slowdown beyond 30% — the CI guardrail. The
+//! rendezvous-ratio gate is full-run only: smoke windows end inside the
+//! cold-ring warm-up transient, where the frame side runs dense.
 //!
 //! Overhead guard: `NICSIM_SIMSPEED_BASELINE=<results file>` compares
 //! the saturated polling points' `cycles_per_host_sec` against the
@@ -49,17 +63,24 @@
 //! path costs nothing: the simulator must still hit the throughput it
 //! hit before the probe layer existed.
 
-use nicsim::{DispatchMode, FwMode, NicConfig, NicSystem};
+use nicsim::{DispatchMode, FwMode, NicConfig, NicSystem, ParallelSyncStats};
 use nicsim_bench::{header, Args};
 use nicsim_exp::{Json, RunReport};
 use std::time::Instant;
 
-/// Which fast kernel a point races against the dense reference.
+/// Which fast kernel a point measures, and implicitly its reference:
+/// the event kernel races the dense kernel; the parallel kernel races
+/// the event kernel.
 #[derive(Clone, Copy, PartialEq)]
 enum Kernel {
     Event,
     Parallel,
 }
+
+/// Ceiling on rendezvous per stepped cycle for parallel rows in full
+/// runs: above this, the solo/batch lookahead has stopped doing its
+/// job and the kernel is back to paying a barrier per cycle.
+const MAX_RENDEZVOUS_PER_STEPPED: f64 = 0.25;
 
 struct Point {
     label: &'static str,
@@ -71,11 +92,14 @@ struct Point {
     /// interrupt and parallel rows finish in milliseconds and are
     /// already gated by their in-process speedup floors.
     guard_cps: bool,
-    /// Minimum acceptable dense/fast wall-clock ratio: the saturated
-    /// 1-core point must show a real speedup (measured ~1.7x, floored
-    /// at 1.4x to ride out host timing noise), the interrupt point a
-    /// 3x (the PR's headline claim), the 6-core point only "no
-    /// meaningful regression", and 0.0 marks an informational row.
+    /// Minimum acceptable reference/fast wall-clock ratio: the
+    /// saturated 1-core point must show a real speedup (measured ~1.7x,
+    /// floored at 1.4x to ride out host timing noise), the interrupt
+    /// point a 3x (that PR's headline claim), the parallel point a 1.4x
+    /// over the event kernel (this PR's headline claim, applied only
+    /// when the host has a second hardware thread to run the worker
+    /// on), the 6-core point only "no meaningful regression", and 0.0
+    /// marks an informational row.
     target_speedup: f64,
 }
 
@@ -87,8 +111,10 @@ fn main() {
     let args = Args::parse("BENCH_simspeed");
     let exp = &args.exp;
     header(
-        "Simulation speed: dense vs event-driven/parallel kernels",
-        "event kernel >= 1.4x on 1-core Fig 7 point, >= 3x under interrupt dispatch at moderate load, no regression at 6-core line rate",
+        "Simulation speed: dense vs event-driven vs batched-parallel kernels",
+        "event kernel >= 1.4x on 1-core Fig 7 point, >= 3x under interrupt dispatch at moderate load, \
+         no regression at 6-core line rate, parallel kernel >= 1.4x over event at the interrupt point \
+         (>= 2 hw threads)",
     );
     let smoke = env_is("NICSIM_SIMSPEED_SMOKE") || env_is("NICSIM_QUICK");
     // Smoke runs shrink further than NICSIM_QUICK's 1ms/1ms default:
@@ -99,6 +125,7 @@ fn main() {
     } else {
         (exp.warmup(), exp.window())
     };
+    let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     // The moderate-load pair: identical traffic, only the dispatch mode
     // differs. Receive-only keeps the host send pacing out of the
@@ -154,16 +181,16 @@ fn main() {
             target_speedup: 3.0,
         },
         Point {
-            label: "cores=6,cpu_mhz=200,parallel",
+            label: "cores=1,rx=20kfps,interrupt,parallel",
             cfg: NicConfig {
-                cores: 6,
-                cpu_mhz: 200,
-                mode: FwMode::SoftwareOnly,
-                ..NicConfig::default()
+                dispatch: DispatchMode::Interrupt,
+                ..moderate
             },
             kernel: Kernel::Parallel,
             guard_cps: false,
-            target_speedup: 0.0,
+            // Gated only with a hardware thread for the worker; the
+            // single-thread fallback path is correctness-only.
+            target_speedup: if hw_threads >= 2 { 1.4 } else { 0.0 },
         },
     ];
 
@@ -171,50 +198,72 @@ fn main() {
     let mut detail = Vec::new();
     let mut failures = Vec::new();
     println!(
-        "{:>22} {:>10} {:>10} {:>8} {:>14}",
-        "point", "dense s", "event s", "speedup", "Mcycles/host-s"
+        "{:>36} {:>8} {:>10} {:>10} {:>8} {:>14}",
+        "point", "ref", "ref s", "fast s", "speedup", "Mcycles/host-s"
     );
     for p in &points {
-        // The parallel row pays the rendezvous per stepped cycle, so on
-        // a host without a spare hardware thread a full window takes
-        // minutes; its contract (bit-identity) is window-independent,
-        // so it always runs on the smoke-sized window.
-        let (warmup, window) = match p.kernel {
-            Kernel::Parallel => (nicsim_sim::Ps::from_us(100), nicsim_sim::Ps::from_us(200)),
-            Kernel::Event => (warmup, window),
+        let ref_kernel = match p.kernel {
+            Kernel::Event => "dense",
+            Kernel::Parallel => "event",
         };
         // Construction (SDRAM/scratchpad allocation) stays outside the
         // timed region: the benchmark measures kernel throughput.
-        let mut dense_sys = NicSystem::build(p.cfg).finish().unwrap();
+        let mut ref_sys = NicSystem::build(p.cfg).finish().unwrap();
         let t0 = Instant::now();
-        let dense_stats = dense_sys.run_measured_dense(warmup, window);
-        let dense_wall = t0.elapsed();
-
-        let mut event_sys = NicSystem::build(p.cfg).finish().unwrap();
-        let t0 = Instant::now();
-        let event_stats = match p.kernel {
-            Kernel::Event => event_sys.run_measured(warmup, window),
-            Kernel::Parallel => event_sys.run_measured_parallel(warmup, window),
+        let ref_stats = match p.kernel {
+            Kernel::Event => ref_sys.run_measured_dense(warmup, window),
+            Kernel::Parallel => ref_sys.run_measured(warmup, window),
         };
-        let event_wall = t0.elapsed();
+        let ref_wall = t0.elapsed();
 
-        let stats_identical = event_stats == dense_stats;
+        let mut fast_sys = NicSystem::build(p.cfg).finish().unwrap();
+        let t0 = Instant::now();
+        let fast_stats = match p.kernel {
+            Kernel::Event => fast_sys.run_measured(warmup, window),
+            Kernel::Parallel => fast_sys.run_measured_parallel(warmup, window),
+        };
+        let fast_wall = t0.elapsed();
+
+        let stats_identical = fast_stats == ref_stats;
         if !stats_identical {
             failures.push(format!("{}: kernels disagree on RunStats", p.label));
         }
-        let (skipped, stepped) = event_sys.kernel_cycle_split();
+        let (skipped, stepped) = fast_sys.kernel_cycle_split();
+        let sync = match p.kernel {
+            Kernel::Event => ParallelSyncStats::default(),
+            Kernel::Parallel => fast_sys.parallel_sync_stats(),
+        };
+        let skipped_fraction = skipped as f64 / (skipped + stepped).max(1) as f64;
+        let rendezvous_per_stepped = sync.rendezvous as f64 / stepped.max(1) as f64;
 
-        let sim_cycles = event_stats.core_ticks;
-        let speedup = dense_wall.as_secs_f64() / event_wall.as_secs_f64().max(1e-9);
-        let cps = sim_cycles as f64 / event_wall.as_secs_f64().max(1e-9);
+        let sim_cycles = fast_stats.core_ticks;
+        let speedup = ref_wall.as_secs_f64() / fast_wall.as_secs_f64().max(1e-9);
+        let cps = sim_cycles as f64 / fast_wall.as_secs_f64().max(1e-9);
         println!(
-            "{:>22} {:>10.3} {:>10.3} {:>7.2}x {:>14.1}",
+            "{:>36} {:>8} {:>10.3} {:>10.3} {:>7.2}x {:>14.1}",
             p.label,
-            dense_wall.as_secs_f64(),
-            event_wall.as_secs_f64(),
+            ref_kernel,
+            ref_wall.as_secs_f64(),
+            fast_wall.as_secs_f64(),
             speedup,
             cps / 1e6
         );
+        if p.kernel == Kernel::Parallel {
+            println!(
+                "{:>36} rendezvous/stepped {:.3} (batches {}, batched cycles {}, solo {})",
+                "", rendezvous_per_stepped, sync.batches, sync.batched_cycles, sync.solo_cycles
+            );
+            // The lookahead contract is host-independent; only the
+            // warm-up transient of a smoke window excuses a dense
+            // frame side.
+            if !smoke && rendezvous_per_stepped >= MAX_RENDEZVOUS_PER_STEPPED {
+                failures.push(format!(
+                    "{}: {rendezvous_per_stepped:.3} rendezvous per stepped cycle \
+                     (ceiling {MAX_RENDEZVOUS_PER_STEPPED})",
+                    p.label
+                ));
+            }
+        }
         // In smoke mode only the 30% guardrail applies (tiny windows
         // make ratios noisy); full runs check each point's target.
         // Informational rows (target 0.0) are never gated.
@@ -225,8 +274,12 @@ fn main() {
         };
         if speedup < floor {
             failures.push(format!(
-                "{}: event kernel speedup {speedup:.2}x below floor {floor:.2}x",
-                p.label
+                "{}: {} kernel speedup {speedup:.2}x over {ref_kernel} below floor {floor:.2}x",
+                p.label,
+                match p.kernel {
+                    Kernel::Event => "event",
+                    Kernel::Parallel => "parallel",
+                }
             ));
         }
 
@@ -238,20 +291,28 @@ fn main() {
             label: format!("{kernel_name} {}", p.label),
             axes: Vec::new(),
             config: p.cfg,
-            stats: event_stats,
+            stats: fast_stats,
             latency: None,
-            wall: event_wall,
+            wall: fast_wall,
         });
         detail.push(
             Json::obj()
                 .with("point", p.label)
-                .with("dense_wall_s", dense_wall.as_secs_f64())
-                .with("event_wall_s", event_wall.as_secs_f64())
+                .with("ref_kernel", ref_kernel)
+                .with("fast_kernel", kernel_name)
+                .with("dense_wall_s", ref_wall.as_secs_f64())
+                .with("event_wall_s", fast_wall.as_secs_f64())
                 .with("speedup", speedup)
                 .with("sim_cycles", sim_cycles)
                 .with("cycles_per_host_sec", cps)
                 .with("skipped_cycles", skipped)
                 .with("stepped_cycles", stepped)
+                .with("skipped_fraction", skipped_fraction)
+                .with("rendezvous", sync.rendezvous)
+                .with("batches", sync.batches)
+                .with("batched_cycles", sync.batched_cycles)
+                .with("solo_cycles", sync.solo_cycles)
+                .with("rendezvous_per_stepped", rendezvous_per_stepped)
                 .with("target_speedup", p.target_speedup)
                 .with("stats_identical", stats_identical),
         );
@@ -262,7 +323,7 @@ fn main() {
                 .unwrap_or(0.05);
             let floor = base_cps * (1.0 - tol);
             println!(
-                "{:>22} baseline {:.1} Mcycles/host-s, floor {:.1} (tol {:.0}%)",
+                "{:>36} baseline {:.1} Mcycles/host-s, floor {:.1} (tol {:.0}%)",
                 "",
                 base_cps / 1e6,
                 floor / 1e6,
@@ -288,6 +349,7 @@ fn main() {
         let extra = Json::obj()
             .with("warmup_us", warmup.0 / 1_000_000)
             .with("window_us", window.0 / 1_000_000)
+            .with("hw_threads", hw_threads as u64)
             .with("kernels", Json::Arr(detail));
         exp.finish(runs, Some(extra)).expect("write results");
     }

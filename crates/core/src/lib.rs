@@ -54,8 +54,8 @@ pub use config::{ConfigError, NicConfig, NicConfigBuilder};
 pub use nicsim_fault::{ErrorStats, FaultPlan};
 pub use nicsim_firmware::{DispatchMode, FwMode};
 pub use nicsim_obs::{
-    ChromeTrace, DmaDir, Event, EventLog, FmStream, FrameTracker, LatencySummary, Metrics,
-    NullProbe, Probe, StageStats,
+    ChromeTrace, DmaDir, Event, EventBuffer, EventLog, FmStream, FrameTracker, LatencySummary,
+    Metrics, NullProbe, Probe, StageStats,
 };
 pub use stats::{RunStats, StatValue, SUMMARY_VERSION};
-pub use system::{NicSystem, SystemBuilder};
+pub use system::{NicSystem, ParallelSyncStats, SystemBuilder};

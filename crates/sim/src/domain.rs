@@ -17,6 +17,13 @@
 //! finish (acquiring all the worker's writes). Determinism follows from
 //! the disjointness of the two slices, not from timing: any interleaving
 //! of the two threads between open and finish produces the same state.
+//!
+//! Each open carries a **batch length**: the number of simulated cycles
+//! the worker may free-run before the next rendezvous. A length of 1 is
+//! the classic per-cycle protocol; the lookahead-batched kernel opens
+//! longer generations whenever it can prove the domains cannot interact
+//! within the span (no crossbar traffic, no doorbell, no driver poll),
+//! amortizing the two atomic handshakes over the whole batch.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::thread::Thread;
@@ -58,6 +65,10 @@ const YIELDS: u32 = 64;
 pub struct DomainBarrier {
     /// Latest generation the coordinator has opened (STOP = shut down).
     go: AtomicU64,
+    /// Batch length (simulated cycles) of the open generation. Written
+    /// before the release-store to `go`, so the worker's acquire-load of
+    /// `go` makes it visible; a plain relaxed load then suffices.
+    batch: AtomicU64,
     /// Latest generation the worker has finished.
     done: AtomicU64,
     /// Worker thread handle for unparking (set once, before first open).
@@ -79,12 +90,21 @@ impl DomainBarrier {
     /// Create a barrier at generation 0 (nothing open, nothing done).
     pub fn new() -> DomainBarrier {
         let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_spin(if parallelism > 1 { SPIN } else { 0 })
+    }
+
+    /// A barrier with an explicit spin budget. `with_spin(0)` is the
+    /// path a 1-hardware-thread host takes: every wait goes straight to
+    /// yield/park, which must still make progress (the unit tests pin
+    /// this down without needing such a host).
+    pub fn with_spin(spin: u32) -> DomainBarrier {
         DomainBarrier {
             go: AtomicU64::new(0),
+            batch: AtomicU64::new(1),
             done: AtomicU64::new(0),
             worker: std::sync::Mutex::new(None),
             worker_dead: AtomicBool::new(false),
-            spin: if parallelism > 1 { SPIN } else { 0 },
+            spin,
         }
     }
 
@@ -94,10 +114,13 @@ impl DomainBarrier {
         *self.worker.lock().expect("barrier lock") = Some(t);
     }
 
-    /// Coordinator side: open generation `gen` (> the previous one),
-    /// releasing all writes made so far to the worker.
-    pub fn open(&self, gen: u64) {
+    /// Coordinator side: open generation `gen` (> the previous one) for
+    /// a batch of `n_cycles` simulated cycles, releasing all writes made
+    /// so far to the worker. `n_cycles == 1` is the per-cycle protocol.
+    pub fn open(&self, gen: u64, n_cycles: u64) {
         debug_assert!(gen != STOP && gen > self.done.load(Ordering::Relaxed));
+        debug_assert!(n_cycles >= 1, "a generation covers at least one cycle");
+        self.batch.store(n_cycles, Ordering::Relaxed);
         self.go.store(gen, Ordering::Release);
         if let Some(t) = self.worker.lock().expect("barrier lock").as_ref() {
             t.unpark();
@@ -105,9 +128,9 @@ impl DomainBarrier {
     }
 
     /// Worker side: block until a generation newer than `last` is
-    /// opened; returns it, or `None` on shutdown. Acquires all
-    /// coordinator writes made before the open.
-    pub fn wait_open(&self, last: u64) -> Option<u64> {
+    /// opened; returns it and its batch length, or `None` on shutdown.
+    /// Acquires all coordinator writes made before the open.
+    pub fn wait_open(&self, last: u64) -> Option<(u64, u64)> {
         let mut spins = 0u32;
         loop {
             let g = self.go.load(Ordering::Acquire);
@@ -115,7 +138,7 @@ impl DomainBarrier {
                 return None;
             }
             if g > last {
-                return Some(g);
+                return Some((g, self.batch.load(Ordering::Relaxed)));
             }
             spins = spins.saturating_add(1);
             if spins <= self.spin {
@@ -210,7 +233,7 @@ mod tests {
             let worker = scope.spawn(move || {
                 let cells = cells_ptr as *mut Cells;
                 let mut last = 0;
-                while let Some(g) = b.wait_open(last) {
+                while let Some((g, _)) = b.wait_open(last) {
                     last = g;
                     // SAFETY: the coordinator does not touch `b`
                     // between open(g) and wait_done(g).
@@ -220,7 +243,7 @@ mod tests {
             });
             barrier.register_worker(worker.thread().clone());
             for gen in 1..=20u64 {
-                barrier.open(gen);
+                barrier.open(gen, 1);
                 // Coordinator's disjoint slice: cell A only.
                 // SAFETY: the worker only touches `b`.
                 unsafe { (*(cells_ptr as *mut Cells)).a += 1 };
@@ -253,9 +276,116 @@ mod tests {
         let barrier = DomainBarrier::new();
         barrier.poison();
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            barrier.open(1);
+            barrier.open(1, 1);
             barrier.wait_done(1);
         }));
         assert!(r.is_err(), "wait_done must panic on a dead worker");
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_waiting_coordinator() {
+        // A worker that dies mid-generation (its panic guard calls
+        // `poison`) must turn the coordinator's wait into a panic, not
+        // an infinite spin. This is the guard the parallel kernel
+        // installs around its frame-side slice.
+        let barrier = DomainBarrier::new();
+        let handle = std::thread::scope(|scope| {
+            let b = &barrier;
+            let worker = scope.spawn(move || {
+                struct Guard<'a>(&'a DomainBarrier);
+                impl Drop for Guard<'_> {
+                    fn drop(&mut self) {
+                        if std::thread::panicking() {
+                            self.0.poison();
+                        }
+                    }
+                }
+                let _guard = Guard(b);
+                let (g, _) = b.wait_open(0).expect("open before shutdown");
+                let _ = g;
+                panic!("assist blew up");
+            });
+            barrier.register_worker(worker.thread().clone());
+            barrier.open(1, 1);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                barrier.wait_done(1);
+            }));
+            assert!(r.is_err(), "coordinator must fail fast, not spin");
+            // Consume the worker's panic so the scope exits cleanly.
+            worker.join()
+        });
+        assert!(handle.is_err(), "worker must have panicked");
+    }
+
+    #[test]
+    fn zero_spin_path_makes_progress() {
+        // `with_spin(0)` is what `new()` builds on a 1-hardware-thread
+        // host: both sides go straight to yield/park. The handshake must
+        // still complete — a lost unpark would hang here (bounded by the
+        // park timeout, caught by the harness timeout if regressed).
+        let barrier = DomainBarrier::with_spin(0);
+        let mut total = 0u64;
+        std::thread::scope(|scope| {
+            let b = &barrier;
+            let total_ptr = &mut total as *mut u64 as usize;
+            let worker = scope.spawn(move || {
+                let total = total_ptr as *mut u64;
+                let mut last = 0;
+                while let Some((g, n)) = b.wait_open(last) {
+                    last = g;
+                    // SAFETY: coordinator is blocked in wait_done(g).
+                    unsafe { *total += n };
+                    b.finish(g);
+                }
+            });
+            barrier.register_worker(worker.thread().clone());
+            for gen in 1..=200u64 {
+                barrier.open(gen, gen);
+                barrier.wait_done(gen);
+            }
+            barrier.shutdown();
+        });
+        assert_eq!(total, (1..=200u64).sum::<u64>());
+    }
+
+    #[test]
+    fn generation_numbering_survives_long_runs() {
+        // Generations are strictly increasing and need not be dense
+        // (the kernel skips main-only cycles without opening one); the
+        // worker must track arbitrary jumps over a long run, and batch
+        // lengths must arrive with their own generation, never a stale
+        // one.
+        let barrier = DomainBarrier::new();
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        std::thread::scope(|scope| {
+            let b = &barrier;
+            let seen_ptr = &mut seen as *mut Vec<(u64, u64)> as usize;
+            let worker = scope.spawn(move || {
+                let seen = seen_ptr as *mut Vec<(u64, u64)>;
+                let mut last = 0;
+                while let Some((g, n)) = b.wait_open(last) {
+                    last = g;
+                    // SAFETY: coordinator is blocked in wait_done(g).
+                    unsafe { (*seen).push((g, n)) };
+                    b.finish(g);
+                }
+            });
+            barrier.register_worker(worker.thread().clone());
+            let mut gen = 0u64;
+            for i in 1..=50_000u64 {
+                // Sparse generations: jump by 1..=7, batch tied to gen.
+                gen += 1 + (i % 7);
+                barrier.open(gen, gen % 13 + 1);
+                barrier.wait_done(gen);
+            }
+            barrier.shutdown();
+        });
+        assert_eq!(seen.len(), 50_000);
+        let mut prev = 0;
+        for &(g, n) in &seen {
+            assert!(g > prev, "generations must be strictly increasing");
+            assert_eq!(n, g % 13 + 1, "batch length detached from its gen");
+            prev = g;
+        }
     }
 }

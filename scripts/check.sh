@@ -46,6 +46,13 @@ NICSIM_QUICK=0 NICSIM_SIMSPEED_SMOKE=0 NICSIM_RESULTS_DIR=target \
 NICSIM_SIMSPEED_BASELINE=results/BENCH_simspeed.json \
 NICSIM_BASELINE_TOL="${NICSIM_BASELINE_TOL:-0.35}" \
     ./target/release/simspeed --quiet
+
+echo "==> bench_compare vs committed baseline (informational)"
+# Point-by-point diff of the run above against the committed results:
+# surfaces per-row speedup and throughput drift (and the parallel
+# row's rendezvous accounting) in the check log without gating on it —
+# the floors inside simspeed are the gates; this is the trend readout.
+sh scripts/bench_compare.sh results/BENCH_simspeed.json target/BENCH_simspeed.json
 rm -f target/BENCH_simspeed.json
 
 echo "==> fault smoke (injection + recovery + zero-fault bit-identity)"

@@ -35,7 +35,7 @@ fn builder_rejects_invalid_configurations() {
 }
 
 #[test]
-fn try_new_propagates_validation_errors() {
+fn builder_finish_propagates_validation_errors() {
     let bad = NicConfig {
         cores: 0,
         ..NicConfig::default()
