@@ -1,0 +1,38 @@
+//! Temporary review probe: sweep run-end boundaries.
+use nicsim::{DispatchMode, FwMode, NicConfig, NicSystem};
+use nicsim_sim::Ps;
+
+#[test]
+fn boundary_sweep() {
+    let cfg = NicConfig {
+        cores: 1,
+        cpu_mhz: 200,
+        mode: FwMode::SoftwareOnly,
+        dispatch: DispatchMode::Interrupt,
+        send_enabled: false,
+        offered_rx_fps: Some(20_000.0),
+        ..NicConfig::default()
+    };
+    let period = Ps(1_000_000 / 200); // 200 MHz -> 5000 ps
+    let mut mismatches = 0;
+    for k in 0..4000u64 {
+        let until = Ps(60_000_000 + k * period.0);
+        let mut seq = NicSystem::build(cfg).finish().unwrap();
+        seq.run_until(until);
+        let mut par = NicSystem::build(cfg).finish().unwrap();
+        par.run_until_parallel(until);
+        assert_eq!(seq.now(), par.now(), "clock diverged at k={k}");
+        if seq.kernel_cycle_split() != par.kernel_cycle_split() {
+            mismatches += 1;
+            if mismatches <= 5 {
+                eprintln!(
+                    "k={k} until={until:?}: seq {:?} vs par {:?}",
+                    seq.kernel_cycle_split(),
+                    par.kernel_cycle_split()
+                );
+            }
+        }
+    }
+    eprintln!("total mismatches: {mismatches}/4000");
+    assert_eq!(mismatches, 0);
+}
