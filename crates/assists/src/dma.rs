@@ -40,6 +40,21 @@ pub struct DmaConfig {
     pub prod_addr: u32,
     /// Scratchpad word the engine writes its done count to.
     pub done_addr: u32,
+    /// Engine id within the topology. Encoded into the high 32 bits of
+    /// frame-memory burst tags so completions on the shared per-stream
+    /// queue route back to the issuing engine; engine 0's tags are the
+    /// bare ring index, bit-identical to the single-engine layout.
+    pub engine: u32,
+}
+
+/// Pack a frame-memory burst tag from an engine id and ring index.
+pub fn dma_tag(engine: u32, idx: u32) -> u64 {
+    ((engine as u64) << 32) | idx as u64
+}
+
+/// The engine id a frame-memory completion tag routes to.
+pub fn dma_tag_engine(tag: u64) -> usize {
+    (tag >> 32) as usize
 }
 
 /// Completion tracking shared by both engines.
@@ -138,6 +153,11 @@ impl DmaRead {
         }
     }
 
+    /// The crossbar port this engine owns.
+    pub fn port(&self) -> usize {
+        self.cfg.port
+    }
+
     /// Scratchpad accesses performed (Table 4 accounting).
     pub fn sp_accesses(&self) -> u64 {
         self.sp.accesses()
@@ -219,7 +239,13 @@ impl DmaRead {
             }
             self.sp_exec = Some((idx, words));
         } else {
-            fm.submit_write(StreamId::DmaRead, cmd.w1, &data, idx as u64, now);
+            fm.submit_write(
+                StreamId::DmaRead,
+                cmd.w1,
+                &data,
+                dma_tag(self.cfg.engine, idx),
+                now,
+            );
             self.sdram_outstanding += 1;
         }
     }
@@ -470,6 +496,11 @@ impl DmaWrite {
         }
     }
 
+    /// The crossbar port this engine owns.
+    pub fn port(&self) -> usize {
+        self.cfg.port
+    }
+
     /// Scratchpad accesses performed.
     pub fn sp_accesses(&self) -> u64 {
         self.sp.accesses()
@@ -569,7 +600,13 @@ impl DmaWrite {
                 self.dbg_payloads.push((cmd.w0, cmd.w1, cmd.len));
             }
             self.sdram_dst[(idx % self.cfg.cmd_entries) as usize] = Some(cmd.w1);
-            fm.submit_read(StreamId::DmaWrite, cmd.w0, cmd.len, idx as u64, now);
+            fm.submit_read(
+                StreamId::DmaWrite,
+                cmd.w0,
+                cmd.len,
+                dma_tag(self.cfg.engine, idx),
+                now,
+            );
             self.sdram_outstanding += 1;
         }
     }
@@ -813,6 +850,7 @@ mod tests {
             cmd_entries: 16,
             prod_addr: 0x100,
             done_addr: 0x104,
+            engine: 0,
         }
     }
 

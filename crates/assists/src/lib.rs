@@ -25,6 +25,6 @@ pub mod dma;
 pub mod mac;
 pub mod port;
 
-pub use dma::{DmaConfig, DmaRead, DmaWrite};
+pub use dma::{dma_tag, dma_tag_engine, DmaConfig, DmaRead, DmaWrite};
 pub use mac::{MacRx, MacRxConfig, MacTx, MacTxConfig};
 pub use port::SpPort;

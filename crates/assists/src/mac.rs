@@ -43,6 +43,9 @@ pub struct MacTxConfig {
     pub prod_addr: u32,
     /// Done counter the MAC writes back.
     pub done_addr: u32,
+    /// MAC id within the topology, used as the frame-memory burst tag
+    /// so completions on the shared TX stream route back to this MAC.
+    pub mac: u32,
 }
 
 /// The transmit MAC.
@@ -94,6 +97,11 @@ impl MacTx {
             obs_fetch_seq: VecDeque::new(),
             obs_wire_seq: VecDeque::new(),
         }
+    }
+
+    /// The crossbar port this MAC owns.
+    pub fn port(&self) -> usize {
+        self.cfg.port
     }
 
     /// Frames fully transmitted.
@@ -173,7 +181,13 @@ impl MacTx {
                 TAG_ENTRY3 => {
                     self.fetch_active = false;
                     self.fetched += 1;
-                    fm.submit_read(StreamId::MacTx, self.entry_addr, self.entry_len, 0, now);
+                    fm.submit_read(
+                        StreamId::MacTx,
+                        self.entry_addr,
+                        self.entry_len,
+                        self.cfg.mac as u64,
+                        now,
+                    );
                     self.reads_outstanding += 1;
                     if P::ENABLED {
                         probe.emit(Event::MacTxFetch {
@@ -283,6 +297,9 @@ pub struct MacRxConfig {
     pub buf_bytes: u32,
     /// Firmware-advanced free pointer (bytes retired, monotonic).
     pub tail_addr: u32,
+    /// MAC id within the topology, used as the frame-memory burst tag
+    /// so completions on the shared RX stream route back to this MAC.
+    pub mac: u32,
 }
 
 /// The receive MAC.
@@ -352,6 +369,11 @@ impl MacRx {
             crc_dropped: 0,
             dbg_accepted: Vec::new(),
         }
+    }
+
+    /// The crossbar port this MAC owns.
+    pub fn port(&self) -> usize {
+        self.cfg.port
     }
 
     /// Frames dropped because the descriptor ring or buffer was full.
@@ -566,7 +588,7 @@ impl MacRx {
                 });
                 self.obs_pending_seq.push_back(seq);
             }
-            fm.submit_write(StreamId::MacRx, addr, &frame, 0, now);
+            fm.submit_write(StreamId::MacRx, addr, &frame, self.cfg.mac as u64, now);
             self.head = new_head;
             self.writes_outstanding += 1;
             self.pending_desc.push_back(PendingDesc {
@@ -624,6 +646,7 @@ mod tests {
             entries: 16,
             prod_addr: 0x100,
             done_addr: 0x104,
+            mac: 0,
         };
         let mut mac = MacTx::new(cfg);
         // Stage two frames in SDRAM and two ring entries.
@@ -668,6 +691,7 @@ mod tests {
             buf_base: 0x10_0000,
             buf_bytes: 0x10_0000,
             tail_addr: 0x208,
+            mac: 0,
         };
         let mut mac = MacRx::new(cfg, RxGenerator::new(1472));
         let mut now = Ps::ZERO;
@@ -710,6 +734,7 @@ mod tests {
             buf_base: 0x10_0000,
             buf_bytes: 0x10_0000,
             tail_addr: 0x208,
+            mac: 0,
         };
         let mut mac = MacRx::new(cfg, RxGenerator::new(1472));
         let mut now = Ps::ZERO;
@@ -741,6 +766,7 @@ mod tests {
             buf_base: 0x10_0000,
             buf_bytes: 0x10_0000,
             tail_addr: 0x208,
+            mac: 0,
         };
         let plan = FaultPlan {
             link_corrupt: 1.0,

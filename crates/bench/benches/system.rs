@@ -15,10 +15,7 @@ fn main() {
         ("rmw", FwMode::RmwEnhanced),
     ] {
         bench(&format!("system/6x166_{name}_100us"), || {
-            let cfg = NicConfig {
-                mode,
-                ..NicConfig::default()
-            };
+            let cfg = NicConfig::builder().mode(mode).build().unwrap();
             let mut sys = NicSystem::build(cfg).finish().unwrap();
             sys.run_until(Ps::from_us(100));
             black_box(sys.collect().tx_frames)

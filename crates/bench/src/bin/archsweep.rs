@@ -1,0 +1,76 @@
+//! Architecture sweep over the declarative system definition: how
+//! full-duplex UDP throughput responds to the frame-side topology —
+//! DMA engine pairs and MACs, the `SysDef` axes — alongside the core
+//! count. The paper's board is fixed at one DMA pair and one MAC; this
+//! sweep is the what-if the `SysDef` layer exists to ask.
+//!
+//! Each topology point recomposes the SoC (crossbar ports, scratchpad
+//! memory map, dispatch sources, clock-domain membership) from the
+//! same declarative definition the default system is built from.
+//! Results land in `results/archsweep.json`; every row carries its
+//! full resolved configuration (including `"topology"`), so any point
+//! can be rebuilt and re-run from the results file alone.
+//!
+//! Run with: `cargo run --release --bin archsweep -- --jobs 8`.
+
+use nicsim::{NicConfig, SysDef};
+use nicsim_bench::{header, Args};
+use nicsim_exp::{RunSpec, Sweep};
+
+fn main() {
+    let args = Args::parse("archsweep");
+    let exp = &args.exp;
+    header(
+        "Architecture sweep: cores x DMA engines (SysDef topologies)",
+        "the paper's board is 1 DMA pair + 1 MAC; extra frame-side units probe the next bottleneck",
+    );
+    let cores = [2usize, 4, 6];
+    let engines = [1usize, 2];
+    let base = args.configure(NicConfig::default());
+    let sweep = Sweep::new(base)
+        .axis("cores", cores, |cfg, v| cfg.cores = v)
+        .axis("dma_engines", engines, |cfg, v| {
+            cfg.topology.dma_engines = v;
+        });
+    let mut specs = sweep.runs().expect("valid sweep");
+    // A dual-MAC point rides along in the same pool: the widest
+    // frame-side the default 256 KB scratchpad map accommodates.
+    specs.push(RunSpec::single(
+        "cores=6,dma_engines=2,macs=2",
+        base.to_builder()
+            .cores(6)
+            .dma_engines(2)
+            .macs(2)
+            .build()
+            .expect("valid dual-MAC topology"),
+    ));
+    let report = exp.run_specs(specs);
+
+    println!("full-duplex UDP throughput (Gb/s); Ethernet limit = 19.15");
+    print!("{:>6}", "cores");
+    for e in engines {
+        print!(
+            " {:>12}",
+            format!("{e} DMA pair{}", if e == 1 { "" } else { "s" })
+        );
+    }
+    println!();
+    // Row-major over (cores, dma_engines): the engine axis varies fastest.
+    for (ci, c) in cores.iter().enumerate() {
+        print!("{c:>6}");
+        for ei in 0..engines.len() {
+            let s = &report.runs[ci * engines.len() + ei].stats;
+            print!(" {:>12.2}", s.total_udp_gbps());
+        }
+        println!();
+    }
+    let wide = report.runs.last().expect("dual-MAC run");
+    let def = SysDef::from_config(&wide.config);
+    println!(
+        "6 cores, 2 DMA pairs, 2 MACs: {:.2} Gb/s ({} components on {} crossbar ports)",
+        wide.stats.total_udp_gbps(),
+        def.components.len(),
+        def.xbar_ports()
+    );
+    exp.write(&report).expect("write results");
+}

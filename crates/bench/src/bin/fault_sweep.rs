@@ -43,10 +43,11 @@ fn main() {
         };
         specs.push(RunSpec::single(
             &format!("rate={rate:e}"),
-            NicConfig {
-                faults: Some(plan),
-                ..args.configure(NicConfig::default())
-            },
+            args.configure(NicConfig::default())
+                .to_builder()
+                .faults(Some(plan))
+                .build()
+                .expect("valid fault-sweep config"),
         ));
     }
     let report = exp.run_specs(specs);

@@ -27,10 +27,7 @@ fn main() {
         "Figure 3: MESI hit ratio vs per-processor cache size (6 cores)",
         "hit ratio never exceeds ~55%; <1% of writes invalidate",
     );
-    let cfg = args.configure(NicConfig {
-        faults: exp.faults(),
-        ..NicConfig::default()
-    });
+    let cfg = args.configure(NicConfig::builder().faults(exp.faults()).build().unwrap());
     let (run, sys) = exp.run_with_probe("rmw@166+trace", cfg, AccessTrace::with_limit(2_000_000));
     let cores = sys.config().cores;
     let m = sys.map();

@@ -19,24 +19,24 @@ fn main() {
     );
     let freqs = [100u64, 125, 150, 166, 175, 200];
     let core_counts = [1usize, 2, 4, 6, 8];
-    let sweep = Sweep::new(args.configure(NicConfig {
-        mode: FwMode::SoftwareOnly,
-        faults: exp.faults(),
-        ..NicConfig::default()
-    }))
-    .axis("cpu_mhz", freqs, |cfg, v| cfg.cpu_mhz = v)
-    .axis("cores", core_counts, |cfg, v| cfg.cores = v);
+    let base = NicConfig::builder()
+        .mode(FwMode::SoftwareOnly)
+        .faults(exp.faults())
+        .build()
+        .unwrap();
+    let sweep = Sweep::new(args.configure(base))
+        .axis("cpu_mhz", freqs, |cfg, v| cfg.cpu_mhz = v)
+        .axis("cores", core_counts, |cfg, v| cfg.cores = v);
     let mut specs = sweep.runs().expect("valid sweep");
     // The single-core scaling claim rides along in the same pool.
     specs.push(RunSpec::single(
         "cpu_mhz=800,cores=1",
-        NicConfig {
-            cores: 1,
-            cpu_mhz: 800,
-            mode: FwMode::SoftwareOnly,
-            faults: exp.faults(),
-            ..args.configure(NicConfig::default())
-        },
+        args.configure(base)
+            .to_builder()
+            .cores(1)
+            .cpu_mhz(800)
+            .build()
+            .unwrap(),
     ));
     let mut report = exp.run_specs(specs);
 
@@ -67,12 +67,12 @@ fn main() {
         let traced = traced_run(
             exp,
             "cpu_mhz=175,cores=6+trace",
-            NicConfig {
-                cores: 6,
-                cpu_mhz: 175,
-                mode: FwMode::SoftwareOnly,
-                ..NicConfig::default()
-            },
+            NicConfig::builder()
+                .cores(6)
+                .cpu_mhz(175)
+                .mode(FwMode::SoftwareOnly)
+                .build()
+                .unwrap(),
             path,
         );
         report.runs.push(traced);

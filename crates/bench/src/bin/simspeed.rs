@@ -130,35 +130,35 @@ fn main() {
     // The moderate-load pair: identical traffic, only the dispatch mode
     // differs. Receive-only keeps the host send pacing out of the
     // picture so the gap measured is purely polling-vs-parking.
-    let moderate = NicConfig {
-        cores: 1,
-        cpu_mhz: 200,
-        mode: FwMode::SoftwareOnly,
-        send_enabled: false,
-        offered_rx_fps: Some(20_000.0),
-        ..NicConfig::default()
-    };
+    let moderate = NicConfig::builder()
+        .cores(1)
+        .cpu_mhz(200)
+        .mode(FwMode::SoftwareOnly)
+        .send_enabled(false)
+        .offered_rx_fps(Some(20_000.0))
+        .build()
+        .unwrap();
     let points = [
         Point {
             label: "cores=1,cpu_mhz=200",
-            cfg: NicConfig {
-                cores: 1,
-                cpu_mhz: 200,
-                mode: FwMode::SoftwareOnly,
-                ..NicConfig::default()
-            },
+            cfg: NicConfig::builder()
+                .cores(1)
+                .cpu_mhz(200)
+                .mode(FwMode::SoftwareOnly)
+                .build()
+                .unwrap(),
             kernel: Kernel::Event,
             guard_cps: true,
             target_speedup: 1.4,
         },
         Point {
             label: "cores=6,cpu_mhz=200",
-            cfg: NicConfig {
-                cores: 6,
-                cpu_mhz: 200,
-                mode: FwMode::SoftwareOnly,
-                ..NicConfig::default()
-            },
+            cfg: NicConfig::builder()
+                .cores(6)
+                .cpu_mhz(200)
+                .mode(FwMode::SoftwareOnly)
+                .build()
+                .unwrap(),
             kernel: Kernel::Event,
             guard_cps: true,
             target_speedup: 0.95,
@@ -172,20 +172,22 @@ fn main() {
         },
         Point {
             label: "cores=1,rx=20kfps,interrupt",
-            cfg: NicConfig {
-                dispatch: DispatchMode::Interrupt,
-                ..moderate
-            },
+            cfg: moderate
+                .to_builder()
+                .dispatch(DispatchMode::Interrupt)
+                .build()
+                .unwrap(),
             kernel: Kernel::Event,
             guard_cps: false,
             target_speedup: 3.0,
         },
         Point {
             label: "cores=1,rx=20kfps,interrupt,parallel",
-            cfg: NicConfig {
-                dispatch: DispatchMode::Interrupt,
-                ..moderate
-            },
+            cfg: moderate
+                .to_builder()
+                .dispatch(DispatchMode::Interrupt)
+                .build()
+                .unwrap(),
             kernel: Kernel::Parallel,
             guard_cps: false,
             // Gated only with a hardware thread for the worker; the

@@ -15,10 +15,13 @@ fn main() {
     );
     // A 300 MHz single core is near saturation for the ideal firmware,
     // matching the paper's methodology of profiling the loaded firmware.
-    let cfg = args.configure(NicConfig {
-        cpu_mhz: 300,
-        ..NicConfig::ideal()
-    });
+    let cfg = args.configure(
+        NicConfig::ideal()
+            .to_builder()
+            .cpu_mhz(300)
+            .build()
+            .unwrap(),
+    );
     let run = exp.run_labeled("ideal@300", cfg);
     let s = &run.stats;
     println!(

@@ -15,11 +15,14 @@ fn main() {
         "Table 2: theoretical peak IPCs of NIC firmware",
         "trends: in-order prefers hazard removal; out-of-order prefers branch prediction",
     );
-    let cfg = args.configure(NicConfig {
-        cpu_mhz: 300,
-        capture_ilp: true,
-        ..NicConfig::ideal()
-    });
+    let cfg = args.configure(
+        NicConfig::ideal()
+            .to_builder()
+            .cpu_mhz(300)
+            .capture_ilp(true)
+            .build()
+            .unwrap(),
+    );
     let (run, mut sys) = exp.run_with_system("ideal@300+ilp", cfg);
     let mut events = sys.take_ilp_trace().expect("ILP capture enabled");
     // The IPC limits converge within a few hundred thousand

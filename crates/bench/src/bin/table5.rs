@@ -20,10 +20,13 @@ fn main() {
         [
             (
                 "ideal@300",
-                args.configure(NicConfig {
-                    cpu_mhz: 300,
-                    ..NicConfig::ideal()
-                }),
+                args.configure(
+                    NicConfig::ideal()
+                        .to_builder()
+                        .cpu_mhz(300)
+                        .build()
+                        .unwrap(),
+                ),
             ),
             (
                 "software@200",

@@ -8,7 +8,10 @@
 //! * `--dispatch polling|interrupt` — the firmware dispatch mode
 //!   ablation axis ([`DispatchMode`]);
 //! * `--cores N` — override the core count of every configuration the
-//!   binary builds.
+//!   binary builds;
+//! * `--dma-engines N` / `--macs N` — frame-side topology overrides
+//!   (the `SysDef` sweep axes): DMA engine pairs and MACs per
+//!   configuration.
 //!
 //! Binaries route each configuration they construct through
 //! [`Args::configure`], so the overrides apply uniformly — sweeps that
@@ -29,6 +32,10 @@ pub struct Args {
     pub dispatch: DispatchMode,
     /// `--cores`: core-count override, if given.
     pub cores: Option<usize>,
+    /// `--dma-engines`: DMA engine pair count override, if given.
+    pub dma_engines: Option<usize>,
+    /// `--macs`: MAC count override, if given.
+    pub macs: Option<usize>,
 }
 
 impl Args {
@@ -41,6 +48,8 @@ impl Args {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut dispatch = DispatchMode::Polling;
         let mut cores = None;
+        let mut dma_engines = None;
+        let mut macs = None;
         let mut i = 0;
         while i < argv.len() {
             let arg = &argv[i];
@@ -54,6 +63,18 @@ impl Args {
             } else if arg == "--cores" {
                 i += 1;
                 cores = Some(parse_cores(argv.get(i).unwrap_or_else(|| usage_cores())));
+            } else if let Some(v) = arg.strip_prefix("--dma-engines=") {
+                dma_engines = Some(parse_count(v, "--dma-engines"));
+            } else if arg == "--dma-engines" {
+                i += 1;
+                let v = argv.get(i).unwrap_or_else(|| usage_count("--dma-engines"));
+                dma_engines = Some(parse_count(v, "--dma-engines"));
+            } else if let Some(v) = arg.strip_prefix("--macs=") {
+                macs = Some(parse_count(v, "--macs"));
+            } else if arg == "--macs" {
+                i += 1;
+                let v = argv.get(i).unwrap_or_else(|| usage_count("--macs"));
+                macs = Some(parse_count(v, "--macs"));
             }
             i += 1;
         }
@@ -61,6 +82,8 @@ impl Args {
             exp,
             dispatch,
             cores,
+            dma_engines,
+            macs,
         }
     }
 
@@ -70,6 +93,12 @@ impl Args {
         cfg.dispatch = self.dispatch;
         if let Some(c) = self.cores {
             cfg.cores = c;
+        }
+        if let Some(d) = self.dma_engines {
+            cfg.topology.dma_engines = d;
+        }
+        if let Some(m) = self.macs {
+            cfg.topology.macs = m;
         }
         cfg
     }
@@ -100,6 +129,18 @@ fn usage_cores() -> ! {
     std::process::exit(2);
 }
 
+fn parse_count(v: &str, flag: &str) -> usize {
+    match v.parse() {
+        Ok(n) if n > 0 => n,
+        _ => usage_count(flag),
+    }
+}
+
+fn usage_count(flag: &str) -> ! {
+    eprintln!("{flag} needs a positive integer");
+    std::process::exit(2);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,17 +151,24 @@ mod tests {
             exp: Experiment::new("t"),
             dispatch: DispatchMode::Interrupt,
             cores: Some(3),
+            dma_engines: Some(2),
+            macs: Some(2),
         };
         let cfg = args.configure(NicConfig::default());
         assert_eq!(cfg.dispatch, DispatchMode::Interrupt);
         assert_eq!(cfg.cores, 3);
+        assert_eq!(cfg.topology.dma_engines, 2);
+        assert_eq!(cfg.topology.macs, 2);
         let args = Args {
             exp: Experiment::new("t"),
             dispatch: DispatchMode::Polling,
             cores: None,
+            dma_engines: None,
+            macs: None,
         };
         let cfg = args.configure(NicConfig::default());
         assert_eq!(cfg.dispatch, DispatchMode::Polling);
         assert_eq!(cfg.cores, NicConfig::default().cores);
+        assert_eq!(cfg.topology, nicsim::Topology::default());
     }
 }

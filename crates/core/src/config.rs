@@ -1,8 +1,35 @@
 //! Full-system configuration.
 
 use nicsim_fault::FaultPlan;
-use nicsim_firmware::{DispatchMode, FwMode};
+use nicsim_firmware::{DispatchMode, FwMode, MemMap, MAX_DMA_ENGINES, MAX_MACS};
 use nicsim_mem::{FrameMemoryConfig, ICacheConfig};
+
+/// How many of each frame-side unit the SoC instantiates.
+///
+/// The default (one DMA engine pair, one MAC) is the paper's board; extra
+/// units are the architecture-exploration axis the system-definition
+/// layer ([`crate::sysdef`]) exposes. Each DMA "engine" is a read/write
+/// pair with its own command rings, scratchpad ports, and crossbar
+/// attachments; extra MACs are attached structurally (ports, clocking,
+/// completion routing) but the firmware drives MAC 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// DMA engine pairs (read + write), 1..=4. Firmware stripes BD
+    /// fetches and frame transfers across engines round-robin.
+    pub dma_engines: usize,
+    /// Ethernet MACs, 1..=2. MAC 0 carries traffic; extras are
+    /// structural (attached and clocked, but quiescent).
+    pub macs: usize,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology {
+            dma_engines: 1,
+            macs: 1,
+        }
+    }
+}
 
 /// Configuration of the simulated NIC and its workload.
 ///
@@ -11,6 +38,7 @@ use nicsim_mem::{FrameMemoryConfig, ICacheConfig};
 /// 500 MHz GDDR SDRAM, RMW-enhanced firmware, and full-duplex streams of
 /// maximum-sized (1472-byte) UDP datagrams.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct NicConfig {
     /// Number of processing cores (paper sweeps 1–8).
     pub cores: usize,
@@ -51,6 +79,9 @@ pub struct NicConfig {
     /// system watchdog, and the firmware/driver recovery paths; runs are
     /// reproducible from `(plan.seed, plan)`.
     pub faults: Option<FaultPlan>,
+    /// Frame-side unit counts (DMA engine pairs, MACs). The default is
+    /// the paper's board: one of each.
+    pub topology: Topology,
 }
 
 impl Default for NicConfig {
@@ -72,6 +103,7 @@ impl Default for NicConfig {
             driver_interval: 16,
             capture_ilp: false,
             faults: None,
+            topology: Topology::default(),
         }
     }
 }
@@ -80,7 +112,7 @@ impl Default for NicConfig {
 ///
 /// Returned by [`NicConfigBuilder::build`], [`NicConfig::validate`], and
 /// the system builder's `finish`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
     /// `cores` was zero — the firmware needs at least one core.
     ZeroCores,
@@ -100,6 +132,34 @@ pub enum ConfigError {
         /// The rejected core count.
         cores: usize,
     },
+    /// `topology.dma_engines` outside `1..=MAX_DMA_ENGINES`.
+    BadDmaEngines {
+        /// The rejected engine count.
+        engines: usize,
+    },
+    /// `topology.macs` outside `1..=MAX_MACS`.
+    BadMacs {
+        /// The rejected MAC count.
+        macs: usize,
+    },
+    /// The scratchpad memory map for this topology (command rings and
+    /// registers for every DMA engine and MAC) does not fit in
+    /// `scratchpad_bytes`.
+    TopologyTooLarge {
+        /// Bytes the memory map needs.
+        needed: usize,
+        /// Bytes the scratchpad has.
+        available: usize,
+    },
+    /// [`NicConfigBuilder::faults_spec`] could not parse the fault
+    /// specification string.
+    FaultSpec(String),
+    /// [`NicConfigBuilder::assists`] could not parse the assist
+    /// specification string.
+    AssistSpec(String),
+    /// A [`crate::sysdef::SysDef`] handed to the system builder failed
+    /// its structural check or disagrees with the configuration.
+    Definition(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -116,6 +176,21 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "ideal mode is single-core by definition (got {cores} cores)"
             ),
+            ConfigError::BadDmaEngines { engines } => write!(
+                f,
+                "dma_engines must be in 1..={MAX_DMA_ENGINES} (got {engines})"
+            ),
+            ConfigError::BadMacs { macs } => {
+                write!(f, "macs must be in 1..={MAX_MACS} (got {macs})")
+            }
+            ConfigError::TopologyTooLarge { needed, available } => write!(
+                f,
+                "topology needs a {needed}-byte scratchpad map but only \
+                 {available} bytes are configured"
+            ),
+            ConfigError::FaultSpec(msg) => write!(f, "bad fault spec: {msg}"),
+            ConfigError::AssistSpec(msg) => write!(f, "bad assist spec: {msg}"),
+            ConfigError::Definition(msg) => write!(f, "bad system definition: {msg}"),
         }
     }
 }
@@ -188,6 +263,65 @@ impl NicConfigBuilder {
         capture_ilp: bool,
         /// Deterministic fault-injection plan (`None` = clean run).
         faults: Option<FaultPlan>,
+        /// Frame-side unit counts (DMA engine pairs, MACs).
+        topology: Topology,
+    }
+
+    /// Number of DMA engine pairs (1..=4).
+    #[must_use]
+    pub fn dma_engines(mut self, dma_engines: usize) -> Self {
+        self.cfg.topology.dma_engines = dma_engines;
+        self
+    }
+
+    /// Number of Ethernet MACs (1..=2).
+    #[must_use]
+    pub fn macs(mut self, macs: usize) -> Self {
+        self.cfg.topology.macs = macs;
+        self
+    }
+
+    /// Set the frame-side unit counts from a compact spec string,
+    /// e.g. `"dma=2,mac=1"`. Recognized keys: `dma` (engine pairs) and
+    /// `mac` (MAC count); omitted keys keep their current value.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::AssistSpec`] on an unknown key or unparsable value.
+    pub fn assists(mut self, spec: &str) -> Result<Self, ConfigError> {
+        for item in spec.split(',').filter(|s| !s.trim().is_empty()) {
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| ConfigError::AssistSpec(format!("'{item}': expected key=value")))?;
+            let (key, value) = (key.trim(), value.trim());
+            let n: usize = value.parse().map_err(|_| {
+                ConfigError::AssistSpec(format!("'{key}': expected a count, got '{value}'"))
+            })?;
+            match key {
+                "dma" => self.cfg.topology.dma_engines = n,
+                "mac" => self.cfg.topology.macs = n,
+                _ => {
+                    return Err(ConfigError::AssistSpec(format!(
+                        "unknown assist '{key}' (expected dma or mac)"
+                    )))
+                }
+            }
+        }
+        Ok(self)
+    }
+
+    /// Parse a [`FaultPlan`] spec string (the `--faults` grammar, e.g.
+    /// `"seed=7,crc=1e-3,dma=1e-4"`) and install it as the fault plan.
+    /// An empty spec installs the all-zero-rates plan, which still
+    /// enables the checking/recovery machinery.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::FaultSpec`] when the spec does not parse.
+    pub fn faults_spec(mut self, spec: &str) -> Result<Self, ConfigError> {
+        let plan = FaultPlan::parse(spec).map_err(ConfigError::FaultSpec)?;
+        self.cfg.faults = Some(plan);
+        Ok(self)
     }
 
     /// Validate and produce the configuration.
@@ -236,6 +370,22 @@ impl NicConfig {
         }
         if self.mode == FwMode::Ideal && self.cores != 1 {
             return Err(ConfigError::IdealMultiCore { cores: self.cores });
+        }
+        let t = self.topology;
+        if t.dma_engines == 0 || t.dma_engines > MAX_DMA_ENGINES {
+            return Err(ConfigError::BadDmaEngines {
+                engines: t.dma_engines,
+            });
+        }
+        if t.macs == 0 || t.macs > MAX_MACS {
+            return Err(ConfigError::BadMacs { macs: t.macs });
+        }
+        let map = MemMap::for_topology(t.dma_engines, t.macs);
+        if map.end as usize > self.scratchpad_bytes {
+            return Err(ConfigError::TopologyTooLarge {
+                needed: map.end as usize,
+                available: self.scratchpad_bytes,
+            });
         }
         Ok(())
     }
@@ -323,6 +473,103 @@ mod tests {
             assert_eq!(rebuilt.cores, cfg.cores);
             assert_eq!(rebuilt.mode, cfg.mode);
         }
+    }
+
+    #[test]
+    fn topology_builder_and_validation() {
+        let cfg = NicConfig::builder().dma_engines(2).macs(2).build().unwrap();
+        assert_eq!(
+            cfg.topology,
+            Topology {
+                dma_engines: 2,
+                macs: 2
+            }
+        );
+        assert_eq!(
+            NicConfig::builder().dma_engines(0).build(),
+            Err(ConfigError::BadDmaEngines { engines: 0 })
+        );
+        assert_eq!(
+            NicConfig::builder()
+                .dma_engines(MAX_DMA_ENGINES + 1)
+                .build(),
+            Err(ConfigError::BadDmaEngines {
+                engines: MAX_DMA_ENGINES + 1
+            })
+        );
+        assert_eq!(
+            NicConfig::builder().macs(MAX_MACS + 1).build(),
+            Err(ConfigError::BadMacs { macs: MAX_MACS + 1 })
+        );
+        // A wide topology's memory map must fit the scratchpad.
+        let err = NicConfig::builder()
+            .dma_engines(MAX_DMA_ENGINES)
+            .macs(MAX_MACS)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::TopologyTooLarge { .. }));
+        NicConfig::builder()
+            .dma_engines(MAX_DMA_ENGINES)
+            .macs(MAX_MACS)
+            .scratchpad_bytes(512 * 1024)
+            .build()
+            .unwrap();
+    }
+
+    #[test]
+    fn assists_spec_parses_and_rejects() {
+        let cfg = NicConfig::builder()
+            .assists("dma=2, mac=2")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(
+            cfg.topology,
+            Topology {
+                dma_engines: 2,
+                macs: 2
+            }
+        );
+        // Omitted keys keep their values.
+        let cfg = NicConfig::builder()
+            .assists("dma=3")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(
+            cfg.topology,
+            Topology {
+                dma_engines: 3,
+                macs: 1
+            }
+        );
+        assert!(matches!(
+            NicConfig::builder().assists("dma=two"),
+            Err(ConfigError::AssistSpec(_))
+        ));
+        assert!(matches!(
+            NicConfig::builder().assists("phy=1"),
+            Err(ConfigError::AssistSpec(_))
+        ));
+        assert!(matches!(
+            NicConfig::builder().assists("dma"),
+            Err(ConfigError::AssistSpec(_))
+        ));
+    }
+
+    #[test]
+    fn faults_spec_installs_a_plan() {
+        let cfg = NicConfig::builder()
+            .faults_spec("seed=7,crc=1e-3,dma=1e-4")
+            .unwrap()
+            .build()
+            .unwrap();
+        let plan = cfg.faults.expect("plan installed");
+        assert_eq!(plan.seed, 7);
+        assert!(matches!(
+            NicConfig::builder().faults_spec("crc=notarate"),
+            Err(ConfigError::FaultSpec(_))
+        ));
     }
 
     #[test]

@@ -23,12 +23,12 @@
 //! use nicsim_sim::Ps;
 //!
 //! // A small configuration so the doctest runs fast.
-//! let cfg = NicConfig {
-//!     cores: 2,
-//!     cpu_mhz: 500,
-//!     udp_payload: 1472,
-//!     ..NicConfig::default()
-//! };
+//! let cfg = NicConfig::builder()
+//!     .cores(2)
+//!     .cpu_mhz(500)
+//!     .udp_payload(1472)
+//!     .build()
+//!     .expect("config validates");
 //! let mut sys = NicSystem::build(cfg).finish().expect("config validates");
 //! let stats = sys.run_measured(Ps::from_us(120), Ps::from_us(120));
 //! assert!(stats.tx_frames > 0 && stats.rx_frames > 0);
@@ -48,9 +48,10 @@
 pub mod config;
 pub mod parallel;
 pub mod stats;
+pub mod sysdef;
 pub mod system;
 
-pub use config::{ConfigError, NicConfig, NicConfigBuilder};
+pub use config::{ConfigError, NicConfig, NicConfigBuilder, Topology};
 pub use nicsim_fault::{ErrorStats, FaultPlan};
 pub use nicsim_firmware::{DispatchMode, FwMode};
 pub use nicsim_obs::{
@@ -58,4 +59,5 @@ pub use nicsim_obs::{
     Metrics, NullProbe, Probe, StageStats,
 };
 pub use stats::{RunStats, StatValue, SUMMARY_VERSION};
+pub use sysdef::{Attachment, ComponentDef, ComponentKind, SysDef};
 pub use system::{NicSystem, ParallelSyncStats, SystemBuilder};

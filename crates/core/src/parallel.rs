@@ -60,7 +60,7 @@
 
 use crate::stats::RunStats;
 use crate::system::NicSystem;
-use nicsim_assists::{DmaRead, DmaWrite, MacRx, MacTx};
+use nicsim_assists::{dma_tag_engine, DmaRead, DmaWrite, MacRx, MacTx};
 use nicsim_host::{HostMemory, Mailbox};
 use nicsim_mem::{FrameMemory, PortHandle, Scratchpad, StreamId};
 use nicsim_obs::{Event, EventBuffer, FaultKind, FaultUnit, NullProbe, Probe};
@@ -73,10 +73,12 @@ use nicsim_sim::{DomainBarrier, NextEvent, Ps, WakeTracker};
 /// mode), and outside that window the worker is parked at the barrier,
 /// so every pointer is exclusively held whenever dereferenced.
 struct FrameSide {
-    dmard: *mut DmaRead,
-    dmawr: *mut DmaWrite,
-    mactx: *mut MacTx,
-    macrx: *mut MacRx,
+    /// Every frame-side unit the definition declares, grouped by kind
+    /// in port order (the same order the assist port handles take).
+    dmards: *mut [DmaRead],
+    dmawrs: *mut [DmaWrite],
+    mactxs: *mut [MacTx],
+    macrxs: *mut [MacRx],
     fm: *mut FrameMemory,
     host_mem: *mut HostMemory,
     /// Read-only while a generation is open: the scratchpad is written
@@ -116,8 +118,8 @@ unsafe impl Send for FrameSide {}
 ///
 /// Caller must hold the FrameSide disjointness contract: exclusive
 /// access to everything `f` points at (shared read-only for `sp`), and
-/// `h` must be the assist port handles in unit order (dmard, dmawr,
-/// mactx, macrx) with the crossbar quiescent.
+/// `h` must be the assist port handles in unit order (every dmard, then
+/// every dmawr, mactx, macrx) with the crossbar quiescent.
 unsafe fn frame_side_cycle<PB: Probe>(
     f: &FrameSide,
     h: &mut [PortHandle],
@@ -125,42 +127,51 @@ unsafe fn frame_side_cycle<PB: Probe>(
     probe: &mut PB,
 ) {
     let sp = &*f.sp;
-    let dmard = &mut *f.dmard;
-    let dmawr = &mut *f.dmawr;
-    let mactx = &mut *f.mactx;
-    let macrx = &mut *f.macrx;
+    let dmards = &mut *f.dmards;
+    let dmawrs = &mut *f.dmawrs;
+    let mactxs = &mut *f.mactxs;
+    let macrxs = &mut *f.macrxs;
     let fm = &mut *f.fm;
     let host_mem = &mut *f.host_mem;
-    let (h_dmard, rest) = h.split_at_mut(1);
-    let (h_dmawr, rest) = rest.split_at_mut(1);
-    let (h_mactx, h_macrx) = rest.split_at_mut(1);
+    let (h_dmard, rest) = h.split_at_mut(dmards.len());
+    let (h_dmawr, rest) = rest.split_at_mut(dmawrs.len());
+    let (h_mactx, h_macrx) = rest.split_at_mut(mactxs.len());
 
-    if dmard.busy(sp) {
-        dmard.tick_probed(now, &mut h_dmard[0], sp, host_mem, fm, probe);
+    for (d, hp) in dmards.iter_mut().zip(h_dmard) {
+        if d.busy(sp) {
+            d.tick_probed(now, hp, sp, host_mem, fm, probe);
+        }
     }
-    if dmawr.busy(sp) {
-        dmawr.tick_probed(now, &mut h_dmawr[0], sp, host_mem, fm, probe);
-        *f.driver_idle = false;
+    for (d, hp) in dmawrs.iter_mut().zip(h_dmawr) {
+        if d.busy(sp) {
+            d.tick_probed(now, hp, sp, host_mem, fm, probe);
+            *f.driver_idle = false;
+        }
     }
-    if mactx.busy(sp) || mactx.next_event() <= now {
-        mactx.tick_probed(now, &mut h_mactx[0], sp, fm, probe);
+    for (m, hp) in mactxs.iter_mut().zip(h_mactx) {
+        if m.busy(sp) || m.next_event() <= now {
+            m.tick_probed(now, hp, sp, fm, probe);
+        }
     }
-    if macrx.busy() || macrx.next_event() <= now {
-        macrx.tick_probed(now, &mut h_macrx[0], sp, fm, probe);
+    for (m, hp) in macrxs.iter_mut().zip(h_macrx) {
+        if m.busy() || m.next_event() <= now {
+            m.tick_probed(now, hp, sp, fm, probe);
+        }
     }
 
     if fm.next_event() <= now {
         for c in fm.advance_probed(now, probe) {
             match c.stream {
                 StreamId::DmaRead => {
-                    dmard.on_sdram_complete_probed(c.tag, c.at, probe);
+                    dmards[dma_tag_engine(c.tag)].on_sdram_complete_probed(c.tag, c.at, probe);
                 }
                 StreamId::DmaWrite => {
                     let data = match c.data.as_deref() {
                         Some(d) => d,
                         None => short_read(f, c.at, probe),
                     };
-                    dmawr.on_sdram_complete_probed(c.tag, data, host_mem, c.at, probe);
+                    dmawrs[dma_tag_engine(c.tag)]
+                        .on_sdram_complete_probed(c.tag, data, host_mem, c.at, probe);
                     *f.driver_idle = false;
                 }
                 StreamId::MacTx => {
@@ -168,9 +179,11 @@ unsafe fn frame_side_cycle<PB: Probe>(
                         Some(d) => d,
                         None => short_read(f, c.at, probe),
                     };
-                    mactx.on_sdram_complete_probed(c.at, data, probe);
+                    mactxs[c.tag as usize].on_sdram_complete_probed(c.at, data, probe);
                 }
-                StreamId::MacRx => macrx.on_sdram_complete_probed(c.at, probe),
+                StreamId::MacRx => {
+                    macrxs[c.tag as usize].on_sdram_complete_probed(c.at, probe);
+                }
             }
         }
     }
@@ -231,7 +244,10 @@ unsafe fn frame_side_span<PB: Probe>(f: &FrameSide, h: &mut [PortHandle], n: u64
         // own.
         let busy = {
             let sp = &*f.sp;
-            (*f.dmard).busy(sp) || (*f.dmawr).busy(sp) || (*f.mactx).busy(sp) || (*f.macrx).busy()
+            (*f.dmards).iter().any(|d| d.busy(sp))
+                || (*f.dmawrs).iter().any(|d| d.busy(sp))
+                || (*f.mactxs).iter().any(|m| m.busy(sp))
+                || (*f.macrxs).iter().any(|m| m.busy())
         };
         let wake = if busy {
             1
@@ -239,8 +255,12 @@ unsafe fn frame_side_span<PB: Probe>(f: &FrameSide, h: &mut [PortHandle], n: u64
             let now_j = Ps(end.0 - period.0 * (n - j));
             let mut w = WakeTracker::new(now_j, period);
             w.at_time((*f.fm).next_event());
-            w.at_time((*f.mactx).next_event());
-            w.at_time((*f.macrx).next_event());
+            for m in (*f.mactxs).iter() {
+                w.at_time(m.next_event());
+            }
+            for m in (*f.macrxs).iter() {
+                w.at_time(m.next_event());
+            }
             w.wake_in()
         };
         if wake > 1 {
@@ -324,10 +344,10 @@ impl<P: Probe> NicSystem<P> {
         let events_ptr: *mut EventBuffer = &mut worker_events;
 
         let frame = FrameSide {
-            dmard: &mut self.dmard,
-            dmawr: &mut self.dmawr,
-            mactx: &mut self.mactx,
-            macrx: &mut self.macrx,
+            dmards: &mut self.dmards[..],
+            dmawrs: &mut self.dmawrs[..],
+            mactxs: &mut self.mactxs[..],
+            macrxs: &mut self.macrxs[..],
             fm: &mut self.fm,
             host_mem: &mut self.host_mem,
             sp: &self.sp,

@@ -2,15 +2,23 @@
 //!
 //! `NicSystem` owns every component of Figure 6 — the cores, the
 //! crossbar and scratchpad banks, the instruction memory, the frame
-//! memory, the four assists — plus the host (driver + main memory) and
-//! the network model. The main loop advances the CPU clock domain cycle
-//! by cycle; the frame-side components keep picosecond-resolution state
-//! internally and are polled at each CPU tick, and the host's mailbox
-//! writes land between cycles as memory-mapped register writes.
+//! memory, the assists — plus the host (driver + main memory) and
+//! the network model. The component roster is no longer hand-wired:
+//! [`SystemBuilder::finish`] assembles whatever the system definition
+//! ([`SysDef`], derived from the configuration's topology section)
+//! declares — any number of DMA engine pairs and MACs, each with its
+//! own crossbar port, command rings, and clock-domain membership. The
+//! main loop advances the CPU clock domain cycle by cycle; the
+//! frame-side components keep picosecond-resolution state internally
+//! and are polled at each CPU tick, and the host's mailbox writes land
+//! between cycles as memory-mapped register writes.
 
 use crate::config::{ConfigError, NicConfig};
 use crate::stats::RunStats;
-use nicsim_assists::{DmaConfig, DmaRead, DmaWrite, MacRx, MacRxConfig, MacTx, MacTxConfig};
+use crate::sysdef::SysDef;
+use nicsim_assists::{
+    dma_tag_engine, DmaConfig, DmaRead, DmaWrite, MacRx, MacRxConfig, MacTx, MacTxConfig,
+};
 use nicsim_cpu::{CodeLayout, Core, CoreCtx, CoreProfile, OpEvent};
 use nicsim_fault::{DmaFaults, EccFaults, ErrorStats, LinkFaults, SITE_DMA_READ, SITE_DMA_WRITE};
 use nicsim_firmware::handlers::HostRegs;
@@ -36,6 +44,7 @@ use nicsim_sim::{Freq, NextEvent, Ps, WakeTracker};
 pub struct NicSystem<P: Probe = NullProbe> {
     pub(crate) probe: P,
     pub(crate) cfg: NicConfig,
+    pub(crate) sysdef: SysDef,
     pub(crate) map: MemMap,
     pub(crate) now: Ps,
     pub(crate) cpu_period: Ps,
@@ -44,10 +53,15 @@ pub struct NicSystem<P: Probe = NullProbe> {
     pub(crate) imem: InstrMemory,
     pub(crate) fm: FrameMemory,
     pub(crate) cores: Vec<Core>,
-    pub(crate) dmard: DmaRead,
-    pub(crate) dmawr: DmaWrite,
-    pub(crate) mactx: MacTx,
-    pub(crate) macrx: MacRx,
+    /// DMA read engines, indexed by engine id (completion tags carry
+    /// the id in their high word).
+    pub(crate) dmards: Vec<DmaRead>,
+    /// DMA write engines, indexed by engine id.
+    pub(crate) dmawrs: Vec<DmaWrite>,
+    /// Transmit MACs, indexed by MAC id (MAC 0 carries traffic).
+    pub(crate) mactxs: Vec<MacTx>,
+    /// Receive MACs, indexed by MAC id.
+    pub(crate) macrxs: Vec<MacRx>,
     pub(crate) host_mem: HostMemory,
     pub(crate) driver: Driver,
     /// Cycles until the next driver poll (replaces a per-cycle
@@ -116,6 +130,7 @@ pub struct ParallelSyncStats {
 #[derive(Debug)]
 pub struct SystemBuilder<P: Probe = NullProbe> {
     cfg: NicConfig,
+    sysdef: Option<SysDef>,
     probe: P,
 }
 
@@ -126,6 +141,7 @@ impl NicSystem {
     pub fn build(cfg: NicConfig) -> SystemBuilder {
         SystemBuilder {
             cfg,
+            sysdef: None,
             probe: NullProbe,
         }
     }
@@ -139,29 +155,64 @@ impl<P: Probe> SystemBuilder<P> {
     pub fn probe<Q: Probe>(self, probe: Q) -> SystemBuilder<Q> {
         SystemBuilder {
             cfg: self.cfg,
+            sysdef: self.sysdef,
             probe,
         }
     }
 
-    /// Validate the configuration and assemble the system.
+    /// Assemble from an explicit system definition instead of deriving
+    /// one from the configuration ([`SysDef::from_config`]). The
+    /// definition's core, bank, and frame-side unit counts must agree
+    /// with the configuration; [`SystemBuilder::finish`] rejects a
+    /// mismatched or structurally unsound definition with
+    /// [`ConfigError::Definition`].
+    pub fn sysdef(mut self, def: SysDef) -> Self {
+        self.sysdef = Some(def);
+        self
+    }
+
+    /// Validate the configuration, derive (or take) the system
+    /// definition, and assemble the system it declares.
     ///
     /// # Errors
     ///
-    /// Returns the same [`ConfigError`] as [`NicConfig::validate`].
+    /// Returns the same [`ConfigError`] as [`NicConfig::validate`],
+    /// plus [`ConfigError::Definition`] for an explicit definition that
+    /// fails its structural check or disagrees with the configuration.
     pub fn finish(self) -> Result<NicSystem<P>, ConfigError> {
-        let SystemBuilder { cfg, probe } = self;
+        let SystemBuilder { cfg, sysdef, probe } = self;
         cfg.validate()?;
-        let map = MemMap::new();
+        let def = sysdef.unwrap_or_else(|| SysDef::from_config(&cfg));
+        def.check().map_err(ConfigError::Definition)?;
+        if def.n_cores() != cfg.cores
+            || def.n_banks() != cfg.banks
+            || def.topology() != cfg.topology
+        {
+            return Err(ConfigError::Definition(format!(
+                "definition declares {} cores / {} banks / {:?}, config says {} / {} / {:?}",
+                def.n_cores(),
+                def.n_banks(),
+                def.topology(),
+                cfg.cores,
+                cfg.banks,
+                cfg.topology
+            )));
+        }
+        let t = def.topology();
+        let map = MemMap::for_topology(t.dma_engines, t.macs);
         let mut sp = Scratchpad::new(cfg.scratchpad_bytes, cfg.banks);
         if cfg.dispatch == DispatchMode::Interrupt {
             // Doorbell words: every scratchpad location whose write can
             // make a future dispatch-loop peek succeed. Progress
-            // counters and mailboxes cover the seven pointer sources;
-            // the three status-bit arrays cover the pending-commit
-            // peeks; the stop flag covers shutdown. Claim counters,
-            // commit pointers, and locks are deliberately unwatched:
-            // writes to them only ever *consume* work, and the watched
-            // write that produced the work already woke every core.
+            // counters and mailboxes cover the pointer sources (one
+            // done counter per DMA engine and direction); the three
+            // status-bit arrays cover the pending-commit peeks; the
+            // stop flag covers shutdown. Claim counters, commit
+            // pointers, and locks are deliberately unwatched: writes to
+            // them only ever *consume* work, and the watched write that
+            // produced the work already woke every core. Extra MACs are
+            // quiescent and never polled, so their pointers go
+            // unwatched too.
             for addr in [
                 map.sb_mailbox_prod,
                 map.rb_mailbox_prod,
@@ -174,6 +225,10 @@ impl<P: Probe> SystemBuilder<P> {
             ] {
                 sp.watch_range(addr, 4);
             }
+            for k in 1..t.dma_engines {
+                sp.watch_range(map.dmard(k).done, 4);
+                sp.watch_range(map.dmawr(k).done, 4);
+            }
             for bits in [
                 map.send_ready_bits,
                 map.send_txdone_bits,
@@ -182,8 +237,7 @@ impl<P: Probe> SystemBuilder<P> {
                 sp.watch_range(bits, SLOTS / 8);
             }
         }
-        let ports = cfg.cores + 4;
-        let xbar = Crossbar::new(ports, cfg.banks);
+        let xbar = Crossbar::new(def.xbar_ports(), cfg.banks);
         let imem = InstrMemory::new();
         let mut fm = FrameMemory::new(cfg.frame_memory);
 
@@ -208,59 +262,86 @@ impl<P: Probe> SystemBuilder<P> {
             status_ret_prod: layout.status + 4,
         };
 
-        // Assists.
-        let mut dmard = DmaRead::new(DmaConfig {
-            port: cfg.cores,
-            cmd_ring: map.dmard_ring,
-            cmd_entries: DMA_RING,
-            prod_addr: map.dmard_prod,
-            done_addr: map.dmard_done,
-        });
-        let mut dmawr = DmaWrite::new(DmaConfig {
-            port: cfg.cores + 1,
-            cmd_ring: map.dmawr_ring,
-            cmd_entries: DMA_RING,
-            prod_addr: map.dmawr_prod,
-            done_addr: map.dmawr_done,
-        });
-        let mactx = MacTx::new(MacTxConfig {
-            port: cfg.cores + 2,
-            ring: map.mactx_ring,
-            entries: MACTX_RING,
-            prod_addr: map.mactx_prod,
-            done_addr: map.mactx_done,
-        });
-        let mut generator = match cfg.offered_rx_fps {
-            Some(fps) => RxGenerator::with_fps(cfg.udp_payload, fps),
-            None => RxGenerator::new(cfg.udp_payload),
-        };
-        if !cfg.recv_enabled {
-            generator.disable();
+        // Frame-side units, one per definition entry, each on the
+        // crossbar port and command rings the definition assigns.
+        let mut dmards = Vec::with_capacity(t.dma_engines);
+        let mut dmawrs = Vec::with_capacity(t.dma_engines);
+        for k in 0..t.dma_engines {
+            let rd = map.dmard(k);
+            dmards.push(DmaRead::new(DmaConfig {
+                port: def.dmard_port(k),
+                cmd_ring: rd.ring,
+                cmd_entries: DMA_RING,
+                prod_addr: rd.prod,
+                done_addr: rd.done,
+                engine: k as u32,
+            }));
+            let wr = map.dmawr(k);
+            dmawrs.push(DmaWrite::new(DmaConfig {
+                port: def.dmawr_port(k),
+                cmd_ring: wr.ring,
+                cmd_entries: DMA_RING,
+                prod_addr: wr.prod,
+                done_addr: wr.done,
+                engine: k as u32,
+            }));
         }
-        if let Some(plan) = &cfg.faults {
-            generator.set_faults(LinkFaults::new(plan));
+        let mut mactxs = Vec::with_capacity(t.macs);
+        let mut macrxs = Vec::with_capacity(t.macs);
+        for j in 0..t.macs {
+            let mi = map.mac(j);
+            mactxs.push(MacTx::new(MacTxConfig {
+                port: def.mactx_port(j),
+                ring: mi.tx_ring,
+                entries: MACTX_RING,
+                prod_addr: mi.tx_prod,
+                done_addr: mi.tx_done,
+                mac: j as u32,
+            }));
+            // Only MAC 0 carries traffic: extras get a disabled
+            // generator (attached and clocked, but the wire never
+            // delivers to them).
+            let mut generator = match cfg.offered_rx_fps {
+                Some(fps) => RxGenerator::with_fps(cfg.udp_payload, fps),
+                None => RxGenerator::new(cfg.udp_payload),
+            };
+            if !cfg.recv_enabled || j != 0 {
+                generator.disable();
+            }
+            if let Some(plan) = &cfg.faults {
+                if j == 0 {
+                    generator.set_faults(LinkFaults::new(plan));
+                }
+            }
+            macrxs.push(MacRx::new(
+                MacRxConfig {
+                    port: def.macrx_port(j),
+                    ring: mi.rx_ring,
+                    entries: MACRX_RING,
+                    prod_addr: mi.rx_prod,
+                    claim_addr: map.recv_claim,
+                    claim_slack: 64,
+                    buf_base: RXBUF_BASE,
+                    buf_bytes: RXBUF_BYTES,
+                    tail_addr: map.rxbuf_tail,
+                    mac: j as u32,
+                },
+                generator,
+            ));
         }
-        let mut macrx = MacRx::new(
-            MacRxConfig {
-                port: cfg.cores + 3,
-                ring: map.macrx_ring,
-                entries: MACRX_RING,
-                prod_addr: map.macrx_prod,
-                claim_addr: map.recv_claim,
-                claim_slack: 64,
-                buf_base: RXBUF_BASE,
-                buf_bytes: RXBUF_BYTES,
-                tail_addr: map.rxbuf_tail,
-            },
-            generator,
-        );
         if let Some(plan) = &cfg.faults {
             // Arm every injection site and its recovery mechanism. The
             // CRC check only runs under a plan: clean builds never pay
-            // for (or depend on) FCS computation.
-            macrx.set_crc_check(true);
-            dmard.set_faults(DmaFaults::new(plan, SITE_DMA_READ));
-            dmawr.set_faults(DmaFaults::new(plan, SITE_DMA_WRITE));
+            // for (or depend on) FCS computation. Each extra engine is
+            // its own fault site (offset so engine 0 keeps the legacy
+            // site ids and default runs replay unchanged).
+            macrxs[0].set_crc_check(true);
+            for (k, d) in dmards.iter_mut().enumerate() {
+                d.set_faults(DmaFaults::new(plan, SITE_DMA_READ + 8 * k as u64));
+            }
+            for (k, d) in dmawrs.iter_mut().enumerate() {
+                d.set_faults(DmaFaults::new(plan, SITE_DMA_WRITE + 8 * k as u64));
+            }
             fm.set_faults(EccFaults::new(plan));
         }
 
@@ -286,6 +367,7 @@ impl<P: Probe> SystemBuilder<P> {
         Ok(NicSystem {
             probe,
             cfg,
+            sysdef: def,
             map,
             now: Ps::ZERO,
             cpu_period: Freq::from_mhz(cfg.cpu_mhz).period(),
@@ -294,10 +376,10 @@ impl<P: Probe> SystemBuilder<P> {
             imem,
             fm,
             cores,
-            dmard,
-            dmawr,
-            mactx,
-            macrx,
+            dmards,
+            dmawrs,
+            mactxs,
+            macrxs,
             host_mem,
             driver,
             driver_countdown: if cfg.driver_interval == 0 {
@@ -350,6 +432,11 @@ impl<P: Probe> NicSystem<P> {
         self.cfg
     }
 
+    /// The system definition this system was assembled from.
+    pub fn sysdef(&self) -> &SysDef {
+        &self.sysdef
+    }
+
     /// Direct scratchpad access for inspection and tests.
     pub fn scratchpad(&self) -> &Scratchpad {
         &self.sp
@@ -383,51 +470,64 @@ impl<P: Probe> NicSystem<P> {
             );
         }
 
-        // Hardware assists. Each `busy` predicate mirrors its tick's
-        // gates exactly (scratchpad traffic queued or in flight, a done
+        // Frame-side units, in definition order (reads, writes, MAC TX,
+        // MAC RX). Each `busy` predicate mirrors its tick's gates
+        // exactly (scratchpad traffic queued or in flight, a done
         // counter owed, a doorbell fetch ready); the MACs additionally
         // act at their next timed event (wire completion, arrival).
-        if !gate || self.dmard.busy(&self.sp) {
-            self.dmard.tick_probed(
-                now,
-                &mut self.xbar.port(self.cfg.cores),
-                &self.sp,
-                &self.host_mem,
-                &mut self.fm,
-                &mut self.probe,
-            );
+        for d in &mut self.dmards {
+            if !gate || d.busy(&self.sp) {
+                let p = d.port();
+                d.tick_probed(
+                    now,
+                    &mut self.xbar.port(p),
+                    &self.sp,
+                    &self.host_mem,
+                    &mut self.fm,
+                    &mut self.probe,
+                );
+            }
         }
-        if !gate || self.dmawr.busy(&self.sp) {
-            self.dmawr.tick_probed(
-                now,
-                &mut self.xbar.port(self.cfg.cores + 1),
-                &self.sp,
-                &mut self.host_mem,
-                &mut self.fm,
-                &mut self.probe,
-            );
-            // The write engine may have touched host memory (immediate
-            // status updates, scratchpad-source copies): the driver must
-            // poll for real again.
-            self.driver_idle = false;
+        for d in &mut self.dmawrs {
+            if !gate || d.busy(&self.sp) {
+                let p = d.port();
+                d.tick_probed(
+                    now,
+                    &mut self.xbar.port(p),
+                    &self.sp,
+                    &mut self.host_mem,
+                    &mut self.fm,
+                    &mut self.probe,
+                );
+                // The write engine may have touched host memory
+                // (immediate status updates, scratchpad-source copies):
+                // the driver must poll for real again.
+                self.driver_idle = false;
+            }
         }
-        if !gate || self.mactx.busy(&self.sp) || self.mactx.next_event() <= now {
-            self.mactx.tick_probed(
-                now,
-                &mut self.xbar.port(self.cfg.cores + 2),
-                &self.sp,
-                &mut self.fm,
-                &mut self.probe,
-            );
+        for m in &mut self.mactxs {
+            if !gate || m.busy(&self.sp) || m.next_event() <= now {
+                let p = m.port();
+                m.tick_probed(
+                    now,
+                    &mut self.xbar.port(p),
+                    &self.sp,
+                    &mut self.fm,
+                    &mut self.probe,
+                );
+            }
         }
-        if !gate || self.macrx.busy() || self.macrx.next_event() <= now {
-            self.macrx.tick_probed(
-                now,
-                &mut self.xbar.port(self.cfg.cores + 3),
-                &self.sp,
-                &mut self.fm,
-                &mut self.probe,
-            );
+        for m in &mut self.macrxs {
+            if !gate || m.busy() || m.next_event() <= now {
+                let p = m.port();
+                m.tick_probed(
+                    now,
+                    &mut self.xbar.port(p),
+                    &self.sp,
+                    &mut self.fm,
+                    &mut self.probe,
+                );
+            }
         }
 
         // Fault supervision: the per-assist watchdog and the abort-count
@@ -437,22 +537,22 @@ impl<P: Probe> NicSystem<P> {
             self.fault_supervision(now);
         }
 
-        // Frame-memory completions route back to their streams. The
+        // Frame-memory completions route back to their streams — and,
+        // within a stream, to the owning unit: DMA tags carry the
+        // engine id in their high word, MAC tags are the MAC id. The
         // controller changes state only at `next_event` (a burst start
         // or completion falling due).
         if !gate || self.fm.next_event() <= now {
             for c in self.fm.advance_probed(now, &mut self.probe) {
                 match c.stream {
-                    StreamId::DmaRead => {
-                        self.dmard
-                            .on_sdram_complete_probed(c.tag, c.at, &mut self.probe)
-                    }
+                    StreamId::DmaRead => self.dmards[dma_tag_engine(c.tag)]
+                        .on_sdram_complete_probed(c.tag, c.at, &mut self.probe),
                     StreamId::DmaWrite => {
                         let data = match c.data.as_deref() {
                             Some(d) => d,
                             None => self.on_short_read(c.at),
                         };
-                        self.dmawr.on_sdram_complete_probed(
+                        self.dmawrs[dma_tag_engine(c.tag)].on_sdram_complete_probed(
                             c.tag,
                             data,
                             &mut self.host_mem,
@@ -466,10 +566,15 @@ impl<P: Probe> NicSystem<P> {
                             Some(d) => d,
                             None => self.on_short_read(c.at),
                         };
-                        self.mactx
-                            .on_sdram_complete_probed(c.at, data, &mut self.probe)
+                        self.mactxs[c.tag as usize].on_sdram_complete_probed(
+                            c.at,
+                            data,
+                            &mut self.probe,
+                        )
                     }
-                    StreamId::MacRx => self.macrx.on_sdram_complete_probed(c.at, &mut self.probe),
+                    StreamId::MacRx => {
+                        self.macrxs[c.tag as usize].on_sdram_complete_probed(c.at, &mut self.probe)
+                    }
                 }
             }
         }
@@ -551,63 +656,71 @@ impl<P: Probe> NicSystem<P> {
     /// pending work keeps `busy()` true, which pins the event-driven
     /// kernel to dense stepping for the whole episode.
     fn fault_supervision(&mut self, now: Ps) {
-        let busy = self.dmard.busy(&self.sp);
-        if let Some(f) = self.dmard.faults_mut() {
-            if f.hung && busy {
-                let first = f.stuck_since.is_none();
-                if f.observe_stuck(now) {
-                    f.watchdog_reset(now);
-                    if P::ENABLED {
-                        self.probe.emit(Event::Recovery {
-                            kind: RecoveryKind::WatchdogReset,
+        for (k, d) in self.dmards.iter_mut().enumerate() {
+            let busy = d.busy(&self.sp);
+            if let Some(f) = d.faults_mut() {
+                if f.hung && busy {
+                    let first = f.stuck_since.is_none();
+                    if f.observe_stuck(now) {
+                        f.watchdog_reset(now);
+                        if P::ENABLED {
+                            self.probe.emit(Event::Recovery {
+                                kind: RecoveryKind::WatchdogReset,
+                                unit: FaultUnit::DmaRead,
+                                info: k as u32,
+                                at: now,
+                            });
+                        }
+                    } else if first && P::ENABLED {
+                        self.probe.emit(Event::Fault {
+                            kind: FaultKind::AssistHang,
                             unit: FaultUnit::DmaRead,
-                            info: 0,
+                            info: k as u32,
                             at: now,
                         });
                     }
-                } else if first && P::ENABLED {
-                    self.probe.emit(Event::Fault {
-                        kind: FaultKind::AssistHang,
-                        unit: FaultUnit::DmaRead,
-                        info: 0,
-                        at: now,
-                    });
                 }
             }
         }
-        let busy = self.dmawr.busy(&self.sp);
-        if let Some(f) = self.dmawr.faults_mut() {
-            if f.hung && busy {
-                let first = f.stuck_since.is_none();
-                if f.observe_stuck(now) {
-                    f.watchdog_reset(now);
-                    if P::ENABLED {
-                        self.probe.emit(Event::Recovery {
-                            kind: RecoveryKind::WatchdogReset,
+        for (k, d) in self.dmawrs.iter_mut().enumerate() {
+            let busy = d.busy(&self.sp);
+            if let Some(f) = d.faults_mut() {
+                if f.hung && busy {
+                    let first = f.stuck_since.is_none();
+                    if f.observe_stuck(now) {
+                        f.watchdog_reset(now);
+                        if P::ENABLED {
+                            self.probe.emit(Event::Recovery {
+                                kind: RecoveryKind::WatchdogReset,
+                                unit: FaultUnit::DmaWrite,
+                                info: k as u32,
+                                at: now,
+                            });
+                        }
+                    } else if first && P::ENABLED {
+                        self.probe.emit(Event::Fault {
+                            kind: FaultKind::AssistHang,
                             unit: FaultUnit::DmaWrite,
-                            info: 0,
+                            info: k as u32,
                             at: now,
                         });
                     }
-                } else if first && P::ENABLED {
-                    self.probe.emit(Event::Fault {
-                        kind: FaultKind::AssistHang,
-                        unit: FaultUnit::DmaWrite,
-                        info: 0,
-                        at: now,
-                    });
                 }
             }
         }
         // Aborted DMA reads are aborted transmit frames: publish the
-        // cumulative count so the driver can re-post them.
-        if let Some(f) = self.dmard.faults() {
-            let aborts = f.aborts as u32;
-            if aborts != self.aborts_published {
-                self.aborts_published = aborts;
-                self.host_mem.write_u32(self.status_aborts_addr, aborts);
-                self.driver_idle = false;
-            }
+        // cumulative count (summed over every read engine) so the
+        // driver can re-post them.
+        let aborts: u32 = self
+            .dmards
+            .iter()
+            .filter_map(|d| d.faults())
+            .map(|f| f.aborts as u32)
+            .sum();
+        if self.dmards.iter().any(|d| d.faults().is_some()) && aborts != self.aborts_published {
+            self.aborts_published = aborts;
+            self.host_mem.write_u32(self.status_aborts_addr, aborts);
+            self.driver_idle = false;
         }
     }
 
@@ -646,19 +759,30 @@ impl<P: Probe> NicSystem<P> {
         }
         // Assists poll doorbells as registers: if one could issue work
         // on the next tick, no skip.
-        if self.dmard.busy(&self.sp)
-            || self.dmawr.busy(&self.sp)
-            || self.mactx.busy(&self.sp)
-            || self.macrx.busy()
-        {
+        if self.frame_side_busy() {
             return 1;
         }
         // Time-driven events: frame-memory burst starts/completions,
         // wire completions, frame arrivals.
         w.at_time(self.fm.next_event());
-        w.at_time(self.mactx.next_event());
-        w.at_time(self.macrx.next_event());
+        for m in &self.mactxs {
+            w.at_time(m.next_event());
+        }
+        for m in &self.macrxs {
+            w.at_time(m.next_event());
+        }
         w.wake_in()
+    }
+
+    /// Whether any frame-side unit could issue work on its next tick —
+    /// the fold of every unit's `busy` predicate, over however many
+    /// units the definition declares.
+    #[inline]
+    pub(crate) fn frame_side_busy(&self) -> bool {
+        self.dmards.iter().any(|d| d.busy(&self.sp))
+            || self.dmawrs.iter().any(|d| d.busy(&self.sp))
+            || self.mactxs.iter().any(|m| m.busy(&self.sp))
+            || self.macrxs.iter().any(|m| m.busy())
     }
 
     /// Jump the clock over `n` provably-idle cycles, keeping every
@@ -765,11 +889,7 @@ impl<P: Probe> NicSystem<P> {
         if self.xbar.needs_tick() {
             return 1;
         }
-        if self.dmard.busy(&self.sp)
-            || self.dmawr.busy(&self.sp)
-            || self.mactx.busy(&self.sp)
-            || self.macrx.busy()
-        {
+        if self.frame_side_busy() {
             return 1;
         }
         let mut h = u64::MAX;
@@ -802,13 +922,14 @@ impl<P: Probe> NicSystem<P> {
             }
         }
         // Timed frame-side events: event cycle + 1 (the submit cycle).
-        for c in [
-            fm_cycles,
-            self.cycles_until(self.mactx.next_event()),
-            self.cycles_until(self.macrx.next_event()),
-        ]
-        .into_iter()
-        .flatten()
+        let mac_events = self
+            .mactxs
+            .iter()
+            .map(|m| m.next_event())
+            .chain(self.macrxs.iter().map(|m| m.next_event()));
+        for c in std::iter::once(fm_cycles)
+            .chain(mac_events.map(|t| self.cycles_until(t)))
+            .flatten()
         {
             h = h.min(c.saturating_add(1));
         }
@@ -835,12 +956,9 @@ impl<P: Probe> NicSystem<P> {
     /// main thread — no rendezvous — and remain bit-identical.
     pub(crate) fn frame_side_quiet_next(&self) -> bool {
         let next = self.now + self.cpu_period;
-        !self.dmard.busy(&self.sp)
-            && !self.dmawr.busy(&self.sp)
-            && !self.mactx.busy(&self.sp)
-            && self.mactx.next_event() > next
-            && !self.macrx.busy()
-            && self.macrx.next_event() > next
+        !self.frame_side_busy()
+            && self.mactxs.iter().all(|m| m.next_event() > next)
+            && self.macrxs.iter().all(|m| m.next_event() > next)
             && self.fm.next_event() > next
     }
 
@@ -872,11 +990,19 @@ impl<P: Probe> NicSystem<P> {
         self.xbar.reset_stats();
         self.imem.reset_stats();
         self.fm.reset_stats();
-        self.dmard.reset_stats();
-        self.dmawr.reset_stats();
-        self.mactx.monitor.reset(now);
-        self.mactx.reset_stats();
-        self.macrx.reset_stats();
+        for d in &mut self.dmards {
+            d.reset_stats();
+        }
+        for d in &mut self.dmawrs {
+            d.reset_stats();
+        }
+        for m in &mut self.mactxs {
+            m.monitor.reset(now);
+            m.reset_stats();
+        }
+        for m in &mut self.macrxs {
+            m.reset_stats();
+        }
         self.driver.reset_window(now);
     }
 
@@ -913,21 +1039,30 @@ impl<P: Probe> NicSystem<P> {
         let core_sp: u64 = (0..self.cfg.cores)
             .map(|p| self.xbar.port_stats(p).grants)
             .sum();
-        let assist_sp = self.dmard.sp_accesses()
-            + self.dmawr.sp_accesses()
-            + self.mactx.sp_accesses()
-            + self.macrx.sp_accesses();
+        let assist_sp: u64 = self.dmards.iter().map(|d| d.sp_accesses()).sum::<u64>()
+            + self.dmawrs.iter().map(|d| d.sp_accesses()).sum::<u64>()
+            + self.mactxs.iter().map(|m| m.sp_accesses()).sum::<u64>()
+            + self.macrxs.iter().map(|m| m.sp_accesses()).sum::<u64>();
         let d = self.driver.stats();
         let window_cycles = core_ticks.max(1) as f64;
         let errors = self.cfg.faults.map(|_| {
-            let (link_corrupt_injected, link_truncate_injected) = self.macrx.generator.injected();
-            let rd = self.dmard.faults();
-            let wr = self.dmawr.faults();
-            let sum = |pick: fn(&DmaFaults) -> u64| rd.map_or(0, pick) + wr.map_or(0, pick);
+            let (link_corrupt_injected, link_truncate_injected) =
+                self.macrxs.iter().fold((0, 0), |(c, t), m| {
+                    let (mc, mt) = m.generator.injected();
+                    (c + mc, t + mt)
+                });
+            let sum = |pick: fn(&DmaFaults) -> u64| -> u64 {
+                self.dmards
+                    .iter()
+                    .filter_map(|d| d.faults())
+                    .chain(self.dmawrs.iter().filter_map(|d| d.faults()))
+                    .map(pick)
+                    .sum()
+            };
             ErrorStats {
                 link_corrupt_injected,
                 link_truncate_injected,
-                crc_dropped: self.macrx.crc_dropped(),
+                crc_dropped: self.macrxs.iter().map(|m| m.crc_dropped()).sum(),
                 dma_transient_errors: sum(|f| f.transient_errors),
                 dma_retries_ok: sum(|f| f.retries_ok),
                 dma_aborts: sum(|f| f.aborts),
@@ -944,12 +1079,20 @@ impl<P: Probe> NicSystem<P> {
             window,
             cores: self.cfg.cores,
             cpu_mhz: self.cfg.cpu_mhz,
-            tx_frames: self.mactx.monitor.frames(),
+            tx_frames: self.mactxs.iter().map(|m| m.monitor.frames()).sum(),
             rx_frames: d.rx_frames,
-            tx_udp_gbps: self.mactx.monitor.udp_gbps(self.now),
+            tx_udp_gbps: self
+                .mactxs
+                .iter()
+                .map(|m| m.monitor.udp_gbps(self.now))
+                .sum(),
             rx_udp_gbps: self.driver.rx_udp_gbps(self.now),
-            rx_mac_drops: self.macrx.drops(),
-            tx_errors: self.mactx.monitor.errors().len() as u64 + self.mactx.monitor.out_of_order(),
+            rx_mac_drops: self.macrxs.iter().map(|m| m.drops()).sum(),
+            tx_errors: self
+                .mactxs
+                .iter()
+                .map(|m| m.monitor.errors().len() as u64 + m.monitor.out_of_order())
+                .sum(),
             rx_corrupt: d.rx_corrupt,
             rx_out_of_order: d.rx_out_of_order,
             profile,
@@ -994,9 +1137,9 @@ impl<P: Probe> NicSystem<P> {
         self.cores[0].slot().borrow_mut().trace.take()
     }
 
-    /// MAC receive drops so far (overruns).
+    /// MAC receive drops so far (overruns), summed over every MAC.
     pub fn rx_drops(&self) -> u64 {
-        self.macrx.drops()
+        self.macrxs.iter().map(|m| m.drops()).sum()
     }
 
     /// Out-of-order receive samples (expected, got, ret_cons, fw_seq),
@@ -1010,14 +1153,14 @@ impl<P: Probe> NicSystem<P> {
         self.driver.dbg_bad_returns
     }
 
-    /// Debug: wire seq of accepted frames, in acceptance order.
+    /// Debug: wire seq of accepted frames on MAC 0, in acceptance order.
     pub fn mac_accepted(&self) -> &[u32] {
-        &self.macrx.dbg_accepted
+        &self.macrxs[0].dbg_accepted
     }
 
-    /// Debug: payload DMA-write commands (src, dst, len).
+    /// Debug: payload DMA-write commands (src, dst, len) on engine 0.
     pub fn dmawr_payloads(&self) -> &[(u32, u32, u32)] {
-        &self.dmawr.dbg_payloads
+        &self.dmawrs[0].dbg_payloads
     }
 }
 

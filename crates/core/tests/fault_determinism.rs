@@ -19,12 +19,12 @@ const WARMUP: Ps = Ps(100_000_000); // 100 us
 const WINDOW: Ps = Ps(150_000_000); // 150 us
 
 fn small(faults: Option<FaultPlan>) -> NicConfig {
-    NicConfig {
-        cores: 2,
-        cpu_mhz: 500,
-        faults,
-        ..NicConfig::default()
-    }
+    NicConfig::builder()
+        .cores(2)
+        .cpu_mhz(500)
+        .faults(faults)
+        .build()
+        .unwrap()
 }
 
 fn run_event(cfg: NicConfig) -> RunStats {
@@ -158,13 +158,13 @@ fn dma_aborts_surface_as_tx_retries() {
 
 #[test]
 fn software_only_mode_survives_faults() {
-    let cfg = NicConfig {
-        cores: 2,
-        cpu_mhz: 500,
-        mode: FwMode::SoftwareOnly,
-        faults: Some(FaultPlan::with_rate(5, 5e-3)),
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder()
+        .cores(2)
+        .cpu_mhz(500)
+        .mode(FwMode::SoftwareOnly)
+        .faults(Some(FaultPlan::with_rate(5, 5e-3)))
+        .build()
+        .unwrap();
     let a = run_event(cfg);
     let d = run_dense(cfg);
     assert_eq!(a, d, "software-only kernels diverged under faults");

@@ -77,12 +77,12 @@ fn assert_lifecycle(cfg: NicConfig, label: &str) {
 fn lifecycle_across_core_counts_and_modes() {
     for cores in [1usize, 2, 6] {
         for mode in [FwMode::SoftwareOnly, FwMode::RmwEnhanced] {
-            let cfg = NicConfig {
-                cores,
-                cpu_mhz: 300,
-                mode,
-                ..NicConfig::default()
-            };
+            let cfg = NicConfig::builder()
+                .cores(cores)
+                .cpu_mhz(300)
+                .mode(mode)
+                .build()
+                .unwrap();
             assert_lifecycle(cfg, &format!("{cores} cores, {mode:?}"));
         }
     }
@@ -93,41 +93,41 @@ fn lifecycle_with_small_datagrams() {
     // Small frames overrun the firmware, so the drop path (arrivals the
     // tracker must ignore) and high sequence churn are both exercised.
     for cores in [1usize, 6] {
-        let cfg = NicConfig {
-            cores,
-            cpu_mhz: 300,
-            mode: FwMode::RmwEnhanced,
-            udp_payload: 18,
-            ..NicConfig::default()
-        };
+        let cfg = NicConfig::builder()
+            .cores(cores)
+            .cpu_mhz(300)
+            .mode(FwMode::RmwEnhanced)
+            .udp_payload(18)
+            .build()
+            .unwrap();
         assert_lifecycle(cfg, &format!("{cores} cores, 18B payload"));
     }
 }
 
 #[test]
 fn lifecycle_in_ideal_mode_and_one_sided_traffic() {
-    let cfg = NicConfig {
-        mode: FwMode::Ideal,
-        cores: 1,
-        cpu_mhz: 300,
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder()
+        .mode(FwMode::Ideal)
+        .cores(1)
+        .cpu_mhz(300)
+        .build()
+        .unwrap();
     assert_lifecycle(cfg, "ideal");
 
-    let cfg = NicConfig {
-        cores: 2,
-        cpu_mhz: 300,
-        send_enabled: false,
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder()
+        .cores(2)
+        .cpu_mhz(300)
+        .send_enabled(false)
+        .build()
+        .unwrap();
     assert_lifecycle(cfg, "recv-only");
 
-    let cfg = NicConfig {
-        cores: 2,
-        cpu_mhz: 300,
-        recv_enabled: false,
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder()
+        .cores(2)
+        .cpu_mhz(300)
+        .recv_enabled(false)
+        .build()
+        .unwrap();
     assert_lifecycle(cfg, "send-only");
 }
 
@@ -137,13 +137,13 @@ fn lifecycle_under_offered_load_pacing() {
     // the warm-up boundary in flight, which is exactly where orphaned
     // stage records would show up.
     for fps in [20_000.0, 200_000.0] {
-        let cfg = NicConfig {
-            cores: 2,
-            cpu_mhz: 300,
-            offered_tx_fps: Some(fps),
-            offered_rx_fps: Some(fps),
-            ..NicConfig::default()
-        };
+        let cfg = NicConfig::builder()
+            .cores(2)
+            .cpu_mhz(300)
+            .offered_tx_fps(Some(fps))
+            .offered_rx_fps(Some(fps))
+            .build()
+            .unwrap();
         assert_lifecycle(cfg, &format!("paced {fps} fps"));
     }
 }

@@ -8,7 +8,7 @@
 //! exact `RunStats` equality.
 
 use nicsim::{
-    DispatchMode, EventLog, FaultPlan, FrameTracker, FwMode, NicConfig, NicSystem, RunStats,
+    DispatchMode, EventLog, FaultPlan, FrameTracker, FwMode, NicConfig, NicSystem, RunStats, SysDef,
 };
 use nicsim_sim::Ps;
 
@@ -36,12 +36,12 @@ fn assert_identical(cfg: NicConfig, warmup: Ps, window: Ps, label: &str) {
 fn kernels_match_across_core_counts_and_modes() {
     for cores in [1usize, 2, 6] {
         for mode in [FwMode::SoftwareOnly, FwMode::RmwEnhanced] {
-            let cfg = NicConfig {
-                cores,
-                cpu_mhz: 300,
-                mode,
-                ..NicConfig::default()
-            };
+            let cfg = NicConfig::builder()
+                .cores(cores)
+                .cpu_mhz(300)
+                .mode(mode)
+                .build()
+                .unwrap();
             assert_identical(cfg, WARMUP, WINDOW, &format!("{cores} cores, {mode:?}"));
         }
     }
@@ -52,45 +52,45 @@ fn kernels_match_with_small_datagrams() {
     // Small frames arrive ~20x more often, stressing the MacRx arrival
     // bound and the drop path (small payloads overrun the firmware).
     for cores in [1usize, 6] {
-        let cfg = NicConfig {
-            cores,
-            cpu_mhz: 300,
-            mode: FwMode::RmwEnhanced,
-            udp_payload: 18,
-            ..NicConfig::default()
-        };
+        let cfg = NicConfig::builder()
+            .cores(cores)
+            .cpu_mhz(300)
+            .mode(FwMode::RmwEnhanced)
+            .udp_payload(18)
+            .build()
+            .unwrap();
         assert_identical(cfg, WARMUP, WINDOW, &format!("{cores} cores, 18B payload"));
     }
 }
 
 #[test]
 fn kernels_match_in_ideal_mode_and_one_sided_traffic() {
-    let cfg = NicConfig {
-        mode: FwMode::Ideal,
-        cores: 1,
-        cpu_mhz: 300,
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder()
+        .mode(FwMode::Ideal)
+        .cores(1)
+        .cpu_mhz(300)
+        .build()
+        .unwrap();
     assert_identical(cfg, WARMUP, WINDOW, "ideal");
 
     // Receive-only: the send path is idle, so the event kernel leans
     // entirely on the arrival/completion bounds.
-    let cfg = NicConfig {
-        cores: 2,
-        cpu_mhz: 300,
-        send_enabled: false,
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder()
+        .cores(2)
+        .cpu_mhz(300)
+        .send_enabled(false)
+        .build()
+        .unwrap();
     assert_identical(cfg, WARMUP, WINDOW, "recv-only");
 
     // Send-only: the generator is disabled (`next_arrival` = never);
     // wakes come from the driver interval and wire completions.
-    let cfg = NicConfig {
-        cores: 2,
-        cpu_mhz: 300,
-        recv_enabled: false,
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder()
+        .cores(2)
+        .cpu_mhz(300)
+        .recv_enabled(false)
+        .build()
+        .unwrap();
     assert_identical(cfg, WARMUP, WINDOW, "send-only");
 }
 
@@ -102,13 +102,13 @@ fn kernels_match_under_offered_load_pacing() {
     // here. Below-saturation rates leave the NIC with long quiet spells,
     // exercising exactly that path.
     for fps in [20_000.0, 200_000.0] {
-        let cfg = NicConfig {
-            cores: 2,
-            cpu_mhz: 300,
-            offered_tx_fps: Some(fps),
-            offered_rx_fps: Some(fps),
-            ..NicConfig::default()
-        };
+        let cfg = NicConfig::builder()
+            .cores(2)
+            .cpu_mhz(300)
+            .offered_tx_fps(Some(fps))
+            .offered_rx_fps(Some(fps))
+            .build()
+            .unwrap();
         assert_identical(cfg, WARMUP, WINDOW, &format!("paced {fps} fps"));
     }
 }
@@ -120,30 +120,30 @@ fn kernels_match_in_interrupt_dispatch() {
     // equivalence matrix covers it across core counts, payloads, and
     // one-sided traffic.
     for cores in [1usize, 2, 6] {
-        let cfg = NicConfig {
-            cores,
-            cpu_mhz: 300,
-            dispatch: DispatchMode::Interrupt,
-            ..NicConfig::default()
-        };
+        let cfg = NicConfig::builder()
+            .cores(cores)
+            .cpu_mhz(300)
+            .dispatch(DispatchMode::Interrupt)
+            .build()
+            .unwrap();
         assert_identical(cfg, WARMUP, WINDOW, &format!("{cores} cores, interrupt"));
     }
-    let cfg = NicConfig {
-        cores: 2,
-        cpu_mhz: 300,
-        dispatch: DispatchMode::Interrupt,
-        udp_payload: 18,
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder()
+        .cores(2)
+        .cpu_mhz(300)
+        .dispatch(DispatchMode::Interrupt)
+        .udp_payload(18)
+        .build()
+        .unwrap();
     assert_identical(cfg, WARMUP, WINDOW, "interrupt, 18B payload");
-    let cfg = NicConfig {
-        cores: 2,
-        cpu_mhz: 300,
-        dispatch: DispatchMode::Interrupt,
-        send_enabled: false,
-        offered_rx_fps: Some(100_000.0),
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder()
+        .cores(2)
+        .cpu_mhz(300)
+        .dispatch(DispatchMode::Interrupt)
+        .send_enabled(false)
+        .offered_rx_fps(Some(100_000.0))
+        .build()
+        .unwrap();
     assert_identical(cfg, WARMUP, WINDOW, "interrupt, paced recv-only");
 }
 
@@ -155,12 +155,12 @@ fn parallel_kernel_is_bit_identical_to_sequential_kernels() {
     // across core counts.
     for dispatch in [DispatchMode::Polling, DispatchMode::Interrupt] {
         for cores in [1usize, 2, 6] {
-            let cfg = NicConfig {
-                cores,
-                cpu_mhz: 300,
-                dispatch,
-                ..NicConfig::default()
-            };
+            let cfg = NicConfig::builder()
+                .cores(cores)
+                .cpu_mhz(300)
+                .dispatch(dispatch)
+                .build()
+                .unwrap();
             let label = format!("parallel, {cores} cores, {dispatch:?}");
             let mut seq = NicSystem::build(cfg).finish().unwrap();
             let s = seq.run_measured(WARMUP, WINDOW);
@@ -191,15 +191,15 @@ fn lookahead_batches_engage_at_moderate_load() {
     // must still match the sequential kernel exactly, and the
     // rendezvous amortization must be real: far fewer barrier
     // generations than stepped cycles.
-    let cfg = NicConfig {
-        cores: 1,
-        cpu_mhz: 200,
-        mode: FwMode::SoftwareOnly,
-        dispatch: DispatchMode::Interrupt,
-        send_enabled: false,
-        offered_rx_fps: Some(20_000.0),
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder()
+        .cores(1)
+        .cpu_mhz(200)
+        .mode(FwMode::SoftwareOnly)
+        .dispatch(DispatchMode::Interrupt)
+        .send_enabled(false)
+        .offered_rx_fps(Some(20_000.0))
+        .build()
+        .unwrap();
     // Long windows: the first few frames run against cold rings (buffer
     // prefetch storms keep the frame side dense), so the rendezvous
     // amortization only shows at steady state.
@@ -244,12 +244,12 @@ fn probed_parallel_event_stream_is_bit_identical() {
     let warmup = Ps::from_us(40);
     let window = Ps::from_us(60);
     for dispatch in [DispatchMode::Polling, DispatchMode::Interrupt] {
-        let cfg = NicConfig {
-            cores: 2,
-            cpu_mhz: 300,
-            dispatch,
-            ..NicConfig::default()
-        };
+        let cfg = NicConfig::builder()
+            .cores(2)
+            .cpu_mhz(300)
+            .dispatch(dispatch)
+            .build()
+            .unwrap();
         let label = format!("probed parallel, {dispatch:?}");
         let mut seq = NicSystem::build(cfg)
             .probe(EventLog::new())
@@ -284,13 +284,13 @@ fn probed_parallel_frame_tracker_matches_sequential() {
     // A real sink (not just a raw log) on the parallel path: per-frame
     // stage timelines joined across both threads' events must come out
     // identical to the sequential kernel's, and internally consistent.
-    let cfg = NicConfig {
-        cores: 2,
-        cpu_mhz: 300,
-        dispatch: DispatchMode::Interrupt,
-        offered_rx_fps: Some(100_000.0),
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder()
+        .cores(2)
+        .cpu_mhz(300)
+        .dispatch(DispatchMode::Interrupt)
+        .offered_rx_fps(Some(100_000.0))
+        .build()
+        .unwrap();
     let mut seq = NicSystem::build(cfg)
         .probe(FrameTracker::new())
         .finish()
@@ -335,17 +335,17 @@ fn polling_and_interrupt_deliver_identical_frames() {
         dma_error: 0.005,
         ..FaultPlan::default()
     };
-    let base = NicConfig {
-        cores: 2,
-        cpu_mhz: 400,
-        offered_tx_fps: Some(60_000.0),
-        offered_rx_fps: Some(60_000.0),
-        faults: Some(plan),
-        ..NicConfig::default()
-    };
+    let base = NicConfig::builder()
+        .cores(2)
+        .cpu_mhz(400)
+        .offered_tx_fps(Some(60_000.0))
+        .offered_rx_fps(Some(60_000.0))
+        .faults(Some(plan))
+        .build()
+        .unwrap();
     let mut runs = Vec::new();
     for dispatch in [DispatchMode::Polling, DispatchMode::Interrupt] {
-        let cfg = NicConfig { dispatch, ..base };
+        let cfg = base.to_builder().dispatch(dispatch).build().unwrap();
         let mut sys = NicSystem::build(cfg).finish().unwrap();
         sys.run_until(Ps::from_us(400));
         let stats = sys.collect();
@@ -393,6 +393,94 @@ fn polling_and_interrupt_deliver_identical_frames() {
     );
 }
 
+#[test]
+fn default_sysdef_reproduces_the_hand_wired_system() {
+    // The system-definition layer's contract: composing the default
+    // topology from the config must assemble the *same* SoC the
+    // pre-sysdef hand-wired builder did. The definitions themselves
+    // must be structurally equal, and a system built from the explicit
+    // hand-wired definition must produce bit-identical RunStats and
+    // frame timelines to one whose definition was derived from the
+    // config — across both dispatch modes.
+    assert_eq!(
+        SysDef::from_config(&NicConfig::default()),
+        SysDef::hand_wired_default(),
+        "derived default definition diverged from the hand-wired wiring"
+    );
+    for dispatch in [DispatchMode::Polling, DispatchMode::Interrupt] {
+        let cfg = NicConfig::builder()
+            .cores(2)
+            .cpu_mhz(300)
+            .dispatch(dispatch)
+            .build()
+            .unwrap();
+        let label = format!("sysdef default, {dispatch:?}");
+        let mut derived = NicSystem::build(cfg)
+            .probe(FrameTracker::new())
+            .finish()
+            .unwrap();
+        let d = derived.run_measured(WARMUP, WINDOW);
+        let mut wired = NicSystem::build(cfg)
+            .sysdef(SysDef::compose(2, cfg.banks, cfg.topology))
+            .probe(FrameTracker::new())
+            .finish()
+            .unwrap();
+        let w = wired.run_measured(WARMUP, WINDOW);
+        assert_eq!(d, w, "{label}: stats diverged");
+        assert!(d.tx_frames > 0 && d.rx_frames > 0, "{label}: no traffic");
+        assert_eq!(
+            format!("{:?}", derived.probe().summary()),
+            format!("{:?}", wired.probe().summary()),
+            "{label}: frame summaries diverged"
+        );
+    }
+}
+
+#[test]
+fn kernels_match_on_non_default_topologies() {
+    // Non-default definitions (extra DMA engines, extra MACs) must hold
+    // the same equivalence contract as the default: the event kernel
+    // and the domain-parallel kernel each bit-identical to the dense
+    // reference, with real traffic flowing through the striped engines.
+    for (dma, macs) in [(2usize, 1usize), (2, 2)] {
+        let cfg = NicConfig::builder()
+            .cores(2)
+            .cpu_mhz(300)
+            .dma_engines(dma)
+            .macs(macs)
+            .build()
+            .unwrap();
+        let label = format!("{dma} engines, {macs} macs");
+        assert_identical(cfg, WARMUP, WINDOW, &label);
+        let mut seq = NicSystem::build(cfg).finish().unwrap();
+        let s = seq.run_measured(WARMUP, WINDOW);
+        let mut par = NicSystem::build(cfg).finish().unwrap();
+        let p = par.run_measured_parallel(WARMUP, WINDOW);
+        assert_eq!(s, p, "{label}: parallel stats diverged");
+        assert_eq!(
+            seq.kernel_cycle_split(),
+            par.kernel_cycle_split(),
+            "{label}: skip decisions diverged"
+        );
+        assert!(s.tx_frames > 0 && s.rx_frames > 0, "{label}: no traffic");
+    }
+}
+
+#[test]
+fn non_default_topology_in_interrupt_dispatch() {
+    // The extra engines add dispatch sources past the default ten; the
+    // doorbell watch list must cover their done counters or a parked
+    // core sleeps through striped completions.
+    let cfg = NicConfig::builder()
+        .cores(2)
+        .cpu_mhz(300)
+        .dma_engines(2)
+        .dispatch(DispatchMode::Interrupt)
+        .build()
+        .unwrap();
+    assert_identical(cfg, WARMUP, WINDOW, "2 engines, interrupt");
+}
+
 /// xorshift64* — deterministic, dependency-free.
 struct XorShift(u64);
 
@@ -415,14 +503,14 @@ impl XorShift {
 fn kernels_match_on_random_configurations() {
     let mut rng = XorShift(0x9e37_79b9_7f4a_7c15);
     for trial in 0..6 {
-        let cfg = NicConfig {
-            cores: rng.pick(&[1usize, 2, 3, 4, 6]),
-            cpu_mhz: rng.pick(&[150u64, 200, 300, 500]),
-            mode: rng.pick(&[FwMode::SoftwareOnly, FwMode::RmwEnhanced]),
-            udp_payload: rng.pick(&[32usize, 256, 800, 1472]),
-            driver_interval: rng.pick(&[500u64, 1000, 2000]),
-            ..NicConfig::default()
-        };
+        let cfg = NicConfig::builder()
+            .cores(rng.pick(&[1usize, 2, 3, 4, 6]))
+            .cpu_mhz(rng.pick(&[150u64, 200, 300, 500]))
+            .mode(rng.pick(&[FwMode::SoftwareOnly, FwMode::RmwEnhanced]))
+            .udp_payload(rng.pick(&[32usize, 256, 800, 1472]))
+            .driver_interval(rng.pick(&[500u64, 1000, 2000]))
+            .build()
+            .unwrap();
         let warmup = Ps::from_us(rng.pick(&[50u64, 80, 120]));
         let window = Ps::from_us(rng.pick(&[80u64, 100, 150]));
         assert_identical(cfg, warmup, window, &format!("trial {trial}: {cfg:?}"));

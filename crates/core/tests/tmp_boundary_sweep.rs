@@ -4,15 +4,15 @@ use nicsim_sim::Ps;
 
 #[test]
 fn boundary_sweep() {
-    let cfg = NicConfig {
-        cores: 1,
-        cpu_mhz: 200,
-        mode: FwMode::SoftwareOnly,
-        dispatch: DispatchMode::Interrupt,
-        send_enabled: false,
-        offered_rx_fps: Some(20_000.0),
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder()
+        .cores(1)
+        .cpu_mhz(200)
+        .mode(FwMode::SoftwareOnly)
+        .dispatch(DispatchMode::Interrupt)
+        .send_enabled(false)
+        .offered_rx_fps(Some(20_000.0))
+        .build()
+        .unwrap();
     let period = Ps(1_000_000 / 200); // 200 MHz -> 5000 ps
     let mut mismatches = 0;
     for k in 0..4000u64 {

@@ -474,10 +474,17 @@ fn usage_trace() -> ! {
 }
 
 fn parse_faults(v: &str) -> FaultPlan {
-    FaultPlan::parse(v).unwrap_or_else(|e| {
-        eprintln!("--faults {v}: {e}");
-        std::process::exit(2)
-    })
+    // Validated through the same builder path configurations take, so
+    // `--faults` and `NicConfigBuilder::faults_spec` share one grammar
+    // and one error surface.
+    let built = NicConfig::builder()
+        .faults_spec(v)
+        .and_then(|b| b.build())
+        .unwrap_or_else(|e| {
+            eprintln!("--faults {v}: {e}");
+            std::process::exit(2)
+        });
+    built.faults.expect("faults_spec installs a plan")
 }
 
 fn usage_faults() -> ! {

@@ -40,6 +40,7 @@ pub mod sweep;
 pub use engine::{git_describe, Experiment};
 pub use json::Json;
 pub use report::{
-    config_to_json, latency_to_json, mode_str, stats_to_json, RunReport, SweepReport, SCHEMA,
+    config_from_json, config_to_json, latency_to_json, mode_str, stats_to_json, RunReport,
+    SweepReport, SCHEMA,
 };
 pub use sweep::{RunSpec, Sweep};

@@ -133,10 +133,13 @@ pub fn mode_str(mode: FwMode) -> &'static str {
     }
 }
 
-/// A [`NicConfig`] as a `nicsim-exp/v1` JSON object. The `"faults"`
-/// key (the fault plan's spec string) appears only when a plan is
-/// configured, and the `"dispatch"` key only under the non-default
-/// interrupt mode, so pre-existing reports keep their exact schema.
+/// A [`NicConfig`] as a `nicsim-exp/v1` JSON object, carrying the full
+/// resolved configuration — including the frame-side `"topology"` — so
+/// every result row can be rebuilt and re-run exactly (see
+/// [`config_from_json`]). The `"faults"` key (the fault plan's spec
+/// string) appears only when a plan is configured, and the
+/// `"dispatch"` / `"capture_ilp"` keys only under their non-default
+/// settings, so pre-existing reports keep their exact schema.
 pub fn config_to_json(cfg: &NicConfig) -> Json {
     let mut doc = Json::obj()
         .with("cores", cfg.cores)
@@ -170,14 +173,100 @@ pub fn config_to_json(cfg: &NicConfig) -> Json {
         .with("recv_enabled", cfg.recv_enabled)
         .with("offered_tx_fps", cfg.offered_tx_fps)
         .with("offered_rx_fps", cfg.offered_rx_fps)
-        .with("driver_interval", cfg.driver_interval);
+        .with("driver_interval", cfg.driver_interval)
+        .with(
+            "topology",
+            Json::obj()
+                .with("dma_engines", cfg.topology.dma_engines)
+                .with("macs", cfg.topology.macs),
+        );
     if let Some(plan) = &cfg.faults {
         doc.set("faults", plan.spec().as_str());
     }
     if cfg.dispatch == nicsim::DispatchMode::Interrupt {
         doc.set("dispatch", "interrupt");
     }
+    if cfg.capture_ilp {
+        doc.set("capture_ilp", true);
+    }
     doc
+}
+
+/// Rebuild a [`NicConfig`] from its `nicsim-exp/v1` JSON object — the
+/// inverse of [`config_to_json`]. Goes through
+/// [`NicConfig::builder`], so a reconstructed configuration is always
+/// validated; any missing key, malformed value, or invalid combination
+/// is reported as an error string.
+pub fn config_from_json(doc: &Json) -> Result<NicConfig, String> {
+    fn int(doc: &Json, key: &str) -> Result<u64, String> {
+        doc.get(key)
+            .and_then(Json::as_f64)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("missing numeric config key `{key}`"))
+    }
+    fn flag(doc: &Json, key: &str) -> Result<bool, String> {
+        match doc.get(key) {
+            Some(Json::Bool(b)) => Ok(*b),
+            _ => Err(format!("missing boolean config key `{key}`")),
+        }
+    }
+    fn rate(doc: &Json, key: &str) -> Option<f64> {
+        match doc.get(key) {
+            Some(Json::Num(v)) => Some(*v),
+            _ => None,
+        }
+    }
+    let icache = doc.get("icache").ok_or("missing `icache` object")?;
+    let fm = doc
+        .get("frame_memory")
+        .ok_or("missing `frame_memory` object")?;
+    let mode = match doc.get("mode").and_then(Json::as_str) {
+        Some("ideal") => FwMode::Ideal,
+        Some("software-only") => FwMode::SoftwareOnly,
+        Some("rmw-enhanced") => FwMode::RmwEnhanced,
+        other => return Err(format!("unknown firmware mode {other:?}")),
+    };
+    let mut b = NicConfig::builder()
+        .cores(int(doc, "cores")? as usize)
+        .cpu_mhz(int(doc, "cpu_mhz")?)
+        .banks(int(doc, "banks")? as usize)
+        .scratchpad_bytes(int(doc, "scratchpad_bytes")? as usize)
+        .icache(nicsim_mem::ICacheConfig {
+            bytes: int(icache, "bytes")? as usize,
+            ways: int(icache, "ways")? as usize,
+            line_bytes: int(icache, "line_bytes")? as usize,
+        })
+        .frame_memory(nicsim_mem::FrameMemoryConfig {
+            freq: nicsim_sim::Freq::from_mhz(int(fm, "mhz")?),
+            bytes_per_cycle: int(fm, "bytes_per_cycle")?,
+            banks: int(fm, "banks")? as u32,
+            row_bytes: int(fm, "row_bytes")? as u32,
+            row_miss_cycles: int(fm, "row_miss_cycles")?,
+            access_latency_cycles: int(fm, "access_latency_cycles")?,
+            capacity: int(fm, "capacity")? as u32,
+        })
+        .mode(mode)
+        .udp_payload(int(doc, "udp_payload")? as usize)
+        .send_enabled(flag(doc, "send_enabled")?)
+        .recv_enabled(flag(doc, "recv_enabled")?)
+        .offered_tx_fps(rate(doc, "offered_tx_fps"))
+        .offered_rx_fps(rate(doc, "offered_rx_fps"))
+        .driver_interval(int(doc, "driver_interval")?);
+    if let Some(t) = doc.get("topology") {
+        b = b
+            .dma_engines(int(t, "dma_engines")? as usize)
+            .macs(int(t, "macs")? as usize);
+    }
+    if let Some(spec) = doc.get("faults").and_then(Json::as_str) {
+        b = b.faults_spec(spec).map_err(|e| e.to_string())?;
+    }
+    if doc.get("dispatch").and_then(Json::as_str) == Some("interrupt") {
+        b = b.dispatch(nicsim::DispatchMode::Interrupt);
+    }
+    if matches!(doc.get("capture_ilp"), Some(Json::Bool(true))) {
+        b = b.capture_ilp(true);
+    }
+    b.build().map_err(|e| e.to_string())
 }
 
 /// A [`RunStats`] as a `nicsim-exp/v1` JSON object.
@@ -241,10 +330,10 @@ mod tests {
     #[test]
     fn interrupt_dispatch_serializes_its_key() {
         use nicsim::DispatchMode;
-        let cfg = NicConfig {
-            dispatch: DispatchMode::Interrupt,
-            ..NicConfig::default()
-        };
+        let cfg = NicConfig::builder()
+            .dispatch(DispatchMode::Interrupt)
+            .build()
+            .unwrap();
         let doc = config_to_json(&cfg);
         assert_eq!(doc.get("dispatch").unwrap().as_str(), Some("interrupt"));
     }
@@ -253,13 +342,48 @@ mod tests {
     fn fault_plan_serializes_as_its_spec_string() {
         use nicsim::FaultPlan;
         let plan = FaultPlan::with_rate(7, 1e-4);
-        let cfg = NicConfig {
-            faults: Some(plan),
-            ..NicConfig::default()
-        };
+        let cfg = NicConfig::builder().faults(Some(plan)).build().unwrap();
         let doc = config_to_json(&cfg);
         let spec = doc.get("faults").unwrap().as_str().unwrap();
         assert_eq!(FaultPlan::parse(spec), Ok(plan), "spec must round-trip");
+    }
+
+    #[test]
+    fn config_round_trips_through_from_json() {
+        use nicsim::{DispatchMode, FaultPlan};
+        // Default configuration: every field recovered exactly.
+        let default = NicConfig::default();
+        assert_eq!(
+            config_from_json(&config_to_json(&default)),
+            Ok(default),
+            "default config must round-trip"
+        );
+        // A maximally non-default configuration, topology included.
+        let cfg = NicConfig::builder()
+            .cores(4)
+            .cpu_mhz(200)
+            .banks(8)
+            .udp_payload(512)
+            .mode(FwMode::SoftwareOnly)
+            .dispatch(DispatchMode::Interrupt)
+            .offered_tx_fps(Some(250_000.0))
+            .capture_ilp(false)
+            .faults(Some(FaultPlan::with_rate(7, 1e-4)))
+            .dma_engines(2)
+            .macs(2)
+            .build()
+            .unwrap();
+        let doc = config_to_json(&cfg);
+        assert_eq!(
+            doc.get("topology")
+                .and_then(|t| t.get("dma_engines"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(config_from_json(&doc), Ok(cfg), "sweep config round-trip");
+        // A mangled document fails loudly instead of defaulting.
+        let broken = Json::obj().with("mode", "no-such-mode");
+        assert!(config_from_json(&broken).is_err());
     }
 
     #[test]

@@ -9,12 +9,13 @@
 //! use nicsim::{FwMode, NicConfig};
 //! use nicsim_exp::Sweep;
 //!
-//! let sweep = Sweep::new(NicConfig {
-//!     mode: FwMode::SoftwareOnly,
-//!     ..NicConfig::default()
-//! })
-//! .axis("cpu_mhz", [100u64, 166, 200], |cfg, v| cfg.cpu_mhz = v)
-//! .axis("cores", [2usize, 4], |cfg, v| cfg.cores = v);
+//! let base = NicConfig::builder()
+//!     .mode(FwMode::SoftwareOnly)
+//!     .build()
+//!     .unwrap();
+//! let sweep = Sweep::new(base)
+//!     .axis("cpu_mhz", [100u64, 166, 200], |cfg, v| cfg.cpu_mhz = v)
+//!     .axis("cores", [2usize, 4], |cfg, v| cfg.cores = v);
 //! let runs = sweep.runs().unwrap();
 //! assert_eq!(runs.len(), 6);
 //! assert_eq!(runs[0].label, "cpu_mhz=100,cores=2");

@@ -12,12 +12,20 @@ use crate::handlers::HostRegs;
 use crate::mode::{peek_bit_pending, peek_work, DispatchMode, Fw};
 use nicsim_cpu::{CoreCtx, FwFunc};
 
-/// The work sources the dispatch loop polls: the seven hardware progress
-/// pointers plus the three pending-commit checks that guarantee a frame
-/// marked complete is committed even when no further completions arrive.
+/// The work sources the dispatch loop polls for the default topology:
+/// the seven hardware progress pointers plus the three pending-commit
+/// checks that guarantee a frame marked complete is committed even when
+/// no further completions arrive. Extra DMA engines append two sources
+/// each (their read and write done counters) after these, so the
+/// default scan order is unchanged.
 const N_SOURCES: usize = 10;
 
 impl Fw {
+    /// How many sources this topology's dispatch loop scans.
+    pub fn n_sources(&self) -> usize {
+        N_SOURCES + 2 * (self.m.n_dma as usize - 1)
+    }
+
     async fn run_source(&self, src: usize, host: &HostRegs) -> bool {
         let ctx = &self.ctx;
         let m = &self.m;
@@ -35,7 +43,7 @@ impl Fw {
             }
             1 => {
                 if peek_work(ctx, m.dmard_done, m.dmard_claim).await {
-                    self.process_dmard_completions().await
+                    self.process_dmard_completions(0).await
                 } else {
                     false
                 }
@@ -70,7 +78,7 @@ impl Fw {
             }
             6 => {
                 if peek_work(ctx, m.dmawr_done, m.dmawr_claim).await {
-                    self.process_dmawr_completions(host).await
+                    self.process_dmawr_completions(0, host).await
                 } else {
                     false
                 }
@@ -99,7 +107,27 @@ impl Fw {
                     false
                 }
             }
-            _ => unreachable!("source index out of range"),
+            _ => {
+                // Extra-engine completion sources, two per engine:
+                // even offsets are the read side, odd the write side.
+                let eng = 1 + (src - N_SOURCES) / 2;
+                debug_assert!(eng < self.m.n_dma as usize, "source index out of range");
+                if (src - N_SOURCES).is_multiple_of(2) {
+                    let d = *m.dmard(eng);
+                    if peek_work(ctx, d.done, d.claim).await {
+                        self.process_dmard_completions(eng).await
+                    } else {
+                        false
+                    }
+                } else {
+                    let d = *m.dmawr(eng);
+                    if peek_work(ctx, d.done, d.claim).await {
+                        self.process_dmawr_completions(eng, host).await
+                    } else {
+                        false
+                    }
+                }
+            }
         }
     }
 }
@@ -107,7 +135,8 @@ impl Fw {
 /// The firmware entry point: run the dispatch loop on `ctx` until the
 /// system sets the stop flag.
 pub async fn dispatch_loop(ctx: CoreCtx, fw: Fw, host: HostRegs) {
-    let mut rot = ctx.core_id() % N_SOURCES;
+    let n_sources = fw.n_sources();
+    let mut rot = ctx.core_id() % n_sources;
     loop {
         ctx.set_func(FwFunc::Idle);
         let stop = ctx.load(fw.m.stop_flag).await;
@@ -118,13 +147,13 @@ pub async fn dispatch_loop(ctx: CoreCtx, fw: Fw, host: HostRegs) {
         }
         ctx.branch().await;
         let mut did_work = false;
-        for s in 0..N_SOURCES {
-            let src = (rot + s) % N_SOURCES;
+        for s in 0..n_sources {
+            let src = (rot + s) % n_sources;
             if fw.run_source(src, &host).await {
                 did_work = true;
             }
         }
-        rot = (rot + 1) % N_SOURCES;
+        rot = (rot + 1) % n_sources;
         if !did_work {
             ctx.set_func(FwFunc::Idle);
             match fw.dispatch {

@@ -142,28 +142,25 @@ impl Fw {
         sync_unlock(ctx, self.mode, lock).await;
     }
 
-    async fn dmard_push(&self, cmds: &[Cmd]) {
-        self.dma_push(
-            self.m.dmard_ring,
-            self.m.dmard_info,
-            self.m.dmard_prod,
-            self.m.dmard_claim,
-            self.m.lock_dmard,
-            cmds,
-        )
-        .await;
+    /// Pick the DMA engine for work unit `x` (a fetch counter or frame
+    /// sequence number). Striping is address decoding — part of the
+    /// command construction already charged — so it costs no cycles,
+    /// and with one engine it always resolves to engine 0, keeping the
+    /// default topology bit-identical.
+    fn stripe(&self, x: u32) -> usize {
+        (x % self.m.n_dma) as usize
     }
 
-    async fn dmawr_push(&self, cmds: &[Cmd]) {
-        self.dma_push(
-            self.m.dmawr_ring,
-            self.m.dmawr_info,
-            self.m.dmawr_prod,
-            self.m.dmawr_claim,
-            self.m.lock_dmawr,
-            cmds,
-        )
-        .await;
+    async fn dmard_push(&self, eng: usize, cmds: &[Cmd]) {
+        let d = *self.m.dmard(eng);
+        self.dma_push(d.ring, d.info, d.prod, d.claim, d.lock, cmds)
+            .await;
+    }
+
+    async fn dmawr_push(&self, eng: usize, cmds: &[Cmd]) {
+        let d = *self.m.dmawr(eng);
+        self.dma_push(d.ring, d.info, d.prod, d.claim, d.lock, cmds)
+            .await;
     }
 
     // ------------------------------------------------------------------
@@ -201,10 +198,13 @@ impl Fw {
             (batch * 16) | FLAG_SP,
             0,
         ];
-        self.dmard_push(&[(
-            cmd,
-            info::pack(info::SEND_BD_BATCH, info::pack_batch(fetched, batch)),
-        )])
+        self.dmard_push(
+            self.stripe(fetched),
+            &[(
+                cmd,
+                info::pack(info::SEND_BD_BATCH, info::pack_batch(fetched, batch)),
+            )],
+        )
         .await;
         ctx.set_func(FwFunc::FetchSendBd);
         ctx.store(m.sb_fetched, fetched.wrapping_add(batch)).await;
@@ -313,13 +313,19 @@ impl Fw {
             ctx.branch_miss().await; // reuse-fence branch
             let st = ctx.load(m.stat(0)).await; // tx frames started
             ctx.store(m.stat(0), st.wrapping_add(1)).await;
-            self.dmard_push(&[
-                ([haddr, sdram, hlen, 0], info::pack(info::NOP, 0)),
-                (
-                    [paddr, sdram + hlen, plen, 0],
-                    info::pack(info::SEND_FRAME_LAST, sidx),
-                ),
-            ])
+            // Header and payload ride the same engine: the frame is
+            // ready only when its *last* fragment completes, and the
+            // in-engine FIFO guarantees that order.
+            self.dmard_push(
+                self.stripe(seq),
+                &[
+                    ([haddr, sdram, hlen, 0], info::pack(info::NOP, 0)),
+                    (
+                        [paddr, sdram + hlen, plen, 0],
+                        info::pack(info::SEND_FRAME_LAST, sidx),
+                    ),
+                ],
+            )
             .await;
             ctx.set_func(FwFunc::SendFrame);
         }
@@ -480,15 +486,21 @@ impl Fw {
             ctx.store(m.send_txdone_commit, commit).await;
             ctx.alu(2).await;
             // Host notification: completed BD count, as an immediate DMA.
-            self.dmawr_push(&[(
-                [
-                    commit.wrapping_mul(2),
-                    host.status_send_cons,
-                    4 | FLAG_IMM,
-                    0,
-                ],
-                info::pack(info::NOP, 0),
-            )])
+            // Pinned to engine 0: the status word is a monotonic counter
+            // overwrite, and cross-engine reordering could publish a
+            // stale (smaller) value last.
+            self.dmawr_push(
+                0,
+                &[(
+                    [
+                        commit.wrapping_mul(2),
+                        host.status_send_cons,
+                        4 | FLAG_IMM,
+                        0,
+                    ],
+                    info::pack(info::NOP, 0),
+                )],
+            )
             .await;
             ctx.set_func(self.send_dispatch_tag());
         }
@@ -528,10 +540,13 @@ impl Fw {
             (batch * 16) | FLAG_SP,
             0,
         ];
-        self.dmard_push(&[(
-            cmd,
-            info::pack(info::RX_BD_BATCH, info::pack_batch(fetched, batch)),
-        )])
+        self.dmard_push(
+            self.stripe(fetched),
+            &[(
+                cmd,
+                info::pack(info::RX_BD_BATCH, info::pack_batch(fetched, batch)),
+            )],
+        )
         .await;
         ctx.set_func(FwFunc::FetchRecvBd);
         ctx.store(m.rb_fetched, fetched.wrapping_add(batch)).await;
@@ -658,25 +673,30 @@ impl Fw {
             ctx.store(slot + 28, 1).await; // state: DMA in flight
             let bytes = ctx.load(m.stat(5)).await; // rx byte counter
             ctx.store(m.stat(5), bytes.wrapping_add(len)).await;
-            self.dmawr_push(&[([addr, hbuf, len, 0], info::pack(info::RECV_PAYLOAD, sidx))])
-                .await;
+            self.dmawr_push(
+                self.stripe(seq),
+                &[([addr, hbuf, len, 0], info::pack(info::RECV_PAYLOAD, sidx))],
+            )
+            .await;
             ctx.set_func(FwFunc::RecvFrame);
         }
         true
     }
 
-    /// Receive completion side: claim DMA-write completions, mark frames
-    /// whose payload reached the host, and commit the in-order prefix.
-    pub async fn process_dmawr_completions(&self, host: &HostRegs) -> bool {
+    /// Receive completion side: claim engine `eng`'s DMA-write
+    /// completions, mark frames whose payload reached the host, and
+    /// commit the in-order prefix.
+    pub async fn process_dmawr_completions(&self, eng: usize, host: &HostRegs) -> bool {
         let ctx = &self.ctx;
         ctx.set_func(self.recv_dispatch_tag());
         let m = &self.m;
+        let d = *m.dmawr(eng);
         let (start, n) = claim_range(
             ctx,
             self.mode,
-            m.lock_dmawr_claim,
-            m.dmawr_done,
-            m.dmawr_claim,
+            d.lock_claim,
+            d.done,
+            d.claim,
             CLAIM_BATCH,
             m.event_area(ctx.core_id()),
         )
@@ -688,7 +708,7 @@ impl Fw {
         for k in 0..n {
             let idx = start.wrapping_add(k);
             ctx.set_func(self.recv_dispatch_tag());
-            let inf = ctx.load(m.dmawr_info + (idx % DMA_RING) * 4).await;
+            let inf = ctx.load(d.info + (idx % DMA_RING) * 4).await;
             if self.mode.locking() {
                 ctx.set_func(FwFunc::RecvFrame);
                 let ev = ctx.load(m.event_area(ctx.core_id()) + 8).await; // event range
@@ -804,15 +824,22 @@ impl Fw {
                 let i = first % STAGING;
                 let cnt = remaining.min(STAGING - i);
                 ctx.alu(4).await;
-                self.dmawr_push(&[(
-                    [
-                        m.staging + i * 16,
-                        host.return_ring + i * 16,
-                        (cnt * 16) | FLAG_SP,
-                        0,
-                    ],
-                    info::pack(info::NOP, 0),
-                )])
+                // Pinned to engine 0 together with the return-producer
+                // update below: the driver reads descriptors up to the
+                // producer, so descriptor data must land strictly before
+                // the producer does — a single engine's FIFO gives that.
+                self.dmawr_push(
+                    0,
+                    &[(
+                        [
+                            m.staging + i * 16,
+                            host.return_ring + i * 16,
+                            (cnt * 16) | FLAG_SP,
+                            0,
+                        ],
+                        info::pack(info::NOP, 0),
+                    )],
+                )
                 .await;
                 ctx.set_func(self.recv_dispatch_tag());
                 first = first.wrapping_add(cnt);
@@ -824,10 +851,13 @@ impl Fw {
             ctx.store(m.recv_commit, commit).await;
             ctx.store(m.rxbuf_tail, tail).await;
             ctx.alu(2).await;
-            self.dmawr_push(&[(
-                [commit, host.status_ret_prod, 4 | FLAG_IMM, 0],
-                info::pack(info::NOP, 0),
-            )])
+            self.dmawr_push(
+                0,
+                &[(
+                    [commit, host.status_ret_prod, 4 | FLAG_IMM, 0],
+                    info::pack(info::NOP, 0),
+                )],
+            )
             .await;
             ctx.set_func(self.recv_dispatch_tag());
         }
@@ -839,18 +869,20 @@ impl Fw {
     // Shared completion stream
     // ------------------------------------------------------------------
 
-    /// Claim DMA-read completions and dispatch each by its info kind
-    /// (send BD batches, send frame fragments, receive BD batches).
-    pub async fn process_dmard_completions(&self) -> bool {
+    /// Claim engine `eng`'s DMA-read completions and dispatch each by
+    /// its info kind (send BD batches, send frame fragments, receive BD
+    /// batches).
+    pub async fn process_dmard_completions(&self, eng: usize) -> bool {
         let ctx = &self.ctx;
         ctx.set_func(self.send_dispatch_tag());
         let m = &self.m;
+        let d = *m.dmard(eng);
         let (start, n) = claim_range(
             ctx,
             self.mode,
-            m.lock_dmard_claim,
-            m.dmard_done,
-            m.dmard_claim,
+            d.lock_claim,
+            d.done,
+            d.claim,
             CLAIM_BATCH,
             m.event_area(ctx.core_id()),
         )
@@ -861,7 +893,7 @@ impl Fw {
         for k in 0..n {
             let idx = start.wrapping_add(k);
             ctx.set_func(self.send_dispatch_tag());
-            let inf = ctx.load(m.dmard_info + (idx % DMA_RING) * 4).await;
+            let inf = ctx.load(d.info + (idx % DMA_RING) * 4).await;
             if self.mode.locking() {
                 // Completion bookkeeping is frame processing, not
                 // ordering (Table 5 charges only claims/scans/pointers

@@ -38,5 +38,5 @@ pub mod map;
 pub mod mode;
 
 pub use dispatch::dispatch_loop;
-pub use map::MemMap;
+pub use map::{DmaIf, MacIf, MemMap, MAX_DMA_ENGINES, MAX_MACS};
 pub use mode::{DispatchMode, FwMode};

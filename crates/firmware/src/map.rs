@@ -9,6 +9,10 @@
 /// Number of in-flight frame slots per direction (also the size of each
 /// status bit array, in bits).
 pub const SLOTS: u32 = 256;
+/// Most DMA engine pairs a topology may instantiate.
+pub const MAX_DMA_ENGINES: usize = 4;
+/// Most MACs a topology may instantiate.
+pub const MAX_MACS: usize = 2;
 /// Entries in each DMA command ring. Sized above the structural bound
 /// on outstanding commands (frame slots x fragments + BD batches) so the
 /// producers' full-ring spin is a backstop, never the steady state.
@@ -70,6 +74,45 @@ pub mod info {
     pub fn unpack_batch(arg: u32) -> (u32, u32) {
         ((arg >> 6) & 0x3ffff, arg & 0x3f)
     }
+}
+
+/// Register and ring addresses of one DMA command interface (one
+/// direction of one engine). Engine 0's interface aliases the legacy
+/// scalar `MemMap` fields; extra engines get fresh allocations past the
+/// default map's end, so the default topology's map is byte-identical
+/// to the pre-sysdef layout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DmaIf {
+    /// Producer lock (guards ring claim + doorbell).
+    pub lock: u32,
+    /// Completion-claim lock.
+    pub lock_claim: u32,
+    /// Command producer (doorbell, firmware-written).
+    pub prod: u32,
+    /// Done counter (hardware-written).
+    pub done: u32,
+    /// Completions claimed by firmware.
+    pub claim: u32,
+    /// Command ring (`DMA_RING` x 4 words).
+    pub ring: u32,
+    /// Firmware info words parallel to the ring.
+    pub info: u32,
+}
+
+/// Register and ring addresses of one MAC (TX + RX side). MAC 0
+/// aliases the legacy scalar fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MacIf {
+    /// MAC TX ring (`MACTX_RING` x 4 words).
+    pub tx_ring: u32,
+    /// MAC TX ring producer.
+    pub tx_prod: u32,
+    /// MAC TX done counter (hardware-written).
+    pub tx_done: u32,
+    /// MAC RX descriptor ring (`MACRX_RING` x 4 words).
+    pub rx_ring: u32,
+    /// MAC RX descriptor producer (hardware-written).
+    pub rx_prod: u32,
 }
 
 /// All scratchpad addresses (bytes, word-aligned). Built by a linear
@@ -201,13 +244,44 @@ pub struct MemMap {
     /// data structures of Figure 5 are built here before processing.
     pub event_scratch: u32,
 
+    // ---- topology (system-definition layer) ----
+    /// Instantiated DMA engine pairs (1..=`MAX_DMA_ENGINES`).
+    pub n_dma: u32,
+    /// Instantiated MACs (1..=`MAX_MACS`).
+    pub n_macs: u32,
+    /// Per-engine DMA-read interfaces (`0..n_dma` populated; entry 0
+    /// aliases the legacy scalar fields).
+    pub dmard_if: [DmaIf; MAX_DMA_ENGINES],
+    /// Per-engine DMA-write interfaces.
+    pub dmawr_if: [DmaIf; MAX_DMA_ENGINES],
+    /// Per-MAC interfaces (`0..n_macs` populated; entry 0 aliases the
+    /// legacy scalar fields).
+    pub mac_if: [MacIf; MAX_MACS],
+
     /// Total bytes used.
     pub end: u32,
 }
 
 impl MemMap {
-    /// Build the map with a linear allocator starting at address 0.
+    /// Build the default (one DMA engine pair, one MAC) map.
     pub fn new() -> MemMap {
+        MemMap::for_topology(1, 1)
+    }
+
+    /// Build the map for a topology with `dma_engines` DMA engine pairs
+    /// and `macs` MACs, with a linear allocator starting at address 0.
+    ///
+    /// Unit 0 of each kind occupies the legacy layout; extra units are
+    /// appended after it, so `for_topology(1, 1)` is byte-identical to
+    /// the pre-sysdef map.
+    ///
+    /// # Panics
+    ///
+    /// If `dma_engines` or `macs` is zero or above its `MAX_*` bound
+    /// (validated earlier by `NicConfig::validate`).
+    pub fn for_topology(dma_engines: usize, macs: usize) -> MemMap {
+        assert!((1..=MAX_DMA_ENGINES).contains(&dma_engines));
+        assert!((1..=MAX_MACS).contains(&macs));
         let mut cur = 0u32;
         let mut word = || {
             let a = cur;
@@ -275,6 +349,60 @@ impl MemMap {
         let staging = region(STAGING * 16);
         let stats = region(16 * 4);
         let event_scratch = region(16 * 32);
+
+        // Per-unit interface tables. Unit 0 aliases the legacy scalar
+        // fields above; extra units allocate past the default map's end
+        // so the default layout never moves.
+        let mut dmard_if = [DmaIf::default(); MAX_DMA_ENGINES];
+        let mut dmawr_if = [DmaIf::default(); MAX_DMA_ENGINES];
+        dmard_if[0] = DmaIf {
+            lock: lock_dmard,
+            lock_claim: lock_dmard_claim,
+            prod: dmard_prod,
+            done: dmard_done,
+            claim: dmard_claim,
+            ring: dmard_ring,
+            info: dmard_info,
+        };
+        dmawr_if[0] = DmaIf {
+            lock: lock_dmawr,
+            lock_claim: lock_dmawr_claim,
+            prod: dmawr_prod,
+            done: dmawr_done,
+            claim: dmawr_claim,
+            ring: dmawr_ring,
+            info: dmawr_info,
+        };
+        for k in 1..dma_engines {
+            for table in [&mut dmard_if, &mut dmawr_if] {
+                table[k] = DmaIf {
+                    lock: region(4),
+                    lock_claim: region(4),
+                    prod: region(4),
+                    done: region(4),
+                    claim: region(4),
+                    ring: region(DMA_RING * 16),
+                    info: region(DMA_RING * 4),
+                };
+            }
+        }
+        let mut mac_if = [MacIf::default(); MAX_MACS];
+        mac_if[0] = MacIf {
+            tx_ring: mactx_ring,
+            tx_prod: mactx_prod,
+            tx_done: mactx_done,
+            rx_ring: macrx_ring,
+            rx_prod: macrx_prod,
+        };
+        for m in mac_if.iter_mut().take(macs).skip(1) {
+            *m = MacIf {
+                tx_prod: region(4),
+                tx_done: region(4),
+                rx_prod: region(4),
+                tx_ring: region(MACTX_RING * 16),
+                rx_ring: region(MACRX_RING * 16),
+            };
+        }
         MemMap {
             lock_sb_fetch,
             lock_rb_fetch,
@@ -332,8 +460,31 @@ impl MemMap {
             staging,
             stats,
             event_scratch,
+            n_dma: dma_engines as u32,
+            n_macs: macs as u32,
+            dmard_if,
+            dmawr_if,
+            mac_if,
             end: cur,
         }
+    }
+
+    /// DMA-read interface of engine `k`.
+    pub fn dmard(&self, k: usize) -> &DmaIf {
+        debug_assert!(k < self.n_dma as usize);
+        &self.dmard_if[k]
+    }
+
+    /// DMA-write interface of engine `k`.
+    pub fn dmawr(&self, k: usize) -> &DmaIf {
+        debug_assert!(k < self.n_dma as usize);
+        &self.dmawr_if[k]
+    }
+
+    /// Interface of MAC `j`.
+    pub fn mac(&self, j: usize) -> &MacIf {
+        debug_assert!(j < self.n_macs as usize);
+        &self.mac_if[j]
     }
 
     /// Statistics word offsets within the stats block.
@@ -388,6 +539,48 @@ mod tests {
         assert_eq!(m.send_slot(0), m.send_slots);
         assert_eq!(m.send_slot(SLOTS), m.send_slots, "slots wrap");
         assert_eq!(m.recv_slot(3), m.recv_slots + 96);
+    }
+
+    #[test]
+    fn unit_zero_interfaces_alias_legacy_fields() {
+        let m = MemMap::new();
+        assert_eq!(m.dmard(0).ring, m.dmard_ring);
+        assert_eq!(m.dmard(0).prod, m.dmard_prod);
+        assert_eq!(m.dmard(0).done, m.dmard_done);
+        assert_eq!(m.dmard(0).claim, m.dmard_claim);
+        assert_eq!(m.dmawr(0).lock, m.lock_dmawr);
+        assert_eq!(m.dmawr(0).lock_claim, m.lock_dmawr_claim);
+        assert_eq!(m.mac(0).tx_ring, m.mactx_ring);
+        assert_eq!(m.mac(0).tx_done, m.mactx_done);
+        assert_eq!(m.mac(0).rx_prod, m.macrx_prod);
+    }
+
+    #[test]
+    fn extra_units_append_after_the_default_map() {
+        let base = MemMap::new();
+        let big = MemMap::for_topology(2, 2);
+        // The legacy layout never moves.
+        assert_eq!(big.event_scratch, base.event_scratch);
+        assert_eq!(big.dmard_ring, base.dmard_ring);
+        assert_eq!(big.dmard(0).ring, base.dmard(0).ring);
+        // Extra units live past the default end, word-aligned.
+        assert!(big.end > base.end);
+        for addr in [
+            big.dmard(1).lock,
+            big.dmard(1).ring,
+            big.dmawr(1).info,
+            big.mac(1).tx_ring,
+            big.mac(1).rx_prod,
+        ] {
+            assert!(addr >= base.end);
+            assert_eq!(addr % 4, 0);
+        }
+        // The sweep range (2 engines, 2 MACs) fits the paper's 256 KB
+        // scratchpad; the max topology needs a bigger one, which
+        // `NicConfig::validate` enforces against `scratchpad_bytes`.
+        assert!(big.end <= 256 * 1024, "got {}", big.end);
+        let max = MemMap::for_topology(MAX_DMA_ENGINES, MAX_MACS);
+        assert!(max.end > big.end);
     }
 
     #[test]

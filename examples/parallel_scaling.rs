@@ -15,10 +15,10 @@ use nicsim_repro::{Experiment, FwMode, NicConfig, RunSpec, Sweep};
 
 fn main() {
     let exp = Experiment::from_args("parallel_scaling").windows_ms(1, 2);
-    let base = NicConfig {
-        mode: FwMode::SoftwareOnly,
-        ..NicConfig::default()
-    };
+    let base = NicConfig::builder()
+        .mode(FwMode::SoftwareOnly)
+        .build()
+        .unwrap();
     let freqs = [100u64, 150, 200];
     let cores = [2usize, 4, 6];
     let sweep = Sweep::new(base)
@@ -27,19 +27,11 @@ fn main() {
     let mut specs = sweep.runs().expect("valid sweep");
     specs.push(RunSpec::single(
         "cpu_mhz=800,cores=1",
-        NicConfig {
-            cpu_mhz: 800,
-            cores: 1,
-            ..base
-        },
+        base.to_builder().cpu_mhz(800).cores(1).build().unwrap(),
     ));
     specs.push(RunSpec::single(
         "cpu_mhz=200,cores=6",
-        NicConfig {
-            cpu_mhz: 200,
-            cores: 6,
-            ..base
-        },
+        base.to_builder().cpu_mhz(200).cores(6).build().unwrap(),
     ));
     let report = exp.run_specs(specs);
 

@@ -18,11 +18,7 @@ use nicsim::{NicConfig, NicSystem};
 use nicsim_sim::Ps;
 
 fn main() {
-    let cfg = NicConfig {
-        cores: 2,
-        cpu_mhz: 500,
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder().cores(2).cpu_mhz(500).build().unwrap();
     let mut sys = NicSystem::build(cfg).finish().unwrap();
     let m = sys.map();
 

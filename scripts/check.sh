@@ -21,7 +21,23 @@ echo "==> kernel equivalence (release: dense vs event vs parallel, both dispatch
 # interrupt dispatch, domain-parallel bit-identity (stats and skip
 # decisions) in both dispatch modes, and polling-vs-interrupt identity
 # of the delivered frame/descriptor record under a live fault plan.
+# The sysdef matrix rides in the same suite: the default derived
+# SysDef must be bit-identical to the hand-wired baseline (RunStats
+# and frame-lifecycle probe streams, both dispatch modes), and
+# non-default topologies (2 DMA pairs, 2 MACs) must agree across
+# dense, event, and domain-parallel kernels.
 cargo test --release --quiet -p nicsim --test kernel_equivalence
+
+echo "==> sysdef smoke (non-default topologies end-to-end, ~3 s)"
+# Drives declaratively composed non-default topologies through the
+# experiment engine: archsweep recomposes the SoC per point (crossbar
+# ports, memory map, dispatch sources, clock domains) and every run
+# asserts end-to-end frame validation. A composition regression —
+# a bad port assignment, a broken memory-map append, a mis-routed
+# completion tag — fails here even when the default system is intact.
+NICSIM_QUICK=1 NICSIM_QUIET=1 NICSIM_RESULTS_DIR=target \
+    ./target/release/archsweep >/dev/null
+rm -f target/archsweep.json
 
 echo "==> simspeed smoke (event kernel sanity, ~2 s)"
 NICSIM_SIMSPEED_SMOKE=1 ./target/release/simspeed

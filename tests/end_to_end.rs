@@ -9,11 +9,11 @@ use nicsim::{FwMode, NicConfig, NicSystem};
 use nicsim_sim::Ps;
 
 fn small(cfg: NicConfig) -> NicConfig {
-    NicConfig {
-        cores: cfg.cores.min(2),
-        cpu_mhz: 500,
-        ..cfg
-    }
+    cfg.to_builder()
+        .cores(cfg.cores.min(2))
+        .cpu_mhz(500)
+        .build()
+        .unwrap()
 }
 
 #[test]
@@ -30,12 +30,12 @@ fn duplex_traffic_is_validated_end_to_end() {
 #[test]
 fn all_three_firmware_modes_work() {
     for mode in [FwMode::Ideal, FwMode::SoftwareOnly, FwMode::RmwEnhanced] {
-        let cfg = NicConfig {
-            cores: if mode == FwMode::Ideal { 1 } else { 2 },
-            cpu_mhz: 500,
-            mode,
-            ..NicConfig::default()
-        };
+        let cfg = NicConfig::builder()
+            .cores(if mode == FwMode::Ideal { 1 } else { 2 })
+            .cpu_mhz(500)
+            .mode(mode)
+            .build()
+            .unwrap();
         let mut sys = NicSystem::build(cfg).finish().unwrap();
         let s = sys.run_measured(Ps::from_us(200), Ps::from_us(300));
         assert!(s.tx_frames > 10, "{mode:?}: tx {}", s.tx_frames);
@@ -48,11 +48,7 @@ fn all_three_firmware_modes_work() {
 fn frames_are_never_reordered_even_under_pressure() {
     // A slow NIC under line-rate input drops frames (receiver overrun)
     // but must never reorder or corrupt what it does deliver.
-    let cfg = NicConfig {
-        cores: 1,
-        cpu_mhz: 150,
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder().cores(1).cpu_mhz(150).build().unwrap();
     let mut sys = NicSystem::build(cfg).finish().unwrap();
     let s = sys.run_measured(Ps::from_ms(1), Ps::from_ms(1));
     assert!(s.rx_mac_drops > 0, "this config should overrun");
@@ -64,10 +60,11 @@ fn frames_are_never_reordered_even_under_pressure() {
 #[test]
 fn small_frames_work_end_to_end() {
     for payload in [18usize, 100, 700] {
-        let cfg = NicConfig {
-            udp_payload: payload,
-            ..small(NicConfig::default())
-        };
+        let cfg = small(NicConfig::default())
+            .to_builder()
+            .udp_payload(payload)
+            .build()
+            .unwrap();
         let mut sys = NicSystem::build(cfg).finish().unwrap();
         let s = sys.run_measured(Ps::from_us(150), Ps::from_us(200));
         assert!(s.rx_frames > 20, "payload {payload}: rx {}", s.rx_frames);
@@ -77,10 +74,11 @@ fn small_frames_work_end_to_end() {
 
 #[test]
 fn unidirectional_send_only() {
-    let cfg = NicConfig {
-        recv_enabled: false,
-        ..small(NicConfig::default())
-    };
+    let cfg = small(NicConfig::default())
+        .to_builder()
+        .recv_enabled(false)
+        .build()
+        .unwrap();
     let mut sys = NicSystem::build(cfg).finish().unwrap();
     let s = sys.run_measured(Ps::from_us(200), Ps::from_us(300));
     assert!(s.tx_frames > 50);
@@ -90,10 +88,11 @@ fn unidirectional_send_only() {
 
 #[test]
 fn unidirectional_receive_only() {
-    let cfg = NicConfig {
-        send_enabled: false,
-        ..small(NicConfig::default())
-    };
+    let cfg = small(NicConfig::default())
+        .to_builder()
+        .send_enabled(false)
+        .build()
+        .unwrap();
     let mut sys = NicSystem::build(cfg).finish().unwrap();
     let s = sys.run_measured(Ps::from_us(200), Ps::from_us(300));
     assert_eq!(s.tx_frames, 0);
@@ -103,11 +102,12 @@ fn unidirectional_receive_only() {
 
 #[test]
 fn offered_load_is_respected() {
-    let cfg = NicConfig {
-        offered_tx_fps: Some(100_000.0),
-        offered_rx_fps: Some(100_000.0),
-        ..small(NicConfig::default())
-    };
+    let cfg = small(NicConfig::default())
+        .to_builder()
+        .offered_tx_fps(Some(100_000.0))
+        .offered_rx_fps(Some(100_000.0))
+        .build()
+        .unwrap();
     let mut sys = NicSystem::build(cfg).finish().unwrap();
     let s = sys.run_measured(Ps::from_ms(1), Ps::from_ms(2));
     s.assert_clean();
@@ -131,11 +131,11 @@ fn firmware_halts_on_stop_flag() {
 #[test]
 fn throughput_scales_with_cores() {
     let gbps = |cores: usize| {
-        let cfg = NicConfig {
-            cores,
-            cpu_mhz: 150,
-            ..NicConfig::default()
-        };
+        let cfg = NicConfig::builder()
+            .cores(cores)
+            .cpu_mhz(150)
+            .build()
+            .unwrap();
         let mut sys = NicSystem::build(cfg).finish().unwrap();
         let s = sys.run_measured(Ps::from_ms(1), Ps::from_ms(1));
         s.total_udp_gbps()
@@ -151,12 +151,12 @@ fn throughput_scales_with_cores() {
 #[test]
 fn rmw_mode_is_at_least_as_fast_as_software() {
     let run = |mode| {
-        let cfg = NicConfig {
-            cores: 2,
-            cpu_mhz: 250,
-            mode,
-            ..NicConfig::default()
-        };
+        let cfg = NicConfig::builder()
+            .cores(2)
+            .cpu_mhz(250)
+            .mode(mode)
+            .build()
+            .unwrap();
         let mut sys = NicSystem::build(cfg).finish().unwrap();
         sys.run_measured(Ps::from_ms(1), Ps::from_ms(1))
             .total_udp_gbps()
@@ -201,10 +201,11 @@ fn trace_capture_produces_metadata_accesses() {
 
 #[test]
 fn ilp_capture_produces_events() {
-    let cfg = NicConfig {
-        capture_ilp: true,
-        ..NicConfig::ideal()
-    };
+    let cfg = NicConfig::ideal()
+        .to_builder()
+        .capture_ilp(true)
+        .build()
+        .unwrap();
     let mut sys = NicSystem::build(cfg).finish().unwrap();
     sys.run_until(Ps::from_us(300));
     let events = sys.take_ilp_trace().expect("ilp capture enabled");

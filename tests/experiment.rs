@@ -36,10 +36,8 @@ fn builder_rejects_invalid_configurations() {
 
 #[test]
 fn builder_finish_propagates_validation_errors() {
-    let bad = NicConfig {
-        cores: 0,
-        ..NicConfig::default()
-    };
+    let mut bad = NicConfig::default();
+    bad.cores = 0;
     assert!(matches!(
         NicSystem::build(bad).finish(),
         Err(ConfigError::ZeroCores)

@@ -57,11 +57,7 @@ fn check_recv_chain(sys: &NicSystem) {
 
 #[test]
 fn counter_lattice_holds_over_time() {
-    let cfg = NicConfig {
-        cores: 2,
-        cpu_mhz: 500,
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder().cores(2).cpu_mhz(500).build().unwrap();
     let mut sys = NicSystem::build(cfg).finish().unwrap();
     for step in 1..=20u64 {
         sys.run_until(Ps::from_us(step * 17));
@@ -73,12 +69,12 @@ fn counter_lattice_holds_over_time() {
 #[test]
 fn counter_lattice_holds_under_overload() {
     // One slow core under line-rate input: drops occur, invariants hold.
-    let cfg = NicConfig {
-        cores: 1,
-        cpu_mhz: 120,
-        udp_payload: 100,
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder()
+        .cores(1)
+        .cpu_mhz(120)
+        .udp_payload(100)
+        .build()
+        .unwrap();
     let mut sys = NicSystem::build(cfg).finish().unwrap();
     for step in 1..=10u64 {
         sys.run_until(Ps::from_us(step * 60));
@@ -89,12 +85,12 @@ fn counter_lattice_holds_under_overload() {
 
 #[test]
 fn counter_lattice_holds_in_software_mode() {
-    let cfg = NicConfig {
-        cores: 3,
-        cpu_mhz: 400,
-        mode: FwMode::SoftwareOnly,
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder()
+        .cores(3)
+        .cpu_mhz(400)
+        .mode(FwMode::SoftwareOnly)
+        .build()
+        .unwrap();
     let mut sys = NicSystem::build(cfg).finish().unwrap();
     for step in 1..=10u64 {
         sys.run_until(Ps::from_us(step * 40));
@@ -106,11 +102,7 @@ fn counter_lattice_holds_in_software_mode() {
 #[test]
 fn frames_are_conserved() {
     let sys = run_system(
-        NicConfig {
-            cores: 2,
-            cpu_mhz: 500,
-            ..NicConfig::default()
-        },
+        NicConfig::builder().cores(2).cpu_mhz(500).build().unwrap(),
         400,
     );
     let s = sys.collect();
@@ -131,11 +123,7 @@ fn frames_are_conserved() {
 
 #[test]
 fn stop_drains_to_a_consistent_state() {
-    let cfg = NicConfig {
-        cores: 2,
-        cpu_mhz: 500,
-        ..NicConfig::default()
-    };
+    let cfg = NicConfig::builder().cores(2).cpu_mhz(500).build().unwrap();
     let mut sys = NicSystem::build(cfg).finish().unwrap();
     sys.run_until(Ps::from_us(120));
     sys.stop(Ps::from_ms(10));
@@ -167,11 +155,7 @@ fn stop_drains_to_a_consistent_state() {
 #[test]
 fn firmware_statistics_track_progress() {
     let sys = run_system(
-        NicConfig {
-            cores: 2,
-            cpu_mhz: 500,
-            ..NicConfig::default()
-        },
+        NicConfig::builder().cores(2).cpu_mhz(500).build().unwrap(),
         300,
     );
     let m = sys.map();
@@ -195,13 +179,9 @@ fn firmware_statistics_track_progress() {
 
 #[test]
 fn scratchpad_bandwidth_is_within_peak() {
-    let mut sys = NicSystem::build(NicConfig {
-        cores: 2,
-        cpu_mhz: 500,
-        ..NicConfig::default()
-    })
-    .finish()
-    .unwrap();
+    let mut sys = NicSystem::build(NicConfig::builder().cores(2).cpu_mhz(500).build().unwrap())
+        .finish()
+        .unwrap();
     let s = sys.run_measured(Ps::from_us(150), Ps::from_us(200));
     let peak = sys.config().banks as f64 * 4.0 * 8.0 * sys.config().cpu_mhz as f64 * 1e6 / 1e9;
     assert!(
@@ -215,13 +195,10 @@ fn scratchpad_bandwidth_is_within_peak() {
 #[test]
 fn ipc_breakdown_sums_to_unity_when_busy() {
     use nicsim_cpu::StallBucket;
-    let mut sys = NicSystem::build(NicConfig {
-        cores: 1,
-        cpu_mhz: 200, // saturated: the core never idles
-        ..NicConfig::default()
-    })
-    .finish()
-    .unwrap();
+    // 200 MHz, one core: saturated, the core never idles.
+    let mut sys = NicSystem::build(NicConfig::builder().cores(1).cpu_mhz(200).build().unwrap())
+        .finish()
+        .unwrap();
     let s = sys.run_measured(Ps::from_us(300), Ps::from_us(300));
     let total: f64 = StallBucket::ALL
         .iter()
@@ -235,13 +212,9 @@ fn ipc_breakdown_sums_to_unity_when_busy() {
 
 #[test]
 fn misalignment_waste_is_nonzero_but_bounded() {
-    let mut sys = NicSystem::build(NicConfig {
-        cores: 2,
-        cpu_mhz: 500,
-        ..NicConfig::default()
-    })
-    .finish()
-    .unwrap();
+    let mut sys = NicSystem::build(NicConfig::builder().cores(2).cpu_mhz(500).build().unwrap())
+        .finish()
+        .unwrap();
     let s = sys.run_measured(Ps::from_us(200), Ps::from_us(300));
     // Headers are 42 bytes and frames land at +2 offsets, so some waste
     // is inevitable (§6.2) — but it must stay a small fraction.

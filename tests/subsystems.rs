@@ -19,6 +19,7 @@ fn dma_read_cycles_its_ring_many_times() {
     let entries = 8u32;
     let cfg = DmaConfig {
         port: 0,
+        engine: 0,
         cmd_ring: 0x1000,
         cmd_entries: entries,
         prod_addr: 0x100,
