@@ -74,6 +74,10 @@ pub struct MacTx {
     /// Observability only: sequence numbers on the wire, parallel to
     /// `tx_done`.
     obs_wire_seq: VecDeque<u32>,
+    /// Fleet mode: when enabled, every frame leaving the wire is also
+    /// retained as `(wire-done time, bytes)` for the fabric to collect
+    /// at the next epoch barrier.
+    egress: Option<Vec<(Ps, Vec<u8>)>>,
 }
 
 impl MacTx {
@@ -96,7 +100,25 @@ impl MacTx {
             frames_sent: 0,
             obs_fetch_seq: VecDeque::new(),
             obs_wire_seq: VecDeque::new(),
+            egress: None,
         }
+    }
+
+    /// Start retaining transmitted frames for an external fabric
+    /// (fleet mode). Until this is called, the capture path costs
+    /// nothing.
+    pub fn capture_egress(&mut self) {
+        self.egress = Some(Vec::new());
+    }
+
+    /// Take the frames that left the wire since the last call:
+    /// `(wire-done time, frame bytes)` in transmit order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`MacTx::capture_egress`] was never called.
+    pub fn take_egress(&mut self) -> Vec<(Ps, Vec<u8>)> {
+        std::mem::take(self.egress.as_mut().expect("egress capture enabled"))
     }
 
     /// The crossbar port this MAC owns.
@@ -214,6 +236,9 @@ impl MacTx {
                     .pop_front()
                     .expect("wire completion without seq");
                 probe.emit(Event::MacTxWireDone { seq, at: t });
+            }
+            if let Some(egress) = &mut self.egress {
+                egress.push((t, frame));
             }
         }
         // Fetch the next ring entry; the MAC buffers at most two frames

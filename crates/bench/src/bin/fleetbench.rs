@@ -1,0 +1,305 @@
+//! Fleet benchmark: multi-NIC simulation through the switch fabric,
+//! measuring both what the fleet *simulates* and how fast the sharded
+//! epoch engine *runs*.
+//!
+//! Three sections, landed together in `results/fleet.json`:
+//!
+//! * **Uniform** — every NIC sprays fixed-size datagrams at every
+//!   other through the fabric (`--workload` overrides the spec).
+//!   Reports aggregate delivered goodput and the merged
+//!   [`FrameTracker`](nicsim::FrameTracker) per-stage latency
+//!   percentiles: a frame's TX half (source NIC) and RX half
+//!   (destination NIC) join into one fleet-wide timeline.
+//! * **Incast** — everyone converges on NIC 0 through a deliberately
+//!   shallow egress buffer; the section asserts the fabric actually
+//!   drops and that the order-sensitive drop digest is identical at
+//!   one shard and many.
+//! * **Scaling** — the uniform fleet re-runs at shard counts 1, 2, 4
+//!   and each further power of two up to the host's hardware threads
+//!   (capped at the NIC count; `--shards` adds a point). Every count
+//!   must reproduce the single-shard result bit-for-bit — per-NIC
+//!   stats, fabric digest, per-port counters, and skip decisions —
+//!   which re-asserts the fleet determinism contract on the benchmark
+//!   workload itself. Wall-clock throughput is reported as simulated
+//!   NIC-cycles per host second.
+//!
+//! The speedup gate (4 shards at least 1.8x over 1) only binds on a
+//! host with at least 4 hardware threads, at least 8 NICs, and a full
+//! window; anywhere else the scaling rows are informational — a
+//! single-threaded host runs every shard on one core and measures
+//! barrier overhead, not parallelism.
+//!
+//! Quick mode (`NICSIM_QUICK=1`) shrinks the windows for CI smoke and
+//! leaves the committed results file untouched; the determinism and
+//! incast-drop assertions still bind.
+
+use nicsim::NicConfig;
+use nicsim_bench::{header, Args};
+use nicsim_exp::{latency_to_json, Json, RunReport};
+use nicsim_fleet::{Fleet, FleetConfig, FleetStats};
+use nicsim_net::workload::{Pattern, SizeMix, Workload};
+use nicsim_net::FabricConfig;
+use nicsim_sim::Ps;
+use std::time::{Duration, Instant};
+
+/// Wall-clock floor for 4 shards over 1, binding only where the host
+/// can actually run 4 workers (and the window is long enough for the
+/// ratio to be signal).
+const SPEEDUP_FLOOR_AT_4: f64 = 1.8;
+
+fn main() {
+    let args = Args::parse("fleet");
+    let exp = &args.exp;
+    header(
+        "Fleet: sharded multi-NIC simulation through the switch fabric",
+        "bit-identical per-NIC stats and fabric digest at every shard count; \
+         incast must drop; 4 shards >= 1.8x over 1 on a >= 4-thread host",
+    );
+    let quick = std::env::var("NICSIM_QUICK").is_ok_and(|v| v == "1");
+    // Fleet windows are shorter than the single-NIC defaults: every
+    // epoch advances N full NIC systems, and the scaling section runs
+    // the whole fleet once per shard count.
+    let (warmup, window) = if quick {
+        (Ps::from_us(60), Ps::from_us(120))
+    } else {
+        (Ps::from_us(200), Ps::from_us(400))
+    };
+    let horizon = warmup + window;
+    let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let nics = args.nics.unwrap_or(8);
+
+    let nic = args.configure(NicConfig::default());
+    let uniform = FleetConfig {
+        nics,
+        shards: 1,
+        nic,
+        fabric: FabricConfig::default(),
+        workload: args.workload.unwrap_or_default(),
+    };
+
+    let mut failures = Vec::new();
+
+    // Shard counts under test: the determinism triple {1, 2, 4}, the
+    // host's power-of-two ladder, and any explicit --shards point.
+    let mut counts = vec![1usize, 2, 4];
+    let mut p = 8;
+    while p <= hw_threads {
+        counts.push(p);
+        p *= 2;
+    }
+    if let Some(s) = args.shards {
+        counts.push(s);
+    }
+    counts.retain(|&s| s <= nics);
+    counts.sort_unstable();
+    counts.dedup();
+
+    println!("uniform: {} NICs, workload {:?}", nics, uniform.workload);
+    println!(
+        "{:>8} {:>10} {:>16} {:>8} {:>10}",
+        "shards", "wall s", "Mnic-cycles/s", "speedup", "identical"
+    );
+    let mut scaling: Vec<(usize, Duration, FleetStats)> = Vec::new();
+    for &s in &counts {
+        let cfg = FleetConfig {
+            shards: s,
+            ..uniform
+        };
+        let mut fleet = Fleet::new(cfg, horizon).unwrap_or_else(|e| {
+            eprintln!("FAIL: fleet config: {e}");
+            std::process::exit(1);
+        });
+        let t0 = Instant::now();
+        let stats = fleet.run_measured(warmup, window);
+        let wall = t0.elapsed();
+        scaling.push((s, wall, stats));
+    }
+    let (_, base_wall, reference) = &scaling[0];
+    let base_wall = *base_wall;
+    if reference.fabric.delivered == 0 {
+        failures.push("uniform: fabric delivered nothing — every check is vacuous".into());
+    }
+    let mut speedup_at_4 = None;
+    for (s, wall, stats) in &scaling {
+        let same = identical(reference, stats);
+        let speedup = base_wall.as_secs_f64() / wall.as_secs_f64().max(1e-9);
+        let ncps = (nics as u64 * stats.cycles_per_nic) as f64 / wall.as_secs_f64().max(1e-9);
+        println!(
+            "{:>8} {:>10.3} {:>16.1} {:>7.2}x {:>10}",
+            s,
+            wall.as_secs_f64(),
+            ncps / 1e6,
+            speedup,
+            same
+        );
+        if !same {
+            failures.push(format!(
+                "uniform: {s} shards diverged from the single-shard reference"
+            ));
+        }
+        if *s == 4 {
+            speedup_at_4 = Some(speedup);
+        }
+    }
+    let gate_binds = !quick && hw_threads >= 4 && nics >= 8;
+    match speedup_at_4 {
+        Some(sp) if gate_binds && sp < SPEEDUP_FLOOR_AT_4 => failures.push(format!(
+            "scaling: 4 shards {sp:.2}x over 1, below the {SPEEDUP_FLOOR_AT_4}x floor \
+             ({hw_threads} hw threads)"
+        )),
+        _ => {
+            if !gate_binds {
+                println!(
+                    "scaling gate informational: quick={quick}, {hw_threads} hw threads, \
+                     {nics} NICs (needs full run, >= 4 threads, >= 8 NICs)"
+                );
+            }
+        }
+    }
+    println!(
+        "uniform: {:.3} Gb/s aggregate goodput, {} delivered, {} dropped, \
+         {} NIC-epochs skipped of {}",
+        reference.goodput_gbps(),
+        reference.fabric.delivered,
+        reference.fabric_drops(),
+        reference.nic_epochs_skipped,
+        reference.epochs * nics as u64,
+    );
+
+    // Incast: everyone hammers NIC 0 through a shallow buffer. The
+    // interesting output is the drop behavior — and that it replays
+    // bit-identically when sharded.
+    let incast_cfg = FleetConfig {
+        nics,
+        shards: 1,
+        nic,
+        fabric: FabricConfig {
+            port_buffer_bytes: 16 * 1024,
+            ..FabricConfig::default()
+        },
+        workload: Workload {
+            pattern: Pattern::Incast { target: 0 },
+            sizes: SizeMix::Fixed(1472),
+            fps: 400_000.0,
+            ..Workload::default()
+        },
+    };
+    let mut fleet = Fleet::new(incast_cfg, horizon).expect("valid incast config");
+    let incast = fleet.run_measured(warmup, window);
+    let incast_shards = 4.min(nics);
+    let mut fleet = Fleet::new(
+        FleetConfig {
+            shards: incast_shards,
+            ..incast_cfg
+        },
+        horizon,
+    )
+    .expect("valid incast config");
+    let incast_sharded = fleet.run_measured(warmup, window);
+    if incast.fabric_drops() == 0 {
+        failures.push("incast: no fabric drops through a 16 KB egress buffer".into());
+    }
+    if !identical(&incast, &incast_sharded) {
+        failures.push(format!(
+            "incast: {incast_shards} shards diverged from the single-shard reference"
+        ));
+    }
+    println!(
+        "incast:  {:.3} Gb/s to the victim, {} delivered, {} dropped \
+         ({} bytes), victim port high-water {} bytes, digest {:016x}",
+        incast.goodput_gbps(),
+        incast.fabric.delivered,
+        incast.fabric_drops(),
+        incast.fabric.dropped_bytes,
+        incast.ports[0].max_occupancy,
+        incast.fabric.digest,
+    );
+
+    let runs: Vec<RunReport> = scaling
+        .iter()
+        .map(|(s, wall, stats)| RunReport {
+            label: format!("uniform,nics={nics},shards={s}"),
+            axes: vec![("shards".into(), s.to_string())],
+            config: nic,
+            // One RunStats per report row: NIC 0's window (per-NIC
+            // symmetry is not guaranteed) — the aggregate view lives
+            // under "extra".
+            stats: stats.per_nic[0].clone(),
+            latency: (*s == 1).then(|| latency_to_json(&stats.latency)),
+            wall: *wall,
+        })
+        .collect();
+    let scaling_json: Vec<Json> = scaling
+        .iter()
+        .map(|(s, wall, stats)| {
+            let ncps = (nics as u64 * stats.cycles_per_nic) as f64 / wall.as_secs_f64().max(1e-9);
+            Json::obj()
+                .with("shards", *s as u64)
+                .with("wall_s", wall.as_secs_f64())
+                .with("nic_cycles_per_host_sec", ncps)
+                .with(
+                    "speedup",
+                    base_wall.as_secs_f64() / wall.as_secs_f64().max(1e-9),
+                )
+                .with("identical", identical(reference, stats))
+        })
+        .collect();
+    let extra = Json::obj()
+        .with("nics", nics as u64)
+        .with("hw_threads", hw_threads as u64)
+        .with("warmup_us", warmup.0 / 1_000_000)
+        .with("window_us", window.0 / 1_000_000)
+        .with("epochs", reference.epochs)
+        .with(
+            "uniform",
+            fleet_json(reference, &format!("{:?}", uniform.workload)),
+        )
+        .with(
+            "incast",
+            fleet_json(&incast, &format!("{:?}", incast_cfg.workload)).with(
+                "victim_port_max_occupancy_bytes",
+                incast.ports[0].max_occupancy,
+            ),
+        )
+        .with("scaling", Json::Arr(scaling_json))
+        .with("speedup_gate_binding", gate_binds);
+    if quick {
+        println!("quick mode: results file not written");
+    } else {
+        exp.finish(runs, Some(extra)).expect("write results");
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The fleet determinism contract, as one predicate: everything a run
+/// reports except wall-clock time must match.
+fn identical(a: &FleetStats, b: &FleetStats) -> bool {
+    a.per_nic == b.per_nic
+        && a.fabric == b.fabric
+        && a.ports == b.ports
+        && a.epochs == b.epochs
+        && a.nic_epochs_skipped == b.nic_epochs_skipped
+}
+
+/// One fleet run's simulated-side results as JSON (the digest as hex:
+/// `Json::Num` is an f64 and would round a 64-bit digest).
+fn fleet_json(st: &FleetStats, workload: &str) -> Json {
+    Json::obj()
+        .with("workload", workload)
+        .with("goodput_gbps", st.goodput_gbps())
+        .with("offered", st.fabric.offered)
+        .with("delivered", st.fabric.delivered)
+        .with("dropped", st.fabric.dropped)
+        .with("delivered_bytes", st.fabric.delivered_bytes)
+        .with("dropped_bytes", st.fabric.dropped_bytes)
+        .with("digest", format!("{:016x}", st.fabric.digest))
+        .with("nic_epochs_skipped", st.nic_epochs_skipped)
+        .with("cycles_per_nic", st.cycles_per_nic)
+        .with("latency", latency_to_json(&st.latency))
+}

@@ -11,7 +11,11 @@
 //!   binary builds;
 //! * `--dma-engines N` / `--macs N` — frame-side topology overrides
 //!   (the `SysDef` sweep axes): DMA engine pairs and MACs per
-//!   configuration.
+//!   configuration;
+//! * `--nics N` / `--shards N` / `--workload SPEC` — fleet-level
+//!   overrides for binaries that run multi-NIC fleets (fleet size,
+//!   worker-thread shards, and a `nicsim_net::Workload` spec string
+//!   such as `pattern=incast,target=0,fps=2e5`).
 //!
 //! Binaries route each configuration they construct through
 //! [`Args::configure`], so the overrides apply uniformly — sweeps that
@@ -36,6 +40,14 @@ pub struct Args {
     pub dma_engines: Option<usize>,
     /// `--macs`: MAC count override, if given.
     pub macs: Option<usize>,
+    /// `--nics`: fleet size override, if given (fleet binaries only).
+    pub nics: Option<usize>,
+    /// `--shards`: fleet worker-thread override, if given (fleet
+    /// binaries only).
+    pub shards: Option<usize>,
+    /// `--workload`: fleet workload spec override, if given (fleet
+    /// binaries only; parsed eagerly so typos fail at startup).
+    pub workload: Option<nicsim_net::Workload>,
 }
 
 impl Args {
@@ -50,6 +62,9 @@ impl Args {
         let mut cores = None;
         let mut dma_engines = None;
         let mut macs = None;
+        let mut nics = None;
+        let mut shards = None;
+        let mut workload = None;
         let mut i = 0;
         while i < argv.len() {
             let arg = &argv[i];
@@ -75,6 +90,26 @@ impl Args {
                 i += 1;
                 let v = argv.get(i).unwrap_or_else(|| usage_count("--macs"));
                 macs = Some(parse_count(v, "--macs"));
+            } else if let Some(v) = arg.strip_prefix("--nics=") {
+                nics = Some(parse_count(v, "--nics"));
+            } else if arg == "--nics" {
+                i += 1;
+                let v = argv.get(i).unwrap_or_else(|| usage_count("--nics"));
+                nics = Some(parse_count(v, "--nics"));
+            } else if let Some(v) = arg.strip_prefix("--shards=") {
+                shards = Some(parse_count(v, "--shards"));
+            } else if arg == "--shards" {
+                i += 1;
+                let v = argv.get(i).unwrap_or_else(|| usage_count("--shards"));
+                shards = Some(parse_count(v, "--shards"));
+            } else if let Some(v) = arg.strip_prefix("--workload=") {
+                workload = Some(parse_workload(v));
+            } else if arg == "--workload" {
+                i += 1;
+                let v = argv
+                    .get(i)
+                    .unwrap_or_else(|| usage_workload("missing spec"));
+                workload = Some(parse_workload(v));
             }
             i += 1;
         }
@@ -84,6 +119,9 @@ impl Args {
             cores,
             dma_engines,
             macs,
+            nics,
+            shards,
+            workload,
         }
     }
 
@@ -141,6 +179,18 @@ fn usage_count(flag: &str) -> ! {
     std::process::exit(2);
 }
 
+fn parse_workload(v: &str) -> nicsim_net::Workload {
+    match nicsim_net::Workload::parse(v) {
+        Ok(w) => w,
+        Err(e) => usage_workload(&e),
+    }
+}
+
+fn usage_workload(why: &str) -> ! {
+    eprintln!("--workload needs a spec like 'pattern=incast,target=0,fps=2e5': {why}");
+    std::process::exit(2);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +203,9 @@ mod tests {
             cores: Some(3),
             dma_engines: Some(2),
             macs: Some(2),
+            nics: None,
+            shards: None,
+            workload: None,
         };
         let cfg = args.configure(NicConfig::default());
         assert_eq!(cfg.dispatch, DispatchMode::Interrupt);
@@ -165,6 +218,9 @@ mod tests {
             cores: None,
             dma_engines: None,
             macs: None,
+            nics: None,
+            shards: None,
+            workload: None,
         };
         let cfg = args.configure(NicConfig::default());
         assert_eq!(cfg.dispatch, DispatchMode::Polling);

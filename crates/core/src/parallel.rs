@@ -317,9 +317,17 @@ impl<P: Probe> NicSystem<P> {
     /// including the probe event stream when a probe is attached.
     ///
     /// Falls back to [`NicSystem::run_until`] when a fault plan is
-    /// configured (fault supervision is inherently cross-domain).
+    /// configured (fault supervision is inherently cross-domain) or the
+    /// host has a single hardware thread (a worker could never run
+    /// concurrently, so every rendezvous would go straight to the
+    /// scheduler and cost two context switches per stepped cycle).
+    /// Either fallback sets
+    /// [`ParallelSyncStats::sequential_fallback`].
     pub fn run_until_parallel(&mut self, until: Ps) {
-        if self.cfg.faults.is_some() {
+        if self.cfg.faults.is_some()
+            || std::thread::available_parallelism().map_or(1, |n| n.get()) < 2
+        {
+            self.sync_stats.sequential_fallback = true;
             return self.run_until(until);
         }
         if self.now >= until {
@@ -502,7 +510,7 @@ impl<P: Probe> NicSystem<P> {
                     let acted = self
                         .driver
                         .tick_probed(now, &mut self.host_mem, &mut self.probe);
-                    self.driver_idle = !acted && self.cfg.offered_tx_fps.is_none();
+                    self.driver_idle = !acted && !self.driver.time_sensitive();
                     for w in self.driver.take_mailbox_writes() {
                         let (addr, reg) = match w.reg {
                             Mailbox::SendBdProd => (self.map.sb_mailbox_prod, "send_bd_prod"),

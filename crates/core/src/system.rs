@@ -71,8 +71,9 @@ pub struct NicSystem<P: Probe = NullProbe> {
     /// The driver's last poll changed nothing and the NIC has not
     /// written host memory since, so every poll until the next host
     /// write is a provable no-op: the event kernel elides them and may
-    /// skip across poll boundaries. Never set under offered-load
-    /// pacing, whose send budget also depends on the clock.
+    /// skip across poll boundaries. Never set while the driver is
+    /// time-sensitive — offered-load pacing, or a fleet schedule with
+    /// sends pending — since those act on the clock alone.
     pub(crate) driver_idle: bool,
     /// Cycles elided by the event-driven kernel (diagnostics).
     pub(crate) skipped_cycles: u64,
@@ -111,6 +112,11 @@ pub struct ParallelSyncStats {
     /// Stepped cycles run entirely on the main thread because the frame
     /// side was provably quiet — no rendezvous at all.
     pub solo_cycles: u64,
+    /// The parallel kernel declined to spawn a worker and ran the
+    /// sequential event kernel instead (single-hardware-thread host, or
+    /// an active fault plan). Results are bit-identical either way;
+    /// the flag records that no parallelism was actually exercised.
+    pub sequential_fallback: bool,
 }
 
 /// Staged constructor for [`NicSystem`], the one assembly path for
@@ -442,6 +448,64 @@ impl<P: Probe> NicSystem<P> {
         &self.sp
     }
 
+    /// One CPU clock period.
+    pub fn cpu_period(&self) -> Ps {
+        self.cpu_period
+    }
+
+    /// Switch this system into fleet mode: the driver transmits the
+    /// given flow schedule (frames addressed and sequence-namespaced by
+    /// `src`) instead of the fixed-size full-duplex generator, MAC 0
+    /// records every wire-completed egress frame for the fabric to
+    /// collect via [`NicSystem::take_egress`], and MAC 0's receive
+    /// generator stops synthesizing and serves only frames injected
+    /// with [`NicSystem::inject_rx`].
+    ///
+    /// Build fleet members with `send_enabled` and `recv_enabled` both
+    /// set (the defaults): the schedule replaces the legacy transmit
+    /// stream inside the driver's posting path, and injected arrivals
+    /// replace the receive generator's synthesized stream.
+    pub fn enable_fleet(&mut self, src: u16, schedule: Vec<nicsim_net::workload::TxPacket>) {
+        self.driver.set_fleet(src, schedule);
+        self.mactxs[0].capture_egress();
+        self.macrxs[0].generator.set_external();
+        // The schedule makes the driver time-sensitive again.
+        self.driver_idle = false;
+    }
+
+    /// Drain the frames MAC 0 completed on the wire since the last
+    /// drain, as `(wire-done time, frame bytes)` in completion order.
+    /// Fleet mode only (see [`NicSystem::enable_fleet`]).
+    pub fn take_egress(&mut self) -> Vec<(Ps, Vec<u8>)> {
+        self.mactxs[0].take_egress()
+    }
+
+    /// Schedule a frame to arrive on MAC 0's wire at absolute time
+    /// `at`. Fleet mode only; arrivals must be injected in
+    /// non-decreasing time order and strictly after the current time.
+    pub fn inject_rx(&mut self, at: Ps, frame: Vec<u8>) {
+        debug_assert!(at > self.now, "injected arrival is already due");
+        self.macrxs[0].generator.inject(at, frame);
+    }
+
+    /// Undelivered injected arrivals still queued on MAC 0.
+    pub fn pending_rx(&self) -> usize {
+        self.macrxs[0].generator.pending_injections()
+    }
+
+    /// Absolute time of the earliest cycle on which this system may
+    /// change architectural state; `Ps::MAX` when nothing is pending.
+    /// Any `run_until(until)` with `until` strictly before this time is
+    /// provably a no-op (every stepped cycle would be gated), so the
+    /// fleet engine skips the call — and the whole epoch — outright.
+    pub fn next_activity(&self) -> Ps {
+        let wake = self.wake_cycles();
+        Ps(self
+            .now
+            .0
+            .saturating_add(self.cpu_period.0.saturating_mul(wake)))
+    }
+
     /// Advance one CPU cycle, ticking every component — the dense
     /// reference semantics. When `gate` is set, components whose tick is
     /// provably a no-op this cycle are bypassed: each bypass condition
@@ -590,7 +654,11 @@ impl<P: Probe> NicSystem<P> {
                     let acted = self
                         .driver
                         .tick_probed(now, &mut self.host_mem, &mut self.probe);
-                    self.driver_idle = !acted && self.cfg.offered_tx_fps.is_none();
+                    // A time-sensitive driver (offered-load pacing, or a
+                    // fleet schedule with sends still pending) may act on
+                    // a later poll with no external write in between, so
+                    // its polls are never elided.
+                    self.driver_idle = !acted && !self.driver.time_sensitive();
                     for w in self.driver.take_mailbox_writes() {
                         let (addr, reg) = match w.reg {
                             Mailbox::SendBdProd => (self.map.sb_mailbox_prod, "send_bd_prod"),

@@ -175,8 +175,14 @@ fn parallel_kernel_is_bit_identical_to_sequential_kernels() {
             );
             assert!(s.tx_frames > 0 || s.rx_frames > 0, "{label}: no traffic");
             let ss = par.parallel_sync_stats();
-            assert!(ss.rendezvous > 0, "{label}: no rendezvous at all");
-            assert!(ss.solo_cycles > 0, "{label}: solo stepping never fired");
+            if ss.sequential_fallback {
+                // Single-hardware-thread host: the kernel ran the
+                // sequential path (bit-identity already asserted above).
+                assert_eq!(ss.rendezvous, 0, "{label}: fallback still met a barrier");
+            } else {
+                assert!(ss.rendezvous > 0, "{label}: no rendezvous at all");
+                assert!(ss.solo_cycles > 0, "{label}: solo stepping never fired");
+            }
         }
     }
 }
@@ -217,6 +223,11 @@ fn lookahead_batches_engage_at_moderate_load() {
     );
     assert!(p.rx_frames > 0, "moderate load: no traffic");
     let ss = par.parallel_sync_stats();
+    if ss.sequential_fallback {
+        // Amortization is unobservable on a single-hardware-thread
+        // host; the bit-identity assertions above are the whole check.
+        return;
+    }
     assert!(ss.batches > 0, "lookahead batching never fired");
     assert!(
         ss.batched_cycles >= 2 * ss.batches,

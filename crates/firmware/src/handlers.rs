@@ -284,7 +284,7 @@ impl Fw {
             let i1 = (cons.wrapping_add(2 * f + 1)) % BD_CACHE;
             let haddr = ctx.load(m.sbd_pool + i0 * 16).await;
             let hlen = ctx.load(m.sbd_pool + i0 * 16 + 4).await;
-            let _hseq = ctx.load(m.sbd_pool + i0 * 16 + 8).await;
+            let hseq = ctx.load(m.sbd_pool + i0 * 16 + 8).await;
             let paddr = ctx.load(m.sbd_pool + i1 * 16).await;
             let plen = ctx.load(m.sbd_pool + i1 * 16 + 4).await;
             let _csum = ctx.load(m.sbd_pool + i1 * 16 + 12).await;
@@ -302,7 +302,12 @@ impl Fw {
             ctx.store(slot + 20, hlen + plen).await;
             ctx.store(slot + 8, 0).await; // checksum offload info
             ctx.store(slot + 12, 0).await; // option flags
-            ctx.store(slot + 24, seq).await;
+                                           // The *host's* frame sequence number, not the slot counter:
+                                           // downstream this word only feeds the MAC TX ring's
+                                           // observability field, and fleet runs namespace it by
+                                           // source NIC (legacy runs post the two in lockstep, so the
+                                           // values coincide there).
+            ctx.store(slot + 24, hseq).await;
             ctx.store(slot + 28, 1).await; // state: fragments in flight
             let prev_state = ctx
                 .load(m.send_slots + ((seq.wrapping_sub(1)) % SLOTS) * 32 + 28)

@@ -1,0 +1,489 @@
+//! Deterministic sharded multi-NIC fleet simulation.
+//!
+//! The paper evaluates one NIC against a synthetic full-duplex stream;
+//! this crate scales the reproduction out: `N` complete [`NicSystem`]s
+//! (firmware, assists, host driver and all) exchange real frames
+//! through a switch [`Fabric`] — per-egress-port output queues, link
+//! bandwidth and latency, finite buffers with drops — driven by a
+//! flow-level [`Workload`] (traffic matrices, packet-size mixes,
+//! bursty arrivals, incast) instead of the fixed-size generators.
+//!
+//! # The epoch engine
+//!
+//! The fleet advances in global **epochs** of length `E = link
+//! latency`. Within an epoch every NIC runs independently on the
+//! sequential event kernel ([`NicSystem::run_until`]); at the epoch
+//! barrier the engine drains each NIC's wire-completed egress frames,
+//! feeds them through the fabric in canonical `(wire-done time, source
+//! NIC)` order, and appends the resulting deliveries to the
+//! destination NICs' arrival queues. This conservative schedule is
+//! exact, not approximate: a frame leaving NIC `i`'s wire at time `w`
+//! traverses two links (`i → switch → j`) plus the egress queue, so it
+//! cannot arrive before `w + 2E` — strictly after the end of the epoch
+//! in which it is drained. No NIC can ever observe a frame earlier
+//! than the barrier hands it over, so epoch-sliced execution is
+//! bit-identical to a global event-ordered co-simulation.
+//!
+//! # Sharding
+//!
+//! With `shards > 1` the NICs split into contiguous chunks, one per
+//! persistent worker thread, synchronized by an
+//! [`EpochBarrier`](nicsim_sim::EpochBarrier) generation per epoch;
+//! the frame exchange runs on the coordinator between generations.
+//! Because epochs are global and the fabric ordering is canonical,
+//! results are bit-identical at any shard count — per-NIC [`RunStats`]
+//! and the fabric's order-sensitive delivery digest alike, which the
+//! engine's tests assert across shard counts and dispatch modes.
+//!
+//! Quiet NICs skip whole epochs: the engine consults
+//! [`NicSystem::next_activity`] (the event kernel's own wake bound)
+//! and elides the `run_until` call when the NIC provably cannot act
+//! before the epoch ends — an incast victim or a NIC with an exhausted
+//! schedule costs one wake computation per epoch, not a kernel entry.
+
+use nicsim::{NicConfig, NicSystem, RunStats};
+use nicsim_net::workload::Workload;
+use nicsim_net::{Fabric, FabricConfig, FabricStats, PortStats};
+use nicsim_obs::{FrameTracker, LatencySummary};
+use nicsim_sim::{EpochBarrier, Ps};
+
+/// Fleet-level configuration: how many NICs, how they are sharded,
+/// what fabric connects them, and what traffic they offer.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of NIC + host systems (2..=256; sequence numbers carry
+    /// the source id in their top byte).
+    pub nics: usize,
+    /// Worker threads to shard the NICs across (1 = run on the calling
+    /// thread, no barrier). Results are identical at any value.
+    pub shards: usize,
+    /// Per-NIC configuration (all NICs identical; `send_enabled` and
+    /// `recv_enabled` must both be set so the driver posts the fleet
+    /// schedule and MAC 0 accepts injected arrivals).
+    pub nic: NicConfig,
+    /// The switch model between the NICs.
+    pub fabric: FabricConfig,
+    /// The offered traffic.
+    pub workload: Workload,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            nics: 4,
+            shards: 1,
+            nic: NicConfig::default(),
+            fabric: FabricConfig::default(),
+            workload: Workload::default(),
+        }
+    }
+}
+
+/// What went wrong assembling a fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetError(pub String);
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fleet configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Results of one measured fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// Per-NIC statistics for the measurement window, in NIC order.
+    /// Bit-comparable across runs and shard counts ([`RunStats`] is
+    /// `PartialEq`).
+    pub per_nic: Vec<RunStats>,
+    /// Fabric totals for the window, including the order-sensitive
+    /// delivery/drop digest.
+    pub fabric: FabricStats,
+    /// Per-egress-port fabric statistics, in NIC order.
+    pub ports: Vec<PortStats>,
+    /// Frame-lifecycle latency percentiles over the whole fleet: every
+    /// NIC's [`FrameTracker`] merged, so a frame's TX half (source
+    /// NIC) and RX half (destination NIC) combine into one timeline.
+    pub latency: LatencySummary,
+    /// Epochs executed (warmup + window).
+    pub epochs: u64,
+    /// NIC-epochs elided because the NIC provably could not act before
+    /// the epoch boundary.
+    pub nic_epochs_skipped: u64,
+    /// Simulated CPU cycles per NIC (identical for all NICs).
+    pub cycles_per_nic: u64,
+}
+
+impl FleetStats {
+    /// Aggregate delivered UDP goodput over the window, summed over
+    /// every NIC's receive side.
+    pub fn goodput_gbps(&self) -> f64 {
+        self.per_nic.iter().map(|s| s.rx_udp_gbps).sum()
+    }
+
+    /// Frames the fabric dropped on full egress buffers.
+    pub fn fabric_drops(&self) -> u64 {
+        self.fabric.dropped
+    }
+}
+
+/// The assembled fleet: `N` systems, the fabric, and the epoch clock.
+pub struct Fleet {
+    cfg: FleetConfig,
+    systems: Vec<NicSystem<FrameTracker>>,
+    fabric: Fabric,
+    /// Epoch length: the fabric's per-link latency.
+    epoch: Ps,
+    /// NIC-epochs elided so far.
+    skipped: u64,
+    /// Guards against reusing a consumed fleet.
+    ran: bool,
+}
+
+impl Fleet {
+    /// Assemble a fleet: validate the configuration, build every NIC
+    /// system, and switch each into fleet mode with its share of the
+    /// workload schedule generated over `horizon` (which must cover
+    /// the whole warmup + window the fleet will run).
+    pub fn new(cfg: FleetConfig, horizon: Ps) -> Result<Fleet, FleetError> {
+        if !(2..=256).contains(&cfg.nics) {
+            return Err(FleetError(format!(
+                "nics must be in 2..=256, got {}",
+                cfg.nics
+            )));
+        }
+        if cfg.shards == 0 || cfg.shards > cfg.nics {
+            return Err(FleetError(format!(
+                "shards must be in 1..={}, got {}",
+                cfg.nics, cfg.shards
+            )));
+        }
+        if !cfg.nic.send_enabled || !cfg.nic.recv_enabled {
+            return Err(FleetError(
+                "fleet NICs need send_enabled and recv_enabled".into(),
+            ));
+        }
+        if cfg.nic.offered_tx_fps.is_some() || cfg.nic.offered_rx_fps.is_some() {
+            return Err(FleetError(
+                "offered-load pacing conflicts with the fleet schedule".into(),
+            ));
+        }
+        if cfg.nic.faults.is_some() {
+            return Err(FleetError("fault plans are per-NIC runs only".into()));
+        }
+        cfg.workload.check(cfg.nics).map_err(FleetError)?;
+        let fabric = Fabric::new(cfg.nics, cfg.fabric);
+        let epoch = cfg.fabric.link_latency;
+        let period = nicsim_sim::Freq::from_mhz(cfg.nic.cpu_mhz).period();
+        if epoch.0 < 2 * period.0 {
+            return Err(FleetError(format!(
+                "link latency {} ps must be at least two CPU periods ({} ps): \
+                 the epoch engine needs one clock cycle of conservative slack",
+                epoch.0,
+                2 * period.0
+            )));
+        }
+        let mut systems = Vec::with_capacity(cfg.nics);
+        for i in 0..cfg.nics {
+            let mut sys = NicSystem::build(cfg.nic)
+                .probe(FrameTracker::new())
+                .finish()
+                .map_err(|e| FleetError(e.to_string()))?;
+            let schedule = cfg.workload.schedule(i, cfg.nics, horizon);
+            sys.enable_fleet(i as u16, schedule);
+            systems.push(sys);
+        }
+        Ok(Fleet {
+            cfg,
+            systems,
+            fabric,
+            epoch,
+            skipped: 0,
+            ran: false,
+        })
+    }
+
+    /// The configuration this fleet was assembled from.
+    pub fn config(&self) -> FleetConfig {
+        self.cfg
+    }
+
+    /// Warm the fleet up, then measure a steady-state window; both
+    /// spans are rounded up to whole epochs. Single-shot: a fleet's
+    /// schedules and queues are consumed by the run.
+    pub fn run_measured(&mut self, warmup: Ps, window: Ps) -> FleetStats {
+        assert!(!self.ran, "a fleet runs once; build a new one");
+        self.ran = true;
+        let warm_epochs = warmup.0.div_ceil(self.epoch.0);
+        let total_epochs = warm_epochs + window.0.div_ceil(self.epoch.0).max(1);
+
+        if self.cfg.shards == 1 {
+            self.run_epochs_sequential(warm_epochs, total_epochs);
+        } else {
+            self.run_epochs_sharded(warm_epochs, total_epochs);
+        }
+
+        let final_end = Ps(total_epochs * self.epoch.0);
+        for sys in &mut self.systems {
+            sys.run_until(final_end);
+        }
+        let mut merged = FrameTracker::new();
+        for sys in &self.systems {
+            merged.merge(sys.probe());
+        }
+        let per_nic: Vec<RunStats> = self.systems.iter().map(|s| s.collect()).collect();
+        let cycles_per_nic = per_nic[0].core_ticks;
+        FleetStats {
+            per_nic,
+            fabric: self.fabric.stats(),
+            ports: self.fabric.port_stats(),
+            latency: merged.summary(),
+            epochs: total_epochs,
+            nic_epochs_skipped: self.skipped,
+            cycles_per_nic,
+        }
+    }
+
+    /// The epoch loop on the calling thread: advance every NIC to each
+    /// boundary in turn, then exchange frames.
+    fn run_epochs_sequential(&mut self, warm_epochs: u64, total_epochs: u64) {
+        for k in 1..=total_epochs {
+            let end = Ps(k * self.epoch.0);
+            for sys in &mut self.systems {
+                if sys.next_activity() <= end {
+                    sys.run_until(end);
+                } else {
+                    self.skipped += 1;
+                }
+            }
+            self.exchange(k, warm_epochs);
+        }
+    }
+
+    /// The epoch loop across `shards` persistent worker threads, one
+    /// contiguous chunk of NICs each, in lockstep on an
+    /// [`EpochBarrier`] generation per epoch. The coordinator touches
+    /// the systems only between `wait_done` and the next `open`, when
+    /// every worker is parked at the barrier.
+    fn run_epochs_sharded(&mut self, warm_epochs: u64, total_epochs: u64) {
+        let shards = self.cfg.shards;
+        let epoch = self.epoch;
+        let mut worker_skipped = vec![0u64; shards];
+
+        /// One worker's view: a raw chunk of the systems vector plus
+        /// its skip counter. Dereferenced only while a generation is
+        /// open (see the disjointness argument at the spawn site).
+        struct Shard {
+            systems: *mut [NicSystem<FrameTracker>],
+            skipped: *mut u64,
+        }
+        // SAFETY: the pointers are dereferenced only between
+        // `wait_open` and `finish`, when the coordinator touches
+        // neither the chunk nor the counter; chunks are disjoint
+        // sub-slices, so no two workers alias. The NIC systems contain
+        // thread-unsafe internals (`Rc` core slots), but each system's
+        // are reachable only through that system, and a system is only
+        // ever touched by the one thread holding its chunk while a
+        // generation is open — accesses hand over at the barrier's
+        // Release/Acquire edges, never overlap.
+        unsafe impl Send for Shard {}
+
+        let mut shards_vec = Vec::with_capacity(shards);
+        {
+            let mut rest: &mut [NicSystem<FrameTracker>] = &mut self.systems;
+            let mut counters = worker_skipped.iter_mut();
+            let base = rest.len() / shards;
+            let extra = rest.len() % shards;
+            for w in 0..shards {
+                let take = base + usize::from(w < extra);
+                let (chunk, tail) = rest.split_at_mut(take);
+                rest = tail;
+                shards_vec.push(Shard {
+                    systems: chunk,
+                    skipped: counters.next().expect("one counter per shard"),
+                });
+            }
+        }
+
+        let barrier = EpochBarrier::new(shards);
+        std::thread::scope(|scope| {
+            let b = &barrier;
+            let handles: Vec<_> = shards_vec
+                .into_iter()
+                .enumerate()
+                .map(|(idx, shard)| {
+                    scope.spawn(move || {
+                        // Capture the Shard wrapper whole: disjoint
+                        // field capture would otherwise move the raw
+                        // pointers individually, bypassing its Send.
+                        let shard = shard;
+                        // Poison the barrier if a NIC panics so the
+                        // coordinator fails fast instead of spinning.
+                        struct Guard<'a>(&'a EpochBarrier);
+                        impl Drop for Guard<'_> {
+                            fn drop(&mut self) {
+                                if std::thread::panicking() {
+                                    self.0.poison();
+                                }
+                            }
+                        }
+                        let _guard = Guard(b);
+                        let mut last = 0;
+                        while let Some(g) = b.wait_open(last) {
+                            last = g;
+                            let end = Ps(g * epoch.0);
+                            // SAFETY: generation `g` is open — the
+                            // coordinator is blocked in wait_done and
+                            // the chunk is exclusively this worker's.
+                            let systems = unsafe { &mut *shard.systems };
+                            let mut skipped = 0u64;
+                            for sys in systems.iter_mut() {
+                                if sys.next_activity() <= end {
+                                    sys.run_until(end);
+                                } else {
+                                    skipped += 1;
+                                }
+                            }
+                            unsafe { *shard.skipped += skipped };
+                            b.finish(idx, g);
+                        }
+                    })
+                })
+                .collect();
+            for h in &handles {
+                barrier.register_worker(h.thread().clone());
+            }
+            for k in 1..=total_epochs {
+                barrier.open(k);
+                barrier.wait_done(k);
+                // Exclusive section: all workers parked, all shard
+                // writes acquired.
+                self.exchange(k, warm_epochs);
+            }
+            barrier.shutdown();
+        });
+        self.skipped += worker_skipped.iter().sum::<u64>();
+    }
+
+    /// The epoch-barrier frame exchange: drain every NIC's egress,
+    /// present the union to the fabric in canonical `(wire-done time,
+    /// source NIC)` order, inject the deliveries, and reset the
+    /// measurement window at the warmup boundary.
+    fn exchange(&mut self, k: u64, warm_epochs: u64) {
+        let mut offers: Vec<(Ps, usize, Vec<u8>)> = Vec::new();
+        for (src, sys) in self.systems.iter_mut().enumerate() {
+            for (w, frame) in sys.take_egress() {
+                offers.push((w, src, frame));
+            }
+        }
+        // Wire-done times are unique per source (one serialized wire),
+        // so the key is total and unstable sorting is deterministic.
+        offers.sort_unstable_by_key(|(w, src, _)| (w.0, *src));
+        for (w, src, frame) in offers {
+            if let Some(d) = self.fabric.offer(w, src, frame) {
+                self.systems[d.dst].inject_rx(d.at, d.frame);
+            }
+        }
+        if k == warm_epochs {
+            let boundary = Ps(k * self.epoch.0);
+            for sys in &mut self.systems {
+                // Quiet NICs may have skipped up to this boundary:
+                // bring every clock to it so all windows are equal
+                // (a provable no-op for the skipped ones).
+                sys.run_until(boundary);
+                sys.reset_window();
+            }
+            self.fabric.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nicsim_net::workload::{Arrivals, Pattern, SizeMix};
+
+    fn small_cfg() -> FleetConfig {
+        FleetConfig {
+            nics: 4,
+            shards: 1,
+            nic: NicConfig::builder()
+                .cores(2)
+                .cpu_mhz(500)
+                .build()
+                .expect("valid test config"),
+            fabric: FabricConfig::default(),
+            workload: Workload {
+                pattern: Pattern::Uniform,
+                sizes: SizeMix::Fixed(256),
+                arrivals: Arrivals::Cbr,
+                fps: 50_000.0,
+                seed: 7,
+            },
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let horizon = Ps::from_us(100);
+        let mut cfg = small_cfg();
+        cfg.nics = 1;
+        assert!(Fleet::new(cfg, horizon).is_err());
+        let mut cfg = small_cfg();
+        cfg.shards = 9;
+        assert!(Fleet::new(cfg, horizon).is_err());
+        let mut cfg = small_cfg();
+        cfg.nic.send_enabled = false;
+        assert!(Fleet::new(cfg, horizon).is_err());
+        let mut cfg = small_cfg();
+        cfg.nic.offered_tx_fps = Some(1e6);
+        assert!(Fleet::new(cfg, horizon).is_err());
+        let mut cfg = small_cfg();
+        cfg.fabric.link_latency = Ps(1_000);
+        assert!(Fleet::new(cfg, horizon).is_err(), "epoch under one cycle");
+    }
+
+    #[test]
+    fn fleet_moves_frames_end_to_end() {
+        let warmup = Ps::from_us(200);
+        let window = Ps::from_us(300);
+        let mut fleet = Fleet::new(small_cfg(), Ps(warmup.0 + window.0)).unwrap();
+        let stats = fleet.run_measured(warmup, window);
+        assert_eq!(stats.per_nic.len(), 4);
+        let tx: u64 = stats.per_nic.iter().map(|s| s.tx_frames).sum();
+        let rx: u64 = stats.per_nic.iter().map(|s| s.rx_frames).sum();
+        assert!(tx > 0, "no fleet transmit traffic");
+        assert!(rx > 0, "no fleet receive traffic");
+        assert!(stats.fabric.delivered > 0, "fabric delivered nothing");
+        assert!(stats.goodput_gbps() > 0.0);
+        for s in &stats.per_nic {
+            assert_eq!(s.rx_corrupt, 0);
+            assert_eq!(s.rx_out_of_order, 0);
+            assert_eq!(s.tx_errors, 0);
+        }
+    }
+
+    #[test]
+    fn incast_victim_skips_epochs() {
+        let mut cfg = small_cfg();
+        cfg.workload.pattern = Pattern::Incast { target: 0 };
+        // Whole-epoch elision needs an idle NIC: polling cores never
+        // park (wake bound 1 every cycle), interrupt-dispatch cores do.
+        cfg.nic.dispatch = nicsim::DispatchMode::Interrupt;
+        let warmup = Ps::from_us(100);
+        let window = Ps::from_us(200);
+        let mut fleet = Fleet::new(cfg, Ps(warmup.0 + window.0)).unwrap();
+        let stats = fleet.run_measured(warmup, window);
+        assert!(
+            stats.per_nic[0].rx_frames > 0,
+            "incast target received nothing"
+        );
+        assert_eq!(stats.per_nic[0].tx_frames, 0, "incast victim transmitted");
+        assert!(
+            stats.nic_epochs_skipped > 0,
+            "quiet-epoch skipping never engaged"
+        );
+    }
+}

@@ -14,10 +14,11 @@
 //!   its in-order delivery.
 
 use crate::memory::HostMemory;
-use nicsim_net::frame::{build_udp_frame, validate_frame};
+use nicsim_net::frame::{build_udp_frame, set_endpoints, validate_frame};
+use nicsim_net::workload::TxPacket;
 use nicsim_obs::{Event, FaultUnit, NullProbe, Probe, RecoveryKind};
 use nicsim_sim::Ps;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Number of buffer descriptors in the send ring (two per frame).
 pub const SEND_BD_RING_ENTRIES: u32 = 1024;
@@ -154,6 +155,19 @@ pub struct DriverStats {
     pub tx_retries: u64,
 }
 
+/// Fleet-mode transmit state: a pre-computed schedule of addressed
+/// packets replaces the legacy saturating stream.
+#[derive(Debug)]
+struct FleetTx {
+    /// This host's NIC id; sequence numbers are namespaced `src << 24`
+    /// so they are globally unique across the fleet.
+    src: u16,
+    /// Time-sorted packets to post.
+    schedule: Vec<TxPacket>,
+    /// Next un-posted schedule index.
+    next: usize,
+}
+
 /// The device driver.
 #[derive(Debug)]
 pub struct Driver {
@@ -178,6 +192,13 @@ pub struct Driver {
     mailbox: Vec<MailboxWrite>,
     stats: DriverStats,
     window_start: Ps,
+    /// Fleet mode, entered via [`Driver::set_fleet`]; `None` preserves
+    /// the legacy single-link behavior bit-for-bit.
+    fleet: Option<FleetTx>,
+    /// Fleet mode: expected next sequence per source NIC (frames from
+    /// different sources interleave arbitrarily at the receiver, so
+    /// ordering is only meaningful per source).
+    rx_expected: HashMap<u16, u32>,
 }
 
 impl Driver {
@@ -200,7 +221,40 @@ impl Driver {
             mailbox: Vec::new(),
             stats: DriverStats::default(),
             window_start: Ps::ZERO,
+            fleet: None,
+            rx_expected: HashMap::new(),
         }
+    }
+
+    /// Enter fleet mode: post the given addressed schedule instead of
+    /// the legacy stream (sequence numbers become `src << 24 + n`, the
+    /// destination NIC id is stamped into each frame's MAC bytes), and
+    /// track receive ordering per source NIC. Every NIC in a fleet
+    /// enters this mode, senders and silent receivers alike.
+    pub fn set_fleet(&mut self, src: u16, schedule: Vec<TxPacket>) {
+        debug_assert!(schedule.windows(2).all(|p| p[0].at <= p[1].at));
+        self.fleet = Some(FleetTx {
+            src,
+            schedule,
+            next: 0,
+        });
+    }
+
+    /// Whether the next invocation's behavior depends on `now` even
+    /// with unchanged host memory: offered-load pacing, or un-posted
+    /// fleet schedule entries. The event kernel must not elide polls
+    /// while this holds.
+    pub fn time_sensitive(&self) -> bool {
+        self.cfg.offered_fps.is_some()
+            || self
+                .fleet
+                .as_ref()
+                .is_some_and(|f| f.next < f.schedule.len())
+    }
+
+    /// Fleet-schedule packets not yet posted.
+    pub fn fleet_pending(&self) -> usize {
+        self.fleet.as_ref().map_or(0, |f| f.schedule.len() - f.next)
     }
 
     /// The host-memory layout in use.
@@ -285,40 +339,80 @@ impl Driver {
         if budget == 0 {
             return completed_changed;
         }
+        if self.fleet.is_some() {
+            let mut posted = false;
+            while budget > 0 {
+                let fleet = self.fleet.as_ref().expect("fleet mode");
+                let (src, pkt) = match fleet.schedule.get(fleet.next) {
+                    Some(p) if p.at <= now => (fleet.src, *p),
+                    _ => break,
+                };
+                // Namespaced sequence: globally unique across the
+                // fleet, recoverable to the source via `seq >> 24`.
+                debug_assert!(self.tx_seq_next < 1 << 24, "fleet seq namespace overflow");
+                let seq = ((src as u32) << 24) | self.tx_seq_next;
+                let mut frame = build_udp_frame(seq, pkt.udp_payload);
+                set_endpoints(&mut frame, src, pkt.dst);
+                self.write_frame(now, mem, &frame, seq, probe);
+                self.fleet.as_mut().expect("fleet mode").next += 1;
+                budget -= 1;
+                posted = true;
+            }
+            if posted {
+                self.mailbox.push(MailboxWrite {
+                    reg: Mailbox::SendBdProd,
+                    value: self.tx_bd_prod,
+                });
+            }
+            return completed_changed || posted;
+        }
         for _ in 0..budget {
             let seq = self.tx_seq_next;
-            let slot = seq % SEND_FRAME_WINDOW;
             let frame = build_udp_frame(seq, self.cfg.udp_payload);
-            let eth_len = (frame.len() - 4) as u32; // MAC appends the FCS
-            let hdr_addr = self.layout.send_hdr_bufs + slot * 64 + 2;
-            let pay_addr = self.layout.send_pay_bufs + slot * 2048;
-            mem.write(hdr_addr, &frame[..HEADER_LEN as usize]);
-            mem.write(pay_addr, &frame[HEADER_LEN as usize..eth_len as usize]);
-            // Two BDs: header (FIRST) then payload (LAST).
-            let bd0 =
-                self.layout.send_bd_ring + (self.tx_bd_prod % SEND_BD_RING_ENTRIES) * BD_BYTES;
-            mem.write_u32(bd0, hdr_addr);
-            mem.write_u32(bd0 + 4, HEADER_LEN);
-            mem.write_u32(bd0 + 8, BD_FLAG_FIRST);
-            mem.write_u32(bd0 + 12, seq);
-            let bd1 = self.layout.send_bd_ring
-                + ((self.tx_bd_prod + 1) % SEND_BD_RING_ENTRIES) * BD_BYTES;
-            mem.write_u32(bd1, pay_addr);
-            mem.write_u32(bd1 + 4, eth_len - HEADER_LEN);
-            mem.write_u32(bd1 + 8, BD_FLAG_LAST);
-            mem.write_u32(bd1 + 12, seq);
-            self.tx_bd_prod += 2;
-            self.tx_seq_next += 1;
-            self.stats.tx_posted += 1;
-            if P::ENABLED {
-                probe.emit(Event::HostTxPost { seq, at: now });
-            }
+            self.write_frame(now, mem, &frame, seq, probe);
         }
         self.mailbox.push(MailboxWrite {
             reg: Mailbox::SendBdProd,
             value: self.tx_bd_prod,
         });
         true
+    }
+
+    /// Stage one frame into the send buffers and its two BDs into the
+    /// ring; `seq` is the wire sequence (stored in the BDs for the
+    /// firmware to carry through to the transmit ring).
+    fn write_frame<P: Probe>(
+        &mut self,
+        now: Ps,
+        mem: &mut HostMemory,
+        frame: &[u8],
+        seq: u32,
+        probe: &mut P,
+    ) {
+        let slot = self.tx_seq_next % SEND_FRAME_WINDOW;
+        let eth_len = (frame.len() - 4) as u32; // MAC appends the FCS
+        let hdr_addr = self.layout.send_hdr_bufs + slot * 64 + 2;
+        let pay_addr = self.layout.send_pay_bufs + slot * 2048;
+        mem.write(hdr_addr, &frame[..HEADER_LEN as usize]);
+        mem.write(pay_addr, &frame[HEADER_LEN as usize..eth_len as usize]);
+        // Two BDs: header (FIRST) then payload (LAST).
+        let bd0 = self.layout.send_bd_ring + (self.tx_bd_prod % SEND_BD_RING_ENTRIES) * BD_BYTES;
+        mem.write_u32(bd0, hdr_addr);
+        mem.write_u32(bd0 + 4, HEADER_LEN);
+        mem.write_u32(bd0 + 8, BD_FLAG_FIRST);
+        mem.write_u32(bd0 + 12, seq);
+        let bd1 =
+            self.layout.send_bd_ring + ((self.tx_bd_prod + 1) % SEND_BD_RING_ENTRIES) * BD_BYTES;
+        mem.write_u32(bd1, pay_addr);
+        mem.write_u32(bd1 + 4, eth_len - HEADER_LEN);
+        mem.write_u32(bd1 + 8, BD_FLAG_LAST);
+        mem.write_u32(bd1 + 12, seq);
+        self.tx_bd_prod += 2;
+        self.tx_seq_next += 1;
+        self.stats.tx_posted += 1;
+        if P::ENABLED {
+            probe.emit(Event::HostTxPost { seq, at: now });
+        }
     }
 
     fn post_rx_buffers(&mut self, mem: &mut HostMemory) -> bool {
@@ -375,7 +469,15 @@ impl Driver {
             let frame = mem.read(addr, len).to_vec();
             match validate_frame(&frame) {
                 Ok(info) => {
-                    if let Some(e) = self.rx_expected_seq {
+                    // In fleet mode ordering is tracked per source NIC
+                    // (recovered from the sequence namespace); frames
+                    // from different sources interleave freely.
+                    let expected = if self.fleet.is_some() {
+                        self.rx_expected.get(&((info.seq >> 24) as u16)).copied()
+                    } else {
+                        self.rx_expected_seq
+                    };
+                    if let Some(e) = expected {
                         if info.seq > e {
                             self.stats.rx_dropped += (info.seq - e) as u64;
                             if info.seq - e > 40 && self.ooo_samples.len() < 16 {
@@ -390,7 +492,12 @@ impl Driver {
                             }
                         }
                     }
-                    self.rx_expected_seq = Some(info.seq.wrapping_add(1));
+                    if self.fleet.is_some() {
+                        self.rx_expected
+                            .insert((info.seq >> 24) as u16, info.seq.wrapping_add(1));
+                    } else {
+                        self.rx_expected_seq = Some(info.seq.wrapping_add(1));
+                    }
                     self.stats.rx_frames += 1;
                     self.stats.rx_udp_payload_bytes += info.udp_payload as u64;
                     if P::ENABLED {
@@ -619,6 +726,77 @@ mod tests {
         let s = d.stats();
         assert_eq!(s.tx_retries, 3);
         assert_eq!(s.tx_posted, 13, "aborted frames re-posted beyond pacing");
+    }
+
+    #[test]
+    fn fleet_schedule_posts_addressed_namespaced_frames() {
+        use nicsim_net::frame::endpoints;
+        let (mut d, mut mem) = setup();
+        d.set_fleet(
+            3,
+            vec![
+                TxPacket {
+                    at: Ps::ZERO,
+                    dst: 1,
+                    udp_payload: 256,
+                },
+                TxPacket {
+                    at: Ps::from_us(5),
+                    dst: 2,
+                    udp_payload: 1472,
+                },
+            ],
+        );
+        assert!(d.time_sensitive());
+        d.tick(Ps::ZERO, &mut mem);
+        // Only the first packet is due.
+        assert_eq!(d.stats().tx_posted, 1);
+        assert_eq!(d.fleet_pending(), 1);
+        let l = d.layout();
+        let seq = mem.read_u32(l.send_bd_ring + 12);
+        assert_eq!(seq, 3 << 24);
+        // Reassemble and check addressing + validity.
+        let hdr_addr = mem.read_u32(l.send_bd_ring);
+        let pay_addr = mem.read_u32(l.send_bd_ring + 16);
+        let pay_len = mem.read_u32(l.send_bd_ring + 16 + 4);
+        let mut frame = mem.read(hdr_addr, HEADER_LEN).to_vec();
+        frame.extend_from_slice(mem.read(pay_addr, pay_len));
+        frame.extend_from_slice(&[0; 4]);
+        assert_eq!(endpoints(&frame), (3, 1));
+        assert_eq!(validate_frame(&frame).unwrap().seq, 3 << 24);
+        // The second packet posts once its time comes; then the
+        // schedule is drained and time sensitivity ends.
+        d.tick(Ps::from_us(5), &mut mem);
+        assert_eq!(d.stats().tx_posted, 2);
+        assert!(!d.time_sensitive());
+        assert_eq!(d.fleet_pending(), 0);
+    }
+
+    #[test]
+    fn fleet_rx_tracks_ordering_per_source() {
+        let (mut d, mut mem) = setup();
+        d.set_fleet(0, Vec::new());
+        d.tick(Ps::ZERO, &mut mem);
+        let l = d.layout();
+        // Interleaved sources 1 and 2; source 2 has a one-frame gap.
+        let seqs = [1u32 << 24, 2 << 24, (1 << 24) + 1, (2 << 24) + 2];
+        for (i, seq) in seqs.iter().enumerate() {
+            let frame = build_udp_frame(*seq, 100);
+            let addr = l.rx_bufs + (i as u32) * RX_BUF_BYTES + 2;
+            mem.write(addr, &frame);
+            let dsc = l.return_ring + i as u32 * BD_BYTES;
+            mem.write_u32(dsc, addr);
+            mem.write_u32(dsc + 4, frame.len() as u32);
+        }
+        mem.write_u32(l.status + 4, 4);
+        d.tick(Ps::from_us(1), &mut mem);
+        let s = d.stats();
+        assert_eq!(s.rx_frames, 4);
+        assert_eq!(
+            s.rx_out_of_order, 0,
+            "interleaving across sources is in-order"
+        );
+        assert_eq!(s.rx_dropped, 1, "source 2's gap is a drop");
     }
 
     #[test]

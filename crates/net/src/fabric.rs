@@ -1,0 +1,383 @@
+//! Output-queued switch/fabric model for multi-NIC fleet simulation.
+//!
+//! N NICs attach to one switch. A transmitted frame leaves its source
+//! NIC at wire-done time `w`, crosses the ingress link (one
+//! [`FabricConfig::link_latency`] hop), queues at the egress port for
+//! its destination, serializes onto the egress link at
+//! [`FabricConfig::link_gbps`], and arrives `link_latency` after its
+//! departure. Egress ports have finite buffers: a frame whose arrival
+//! would overflow [`FabricConfig::port_buffer_bytes`] is dropped — the
+//! incast-congestion behavior the fleet experiments measure.
+//!
+//! The model is deterministic and order-insensitive in a specific,
+//! load-bearing way: callers present frames in a canonical global order
+//! (non-decreasing wire-done time, ties broken by source id — the fleet
+//! engine sorts each epoch's union this way), and every queueing
+//! decision depends only on that order and the accumulated port state.
+//! Because each egress port serializes (its `busy_until` is monotone)
+//! and the egress hop latency is constant, per-destination delivery
+//! times are non-decreasing — the property the destination NIC's
+//! injection queue asserts.
+//!
+//! Every delivery and drop folds into an FNV-1a running digest, so two
+//! runs can be compared for identical fabric behavior (order included)
+//! with a single `u64`.
+
+use crate::frame::{endpoints, CRC_BYTES, HEADER_BYTES};
+use crate::link::ETH_OVERHEAD_BYTES;
+use nicsim_sim::Ps;
+use std::collections::VecDeque;
+
+/// Switch/fabric parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricConfig {
+    /// Per-port link bandwidth, Gb/s.
+    pub link_gbps: f64,
+    /// One-hop propagation latency (NIC→switch and switch→NIC each pay
+    /// one). The fleet epoch length is bounded by this: a frame leaving
+    /// a NIC during an epoch cannot arrive anywhere before the next
+    /// epoch boundary, because the path costs at least two hops.
+    pub link_latency: Ps,
+    /// Egress-port buffer capacity in bytes. Frames that would overflow
+    /// it are dropped at ingress.
+    pub port_buffer_bytes: u64,
+}
+
+impl Default for FabricConfig {
+    /// 10 Gb/s ports (matching the NIC MACs), 1 µs hop latency, 128 KB
+    /// of buffering per egress port — a shallow-buffered datacenter
+    /// switch, small enough that incast visibly drops.
+    fn default() -> FabricConfig {
+        FabricConfig {
+            link_gbps: 10.0,
+            link_latency: Ps::from_us(1),
+            port_buffer_bytes: 128 * 1024,
+        }
+    }
+}
+
+/// Per-egress-port accumulated counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortStats {
+    /// Frames delivered to this port's NIC.
+    pub delivered: u64,
+    /// Frames dropped at this port (buffer overflow).
+    pub dropped: u64,
+    /// Delivered frame bytes (including FCS).
+    pub delivered_bytes: u64,
+    /// Dropped frame bytes.
+    pub dropped_bytes: u64,
+    /// High-water mark of buffered bytes.
+    pub max_occupancy: u64,
+}
+
+/// Fleet-level fabric counters (sum of the ports plus the order
+/// digest).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Frames offered to the fabric.
+    pub offered: u64,
+    /// Frames delivered.
+    pub delivered: u64,
+    /// Frames dropped.
+    pub dropped: u64,
+    /// Delivered frame bytes.
+    pub delivered_bytes: u64,
+    /// Dropped frame bytes.
+    pub dropped_bytes: u64,
+    /// FNV-1a digest over every delivery and drop in processing order:
+    /// `(kind, src, dst, seq, time)`. Identical digests mean identical
+    /// fabric behavior, ordering included.
+    pub digest: u64,
+}
+
+/// One frame the fabric will hand to a destination NIC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Destination NIC index.
+    pub dst: usize,
+    /// Arrival time at the destination's MAC RX.
+    pub at: Ps,
+    /// The frame bytes, unchanged in flight.
+    pub frame: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct Port {
+    busy_until: Ps,
+    occupancy: u64,
+    /// Frames in the buffer: `(departure time, length)`. Drained lazily
+    /// as later frames arrive.
+    queued: VecDeque<(Ps, u64)>,
+    stats: PortStats,
+}
+
+/// The switch: per-destination egress ports plus global accounting.
+#[derive(Debug)]
+pub struct Fabric {
+    cfg: FabricConfig,
+    /// Egress serialization cost per byte, picoseconds (pre-computed so
+    /// the hot path is pure integer math).
+    ps_per_byte: u64,
+    ports: Vec<Port>,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// A fabric with one egress port per NIC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_gbps` is not positive or the hop latency is
+    /// zero (a zero-latency fabric admits no conservative epoch).
+    pub fn new(nics: usize, cfg: FabricConfig) -> Fabric {
+        assert!(
+            cfg.link_gbps > 0.0,
+            "fabric link bandwidth must be positive"
+        );
+        assert!(
+            cfg.link_latency > Ps::ZERO,
+            "fabric hop latency must be positive"
+        );
+        Fabric {
+            cfg,
+            // 1 Gb/s = 8000 ps per byte.
+            ps_per_byte: (8000.0 / cfg.link_gbps) as u64,
+            ports: (0..nics).map(|_| Port::default()).collect(),
+            stats: FabricStats {
+                digest: FNV_OFFSET,
+                ..FabricStats::default()
+            },
+        }
+    }
+
+    /// The configuration the fabric was built with.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// The minimum source-to-destination path latency: two hops plus
+    /// the serialization of a minimum-size frame. Any epoch no longer
+    /// than this is conservative — frames sent within an epoch cannot
+    /// arrive before it ends.
+    pub fn min_path_latency(&self) -> Ps {
+        Ps(self.cfg.link_latency.0 * 2)
+    }
+
+    /// Wire occupancy of `frame_len` bytes on a fabric port (preamble +
+    /// frame + interframe gap, like the NIC link model).
+    fn serialization(&self, frame_len: u64) -> Ps {
+        Ps((frame_len + ETH_OVERHEAD_BYTES) * self.ps_per_byte)
+    }
+
+    /// Offer one transmitted frame to the fabric: `src` finished
+    /// putting it on the wire at `w`. Returns its delivery, or `None`
+    /// if the egress buffer overflowed. Callers must present frames in
+    /// canonical order — non-decreasing `w`, ties broken by `src` —
+    /// for run-to-run identical behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame addresses a destination the fabric has no
+    /// port for.
+    pub fn offer(&mut self, w: Ps, src: usize, frame: Vec<u8>) -> Option<Delivery> {
+        let (_, dst) = endpoints(&frame);
+        let dst = dst as usize;
+        assert!(
+            dst < self.ports.len(),
+            "frame addressed to NIC {dst} of {}",
+            self.ports.len()
+        );
+        let len = frame.len() as u64;
+        let seq = u32::from_be_bytes([frame[42], frame[43], frame[44], frame[45]]);
+        self.stats.offered += 1;
+        let t_in = w + self.cfg.link_latency;
+        let serialization = self.serialization(len);
+        let port = &mut self.ports[dst];
+        // Drain frames that departed before this one arrived.
+        while port.queued.front().is_some_and(|(dep, _)| *dep <= t_in) {
+            let (_, gone) = port.queued.pop_front().expect("front checked");
+            port.occupancy -= gone;
+        }
+        if port.occupancy + len > self.cfg.port_buffer_bytes {
+            port.stats.dropped += 1;
+            port.stats.dropped_bytes += len;
+            self.stats.dropped += 1;
+            self.stats.dropped_bytes += len;
+            self.stats.digest = fnv_fold(self.stats.digest, 1, src, dst, seq, t_in);
+            return None;
+        }
+        let start = t_in.max(port.busy_until);
+        let departure = start + serialization;
+        port.busy_until = departure;
+        port.occupancy += len;
+        port.stats.max_occupancy = port.stats.max_occupancy.max(port.occupancy);
+        port.queued.push_back((departure, len));
+        port.stats.delivered += 1;
+        port.stats.delivered_bytes += len;
+        self.stats.delivered += 1;
+        self.stats.delivered_bytes += len;
+        let at = departure + self.cfg.link_latency;
+        self.stats.digest = fnv_fold(self.stats.digest, 0, src, dst, seq, at);
+        Some(Delivery { dst, at, frame })
+    }
+
+    /// Global counters and the order digest.
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// Per-port counters, indexed by destination NIC.
+    pub fn port_stats(&self) -> Vec<PortStats> {
+        self.ports.iter().map(|p| p.stats).collect()
+    }
+
+    /// Zero the counters and restart the digest, keeping queue state —
+    /// the fleet engine calls this at the warm-up/measure boundary so
+    /// stats cover the measurement window only.
+    pub fn reset_stats(&mut self) {
+        self.stats = FabricStats {
+            digest: FNV_OFFSET,
+            ..FabricStats::default()
+        };
+        for port in &mut self.ports {
+            port.stats = PortStats::default();
+        }
+    }
+}
+
+/// Frame length (including FCS) for a UDP payload of `udp_payload`
+/// bytes — the fabric-side mirror of the frame builder's padding rule.
+pub fn frame_len_for_payload(udp_payload: usize) -> usize {
+    (HEADER_BYTES + udp_payload).max(crate::frame::MIN_FRAME - CRC_BYTES) + CRC_BYTES
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut h: u64, kind: u8, src: usize, dst: usize, seq: u32, t: Ps) -> u64 {
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    eat(kind);
+    for b in (src as u32).to_le_bytes() {
+        eat(b);
+    }
+    for b in (dst as u32).to_le_bytes() {
+        eat(b);
+    }
+    for b in seq.to_le_bytes() {
+        eat(b);
+    }
+    for b in t.0.to_le_bytes() {
+        eat(b);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{build_udp_frame, set_endpoints};
+
+    fn addressed(seq: u32, payload: usize, src: u16, dst: u16) -> Vec<u8> {
+        let mut f = build_udp_frame(seq, payload);
+        set_endpoints(&mut f, src, dst);
+        f
+    }
+
+    #[test]
+    fn single_frame_pays_two_hops_plus_serialization() {
+        let cfg = FabricConfig::default();
+        let mut fab = Fabric::new(2, cfg);
+        let f = addressed(0, 1472, 0, 1);
+        let len = f.len() as u64;
+        let d = fab.offer(Ps::ZERO, 0, f).unwrap();
+        assert_eq!(d.dst, 1);
+        // hop + serialization + hop.
+        let expect = cfg.link_latency + Ps((len + ETH_OVERHEAD_BYTES) * 800) + cfg.link_latency;
+        assert_eq!(d.at, expect);
+    }
+
+    #[test]
+    fn port_serializes_and_deliveries_are_monotone() {
+        let mut fab = Fabric::new(3, FabricConfig::default());
+        // Two sources hit NIC 2 at the same instant: the second in
+        // canonical order queues behind the first.
+        let a = fab.offer(Ps::ZERO, 0, addressed(1, 1472, 0, 2)).unwrap();
+        let b = fab.offer(Ps::ZERO, 1, addressed(2, 1472, 1, 2)).unwrap();
+        assert!(b.at > a.at, "egress port must serialize");
+        assert_eq!(b.at - a.at, Ps((1518 + ETH_OVERHEAD_BYTES) * 800));
+    }
+
+    #[test]
+    fn incast_overflows_the_port_buffer() {
+        let cfg = FabricConfig {
+            port_buffer_bytes: 4000,
+            ..FabricConfig::default()
+        };
+        let mut fab = Fabric::new(9, cfg);
+        let mut delivered = 0;
+        for src in 0..8u16 {
+            // All sources burst a max frame at t=0 toward NIC 8.
+            if fab
+                .offer(Ps::ZERO, src as usize, addressed(src as u32, 1472, src, 8))
+                .is_some()
+            {
+                delivered += 1;
+            }
+        }
+        // 4000 bytes of buffer holds two 1518-byte frames.
+        assert_eq!(delivered, 2);
+        let s = fab.stats();
+        assert_eq!(s.offered, 8);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.dropped, 6);
+        assert_eq!(fab.port_stats()[8].dropped, 6);
+    }
+
+    #[test]
+    fn buffer_drains_as_frames_depart() {
+        let cfg = FabricConfig {
+            port_buffer_bytes: 2000,
+            ..FabricConfig::default()
+        };
+        let mut fab = Fabric::new(2, cfg);
+        let first = fab.offer(Ps::ZERO, 0, addressed(0, 1472, 0, 1)).unwrap();
+        // Offered long after the first departs: the buffer is empty again.
+        let late = first.at + Ps::from_us(100);
+        assert!(fab.offer(late, 0, addressed(1, 1472, 0, 1)).is_some());
+        assert_eq!(fab.stats().dropped, 0);
+    }
+
+    #[test]
+    fn identical_sequences_produce_identical_digests() {
+        let run = || {
+            let mut fab = Fabric::new(4, FabricConfig::default());
+            for i in 0..50u32 {
+                let src = (i % 3) as u16;
+                fab.offer(Ps(i as u64 * 1000), src as usize, addressed(i, 256, src, 3));
+            }
+            fab.stats()
+        };
+        assert_eq!(run(), run());
+        // A different order produces a different digest.
+        let mut fab = Fabric::new(4, FabricConfig::default());
+        for i in (0..50u32).rev() {
+            let src = (i % 3) as u16;
+            fab.offer(Ps(49_000), src as usize, addressed(i, 256, src, 3));
+        }
+        assert_ne!(fab.stats().digest, run().digest);
+    }
+
+    #[test]
+    fn frame_len_matches_builder() {
+        for payload in [4usize, 18, 100, 1472] {
+            assert_eq!(
+                frame_len_for_payload(payload),
+                build_udp_frame(0, payload).len()
+            );
+        }
+    }
+}

@@ -142,6 +142,34 @@ pub fn build_udp_frame(seq: u32, udp_payload: usize) -> Vec<u8> {
     f
 }
 
+/// Stamp fleet endpoint ids into the Ethernet MAC addresses: `dst` into
+/// the low two bytes of the destination MAC, `src` into the low two
+/// bytes of the source MAC. [`validate_frame`] never inspects MAC
+/// addresses, so an addressed frame still validates end-to-end — the
+/// fabric and the receiving driver read the ids back with
+/// [`endpoints`].
+///
+/// # Panics
+///
+/// Panics if the frame is shorter than an Ethernet header.
+pub fn set_endpoints(frame: &mut [u8], src: u16, dst: u16) {
+    frame[4..6].copy_from_slice(&dst.to_be_bytes());
+    frame[10..12].copy_from_slice(&src.to_be_bytes());
+}
+
+/// Read back the `(src, dst)` endpoint ids stamped by
+/// [`set_endpoints`]. Frames built by [`build_udp_frame`] without
+/// addressing report `(2, 1)` — the default MAC address tails.
+///
+/// # Panics
+///
+/// Panics if the frame is shorter than an Ethernet header.
+pub fn endpoints(frame: &[u8]) -> (u16, u16) {
+    let dst = u16::from_be_bytes([frame[4], frame[5]]);
+    let src = u16::from_be_bytes([frame[10], frame[11]]);
+    (src, dst)
+}
+
 /// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`,
 /// computed with a compile-time 256-entry table. The MAC RX path checks
 /// this when a fault plan is active; clean-path runs never compute it.
@@ -294,6 +322,15 @@ mod tests {
     #[should_panic(expected = "exceeds")]
     fn oversized_payload_panics() {
         build_udp_frame(0, 1473);
+    }
+
+    #[test]
+    fn endpoints_roundtrip_without_breaking_validation() {
+        let mut f = build_udp_frame(9, 600);
+        assert_eq!(endpoints(&f), (2, 1));
+        set_endpoints(&mut f, 37, 1001);
+        assert_eq!(endpoints(&f), (37, 1001));
+        assert_eq!(validate_frame(&f).unwrap().seq, 9);
     }
 
     #[test]

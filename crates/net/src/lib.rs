@@ -7,8 +7,12 @@
 //! frame, CRC, interframe gap — and provides the traffic generator and
 //! transmit-side monitor that the simulator's "network model" is made of.
 
+pub mod fabric;
 pub mod frame;
 pub mod link;
+pub mod workload;
 
-pub use frame::{build_udp_frame, validate_frame, FrameError, FrameInfo};
+pub use fabric::{Delivery, Fabric, FabricConfig, FabricStats, PortStats};
+pub use frame::{build_udp_frame, endpoints, set_endpoints, validate_frame, FrameError, FrameInfo};
 pub use link::{line_rate_fps, max_udp_throughput_gbps, wire_time, RxGenerator, TxMonitor};
+pub use workload::{Arrivals, Pattern, SizeMix, TxPacket, Workload};

@@ -9,6 +9,7 @@
 use crate::frame::{build_udp_frame, validate_frame, write_fcs, FrameError};
 use nicsim_fault::{LinkFault, LinkFaults};
 use nicsim_sim::Ps;
+use std::collections::VecDeque;
 
 /// Preamble + interframe gap, in bytes of wire time.
 pub const ETH_OVERHEAD_BYTES: u64 = 8 + 12;
@@ -51,6 +52,11 @@ pub struct RxGenerator {
     /// What happened to the most recently polled frame, for the MAC RX
     /// side to label its probe events.
     last_injection: Option<LinkFault>,
+    /// External-feed mode: instead of synthesizing frames, serve the
+    /// queue filled by [`RxGenerator::inject`] (fleet fabric
+    /// deliveries). Arrival times are required to be non-decreasing.
+    external: bool,
+    injections: VecDeque<(Ps, Vec<u8>)>,
 }
 
 impl RxGenerator {
@@ -65,6 +71,8 @@ impl RxGenerator {
             enabled: true,
             faults: None,
             last_injection: None,
+            external: false,
+            injections: VecDeque::new(),
         }
     }
 
@@ -80,6 +88,33 @@ impl RxGenerator {
         self.enabled = false;
     }
 
+    /// Switch to external-feed mode: synthetic generation stops and the
+    /// link delivers exactly the frames queued via
+    /// [`RxGenerator::inject`], at their queued arrival times. The
+    /// fleet fabric uses this to drive a NIC's receive path with frames
+    /// transmitted by other NICs.
+    pub fn set_external(&mut self) {
+        self.enabled = false;
+        self.external = true;
+    }
+
+    /// Queue a frame for delivery at `at` (external-feed mode).
+    /// Arrival times must be non-decreasing — the fabric's per-port
+    /// serialization guarantees this for each destination.
+    pub fn inject(&mut self, at: Ps, frame: Vec<u8>) {
+        debug_assert!(self.external, "inject on a synthesizing generator");
+        debug_assert!(
+            self.injections.back().is_none_or(|(last, _)| *last <= at),
+            "injections must arrive in non-decreasing time order"
+        );
+        self.injections.push_back((at, frame));
+    }
+
+    /// Frames queued but not yet delivered (external-feed mode).
+    pub fn pending_injections(&self) -> usize {
+        self.injections.len()
+    }
+
     /// Sequence number of the next frame to be generated.
     pub fn next_seq(&self) -> u32 {
         self.seq
@@ -89,6 +124,9 @@ impl RxGenerator {
     /// event-driven kernel's bound on how far it may skip while the
     /// receive path is otherwise idle.
     pub fn next_arrival(&self) -> Ps {
+        if self.external {
+            return self.injections.front().map_or(Ps::MAX, |(at, _)| *at);
+        }
         if self.enabled {
             self.next_at
         } else {
@@ -118,6 +156,12 @@ impl RxGenerator {
 
     /// Produce the next frame if its arrival time has come.
     pub fn poll(&mut self, now: Ps) -> Option<(Ps, Vec<u8>)> {
+        if self.external {
+            if self.injections.front().is_some_and(|(at, _)| *at <= now) {
+                return self.injections.pop_front();
+            }
+            return None;
+        }
         if !self.enabled || now < self.next_at {
             return None;
         }
@@ -316,6 +360,26 @@ mod tests {
         let mut g = RxGenerator::new(100);
         g.disable();
         assert!(g.poll(Ps::from_ms(5)).is_none());
+    }
+
+    #[test]
+    fn external_generator_serves_injections_in_order() {
+        let mut g = RxGenerator::new(100);
+        g.set_external();
+        assert_eq!(g.next_arrival(), Ps::MAX);
+        assert!(g.poll(Ps::from_ms(1)).is_none());
+        g.inject(Ps(500), build_udp_frame(7, 100));
+        g.inject(Ps(900), build_udp_frame(8, 100));
+        assert_eq!(g.next_arrival(), Ps(500));
+        assert_eq!(g.pending_injections(), 2);
+        assert!(g.poll(Ps(499)).is_none());
+        let (at, f) = g.poll(Ps(500)).unwrap();
+        assert_eq!(at, Ps(500));
+        assert_eq!(validate_frame(&f).unwrap().seq, 7);
+        let (at, f) = g.poll(Ps(2000)).unwrap();
+        assert_eq!(at, Ps(900));
+        assert_eq!(validate_frame(&f).unwrap().seq, 8);
+        assert_eq!(g.next_arrival(), Ps::MAX);
     }
 
     #[test]

@@ -1,0 +1,541 @@
+//! Flow-level workload generation for fleet runs.
+//!
+//! The paper's evaluation drives one NIC with fixed-size full-duplex
+//! UDP streams; a fleet needs richer offered load. A [`Workload`]
+//! describes who talks to whom (traffic matrix), how big the datagrams
+//! are (fixed, bimodal, or bounded-Pareto heavy tail), and when they
+//! leave (constant-rate, Poisson, or bursty arrivals). From it,
+//! [`Workload::schedule`] derives a per-NIC transmit schedule — a
+//! time-sorted list of [`TxPacket`]s — that the host driver posts
+//! instead of the legacy back-to-back stream.
+//!
+//! Everything is deterministic in `(seed, nic)`: each NIC draws from
+//! its own `XorShift64` stream, so schedules are identical however the
+//! fleet is sharded and whatever order NICs are built in.
+
+use crate::frame::MAX_UDP_PAYLOAD;
+use nicsim_fault::XorShift64;
+use nicsim_sim::Ps;
+
+/// Who each NIC sends to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Every packet picks a uniform-random destination (never self).
+    Uniform,
+    /// NIC `i` sends only to NIC `(i + shift) mod n` — a permutation
+    /// matrix with no egress contention at the fabric.
+    Permutation {
+        /// Destination offset (0 is remapped to 1: self-traffic is
+        /// meaningless).
+        shift: usize,
+    },
+    /// A fraction of traffic converges on one hot NIC; the rest is
+    /// uniform.
+    Hotspot {
+        /// The hot destination.
+        target: usize,
+        /// Probability each packet goes to the target.
+        fraction: f64,
+    },
+    /// All other NICs send to `target`; the target sends nothing. The
+    /// classic incast drop experiment.
+    Incast {
+        /// The victim NIC.
+        target: usize,
+    },
+}
+
+/// Datagram size distribution (UDP payload bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeMix {
+    /// Every datagram carries the same payload size.
+    Fixed(usize),
+    /// Small/large mix: `small_frac` of packets are `small` bytes, the
+    /// rest `large` — the bimodal shape of real datacenter traces.
+    Bimodal {
+        /// Small payload size.
+        small: usize,
+        /// Large payload size.
+        large: usize,
+        /// Fraction of packets that are small.
+        small_frac: f64,
+    },
+    /// Bounded Pareto: heavy-tailed sizes `min / (1-u)^(1/alpha)`
+    /// clamped to `[min, 1472]`.
+    Pareto {
+        /// Minimum payload size (also the distribution scale).
+        min: usize,
+        /// Tail index; smaller is heavier.
+        alpha: f64,
+    },
+}
+
+/// Packet departure process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrivals {
+    /// Constant bit rate: evenly spaced at the offered rate.
+    Cbr,
+    /// Poisson: exponential inter-arrival gaps at the offered rate.
+    Poisson,
+    /// On/off bursts: `burst` back-to-back packets (wire-spaced), then
+    /// an exponential gap sized so the long-run rate matches.
+    Bursty {
+        /// Packets per burst.
+        burst: usize,
+    },
+}
+
+/// A complete fleet workload description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Traffic matrix.
+    pub pattern: Pattern,
+    /// Datagram size distribution.
+    pub sizes: SizeMix,
+    /// Departure process.
+    pub arrivals: Arrivals,
+    /// Offered load per sending NIC, frames per second.
+    pub fps: f64,
+    /// Master seed; NIC `i` draws from site `i`.
+    pub seed: u64,
+}
+
+impl Default for Workload {
+    /// Uniform pattern, fixed 1472-byte datagrams, CBR at 100k fps.
+    fn default() -> Workload {
+        Workload {
+            pattern: Pattern::Uniform,
+            sizes: SizeMix::Fixed(MAX_UDP_PAYLOAD),
+            arrivals: Arrivals::Cbr,
+            fps: 100_000.0,
+            seed: 1,
+        }
+    }
+}
+
+/// One scheduled transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxPacket {
+    /// Earliest time the driver may post it.
+    pub at: Ps,
+    /// Destination NIC id.
+    pub dst: u16,
+    /// UDP payload bytes.
+    pub udp_payload: usize,
+}
+
+impl Workload {
+    /// Parse a workload spec: comma-separated `key=value` pairs.
+    ///
+    /// Keys: `pattern` (`uniform` | `permutation` | `hotspot` |
+    /// `incast`), `target` (hotspot/incast destination, default 0),
+    /// `shift` (permutation offset, default 1), `fraction` (hotspot
+    /// share, default 0.5), `size` (fixed payload bytes), `small` /
+    /// `large` / `small_frac` (bimodal mix), `pareto_min` / `alpha`
+    /// (bounded Pareto), `arrivals` (`cbr` | `poisson` | `bursty`),
+    /// `burst` (packets per burst, default 16), `fps`, `seed`.
+    ///
+    /// Example: `pattern=incast,target=0,fps=400000,size=1472,seed=7`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed pair.
+    pub fn parse(spec: &str) -> Result<Workload, String> {
+        let mut w = Workload::default();
+        let mut bimodal = (64usize, MAX_UDP_PAYLOAD, 0.9f64);
+        let mut pareto = (64usize, 1.2f64);
+        for pair in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, val) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("workload: expected key=value, got '{pair}'"))?;
+            let num = |v: &str| -> Result<f64, String> { v.parse().map_err(|_| bad(key, v)) };
+            let int = |v: &str| -> Result<usize, String> { v.parse().map_err(|_| bad(key, v)) };
+            match key {
+                "pattern" => {
+                    w.pattern = match val {
+                        "uniform" => Pattern::Uniform,
+                        "permutation" => Pattern::Permutation { shift: 1 },
+                        "hotspot" => Pattern::Hotspot {
+                            target: 0,
+                            fraction: 0.5,
+                        },
+                        "incast" => Pattern::Incast { target: 0 },
+                        _ => return Err(bad(key, val)),
+                    }
+                }
+                "target" => {
+                    let t = int(val)?;
+                    match &mut w.pattern {
+                        Pattern::Hotspot { target, .. } | Pattern::Incast { target } => {
+                            *target = t;
+                        }
+                        _ => return Err("workload: target needs hotspot/incast".into()),
+                    }
+                }
+                "shift" => match &mut w.pattern {
+                    Pattern::Permutation { shift } => *shift = int(val)?,
+                    _ => return Err("workload: shift needs pattern=permutation".into()),
+                },
+                "fraction" => match &mut w.pattern {
+                    Pattern::Hotspot { fraction, .. } => *fraction = num(val)?,
+                    _ => return Err("workload: fraction needs pattern=hotspot".into()),
+                },
+                "size" => w.sizes = SizeMix::Fixed(int(val)?),
+                "small" => {
+                    bimodal.0 = int(val)?;
+                    w.sizes = SizeMix::Bimodal {
+                        small: bimodal.0,
+                        large: bimodal.1,
+                        small_frac: bimodal.2,
+                    };
+                }
+                "large" => {
+                    bimodal.1 = int(val)?;
+                    w.sizes = SizeMix::Bimodal {
+                        small: bimodal.0,
+                        large: bimodal.1,
+                        small_frac: bimodal.2,
+                    };
+                }
+                "small_frac" => {
+                    bimodal.2 = num(val)?;
+                    w.sizes = SizeMix::Bimodal {
+                        small: bimodal.0,
+                        large: bimodal.1,
+                        small_frac: bimodal.2,
+                    };
+                }
+                "pareto_min" => {
+                    pareto.0 = int(val)?;
+                    w.sizes = SizeMix::Pareto {
+                        min: pareto.0,
+                        alpha: pareto.1,
+                    };
+                }
+                "alpha" => {
+                    pareto.1 = num(val)?;
+                    w.sizes = SizeMix::Pareto {
+                        min: pareto.0,
+                        alpha: pareto.1,
+                    };
+                }
+                "arrivals" => {
+                    w.arrivals = match val {
+                        "cbr" => Arrivals::Cbr,
+                        "poisson" => Arrivals::Poisson,
+                        "bursty" => Arrivals::Bursty { burst: 16 },
+                        _ => return Err(bad(key, val)),
+                    }
+                }
+                "burst" => match &mut w.arrivals {
+                    Arrivals::Bursty { burst } => *burst = int(val)?.max(1),
+                    _ => return Err("workload: burst needs arrivals=bursty".into()),
+                },
+                "fps" => w.fps = num(val)?,
+                "seed" => w.seed = val.parse().map_err(|_| bad(key, val))?,
+                _ => return Err(format!("workload: unknown key '{key}'")),
+            }
+        }
+        w.validate()?;
+        Ok(w)
+    }
+
+    /// Check internal consistency against a fleet of `nics` NICs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn check(&self, nics: usize) -> Result<(), String> {
+        self.validate()?;
+        if nics < 2 {
+            return Err("workload: a fleet needs at least 2 NICs".into());
+        }
+        let target = match self.pattern {
+            Pattern::Hotspot { target, .. } | Pattern::Incast { target } => Some(target),
+            _ => None,
+        };
+        if let Some(t) = target {
+            if t >= nics {
+                return Err(format!("workload: target {t} out of range for {nics} NICs"));
+            }
+        }
+        Ok(())
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        // NaN must fail too, so the comparison is kept exclusionary.
+        if self.fps.is_nan() || self.fps <= 0.0 {
+            return Err("workload: fps must be positive".into());
+        }
+        let ok_size = |s: usize| (4..=MAX_UDP_PAYLOAD).contains(&s);
+        let sizes_ok = match self.sizes {
+            SizeMix::Fixed(s) => ok_size(s),
+            SizeMix::Bimodal {
+                small,
+                large,
+                small_frac,
+            } => ok_size(small) && ok_size(large) && (0.0..=1.0).contains(&small_frac),
+            SizeMix::Pareto { min, alpha } => ok_size(min) && alpha > 0.0,
+        };
+        if !sizes_ok {
+            return Err("workload: payload sizes must be 4..=1472".into());
+        }
+        if let Pattern::Hotspot { fraction, .. } = self.pattern {
+            if !(0.0..=1.0).contains(&fraction) {
+                return Err("workload: hotspot fraction must be in [0,1]".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `nic` transmits at all under this workload (the incast
+    /// victim does not).
+    pub fn sends(&self, nic: usize) -> bool {
+        !matches!(self.pattern, Pattern::Incast { target } if target == nic)
+    }
+
+    /// The transmit schedule for `nic` in a fleet of `nics`, covering
+    /// `[0, horizon)`. Deterministic in `(seed, nic)` and independent
+    /// of every other NIC's draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails [`Workload::check`] for this fleet
+    /// size.
+    pub fn schedule(&self, nic: usize, nics: usize, horizon: Ps) -> Vec<TxPacket> {
+        self.check(nics).expect("workload consistent with fleet");
+        let mut out = Vec::new();
+        if !self.sends(nic) {
+            return out;
+        }
+        let mut rng = XorShift64::for_site(self.seed, nic as u64);
+        let mean_gap = 1e12 / self.fps; // ps
+        let mut t = Ps::ZERO;
+        // Stagger NIC start phases under CBR so the fleet's aggregate
+        // isn't a lockstep impulse train (Poisson/bursty already
+        // de-phase naturally).
+        if matches!(self.arrivals, Arrivals::Cbr) {
+            t = Ps((uniform(&mut rng) * mean_gap) as u64);
+        }
+        let mut burst_left = 0usize;
+        while t < horizon {
+            let dst = self.pick_dst(&mut rng, nic, nics);
+            let udp_payload = self.pick_size(&mut rng);
+            out.push(TxPacket {
+                at: t,
+                dst: dst as u16,
+                udp_payload,
+            });
+            let gap = match self.arrivals {
+                Arrivals::Cbr => mean_gap,
+                Arrivals::Poisson => exp_gap(&mut rng, mean_gap),
+                Arrivals::Bursty { burst } => {
+                    if burst_left == 0 {
+                        burst_left = burst;
+                    }
+                    burst_left -= 1;
+                    if burst_left > 0 {
+                        // Back-to-back within the burst: one wire time.
+                        crate::link::wire_time(crate::fabric::frame_len_for_payload(udp_payload)).0
+                            as f64
+                    } else {
+                        // The off period carries the rest of the
+                        // burst's share of the mean spacing.
+                        exp_gap(&mut rng, mean_gap * burst as f64)
+                    }
+                }
+            };
+            t += Ps((gap.max(1.0)) as u64);
+        }
+        out
+    }
+
+    fn pick_dst(&self, rng: &mut XorShift64, nic: usize, nics: usize) -> usize {
+        match self.pattern {
+            Pattern::Uniform => uniform_peer(rng, nic, nics),
+            Pattern::Permutation { shift } => {
+                let s = if shift % nics == 0 { 1 } else { shift % nics };
+                (nic + s) % nics
+            }
+            Pattern::Hotspot { target, fraction } => {
+                if uniform(rng) < fraction && target != nic {
+                    target
+                } else {
+                    uniform_peer(rng, nic, nics)
+                }
+            }
+            Pattern::Incast { target } => target,
+        }
+    }
+
+    fn pick_size(&self, rng: &mut XorShift64) -> usize {
+        match self.sizes {
+            SizeMix::Fixed(s) => s,
+            SizeMix::Bimodal {
+                small,
+                large,
+                small_frac,
+            } => {
+                if uniform(rng) < small_frac {
+                    small
+                } else {
+                    large
+                }
+            }
+            SizeMix::Pareto { min, alpha } => {
+                let u = uniform(rng);
+                let x = min as f64 / (1.0 - u).powf(1.0 / alpha);
+                (x as usize).clamp(min, MAX_UDP_PAYLOAD)
+            }
+        }
+    }
+}
+
+fn bad(key: &str, val: &str) -> String {
+    format!("workload: bad value '{val}' for '{key}'")
+}
+
+/// Uniform draw in [0, 1) from the top 53 bits of the stream.
+fn uniform(rng: &mut XorShift64) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Exponential inter-arrival gap with the given mean (ps).
+fn exp_gap(rng: &mut XorShift64, mean: f64) -> f64 {
+    let u = uniform(rng);
+    -(1.0 - u).ln() * mean
+}
+
+/// A uniform destination that is never `nic` itself.
+fn uniform_peer(rng: &mut XorShift64, nic: usize, nics: usize) -> usize {
+    let d = rng.below(nics as u64 - 1) as usize;
+    if d >= nic {
+        d + 1
+    } else {
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_per_nic_independent() {
+        let w = Workload {
+            arrivals: Arrivals::Poisson,
+            sizes: SizeMix::Pareto {
+                min: 64,
+                alpha: 1.3,
+            },
+            ..Workload::default()
+        };
+        let a = w.schedule(3, 8, Ps::from_ms(2));
+        let b = w.schedule(3, 8, Ps::from_ms(2));
+        assert_eq!(a, b);
+        assert_ne!(a, w.schedule(4, 8, Ps::from_ms(2)));
+    }
+
+    #[test]
+    fn cbr_rate_is_respected() {
+        let w = Workload {
+            fps: 200_000.0,
+            ..Workload::default()
+        };
+        let s = w.schedule(0, 4, Ps::from_ms(1));
+        // 1 ms at 200k fps = 200 packets (±1 for the phase stagger).
+        assert!((199..=201).contains(&s.len()), "{} packets", s.len());
+        assert!(s.windows(2).all(|p| p[0].at < p[1].at));
+    }
+
+    #[test]
+    fn incast_victim_is_silent_and_others_converge() {
+        let w = Workload {
+            pattern: Pattern::Incast { target: 2 },
+            ..Workload::default()
+        };
+        assert!(w.schedule(2, 4, Ps::from_ms(1)).is_empty());
+        let s = w.schedule(0, 4, Ps::from_ms(1));
+        assert!(!s.is_empty());
+        assert!(s.iter().all(|p| p.dst == 2));
+    }
+
+    #[test]
+    fn uniform_never_targets_self() {
+        let w = Workload::default();
+        for nic in 0..4 {
+            assert!(w
+                .schedule(nic, 4, Ps::from_ms(1))
+                .iter()
+                .all(|p| p.dst as usize != nic));
+        }
+    }
+
+    #[test]
+    fn pareto_sizes_are_bounded_and_varied() {
+        let w = Workload {
+            sizes: SizeMix::Pareto {
+                min: 64,
+                alpha: 1.1,
+            },
+            arrivals: Arrivals::Poisson,
+            ..Workload::default()
+        };
+        let s = w.schedule(0, 4, Ps::from_ms(4));
+        assert!(s.iter().all(|p| (64..=1472).contains(&p.udp_payload)));
+        let smalls = s.iter().filter(|p| p.udp_payload < 128).count();
+        let bigs = s.iter().filter(|p| p.udp_payload > 512).count();
+        assert!(smalls > 0 && bigs > 0, "smalls={smalls} bigs={bigs}");
+    }
+
+    #[test]
+    fn parse_round_trips_the_interesting_specs() {
+        let w = Workload::parse("pattern=incast,target=3,fps=400000,size=256,seed=9").unwrap();
+        assert_eq!(w.pattern, Pattern::Incast { target: 3 });
+        assert_eq!(w.fps, 400_000.0);
+        assert_eq!(w.sizes, SizeMix::Fixed(256));
+        assert_eq!(w.seed, 9);
+        let w = Workload::parse("pattern=hotspot,target=1,fraction=0.8,arrivals=bursty,burst=8")
+            .unwrap();
+        assert_eq!(
+            w.pattern,
+            Pattern::Hotspot {
+                target: 1,
+                fraction: 0.8
+            }
+        );
+        assert_eq!(w.arrivals, Arrivals::Bursty { burst: 8 });
+        let w = Workload::parse("pareto_min=64,alpha=1.5,arrivals=poisson").unwrap();
+        assert_eq!(
+            w.sizes,
+            SizeMix::Pareto {
+                min: 64,
+                alpha: 1.5
+            }
+        );
+        assert!(Workload::parse("pattern=starlight").is_err());
+        assert!(Workload::parse("shift=2").is_err());
+        assert!(Workload::parse("nonsense").is_err());
+    }
+
+    #[test]
+    fn check_rejects_out_of_range_targets() {
+        let w = Workload::parse("pattern=incast,target=9").unwrap();
+        assert!(w.check(4).is_err());
+        assert!(w.check(16).is_ok());
+    }
+
+    #[test]
+    fn bursty_long_run_rate_is_close() {
+        let w = Workload {
+            arrivals: Arrivals::Bursty { burst: 8 },
+            fps: 100_000.0,
+            sizes: SizeMix::Fixed(256),
+            ..Workload::default()
+        };
+        let s = w.schedule(1, 4, Ps::from_ms(20));
+        // 20 ms at 100k fps = 2000 packets; allow generous slack for
+        // the stochastic off periods.
+        assert!((1200..=2800).contains(&s.len()), "{} packets", s.len());
+    }
+}

@@ -214,6 +214,38 @@ impl FrameTracker {
                 .collect(),
         }
     }
+
+    /// Fold another tracker's records into this one — the fleet path to
+    /// cross-NIC percentiles: each NIC keeps its own tracker during the
+    /// run, and the merged tracker's [`FrameTracker::summary`] weighs
+    /// every frame individually, exactly as if one tracker had observed
+    /// the whole fleet (asserted by `merge_matches_combined_tracker`).
+    ///
+    /// Sequence keys must not collide across trackers (fleet sequence
+    /// numbers are namespaced per source NIC, so they never do); if a
+    /// key does appear in both, the records are joined field-by-field
+    /// with `other` filling this tracker's gaps — the TX half observed
+    /// at the source and the RX half at the destination combine into
+    /// one frame's view.
+    ///
+    /// The later window start wins, so merged summaries use the same
+    /// measurement boundary as the per-NIC ones.
+    pub fn merge(&mut self, other: &FrameTracker) {
+        for (seq, r) in &other.tx {
+            let mine = self.tx.entry(*seq).or_default();
+            mine.posted = mine.posted.or(r.posted);
+            mine.fetched = mine.fetched.or(r.fetched);
+            mine.wire_start = mine.wire_start.or(r.wire_start);
+            mine.wire_done = mine.wire_done.or(r.wire_done);
+        }
+        for (seq, r) in &other.rx {
+            let mine = self.rx.entry(*seq).or_default();
+            mine.arrival = mine.arrival.or(r.arrival);
+            mine.desc = mine.desc.or(r.desc);
+            mine.delivered = mine.delivered.or(r.delivered);
+        }
+        self.window_start = self.window_start.max(other.window_start);
+    }
 }
 
 /// Nearest-rank percentile over a sorted slice.
@@ -384,6 +416,75 @@ mod tests {
         t.emit(Event::MacTxFetch { seq: 3, at: Ps(60) });
         assert!(t.violations().is_empty());
         assert_eq!(t.summary().tx_frames, 0, "incomplete frames not counted");
+    }
+
+    #[test]
+    fn merge_matches_combined_tracker() {
+        // Three "NICs" with namespaced sequences and very different
+        // latency scales, so the fleet percentiles genuinely depend on
+        // every tracker's weight.
+        let mut combined = FrameTracker::new();
+        let mut parts: Vec<FrameTracker> = (0..3).map(|_| FrameTracker::new()).collect();
+        for nic in 0..3u32 {
+            for n in 0..(10 + nic * 7) {
+                let seq = (nic << 24) | n;
+                let base = (nic as u64 + 1) * 1000 * n as u64;
+                tx_frame(&mut parts[nic as usize], seq, base);
+                tx_frame(&mut combined, seq, base);
+                // RX half observed on a different tracker than TX, as
+                // in a fleet (source tracks TX, destination tracks RX).
+                let rx_on = ((nic + 1) % 3) as usize;
+                for t in [&mut parts[rx_on], &mut combined] {
+                    t.emit(Event::MacRxArrival {
+                        seq,
+                        len: 1514,
+                        dropped: false,
+                        at: Ps(base + 2000),
+                    });
+                    t.emit(Event::MacRxDescPublish {
+                        seq,
+                        at: Ps(base + 2000 + 300 * (nic as u64 + 1)),
+                    });
+                    t.emit(Event::HostRxDeliver {
+                        seq,
+                        udp_payload: 1472,
+                        at: Ps(base + 4000 + 500 * (nic as u64 + 1)),
+                    });
+                }
+            }
+        }
+        let mut merged = FrameTracker::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        let (a, b) = (merged.summary(), combined.summary());
+        assert_eq!(a.tx_frames, b.tx_frames);
+        assert_eq!(a.rx_frames, b.rx_frames);
+        for (x, y) in a.tx_stages.iter().zip(&b.tx_stages) {
+            assert_eq!(x.count, y.count);
+            assert_eq!(x.mean_ps, y.mean_ps);
+            assert_eq!(x.p50_ps, y.p50_ps);
+            assert_eq!(x.p99_ps, y.p99_ps);
+            assert_eq!(x.max_ps, y.max_ps);
+        }
+        for (x, y) in a.rx_stages.iter().zip(&b.rx_stages) {
+            assert_eq!(x.count, y.count);
+            assert_eq!(x.mean_ps, y.mean_ps);
+            assert_eq!(x.p50_ps, y.p50_ps);
+            assert_eq!(x.p99_ps, y.p99_ps);
+            assert_eq!(x.max_ps, y.max_ps);
+        }
+        assert!(merged.violations().is_empty());
+    }
+
+    #[test]
+    fn merge_takes_latest_window_start() {
+        let mut a = FrameTracker::new();
+        let mut b = FrameTracker::new();
+        a.emit(Event::WindowReset { at: Ps(100) });
+        b.emit(Event::WindowReset { at: Ps(300) });
+        a.merge(&b);
+        assert_eq!(a.window_start(), Ps(300));
     }
 
     #[test]

@@ -198,6 +198,157 @@ impl DomainBarrier {
     }
 }
 
+/// A per-worker completion slot, padded to a cache line so workers on
+/// different shards never false-share their `done` counters.
+#[derive(Debug)]
+#[repr(align(64))]
+struct DoneSlot(AtomicU64);
+
+/// N-party generation rendezvous between one coordinator and `n`
+/// worker threads — the multi-worker generalization of
+/// [`DomainBarrier`], used by the fleet engine to run NIC shards in
+/// epoch lockstep.
+///
+/// Protocol per epoch: the coordinator *opens* generation `g`
+/// (publishing the frames injected since the last epoch), every worker
+/// runs its shard of NICs up to the epoch boundary and *finishes* `g`,
+/// and the coordinator *waits* for all `n` finishes (acquiring every
+/// shard's writes) before exchanging frames through the fabric.
+/// Determinism follows from the disjointness of the shards plus the
+/// fabric's canonical ordering, not from thread timing.
+#[derive(Debug)]
+pub struct EpochBarrier {
+    /// Latest generation the coordinator has opened (STOP = shut down).
+    go: AtomicU64,
+    /// Per-worker latest finished generation.
+    done: Vec<DoneSlot>,
+    /// Worker thread handles for unparking (set before first open).
+    workers: std::sync::Mutex<Vec<Thread>>,
+    /// Set if any worker panicked; poisons the coordinator's waits.
+    worker_dead: AtomicBool,
+    /// Per-wait spin budget, sized like [`DomainBarrier`]'s: full when
+    /// every worker can plausibly have its own hardware thread, zero
+    /// otherwise so waits go straight to the scheduler.
+    spin: u32,
+}
+
+impl EpochBarrier {
+    /// A barrier for `n` workers at generation 0 (nothing open,
+    /// nothing done).
+    pub fn new(n: usize) -> EpochBarrier {
+        let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+        Self::with_spin(n, if parallelism > n { SPIN } else { 0 })
+    }
+
+    /// A barrier with an explicit spin budget (see
+    /// [`DomainBarrier::with_spin`] for the zero-spin rationale).
+    pub fn with_spin(n: usize, spin: u32) -> EpochBarrier {
+        assert!(n >= 1, "a barrier needs at least one worker");
+        EpochBarrier {
+            go: AtomicU64::new(0),
+            done: (0..n).map(|_| DoneSlot(AtomicU64::new(0))).collect(),
+            workers: std::sync::Mutex::new(Vec::new()),
+            worker_dead: AtomicBool::new(false),
+            spin,
+        }
+    }
+
+    /// Number of workers this barrier rendezvouses.
+    pub fn workers(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Register worker `idx`'s thread so `open`/`shutdown` can unpark
+    /// it. Must be called for every worker before the first
+    /// [`EpochBarrier::open`]. Registration order does not matter.
+    pub fn register_worker(&self, t: Thread) {
+        let mut workers = self.workers.lock().expect("barrier lock");
+        assert!(workers.len() < self.done.len(), "more workers than slots");
+        workers.push(t);
+    }
+
+    /// Coordinator side: open generation `gen` (> the previous one) to
+    /// all workers, releasing the coordinator's writes.
+    pub fn open(&self, gen: u64) {
+        debug_assert!(gen != STOP);
+        self.go.store(gen, Ordering::Release);
+        for t in self.workers.lock().expect("barrier lock").iter() {
+            t.unpark();
+        }
+    }
+
+    /// Worker side: block until a generation newer than `last` is
+    /// opened; returns it, or `None` on shutdown. Acquires all
+    /// coordinator writes made before the open.
+    pub fn wait_open(&self, last: u64) -> Option<u64> {
+        let mut spins = 0u32;
+        loop {
+            let g = self.go.load(Ordering::Acquire);
+            if g == STOP {
+                return None;
+            }
+            if g > last {
+                return Some(g);
+            }
+            spins = spins.saturating_add(1);
+            if spins <= self.spin {
+                std::hint::spin_loop();
+            } else if spins <= self.spin + YIELDS {
+                std::thread::yield_now();
+            } else {
+                // Same benign park/unpark race as DomainBarrier: the
+                // timeout bounds any lost wakeup.
+                std::thread::park_timeout(Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Worker `idx` marks generation `gen` finished, releasing its
+    /// shard's writes to the coordinator.
+    pub fn finish(&self, idx: usize, gen: u64) {
+        self.done[idx].0.store(gen, Ordering::Release);
+    }
+
+    /// Worker side: mark the barrier poisoned (call from a panic guard
+    /// so the coordinator fails fast instead of spinning forever).
+    pub fn poison(&self) {
+        self.worker_dead.store(true, Ordering::Release);
+    }
+
+    /// Coordinator side: block until every worker finishes generation
+    /// `gen`, acquiring all their writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker died without finishing (see
+    /// [`EpochBarrier::poison`]).
+    pub fn wait_done(&self, gen: u64) {
+        for slot in &self.done {
+            let mut spins = 0u32;
+            while slot.0.load(Ordering::Acquire) < gen {
+                assert!(
+                    !self.worker_dead.load(Ordering::Acquire),
+                    "epoch worker thread died mid-epoch"
+                );
+                spins = spins.saturating_add(1);
+                if spins > self.spin {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Coordinator side: tell every worker to exit its wait loop.
+    pub fn shutdown(&self) {
+        self.go.store(STOP, Ordering::Release);
+        for t in self.workers.lock().expect("barrier lock").iter() {
+            t.unpark();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +497,114 @@ mod tests {
             barrier.shutdown();
         });
         assert_eq!(total, (1..=200u64).sum::<u64>());
+    }
+
+    #[test]
+    fn epoch_barrier_synchronizes_disjoint_shards() {
+        // Four workers each own one cell of a shared array; the
+        // coordinator sums the array in the exclusive section after
+        // every wait_done. Any visibility or ordering bug shows up as
+        // a stale sum.
+        const WORKERS: usize = 4;
+        let barrier = EpochBarrier::new(WORKERS);
+        let mut cells = [0u64; WORKERS];
+        let cells_ptr = cells.as_mut_ptr() as usize;
+        std::thread::scope(|scope| {
+            let b = &barrier;
+            let handles: Vec<_> = (0..WORKERS)
+                .map(|idx| {
+                    scope.spawn(move || {
+                        let cells = cells_ptr as *mut u64;
+                        let mut last = 0;
+                        while let Some(g) = b.wait_open(last) {
+                            last = g;
+                            // SAFETY: worker idx owns cell idx; the
+                            // coordinator only reads between
+                            // wait_done(g) and open(g + 1).
+                            unsafe { *cells.add(idx) += g };
+                            b.finish(idx, g);
+                        }
+                    })
+                })
+                .collect();
+            for h in &handles {
+                barrier.register_worker(h.thread().clone());
+            }
+            for gen in 1..=100u64 {
+                barrier.open(gen);
+                barrier.wait_done(gen);
+                let sum: u64 = unsafe {
+                    std::slice::from_raw_parts(cells_ptr as *const u64, WORKERS)
+                        .iter()
+                        .sum()
+                };
+                assert_eq!(sum, WORKERS as u64 * (gen * (gen + 1)) / 2);
+            }
+            barrier.shutdown();
+        });
+    }
+
+    #[test]
+    fn epoch_barrier_zero_spin_makes_progress() {
+        let barrier = EpochBarrier::with_spin(2, 0);
+        let mut counts = [0u64; 2];
+        let counts_ptr = counts.as_mut_ptr() as usize;
+        std::thread::scope(|scope| {
+            let b = &barrier;
+            let handles: Vec<_> = (0..2)
+                .map(|idx| {
+                    scope.spawn(move || {
+                        let counts = counts_ptr as *mut u64;
+                        let mut last = 0;
+                        while let Some(g) = b.wait_open(last) {
+                            last = g;
+                            // SAFETY: disjoint cells, coordinator
+                            // blocked in wait_done(g).
+                            unsafe { *counts.add(idx) += 1 };
+                            b.finish(idx, g);
+                        }
+                    })
+                })
+                .collect();
+            for h in &handles {
+                barrier.register_worker(h.thread().clone());
+            }
+            for gen in 1..=200u64 {
+                barrier.open(gen);
+                barrier.wait_done(gen);
+            }
+            barrier.shutdown();
+        });
+        assert_eq!(counts, [200, 200]);
+    }
+
+    #[test]
+    fn epoch_barrier_shutdown_unblocks_all_workers() {
+        let barrier = EpochBarrier::new(3);
+        std::thread::scope(|scope| {
+            let b = &barrier;
+            let handles: Vec<_> = (0..3)
+                .map(|_| scope.spawn(move || b.wait_open(0)))
+                .collect();
+            for h in &handles {
+                barrier.register_worker(h.thread().clone());
+            }
+            barrier.shutdown();
+            for h in handles {
+                assert_eq!(h.join().expect("worker"), None);
+            }
+        });
+    }
+
+    #[test]
+    fn epoch_barrier_poison_fails_the_wait() {
+        let barrier = EpochBarrier::new(2);
+        barrier.poison();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            barrier.open(1);
+            barrier.wait_done(1);
+        }));
+        assert!(r.is_err(), "wait_done must panic on a dead worker");
     }
 
     #[test]

@@ -71,6 +71,16 @@ echo "==> bench_compare vs committed baseline (informational)"
 sh scripts/bench_compare.sh results/BENCH_simspeed.json target/BENCH_simspeed.json
 rm -f target/BENCH_simspeed.json
 
+echo "==> fleet smoke (sharded multi-NIC determinism + incast drops, ~2 s)"
+# fleetbench asserts its own contracts in-process: per-NIC stats, the
+# fabric's order-sensitive delivery/drop digest, per-port counters and
+# skip decisions must be bit-identical at shard counts {1, 2, 4}, and
+# the incast section must actually overflow its shallow egress buffer.
+# A nonzero exit is the gate. The wall-clock scaling table it prints
+# is informational here — the speedup floor only binds on a host with
+# at least 4 hardware threads running full windows.
+NICSIM_QUICK=1 NICSIM_RESULTS_DIR=target ./target/release/fleetbench
+
 echo "==> fault smoke (injection + recovery + zero-fault bit-identity)"
 # The fault_sweep binary asserts its own contracts: the zero-rate armed
 # run must be bit-identical to the plan-free baseline, nonzero rates
