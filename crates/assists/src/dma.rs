@@ -544,7 +544,22 @@ impl DmaWrite {
         let dst = self.sdram_dst[(idx % self.cfg.cmd_entries) as usize]
             .take()
             .expect("sdram completion for unknown command");
-        host.write(dst, data);
+        let poison = self.faults.as_mut().and_then(|f| f.draw_poison(data.len()));
+        if let Some(off) = poison {
+            let mut bad = data.to_vec();
+            bad[off] ^= 0xff;
+            host.write(dst, &bad);
+            if P::ENABLED {
+                probe.emit(Event::Fault {
+                    kind: FaultKind::HostPoison,
+                    unit: FaultUnit::DmaWrite,
+                    info: off as u32,
+                    at: now,
+                });
+            }
+        } else {
+            host.write(dst, data);
+        }
         self.sdram_outstanding -= 1;
         self.tracker.complete(idx);
         if P::ENABLED {

@@ -12,12 +12,36 @@
 //!
 //! `--faults <spec>` overrides the seed (and retry/backoff/hang knobs)
 //! the swept plans inherit: `fault_sweep --faults seed=42,retries=1`.
+//!
+//! A second section, `fleet_fault`, sweeps fabric corruption over a
+//! small reliable-mode fleet: per-flow retransmission must recover
+//! every destroyed frame (delivered-exactly-once equals offered) while
+//! the retransmit budget holds, and delivery must never *improve* as
+//! the corruption rate climbs. Its curve lands under
+//! `"extra"."fleet_fault"`.
 
-use nicsim::{FaultPlan, NicConfig, RunStats};
+use nicsim::{DispatchMode, FaultPlan, NicConfig, RunStats};
 use nicsim_bench::{header, Args};
 use nicsim_exp::{Json, RunSpec};
+use nicsim_fleet::{Fleet, FleetConfig};
+use nicsim_net::workload::{Arrivals, Pattern, SizeMix, Workload};
+use nicsim_net::FabricConfig;
+use nicsim_sim::Ps;
 
 const RATES: [f64; 5] = [0.0, 1e-5, 1e-4, 1e-3, 1e-2];
+
+/// Fabric-corruption ladder for the reliable-mode fleet sweep. The
+/// low rungs must deliver 100%: with a 30 us RTO and a drain margin
+/// as long as the offered schedule, a frame has several retransmit
+/// rounds available, far more than a few-percent loss rate consumes.
+/// The top rung destroys so much that exponential backoff pushes the
+/// last retries past the horizon — delivery is allowed to fall there,
+/// just never to rise.
+const FLEET_CRC_RATES: [f64; 5] = [0.0, 5e-3, 2e-2, 8e-2, 4e-1];
+
+/// Rungs at or below this rate must deliver every offered frame
+/// exactly once; above it the assertion relaxes to monotonicity.
+const FLEET_FULL_DELIVERY_MAX: f64 = 2e-2;
 
 fn main() {
     let args = Args::parse("fault_sweep");
@@ -110,11 +134,123 @@ fn main() {
         prev_goodput = s.total_udp_gbps();
     }
     println!("zero-rate armed run matches the clean baseline bit for bit");
+    let fleet_fault = fleet_fault_sweep(&args, base.seed);
     let extra = Json::obj()
         .with("seed", base.seed)
         .with("clean_goodput_gbps", clean.total_udp_gbps())
-        .with("curve", Json::Arr(curve));
+        .with("curve", Json::Arr(curve))
+        .with("fleet_fault", fleet_fault);
     exp.finish(report.runs, Some(extra)).expect("write results");
+}
+
+/// Reliable delivery under fabric corruption, swept over
+/// [`FLEET_CRC_RATES`] on a 4-NIC fleet. Each rung schedules the same
+/// offered load over 300 us and runs 600 us — the tail is drain margin
+/// for the last retransmission round-trips — then checks the two
+/// recovery contracts: full delivery on the low rungs, and a delivered
+/// count that never rises with the corruption rate.
+fn fleet_fault_sweep(args: &Args, seed: u64) -> Json {
+    let nics = 4usize;
+    let horizon = Ps::from_us(300);
+    let window = Ps::from_us(600);
+    let workload = Workload {
+        pattern: Pattern::Uniform,
+        sizes: SizeMix::Fixed(256),
+        arrivals: Arrivals::Poisson,
+        fps: 60_000.0,
+        seed: 11,
+        reliable: true,
+        rto_us: 30,
+    };
+    let nic = args
+        .configure(NicConfig::default())
+        .to_builder()
+        .cores(2)
+        .cpu_mhz(500)
+        .dispatch(DispatchMode::Polling)
+        .build()
+        .expect("valid fleet-fault NIC config");
+    let offered: u64 = (0..nics)
+        .map(|i| workload.schedule(i, nics, horizon).len() as u64)
+        .sum();
+    println!("fleet_fault: {nics} NICs, reliable mode, {offered} frames offered");
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>10}",
+        "fab_crc", "delivered", "crc drops", "retransmits", "dup drops"
+    );
+    let mut curve = Vec::new();
+    let mut prev_delivered = u64::MAX;
+    for rate in FLEET_CRC_RATES {
+        let plan = FaultPlan {
+            fabric_corrupt: rate,
+            ..FaultPlan::with_rate(seed, 0.0)
+        };
+        let cfg = FleetConfig {
+            nics,
+            shards: 2,
+            nic: nic
+                .to_builder()
+                .faults(Some(plan))
+                .build()
+                .expect("valid faulted fleet config"),
+            fabric: FabricConfig::default(),
+            workload,
+        };
+        let mut fleet = Fleet::new(cfg, horizon).expect("valid fleet config");
+        let stats = fleet.run_measured(Ps::ZERO, window);
+        let delivered = stats.delivered_frames();
+        let errors = stats.errors_total().unwrap_or_default();
+        println!(
+            "{:>8.0e} {:>10} {:>10} {:>12} {:>10}",
+            rate, delivered, errors.crc_dropped, errors.tx_retransmits, errors.rx_duplicates
+        );
+        if rate <= FLEET_FULL_DELIVERY_MAX {
+            assert_eq!(
+                delivered, offered,
+                "fab_crc {rate:e}: reliable mode failed to deliver every offered \
+                 frame exactly once ({} retransmits, {} crc drops)",
+                errors.tx_retransmits, errors.crc_dropped
+            );
+        }
+        if rate >= FLEET_FULL_DELIVERY_MAX {
+            // The low rungs can legitimately destroy nothing over a
+            // few hundred frames; from 2e-2 up the expected drop
+            // count is well above 1, so recovery must be exercised.
+            assert!(
+                errors.crc_dropped > 0,
+                "fab_crc {rate:e} destroyed nothing — recovery is vacuous"
+            );
+            assert!(
+                errors.tx_retransmits > 0,
+                "fab_crc {rate:e}: losses happened but nothing was retransmitted"
+            );
+        } else if rate == 0.0 {
+            assert_eq!(
+                errors.tx_retransmits, 0,
+                "retransmitted with nothing lost — the RTO is too tight for the fleet"
+            );
+        }
+        assert!(
+            delivered <= prev_delivered,
+            "delivery rose from {prev_delivered} to {delivered} frames at fab_crc {rate:e}"
+        );
+        prev_delivered = delivered;
+        curve.push(
+            Json::obj()
+                .with("fab_crc", rate)
+                .with("delivered", delivered)
+                .with("offered", offered)
+                .with("crc_dropped", errors.crc_dropped)
+                .with("tx_retransmits", errors.tx_retransmits)
+                .with("rx_duplicates", errors.rx_duplicates),
+        );
+    }
+    println!("reliable mode delivered 100% through fab_crc {FLEET_FULL_DELIVERY_MAX:e}");
+    Json::obj()
+        .with("nics", nics as u64)
+        .with("offered", offered)
+        .with("rto_us", workload.rto_us)
+        .with("curve", Json::Arr(curve))
 }
 
 /// The armed-but-silent run must not move the simulation: identical

@@ -14,6 +14,15 @@
 //!   shallow egress buffer; the section asserts the fabric actually
 //!   drops and that the order-sensitive drop digest is identical at
 //!   one shard and many.
+//! * **Faulted** — the uniform fleet re-runs in reliable mode under a
+//!   fault plan exercising every class at once: fabric corruption,
+//!   link flaps, port-buffer squeezes, NIC crash/reset lifecycles, and
+//!   the per-NIC DMA/link/ECC sites. The section asserts faults were
+//!   actually injected, that at least one NIC crashed and reset, and
+//!   that the faulted run is bit-identical sharded — the fault plane's
+//!   determinism contract on the benchmark workload. The aggregated
+//!   `err_*` table (per-NIC and fleet totals) lands under
+//!   `"extra"."faults"`.
 //! * **Scaling** — the uniform fleet re-runs at shard counts 1, 2, 4
 //!   and each further power of two up to the host's hardware threads
 //!   (capped at the NIC count; `--shards` adds a point). Every count
@@ -33,7 +42,7 @@
 //! leaves the committed results file untouched; the determinism and
 //! incast-drop assertions still bind.
 
-use nicsim::NicConfig;
+use nicsim::{ErrorStats, FaultPlan, NicConfig};
 use nicsim_bench::{header, Args};
 use nicsim_exp::{latency_to_json, Json, RunReport};
 use nicsim_fleet::{Fleet, FleetConfig, FleetStats};
@@ -215,6 +224,93 @@ fn main() {
         incast.fabric.digest,
     );
 
+    // Faulted: every fault class at once over the uniform workload in
+    // reliable mode, run clean-sharded and re-sharded. The interesting
+    // outputs are the aggregated err_* table and the determinism
+    // re-check under fire.
+    let fault_spec = "seed=23,rate=0.002,fab_crc=0.01,flap_us=200,flap_down_us=20,\
+                      squeeze=0.005,crash_us=180,watchdog_us=60,poison=0.002,\
+                      fw=0.001,stall_alpha=1.5";
+    let plan = FaultPlan::parse(fault_spec).expect("valid fault spec");
+    // Fixed window regardless of quick mode: the crash period needs
+    // room for at least one full crash/reset cycle.
+    let faulted_window = Ps::from_us(400);
+    let faulted_cfg = FleetConfig {
+        nics,
+        shards: 1,
+        nic: nic
+            .to_builder()
+            .faults(Some(plan))
+            .build()
+            .expect("valid faulted config"),
+        fabric: FabricConfig::default(),
+        workload: Workload {
+            reliable: true,
+            rto_us: 40,
+            ..uniform.workload
+        },
+    };
+    let mut fleet = Fleet::new(faulted_cfg, faulted_window).expect("valid faulted config");
+    let faulted = fleet.run_measured(Ps::ZERO, faulted_window);
+    let faulted_shards = 2.min(nics);
+    let mut fleet = Fleet::new(
+        FleetConfig {
+            shards: faulted_shards,
+            ..faulted_cfg
+        },
+        faulted_window,
+    )
+    .expect("valid faulted config");
+    let faulted_sharded = fleet.run_measured(Ps::ZERO, faulted_window);
+    if !identical(&faulted, &faulted_sharded) {
+        failures.push(format!(
+            "faulted: {faulted_shards} shards diverged from the single-shard reference"
+        ));
+    }
+    let totals = faulted.errors_total().unwrap_or_default();
+    if totals.injected() == 0 {
+        failures.push("faulted: nothing injected — the fault plane is not wired through".into());
+    }
+    if totals.nic_resets == 0 {
+        failures.push(format!(
+            "faulted: no NIC crash/reset cycle completed (crash period 180us over \
+             {} us)",
+            faulted_window.0 / 1_000_000
+        ));
+    }
+    println!("faulted: plan {fault_spec}");
+    println!(
+        "{:>5} {:>9} {:>7} {:>7} {:>7} {:>8} {:>7} {:>7}",
+        "nic", "injected", "crc", "resets", "lost", "retrans", "dups", "fw"
+    );
+    for (i, s) in faulted.per_nic.iter().enumerate() {
+        let e = s.errors.unwrap_or_default();
+        println!(
+            "{:>5} {:>9} {:>7} {:>7} {:>7} {:>8} {:>7} {:>7}",
+            i,
+            e.injected(),
+            e.crc_dropped,
+            e.nic_resets,
+            e.nic_reset_lost_frames,
+            e.tx_retransmits,
+            e.rx_duplicates,
+            e.fw_instr_faults,
+        );
+    }
+    println!(
+        "{:>5} {:>9} {:>7} {:>7} {:>7} {:>8} {:>7} {:>7}  ({} delivered, identical={})",
+        "total",
+        totals.injected(),
+        totals.crc_dropped,
+        totals.nic_resets,
+        totals.nic_reset_lost_frames,
+        totals.tx_retransmits,
+        totals.rx_duplicates,
+        totals.fw_instr_faults,
+        faulted.fabric.delivered,
+        identical(&faulted, &faulted_sharded),
+    );
+
     let runs: Vec<RunReport> = scaling
         .iter()
         .map(|(s, wall, stats)| RunReport {
@@ -262,7 +358,29 @@ fn main() {
             ),
         )
         .with("scaling", Json::Arr(scaling_json))
-        .with("speedup_gate_binding", gate_binds);
+        .with("speedup_gate_binding", gate_binds)
+        .with(
+            "faults",
+            Json::obj()
+                .with("plan", fault_spec)
+                .with("window_us", faulted_window.0 / 1_000_000)
+                .with("shards_checked", faulted_shards as u64)
+                .with("identical", identical(&faulted, &faulted_sharded))
+                .with("delivered", faulted.fabric.delivered)
+                .with("goodput_gbps", faulted.goodput_gbps())
+                .with(
+                    "per_nic",
+                    Json::Arr(
+                        faulted
+                            .per_nic
+                            .iter()
+                            .enumerate()
+                            .map(|(i, s)| err_json(&s.errors.unwrap_or_default(), Some(i as u64)))
+                            .collect(),
+                    ),
+                )
+                .with("totals", err_json(&totals, None)),
+        );
     if quick {
         println!("quick mode: results file not written");
     } else {
@@ -285,6 +403,19 @@ fn identical(a: &FleetStats, b: &FleetStats) -> bool {
         && a.ports == b.ports
         && a.epochs == b.epochs
         && a.nic_epochs_skipped == b.nic_epochs_skipped
+}
+
+/// One `err_*` table as JSON, row names matching the stable
+/// `RunStats::summary()` rows; `nic` tags per-NIC entries.
+fn err_json(e: &ErrorStats, nic: Option<u64>) -> Json {
+    let mut j = Json::obj();
+    if let Some(i) = nic {
+        j = j.with("nic", i);
+    }
+    for (name, value) in e.summary() {
+        j = j.with(name, value);
+    }
+    j
 }
 
 /// One fleet run's simulated-side results as JSON (the digest as hex:

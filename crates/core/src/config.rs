@@ -572,6 +572,37 @@ mod tests {
         ));
     }
 
+    /// The fleet-plane spec keys ride through the builder, and their
+    /// parse failures surface as [`ConfigError::FaultSpec`] with the
+    /// offending item named in the message.
+    #[test]
+    fn faults_spec_covers_the_fleet_plane_keys() {
+        let cfg = NicConfig::builder()
+            .faults_spec("seed=3,fab_crc=1e-3,flap_us=200,squeeze=1e-2,crash_us=500,poison=1e-4,fw=1e-5,stall_alpha=1.2")
+            .unwrap()
+            .build()
+            .unwrap();
+        let plan = cfg.faults.expect("plan installed");
+        assert_eq!(plan.fabric_corrupt, 1e-3);
+        assert_eq!(plan.crash_period_us, 500);
+        assert_eq!(plan.stall_alpha, 1.2);
+        for (spec, needle) in [
+            ("fab_crc=2.0", "fab_crc"),
+            ("squeeze=-0.5", "squeeze"),
+            ("stall_alpha=-1", "stall_alpha"),
+            ("crash_us=soon", "crash_us"),
+        ] {
+            let err = NicConfig::builder().faults_spec(spec).unwrap_err();
+            let ConfigError::FaultSpec(msg) = err else {
+                panic!("{spec}: wrong error variant");
+            };
+            assert!(
+                msg.contains(needle),
+                "{spec}: message {msg:?} does not name the bad item"
+            );
+        }
+    }
+
     #[test]
     fn presets_differ_in_mode_and_clock() {
         let sw = NicConfig::software_only_200();

@@ -316,17 +316,16 @@ impl<P: Probe> NicSystem<P> {
     /// [`NicSystem::run_until`] and [`NicSystem::run_until_dense`] —
     /// including the probe event stream when a probe is attached.
     ///
-    /// Falls back to [`NicSystem::run_until`] when a fault plan is
-    /// configured (fault supervision is inherently cross-domain) or the
-    /// host has a single hardware thread (a worker could never run
-    /// concurrently, so every rendezvous would go straight to the
+    /// Falls back to [`NicSystem::run_until`] when an armed fault plan
+    /// is configured (fault supervision is inherently cross-domain; an
+    /// all-zeros plan injects nothing and stays on the parallel path)
+    /// or the host has a single hardware thread (a worker could never
+    /// run concurrently, so every rendezvous would go straight to the
     /// scheduler and cost two context switches per stepped cycle).
     /// Either fallback sets
     /// [`ParallelSyncStats::sequential_fallback`].
     pub fn run_until_parallel(&mut self, until: Ps) {
-        if self.cfg.faults.is_some()
-            || std::thread::available_parallelism().map_or(1, |n| n.get()) < 2
-        {
+        if self.faults_armed || std::thread::available_parallelism().map_or(1, |n| n.get()) < 2 {
             self.sync_stats.sequential_fallback = true;
             return self.run_until(until);
         }

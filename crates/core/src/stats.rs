@@ -330,8 +330,10 @@ mod tests {
         assert_eq!(SUMMARY_VERSION, 1);
     }
 
-    /// Under a fault plan the 13 `err_*` rows are appended after the
-    /// clean-run field list, in `ErrorStats::summary()` order.
+    /// Under a fault plan the 19 `err_*` rows are appended after the
+    /// clean-run field list, in `ErrorStats::summary()` order (the six
+    /// fleet-plane rows extend the original 13 at the end, so existing
+    /// row positions are stable).
     #[test]
     fn summary_appends_error_rows_only_under_a_plan() {
         let clean = sample();
@@ -339,14 +341,19 @@ mod tests {
         faulted.errors = Some(ErrorStats {
             crc_dropped: 7,
             tx_retries: 2,
+            tx_retransmits: 4,
             ..ErrorStats::default()
         });
         let base = clean.summary();
         let rows = faulted.summary();
-        assert_eq!(rows.len(), base.len() + 13);
+        assert_eq!(rows.len(), base.len() + 19);
         assert_eq!(rows[..base.len()], base[..]);
         assert_eq!(rows[base.len() + 2], ("err_crc_dropped", StatValue::Int(7)));
         assert_eq!(rows[base.len() + 11], ("err_tx_retries", StatValue::Int(2)));
+        assert_eq!(
+            rows[base.len() + 17],
+            ("err_tx_retransmits", StatValue::Int(4))
+        );
     }
 
     #[test]

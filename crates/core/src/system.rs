@@ -20,7 +20,9 @@ use nicsim_assists::{
     dma_tag_engine, DmaConfig, DmaRead, DmaWrite, MacRx, MacRxConfig, MacTx, MacTxConfig,
 };
 use nicsim_cpu::{CodeLayout, Core, CoreCtx, CoreProfile, OpEvent};
-use nicsim_fault::{DmaFaults, EccFaults, ErrorStats, LinkFaults, SITE_DMA_READ, SITE_DMA_WRITE};
+use nicsim_fault::{
+    DmaFaults, EccFaults, ErrorStats, FwFaults, LinkFaults, SITE_DMA_READ, SITE_DMA_WRITE,
+};
 use nicsim_firmware::handlers::HostRegs;
 use nicsim_firmware::map::{DMA_RING, MACRX_RING, MACTX_RING, RXBUF_BASE, RXBUF_BYTES, SLOTS};
 use nicsim_firmware::mode::Fw;
@@ -90,6 +92,21 @@ pub struct NicSystem<P: Probe = NullProbe> {
     /// Frame-bus read completions that arrived without data, recovered
     /// by substituting an empty transfer instead of panicking.
     pub(crate) fm_short_reads: u64,
+    /// Whether the configured fault plan actually injects anything.
+    /// An all-zeros plan keeps this false, and every fault gate in the
+    /// hot path keys off it, so `--faults rate=0` costs nothing and is
+    /// bit-identical to a clean run (collect() still reports a zeroed
+    /// error table, preserving the zero-rate output contract).
+    pub(crate) faults_armed: bool,
+    /// Per-core instruction-fault sites, shared with the firmware's
+    /// dispatch loops. Empty unless the plan is armed.
+    pub(crate) fw_faults: Vec<std::rc::Rc<std::cell::RefCell<FwFaults>>>,
+    /// Error counters inherited from a previous incarnation of this NIC
+    /// (fleet crash/reset lifecycle): the fleet engine folds the dead
+    /// system's error table — plus the reset itself and the frames it
+    /// lost — into its replacement, so per-NIC error accounting survives
+    /// the reset. Merged into [`NicSystem::collect`]'s error table.
+    pub(crate) carried_errors: Option<ErrorStats>,
     /// Domain-parallel kernel sync accounting: barrier rendezvous
     /// opened, lookahead batches among them, cycles covered by batches,
     /// and stepped cycles executed main-only (frame side provably
@@ -205,6 +222,7 @@ impl<P: Probe> SystemBuilder<P> {
             )));
         }
         let t = def.topology();
+        let faults_armed = cfg.faults.as_ref().is_some_and(|p| !p.is_noop());
         let map = MemMap::for_topology(t.dma_engines, t.macs);
         let mut sp = Scratchpad::new(cfg.scratchpad_bytes, cfg.banks);
         if cfg.dispatch == DispatchMode::Interrupt {
@@ -256,7 +274,7 @@ impl<P: Probe> SystemBuilder<P> {
                 offered_fps: cfg.offered_tx_fps,
                 send_enabled: cfg.send_enabled,
                 post_burst: 32,
-                fault_aware: cfg.faults.is_some(),
+                fault_aware: faults_armed,
             },
             layout,
         );
@@ -314,7 +332,7 @@ impl<P: Probe> SystemBuilder<P> {
             if !cfg.recv_enabled || j != 0 {
                 generator.disable();
             }
-            if let Some(plan) = &cfg.faults {
+            if let Some(plan) = cfg.faults.as_ref().filter(|p| !p.is_noop()) {
                 if j == 0 {
                     generator.set_faults(LinkFaults::new(plan));
                 }
@@ -335,12 +353,14 @@ impl<P: Probe> SystemBuilder<P> {
                 generator,
             ));
         }
-        if let Some(plan) = &cfg.faults {
+        let mut fw_faults = Vec::new();
+        if let Some(plan) = cfg.faults.as_ref().filter(|_| faults_armed) {
             // Arm every injection site and its recovery mechanism. The
-            // CRC check only runs under a plan: clean builds never pay
-            // for (or depend on) FCS computation. Each extra engine is
-            // its own fault site (offset so engine 0 keeps the legacy
-            // site ids and default runs replay unchanged).
+            // CRC check only runs under an armed plan: clean builds —
+            // and all-zeros plans — never pay for (or depend on) FCS
+            // computation. Each extra engine is its own fault site
+            // (offset so engine 0 keeps the legacy site ids and default
+            // runs replay unchanged).
             macrxs[0].set_crc_check(true);
             for (k, d) in dmards.iter_mut().enumerate() {
                 d.set_faults(DmaFaults::new(plan, SITE_DMA_READ + 8 * k as u64));
@@ -349,6 +369,9 @@ impl<P: Probe> SystemBuilder<P> {
                 d.set_faults(DmaFaults::new(plan, SITE_DMA_WRITE + 8 * k as u64));
             }
             fm.set_faults(EccFaults::new(plan));
+            fw_faults = (0..cfg.cores)
+                .map(|id| std::rc::Rc::new(std::cell::RefCell::new(FwFaults::new(plan, id))))
+                .collect();
         }
 
         // Cores + firmware.
@@ -364,7 +387,8 @@ impl<P: Probe> SystemBuilder<P> {
                 m: map,
                 mode: cfg.mode,
                 dispatch: cfg.dispatch,
-                fault_aware: cfg.faults.is_some(),
+                fault_aware: faults_armed,
+                fw_faults: fw_faults.get(id).cloned(),
             };
             core.install(dispatch_loop(ctx, fw, host_regs));
             cores.push(core);
@@ -401,6 +425,9 @@ impl<P: Probe> SystemBuilder<P> {
             status_aborts_addr: layout.status + 8,
             aborts_published: 0,
             fm_short_reads: 0,
+            faults_armed,
+            fw_faults,
+            carried_errors: None,
             sync_stats: ParallelSyncStats::default(),
         })
     }
@@ -478,6 +505,81 @@ impl<P: Probe> NicSystem<P> {
     /// Fleet mode only (see [`NicSystem::enable_fleet`]).
     pub fn take_egress(&mut self) -> Vec<(Ps, Vec<u8>)> {
         self.mactxs[0].take_egress()
+    }
+
+    /// Switch the fleet driver into reliable-delivery mode (see
+    /// [`nicsim_host::Driver::set_reliable`]): unacked transmits are
+    /// retransmitted on timeout with exponential backoff, and received
+    /// frames are deduplicated and acknowledged. Call after
+    /// [`NicSystem::enable_fleet`].
+    pub fn enable_reliable(&mut self, rto: Ps) {
+        self.driver.set_reliable(rto);
+        self.driver_idle = false;
+    }
+
+    /// Deliver an acknowledgment for fleet sequence `seq`, applied at
+    /// the driver's first poll at or after `at`. Reliable mode only.
+    pub fn deliver_ack(&mut self, at: Ps, seq: u32) {
+        self.driver.deliver_ack(at, seq);
+        self.driver_idle = false;
+    }
+
+    /// Drain the acknowledgments the driver owes, as
+    /// `(source NIC, fleet seq, receive time)`. Reliable mode only.
+    pub fn take_acks(&mut self) -> Vec<(u16, u32, Ps)> {
+        self.driver.take_acks()
+    }
+
+    /// Transmit frames posted to the NIC but not yet completed — work
+    /// that dies with the NIC if it crashes now.
+    pub fn tx_in_flight(&self) -> u32 {
+        self.driver.tx_in_flight()
+    }
+
+    /// The next fleet sequence number the driver would assign.
+    pub fn fleet_seq_next(&self) -> u32 {
+        self.driver.fleet_seq_next()
+    }
+
+    /// Continue a predecessor's fleet sequence numbering (crash/reset
+    /// lifecycle): the replacement NIC's first frame takes sequence `n`,
+    /// so receivers see a gap for the lost in-flight frames, never a
+    /// regression. Call before the first tick.
+    pub fn resume_fleet_seq(&mut self, n: u32) {
+        self.driver.resume_fleet_seq(n);
+    }
+
+    /// Restart this (freshly built) system's clock at absolute time
+    /// `at` — the crash/reset lifecycle's "firmware re-initialised,
+    /// rings re-posted" moment. Seeded fault timers that were laid out
+    /// relative to time zero (the DMA hang schedule) are rebased so the
+    /// replacement's fault exposure matches a NIC that had booted at
+    /// `at`.
+    pub fn restart_at(&mut self, at: Ps) {
+        debug_assert_eq!(self.now, Ps::ZERO, "restart_at expects a fresh build");
+        self.now = at;
+        self.window_start = at;
+        for d in &mut self.dmards {
+            if let Some(f) = d.faults_mut() {
+                f.rebase(at);
+            }
+        }
+        for d in &mut self.dmawrs {
+            if let Some(f) = d.faults_mut() {
+                f.rebase(at);
+            }
+        }
+    }
+
+    /// Fold a dead predecessor's error table into this replacement
+    /// (crash/reset lifecycle), so per-NIC error accounting survives
+    /// the reset. The fleet engine adds the reset itself and the frames
+    /// it lost to `prev` before calling.
+    pub fn carry_errors(&mut self, prev: ErrorStats) {
+        match &mut self.carried_errors {
+            Some(c) => c.merge(&prev),
+            None => self.carried_errors = Some(prev),
+        }
     }
 
     /// Schedule a frame to arrive on MAC 0's wire at absolute time
@@ -595,9 +697,10 @@ impl<P: Probe> NicSystem<P> {
         }
 
         // Fault supervision: the per-assist watchdog and the abort-count
-        // publication to the host status block. Only live under a plan —
-        // clean runs take one branch here and nothing else.
-        if self.cfg.faults.is_some() {
+        // publication to the host status block. Only live under an armed
+        // plan — clean runs (and all-zeros plans) take one branch here
+        // and nothing else.
+        if self.faults_armed {
             self.fault_supervision(now);
         }
 
@@ -1127,7 +1230,7 @@ impl<P: Probe> NicSystem<P> {
                     .map(pick)
                     .sum()
             };
-            ErrorStats {
+            let mut e = ErrorStats {
                 link_corrupt_injected,
                 link_truncate_injected,
                 crc_dropped: self.macrxs.iter().map(|m| m.crc_dropped()).sum(),
@@ -1141,7 +1244,22 @@ impl<P: Probe> NicSystem<P> {
                 rx_error_returns: d.rx_error_returns,
                 tx_retries: d.tx_retries,
                 fm_short_reads: self.fm_short_reads,
+                host_poison_injected: self
+                    .dmawrs
+                    .iter()
+                    .filter_map(|w| w.faults())
+                    .map(|f| f.poisons)
+                    .sum(),
+                fw_instr_faults: self.fw_faults.iter().map(|f| f.borrow().injected).sum(),
+                nic_resets: 0,
+                nic_reset_lost_frames: 0,
+                tx_retransmits: d.tx_retransmits,
+                rx_duplicates: d.rx_duplicates,
+            };
+            if let Some(carried) = &self.carried_errors {
+                e.merge(carried);
             }
+            e
         });
         RunStats {
             window,

@@ -37,6 +37,23 @@ pub const SITE_DMA_READ: u64 = 2;
 pub const SITE_DMA_WRITE: u64 = 3;
 /// Site id for the frame-memory ECC stream.
 pub const SITE_ECC: u64 = 4;
+/// Base site id for per-source fabric link streams (corruption); link
+/// `i` uses `SITE_FABRIC_LINK_BASE + i`. The high bases keep the fleet
+/// site families disjoint from the per-engine `SITE_DMA_* + 8k` ladder.
+pub const SITE_FABRIC_LINK_BASE: u64 = 1 << 32;
+/// Site id for the fabric-wide port-buffer squeeze stream.
+pub const SITE_FABRIC_SQUEEZE: u64 = 1 << 33;
+/// Base site id for per-NIC crash schedules (`+ nic`).
+pub const SITE_NIC_CRASH_BASE: u64 = 1 << 34;
+/// Base site id for per-core firmware instruction-fault streams
+/// (`+ core_id`).
+pub const SITE_FW_BASE: u64 = 1 << 35;
+/// Base site id for deriving per-NIC plan seeds in a fleet (`+ nic`).
+pub const SITE_NIC_PLAN_BASE: u64 = 1 << 36;
+/// Base site id for per-source fabric link flap phases (`+ i`); kept on
+/// a separate stream from the corruption draws so enabling flaps never
+/// shifts the corruption decisions of the same link.
+pub const SITE_FABRIC_FLAP_BASE: u64 = 1 << 37;
 
 /// splitmix64 — seeds the per-site streams from `seed ^ site`.
 pub fn splitmix64(mut x: u64) -> u64 {
@@ -88,6 +105,12 @@ impl XorShift64 {
     pub fn below(&mut self, n: u64) -> u64 {
         self.next_u64() % n
     }
+
+    /// Uniform draw in `(0, 1]` — the open-at-zero form heavy-tail
+    /// inversions need (`u.powf(-1/alpha)` stays finite).
+    pub fn unit_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
 }
 
 /// A complete, `Copy` fault schedule: per-event probabilities, retry and
@@ -123,8 +146,35 @@ pub struct FaultPlan {
     /// resets the unit.
     pub hang_period_us: u64,
     /// Watchdog timeout, microseconds: how long an assist may sit stuck
-    /// (hung with work pending) before `NicSystem` resets it.
+    /// (hung with work pending) before `NicSystem` resets it. The same
+    /// timeout bounds how long a crashed NIC stays down before the
+    /// fleet-level watchdog resets it.
     pub watchdog_us: u64,
+    /// Per-frame probability of a single-bit corruption on a fabric
+    /// link (fleet runs; caught by the receiver's MAC RX CRC32 check).
+    pub fabric_corrupt: f64,
+    /// Microseconds between link flaps on each fabric link (0 disables
+    /// flap injection). Each link's flap phase is seeded independently.
+    pub flap_period_us: u64,
+    /// Duration of one link flap, microseconds; frames offered while
+    /// the source link is down are dropped into the fabric digest.
+    pub flap_down_us: u64,
+    /// Per-frame probability of a transient port-buffer squeeze at the
+    /// destination port (admission capacity quartered for that frame).
+    pub squeeze: f64,
+    /// Microseconds between whole-NIC crashes (0 disables). The fleet
+    /// watchdog detects a crashed NIC and resets it after `watchdog_us`.
+    pub crash_period_us: u64,
+    /// Per-DMA-write probability of poisoning one byte of the payload
+    /// as it lands in host memory (caught by driver frame validation).
+    pub host_poison: f64,
+    /// Per-handler-dispatch probability of a firmware instruction fault
+    /// (handler aborted, core restarts the scan after a fixed penalty).
+    pub fw_fault: f64,
+    /// Pareto shape for PCI stall durations; 0 keeps the legacy fixed
+    /// `stall_ns`. With `alpha > 0` a stall lasts
+    /// `stall_ns * u^(-1/alpha)` bounded at 100× `stall_ns`.
+    pub stall_alpha: f64,
 }
 
 impl Default for FaultPlan {
@@ -141,6 +191,14 @@ impl Default for FaultPlan {
             ecc: 0.0,
             hang_period_us: 0,
             watchdog_us: 50,
+            fabric_corrupt: 0.0,
+            flap_period_us: 0,
+            flap_down_us: 5,
+            squeeze: 0.0,
+            crash_period_us: 0,
+            host_poison: 0.0,
+            fw_fault: 0.0,
+            stall_alpha: 0.0,
         }
     }
 }
@@ -177,6 +235,14 @@ impl FaultPlan {
     /// | `ecc`         | per-read-burst ECC event probability       |
     /// | `hang_us`     | hang injection period, 0 = off (default 0) |
     /// | `watchdog_us` | watchdog timeout (default 50)              |
+    /// | `fab_crc`     | per-frame fabric link corruption probability |
+    /// | `flap_us`     | fabric link flap period, 0 = off (default 0) |
+    /// | `flap_down_us`| flap down duration (default 5)             |
+    /// | `squeeze`     | per-frame port-buffer squeeze probability  |
+    /// | `crash_us`    | whole-NIC crash period, 0 = off (default 0)|
+    /// | `poison`      | per-DMA-write host poison probability      |
+    /// | `fw`          | per-dispatch firmware fault probability    |
+    /// | `stall_alpha` | Pareto shape for stall durations, 0 = fixed|
     ///
     /// Example: `--faults seed=7,crc=1e-3,dma=1e-4,hang_us=500`.
     ///
@@ -198,15 +264,11 @@ impl FaultPlan {
                 "seed" => plan.seed = parse_as(item, key, value)?,
                 "rate" => {
                     let r: f64 = parse_as(item, key, value)?;
-                    let seeded = plan.seed;
-                    plan = FaultPlan {
-                        stall_ns: plan.stall_ns,
-                        max_retries: plan.max_retries,
-                        backoff_ns: plan.backoff_ns,
-                        hang_period_us: plan.hang_period_us,
-                        watchdog_us: plan.watchdog_us,
-                        ..FaultPlan::with_rate(seeded, r)
-                    };
+                    plan.link_corrupt = r;
+                    plan.link_truncate = r * 0.1;
+                    plan.dma_error = r;
+                    plan.dma_stall = r;
+                    plan.ecc = r;
                 }
                 "crc" => plan.link_corrupt = parse_as(item, key, value)?,
                 "trunc" => plan.link_truncate = parse_as(item, key, value)?,
@@ -218,6 +280,14 @@ impl FaultPlan {
                 "ecc" => plan.ecc = parse_as(item, key, value)?,
                 "hang_us" => plan.hang_period_us = parse_as(item, key, value)?,
                 "watchdog_us" => plan.watchdog_us = parse_as(item, key, value)?,
+                "fab_crc" => plan.fabric_corrupt = parse_as(item, key, value)?,
+                "flap_us" => plan.flap_period_us = parse_as(item, key, value)?,
+                "flap_down_us" => plan.flap_down_us = parse_as(item, key, value)?,
+                "squeeze" => plan.squeeze = parse_as(item, key, value)?,
+                "crash_us" => plan.crash_period_us = parse_as(item, key, value)?,
+                "poison" => plan.host_poison = parse_as(item, key, value)?,
+                "fw" => plan.fw_fault = parse_as(item, key, value)?,
+                "stall_alpha" => plan.stall_alpha = parse_as(item, key, value)?,
                 _ => return Err(format!("'{item}': unknown key '{key}'")),
             }
         }
@@ -227,10 +297,20 @@ impl FaultPlan {
             ("dma", plan.dma_error),
             ("stall", plan.dma_stall),
             ("ecc", plan.ecc),
+            ("fab_crc", plan.fabric_corrupt),
+            ("squeeze", plan.squeeze),
+            ("poison", plan.host_poison),
+            ("fw", plan.fw_fault),
         ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(format!("{name}={p}: probability must be in [0, 1]"));
             }
+        }
+        if plan.stall_alpha < 0.0 {
+            return Err(format!(
+                "stall_alpha={}: shape must be >= 0",
+                plan.stall_alpha
+            ));
         }
         Ok(plan)
     }
@@ -239,7 +319,9 @@ impl FaultPlan {
     pub fn spec(&self) -> String {
         format!(
             "seed={},crc={},trunc={},dma={},stall={},stall_ns={},retries={},\
-             backoff_ns={},ecc={},hang_us={},watchdog_us={}",
+             backoff_ns={},ecc={},hang_us={},watchdog_us={},fab_crc={},\
+             flap_us={},flap_down_us={},squeeze={},crash_us={},poison={},\
+             fw={},stall_alpha={}",
             self.seed,
             self.link_corrupt,
             self.link_truncate,
@@ -250,8 +332,59 @@ impl FaultPlan {
             self.backoff_ns,
             self.ecc,
             self.hang_period_us,
-            self.watchdog_us
+            self.watchdog_us,
+            self.fabric_corrupt,
+            self.flap_period_us,
+            self.flap_down_us,
+            self.squeeze,
+            self.crash_period_us,
+            self.host_poison,
+            self.fw_fault,
+            self.stall_alpha
         )
+    }
+
+    /// Whether every fault class is disabled — an all-zeros plan. Armed
+    /// plumbing treats such a plan exactly like no plan at all (the
+    /// zero-rate fast path): no site state is built, no draws happen,
+    /// and the hot loops never branch on fault state.
+    pub fn is_noop(&self) -> bool {
+        self.link_corrupt == 0.0
+            && self.link_truncate == 0.0
+            && self.dma_error == 0.0
+            && self.dma_stall == 0.0
+            && self.ecc == 0.0
+            && self.hang_period_us == 0
+            && self.fabric_corrupt == 0.0
+            && self.flap_period_us == 0
+            && self.squeeze == 0.0
+            && self.crash_period_us == 0
+            && self.host_poison == 0.0
+            && self.fw_fault == 0.0
+    }
+
+    /// The per-NIC plan a fleet hands to NIC `nic`: same policy, but a
+    /// seed derived through [`SITE_NIC_PLAN_BASE`] so the internal fault
+    /// streams of different NICs never correlate. Derived at fleet build
+    /// time, so it is invariant across shard counts and dispatch modes.
+    pub fn derive_nic(&self, nic: u64) -> FaultPlan {
+        let mut rng = XorShift64::for_site(self.seed, SITE_NIC_PLAN_BASE + nic);
+        FaultPlan {
+            seed: rng.next_u64(),
+            ..*self
+        }
+    }
+
+    /// First crash onset for `nic`: one full period plus a seeded jitter
+    /// within a second period, so crashes across the fleet de-phase.
+    /// `None` when crash injection is disabled.
+    pub fn crash_onset(&self, nic: u64) -> Option<Ps> {
+        if self.crash_period_us == 0 {
+            return None;
+        }
+        let period = Ps::from_us(self.crash_period_us);
+        let mut rng = XorShift64::for_site(self.seed, SITE_NIC_CRASH_BASE + nic);
+        Some(period + Ps(rng.below(period.0.max(1))))
     }
 }
 
@@ -290,6 +423,22 @@ pub struct ErrorStats {
     /// Frame-bus read completions that arrived without data and were
     /// recovered as aborted transfers.
     pub fm_short_reads: u64,
+    /// Payload bytes poisoned in host memory by a DMA write (caught by
+    /// driver frame validation as `rx_corrupt`).
+    pub host_poison_injected: u64,
+    /// Firmware instruction faults injected (handler aborted, core
+    /// restarted the dispatch scan).
+    pub fw_instr_faults: u64,
+    /// Whole-NIC crash/reset cycles the fleet watchdog performed.
+    pub nic_resets: u64,
+    /// In-flight frames discarded by NIC resets (driver-posted frames
+    /// not yet completed, plus pending RX at the dead port).
+    pub nic_reset_lost_frames: u64,
+    /// Frames the driver retransmitted in reliable mode (timeout with
+    /// exponential backoff).
+    pub tx_retransmits: u64,
+    /// Duplicate deliveries the reliable-mode receiver suppressed.
+    pub rx_duplicates: u64,
 }
 
 impl ErrorStats {
@@ -301,10 +450,12 @@ impl ErrorStats {
             + self.pci_stalls
             + self.ecc_corrections
             + self.assist_hangs
+            + self.host_poison_injected
+            + self.fw_instr_faults
     }
 
     /// The stable `(name, value)` rows appended to `RunStats::summary()`.
-    pub fn summary(&self) -> [(&'static str, u64); 13] {
+    pub fn summary(&self) -> [(&'static str, u64); 19] {
         [
             ("err_link_corrupt", self.link_corrupt_injected),
             ("err_link_truncate", self.link_truncate_injected),
@@ -319,7 +470,37 @@ impl ErrorStats {
             ("err_rx_error_returns", self.rx_error_returns),
             ("err_tx_retries", self.tx_retries),
             ("err_fm_short_reads", self.fm_short_reads),
+            ("err_host_poison", self.host_poison_injected),
+            ("err_fw_instr_faults", self.fw_instr_faults),
+            ("err_nic_resets", self.nic_resets),
+            ("err_nic_reset_lost", self.nic_reset_lost_frames),
+            ("err_tx_retransmits", self.tx_retransmits),
+            ("err_rx_duplicates", self.rx_duplicates),
         ]
+    }
+
+    /// Fold another NIC's counters into this one — the fleet path to an
+    /// aggregated `err_*` table, mirroring `FrameTracker::merge`.
+    pub fn merge(&mut self, other: &ErrorStats) {
+        self.link_corrupt_injected += other.link_corrupt_injected;
+        self.link_truncate_injected += other.link_truncate_injected;
+        self.crc_dropped += other.crc_dropped;
+        self.dma_transient_errors += other.dma_transient_errors;
+        self.dma_retries_ok += other.dma_retries_ok;
+        self.dma_aborts += other.dma_aborts;
+        self.pci_stalls += other.pci_stalls;
+        self.ecc_corrections += other.ecc_corrections;
+        self.assist_hangs += other.assist_hangs;
+        self.watchdog_resets += other.watchdog_resets;
+        self.rx_error_returns += other.rx_error_returns;
+        self.tx_retries += other.tx_retries;
+        self.fm_short_reads += other.fm_short_reads;
+        self.host_poison_injected += other.host_poison_injected;
+        self.fw_instr_faults += other.fw_instr_faults;
+        self.nic_resets += other.nic_resets;
+        self.nic_reset_lost_frames += other.nic_reset_lost_frames;
+        self.tx_retransmits += other.tx_retransmits;
+        self.rx_duplicates += other.rx_duplicates;
     }
 }
 
@@ -411,7 +592,9 @@ pub struct DmaFaults {
     rng: XorShift64,
     p_error: f64,
     p_stall: f64,
+    p_poison: f64,
     stall: Ps,
+    stall_alpha: f64,
     max_retries: u32,
     backoff: Ps,
     hang_period: Ps,
@@ -434,6 +617,8 @@ pub struct DmaFaults {
     pub hangs: u64,
     /// Watchdog resets of this unit.
     pub watchdog_resets: u64,
+    /// Host-memory bytes poisoned on DMA-write completion.
+    pub poisons: u64,
 }
 
 impl DmaFaults {
@@ -449,7 +634,9 @@ impl DmaFaults {
             rng: XorShift64::for_site(plan.seed, site),
             p_error: plan.dma_error,
             p_stall: plan.dma_stall,
+            p_poison: plan.host_poison,
             stall: Ps(plan.stall_ns * 1000),
+            stall_alpha: plan.stall_alpha,
             max_retries: plan.max_retries,
             backoff: Ps(plan.backoff_ns * 1000),
             hang_period,
@@ -463,6 +650,16 @@ impl DmaFaults {
             stalls: 0,
             hangs: 0,
             watchdog_resets: 0,
+            poisons: 0,
+        }
+    }
+
+    /// Rebase the hang schedule onto an absolute restart time: a freshly
+    /// built unit schedules its first hang one period after `at` instead
+    /// of one period after time zero (NIC reset lifecycle).
+    pub fn rebase(&mut self, at: Ps) {
+        if self.next_hang_at != Ps::MAX {
+            self.next_hang_at = at + self.hang_period;
         }
     }
 
@@ -474,7 +671,19 @@ impl DmaFaults {
         let stalled = self.rng.chance(self.p_stall);
         let mut delay = if stalled {
             self.stalls += 1;
-            self.stall
+            if self.stall_alpha > 0.0 {
+                // Bounded-Pareto tail: the draw happens only when a
+                // stall fired AND the shape is nonzero, so legacy plans
+                // (alpha = 0) replay their exact streams.
+                let mult = self
+                    .rng
+                    .unit_open()
+                    .powf(-1.0 / self.stall_alpha)
+                    .min(100.0);
+                Ps((self.stall.0 as f64 * mult) as u64)
+            } else {
+                self.stall
+            }
         } else {
             Ps::ZERO
         };
@@ -545,6 +754,22 @@ impl DmaFaults {
     pub fn clear_stuck(&mut self) {
         self.stuck_since = None;
     }
+
+    /// Draw the fate of one DMA-write payload landing in host memory:
+    /// `Some(offset)` poisons the byte at `offset` of the buffer. Draws
+    /// only when host poisoning is enabled, so plans without it replay
+    /// their exact command streams.
+    pub fn draw_poison(&mut self, len: usize) -> Option<usize> {
+        if self.p_poison <= 0.0 || len == 0 {
+            return None;
+        }
+        if self.rng.chance(self.p_poison) {
+            self.poisons += 1;
+            Some(self.rng.below(len as u64) as usize)
+        } else {
+            None
+        }
+    }
 }
 
 /// Frame-memory site state: correctable single-bit ECC events on read
@@ -576,6 +801,140 @@ impl EccFaults {
     pub fn draw(&mut self) -> bool {
         if self.rng.chance(self.p) {
             self.corrections += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Fabric-site state for a fleet: per-source-link corruption streams,
+/// time-pure link flap windows, and a fabric-wide port-buffer squeeze
+/// stream. The mechanism (FCS stamping, the bit flip, the drop and its
+/// digest fold) lives in `nicsim-net::Fabric`; this is only the policy.
+///
+/// Determinism: every decision is either a pure function of simulated
+/// time (flaps) or a draw on a stream indexed by the *source* NIC of the
+/// offered frame — and the fleet's epoch engine offers frames to the
+/// fabric in a sorted, shard-invariant order, so the streams advance
+/// identically for every shard count and dispatch mode.
+#[derive(Debug, Clone)]
+pub struct FabricFaults {
+    links: Vec<XorShift64>,
+    flap_phase: Vec<Ps>,
+    squeeze_rng: XorShift64,
+    p_corrupt: f64,
+    p_squeeze: f64,
+    flap_period: Ps,
+    flap_down: Ps,
+    /// Whether the plan arms *any* fault class, fabric-side or not. An
+    /// armed plan arms every receiver's CRC check, so the fabric must
+    /// stamp a valid FCS on each frame it carries even when no
+    /// fabric-side class can fire (e.g. a crash-only plan) — otherwise
+    /// every delivery would be dropped as corrupt.
+    plan_armed: bool,
+}
+
+impl FabricFaults {
+    /// Site state for a fabric with `n_links` source links under `plan`
+    /// (the *fleet* plan seed, not a per-NIC derived one).
+    pub fn new(plan: &FaultPlan, n_links: usize) -> FabricFaults {
+        let flap_period = if plan.flap_period_us == 0 {
+            Ps::MAX
+        } else {
+            Ps::from_us(plan.flap_period_us)
+        };
+        let flap_phase = (0..n_links)
+            .map(|i| {
+                if flap_period == Ps::MAX {
+                    Ps::ZERO
+                } else {
+                    let mut r = XorShift64::for_site(plan.seed, SITE_FABRIC_FLAP_BASE + i as u64);
+                    Ps(r.below(flap_period.0.max(1)))
+                }
+            })
+            .collect();
+        FabricFaults {
+            links: (0..n_links)
+                .map(|i| XorShift64::for_site(plan.seed, SITE_FABRIC_LINK_BASE + i as u64))
+                .collect(),
+            flap_phase,
+            squeeze_rng: XorShift64::for_site(plan.seed, SITE_FABRIC_SQUEEZE),
+            p_corrupt: plan.fabric_corrupt,
+            p_squeeze: plan.squeeze,
+            flap_period,
+            flap_down: Ps::from_us(plan.flap_down_us),
+            plan_armed: !plan.is_noop(),
+        }
+    }
+
+    /// Whether source link `src` is flapped down at time `t` — a pure
+    /// function of simulated time (each link's phase was seeded at
+    /// construction), so cycle skipping and sharding cannot shift it.
+    pub fn link_down(&self, src: usize, t: Ps) -> bool {
+        if self.flap_period == Ps::MAX {
+            return false;
+        }
+        let pos = (t.0 + self.flap_phase[src].0) % self.flap_period.0;
+        pos < self.flap_down.0.min(self.flap_period.0)
+    }
+
+    /// Draw the fate of one frame offered by `src`: `Some(bit)` flips
+    /// that bit of the frame body. One Bernoulli draw per offer (plus a
+    /// position draw on a hit), on the per-source link stream.
+    pub fn draw_corrupt(&mut self, src: usize, body_bits: u64) -> Option<u64> {
+        if self.links[src].chance(self.p_corrupt) {
+            Some(self.links[src].below(body_bits.max(1)))
+        } else {
+            None
+        }
+    }
+
+    /// Draw one admission at the destination port: `true` squeezes the
+    /// effective buffer capacity for this frame.
+    pub fn draw_squeeze(&mut self) -> bool {
+        self.squeeze_rng.chance(self.p_squeeze)
+    }
+
+    /// Whether the fabric must enter its fault path at all: true when
+    /// the plan arms *anything* (the receivers' CRC checks are then
+    /// armed too, so every carried frame needs an FCS stamp), false for
+    /// an all-zeros plan (the fabric then stays bit-identical to a
+    /// clean one — no stamping, no draws).
+    pub fn armed(&self) -> bool {
+        self.plan_armed
+    }
+}
+
+/// Per-core firmware-site state: seeded instruction faults at handler
+/// dispatch. The mechanism (aborting the handler, charging the restart
+/// penalty) lives in `nicsim-firmware`; this is only the stream.
+#[derive(Debug, Clone)]
+pub struct FwFaults {
+    rng: XorShift64,
+    p: f64,
+    /// Instruction faults injected on this core.
+    pub injected: u64,
+}
+
+impl FwFaults {
+    /// Site state for `core_id` under `plan`.
+    pub fn new(plan: &FaultPlan, core_id: usize) -> FwFaults {
+        FwFaults {
+            rng: XorShift64::for_site(plan.seed, SITE_FW_BASE + core_id as u64),
+            p: plan.fw_fault,
+            injected: 0,
+        }
+    }
+
+    /// Draw one handler dispatch: `true` aborts the handler before it
+    /// runs and the core restarts its scan.
+    pub fn fires(&mut self) -> bool {
+        if self.p <= 0.0 {
+            return false;
+        }
+        if self.rng.chance(self.p) {
+            self.injected += 1;
             true
         } else {
             false
@@ -723,7 +1082,275 @@ mod tests {
         };
         let rows = s.summary();
         assert_eq!(rows[2], ("err_crc_dropped", 3));
-        assert_eq!(rows.len(), 13);
+        assert_eq!(rows.len(), 19);
+        assert_eq!(rows[15].0, "err_nic_resets");
+        assert_eq!(rows[17].0, "err_tx_retransmits");
         assert_eq!(s.injected(), 0);
+    }
+
+    #[test]
+    fn error_stats_merge_sums_every_counter() {
+        let mut a = ErrorStats::default();
+        let mut b = ErrorStats::default();
+        // Give every row a distinct nonzero value via the summary order.
+        let fill = |s: &mut ErrorStats, base: u64| {
+            s.link_corrupt_injected = base;
+            s.link_truncate_injected = base + 1;
+            s.crc_dropped = base + 2;
+            s.dma_transient_errors = base + 3;
+            s.dma_retries_ok = base + 4;
+            s.dma_aborts = base + 5;
+            s.pci_stalls = base + 6;
+            s.ecc_corrections = base + 7;
+            s.assist_hangs = base + 8;
+            s.watchdog_resets = base + 9;
+            s.rx_error_returns = base + 10;
+            s.tx_retries = base + 11;
+            s.fm_short_reads = base + 12;
+            s.host_poison_injected = base + 13;
+            s.fw_instr_faults = base + 14;
+            s.nic_resets = base + 15;
+            s.nic_reset_lost_frames = base + 16;
+            s.tx_retransmits = base + 17;
+            s.rx_duplicates = base + 18;
+        };
+        fill(&mut a, 100);
+        fill(&mut b, 1000);
+        a.merge(&b);
+        for (i, (name, v)) in a.summary().iter().enumerate() {
+            assert_eq!(*v, 1100 + 2 * i as u64, "{name}");
+        }
+    }
+
+    #[test]
+    fn noop_detection_tracks_every_class() {
+        assert!(FaultPlan::default().is_noop());
+        assert!(FaultPlan::with_rate(9, 0.0).is_noop());
+        for set in [
+            |p: &mut FaultPlan| p.link_corrupt = 1e-9,
+            |p: &mut FaultPlan| p.link_truncate = 1e-9,
+            |p: &mut FaultPlan| p.dma_error = 1e-9,
+            |p: &mut FaultPlan| p.dma_stall = 1e-9,
+            |p: &mut FaultPlan| p.ecc = 1e-9,
+            |p: &mut FaultPlan| p.hang_period_us = 1,
+            |p: &mut FaultPlan| p.fabric_corrupt = 1e-9,
+            |p: &mut FaultPlan| p.flap_period_us = 1,
+            |p: &mut FaultPlan| p.squeeze = 1e-9,
+            |p: &mut FaultPlan| p.crash_period_us = 1,
+            |p: &mut FaultPlan| p.host_poison = 1e-9,
+            |p: &mut FaultPlan| p.fw_fault = 1e-9,
+        ] {
+            let mut p = FaultPlan::default();
+            set(&mut p);
+            assert!(!p.is_noop(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn spec_roundtrip_property_over_random_plans() {
+        // xorshift-driven property test: random plans survive a
+        // spec() -> parse() round trip bit-exactly (f64 Display is the
+        // shortest round-trippable form).
+        let mut r = XorShift64::for_site(0xfee1_600d, 99);
+        for _ in 0..200 {
+            let prob = |r: &mut XorShift64| r.below(1001) as f64 / 1000.0;
+            let plan = FaultPlan {
+                seed: r.next_u64(),
+                link_corrupt: prob(&mut r),
+                link_truncate: prob(&mut r),
+                dma_error: prob(&mut r),
+                dma_stall: prob(&mut r),
+                stall_ns: r.below(10_000),
+                max_retries: r.below(16) as u32,
+                backoff_ns: r.below(10_000),
+                ecc: prob(&mut r),
+                hang_period_us: r.below(1000),
+                watchdog_us: r.below(1000),
+                fabric_corrupt: prob(&mut r),
+                flap_period_us: r.below(1000),
+                flap_down_us: r.below(100),
+                squeeze: prob(&mut r),
+                crash_period_us: r.below(1000),
+                host_poison: prob(&mut r),
+                fw_fault: prob(&mut r),
+                stall_alpha: r.below(40) as f64 / 10.0,
+            };
+            let spec = plan.spec();
+            assert_eq!(FaultPlan::parse(&spec).unwrap(), plan, "{spec}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_new_keys() {
+        assert!(FaultPlan::parse("fab_crc=1.5").is_err());
+        assert!(FaultPlan::parse("squeeze=-0.1").is_err());
+        assert!(FaultPlan::parse("poison=2").is_err());
+        assert!(FaultPlan::parse("fw=nan").is_err());
+        assert!(FaultPlan::parse("stall_alpha=-1").is_err());
+        assert!(FaultPlan::parse("flap_us=bogus").is_err());
+        let p = FaultPlan::parse("fab_crc=0.01,flap_us=200,squeeze=0.05,crash_us=400").unwrap();
+        assert_eq!(p.fabric_corrupt, 0.01);
+        assert_eq!(p.flap_period_us, 200);
+        assert_eq!(p.squeeze, 0.05);
+        assert_eq!(p.crash_period_us, 400);
+    }
+
+    #[test]
+    fn derived_nic_plans_decorrelate_but_replay() {
+        let plan = FaultPlan::with_rate(7, 1e-3);
+        let a = plan.derive_nic(0);
+        let b = plan.derive_nic(1);
+        assert_ne!(a.seed, b.seed);
+        assert_eq!(a, plan.derive_nic(0), "derivation must replay");
+        assert_eq!(a.dma_error, plan.dma_error, "policy fields carry over");
+    }
+
+    #[test]
+    fn crash_onsets_are_seeded_and_bounded() {
+        let plan = FaultPlan {
+            crash_period_us: 100,
+            ..FaultPlan::default()
+        };
+        assert_eq!(FaultPlan::default().crash_onset(0), None);
+        let a = plan.crash_onset(0).unwrap();
+        let b = plan.crash_onset(1).unwrap();
+        assert_eq!(a, plan.crash_onset(0).unwrap());
+        assert_ne!(a, b);
+        for t in [a, b] {
+            assert!(t >= Ps::from_us(100) && t < Ps::from_us(200), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn fabric_faults_flap_windows_are_time_pure() {
+        let plan = FaultPlan {
+            flap_period_us: 100,
+            flap_down_us: 10,
+            ..FaultPlan::default()
+        };
+        let f = FabricFaults::new(&plan, 4);
+        assert!(f.armed());
+        // Sample two full periods: each link must be down for exactly
+        // flap_down out of every flap_period microseconds, and repeated
+        // queries at the same time must agree (pure function of time).
+        for src in 0..4 {
+            let down = (0..200)
+                .filter(|us| f.link_down(src, Ps::from_us(*us)))
+                .count();
+            assert_eq!(down, 20, "link {src}");
+            assert_eq!(
+                f.link_down(src, Ps::from_us(42)),
+                f.link_down(src, Ps::from_us(42))
+            );
+        }
+        // Phases differ across links.
+        let first_down = |src: usize| (0..200).find(|us| f.link_down(src, Ps::from_us(*us)));
+        assert_ne!(first_down(0), first_down(1));
+    }
+
+    #[test]
+    fn fabric_corrupt_and_squeeze_draws_replay() {
+        let plan = FaultPlan {
+            fabric_corrupt: 0.5,
+            squeeze: 0.5,
+            ..FaultPlan::default()
+        };
+        let mut a = FabricFaults::new(&plan, 2);
+        let mut b = FabricFaults::new(&plan, 2);
+        let da: Vec<_> = (0..50)
+            .map(|i| (a.draw_corrupt(i % 2, 8000), a.draw_squeeze()))
+            .collect();
+        let db: Vec<_> = (0..50)
+            .map(|i| (b.draw_corrupt(i % 2, 8000), b.draw_squeeze()))
+            .collect();
+        assert_eq!(da, db);
+        assert!(da.iter().any(|(c, _)| c.is_some()));
+        assert!(da.iter().any(|(_, s)| *s));
+        assert!(da.iter().all(|(c, _)| c.is_none_or(|bit| bit < 8000)));
+        assert!(!FabricFaults::new(&FaultPlan::default(), 2).armed());
+    }
+
+    #[test]
+    fn fw_faults_fire_and_count() {
+        let mut f = FwFaults::new(
+            &FaultPlan {
+                fw_fault: 1.0,
+                ..FaultPlan::default()
+            },
+            3,
+        );
+        assert!(f.fires());
+        assert_eq!(f.injected, 1);
+        let mut off = FwFaults::new(&FaultPlan::default(), 3);
+        assert!(!off.fires());
+        assert_eq!(off.injected, 0);
+    }
+
+    #[test]
+    fn pareto_stalls_are_bounded_and_exceed_the_base() {
+        let plan = FaultPlan {
+            dma_stall: 1.0,
+            stall_ns: 200,
+            stall_alpha: 1.2,
+            ..FaultPlan::default()
+        };
+        let mut d = DmaFaults::new(&plan, SITE_DMA_READ);
+        let base = Ps(200 * 1000);
+        let cap = Ps(base.0 * 100);
+        let mut saw_tail = false;
+        for _ in 0..500 {
+            let o = d.draw_command();
+            assert!(o.stalled);
+            assert!(o.delay >= base && o.delay <= cap, "{:?}", o.delay);
+            if o.delay > Ps(base.0 * 2) {
+                saw_tail = true;
+            }
+        }
+        assert!(saw_tail, "alpha=1.2 should produce a heavy tail");
+        // alpha = 0 keeps the legacy fixed stall.
+        let mut fixed = DmaFaults::new(
+            &FaultPlan {
+                dma_stall: 1.0,
+                stall_ns: 200,
+                ..FaultPlan::default()
+            },
+            SITE_DMA_READ,
+        );
+        assert_eq!(fixed.draw_command().delay, base);
+    }
+
+    #[test]
+    fn poison_draws_only_when_enabled() {
+        let mut off = DmaFaults::new(&FaultPlan::default(), SITE_DMA_WRITE);
+        let before = off.rng;
+        assert_eq!(off.draw_poison(1500), None);
+        assert_eq!(off.rng, before, "disabled poison must not consume draws");
+        let mut on = DmaFaults::new(
+            &FaultPlan {
+                host_poison: 1.0,
+                ..FaultPlan::default()
+            },
+            SITE_DMA_WRITE,
+        );
+        let hit = on.draw_poison(1500).unwrap();
+        assert!(hit < 1500);
+        assert_eq!(on.poisons, 1);
+        assert_eq!(on.draw_poison(0), None);
+    }
+
+    #[test]
+    fn rebase_shifts_the_hang_schedule() {
+        let plan = FaultPlan {
+            hang_period_us: 10,
+            ..FaultPlan::default()
+        };
+        let mut d = DmaFaults::new(&plan, SITE_DMA_WRITE);
+        d.rebase(Ps::from_us(100));
+        assert!(!d.hang_active(Ps::from_us(109)));
+        assert!(d.hang_active(Ps::from_us(110)));
+        // Hangs disabled: rebase keeps them disabled.
+        let mut off = DmaFaults::new(&FaultPlan::default(), SITE_DMA_WRITE);
+        off.rebase(Ps::from_us(100));
+        assert!(!off.hang_active(Ps::from_us(1_000_000)));
     }
 }

@@ -26,6 +26,18 @@ impl Fw {
         N_SOURCES + 2 * (self.m.n_dma as usize - 1)
     }
 
+    /// An instruction fault fired as the handler was about to run: abort
+    /// before any handler state changes (the claimed work simply stays
+    /// pending and the next scan retries it) and charge the core-restart
+    /// penalty — pipeline flush, fault vector, state re-load. Counts as
+    /// work done so an interrupt-mode core re-scans instead of parking.
+    async fn fw_fault_abort(&self) -> bool {
+        let ctx = &self.ctx;
+        ctx.branch_miss().await; // vectored into the fault handler
+        ctx.alu(64).await; // save/restore + restart sequence
+        true
+    }
+
     async fn run_source(&self, src: usize, host: &HostRegs) -> bool {
         let ctx = &self.ctx;
         let m = &self.m;
@@ -36,6 +48,9 @@ impl Fw {
         match src {
             0 => {
                 if peek_work(ctx, m.sb_mailbox_prod, m.sb_fetched).await {
+                    if self.fw_fault_fires() {
+                        return self.fw_fault_abort().await;
+                    }
                     self.fetch_send_bds(host).await
                 } else {
                     false
@@ -43,6 +58,9 @@ impl Fw {
             }
             1 => {
                 if peek_work(ctx, m.dmard_done, m.dmard_claim).await {
+                    if self.fw_fault_fires() {
+                        return self.fw_fault_abort().await;
+                    }
                     self.process_dmard_completions(0).await
                 } else {
                     false
@@ -50,6 +68,9 @@ impl Fw {
             }
             2 => {
                 if peek_work(ctx, m.sbd_parsed, m.sbd_cons).await {
+                    if self.fw_fault_fires() {
+                        return self.fw_fault_abort().await;
+                    }
                     self.send_frames().await
                 } else {
                     false
@@ -57,6 +78,9 @@ impl Fw {
             }
             3 => {
                 if peek_work(ctx, m.mactx_done, m.send_txdone_claim).await {
+                    if self.fw_fault_fires() {
+                        return self.fw_fault_abort().await;
+                    }
                     self.process_mactx_done(host).await
                 } else {
                     false
@@ -64,6 +88,9 @@ impl Fw {
             }
             4 => {
                 if peek_work(ctx, m.rb_mailbox_prod, m.rb_fetched).await {
+                    if self.fw_fault_fires() {
+                        return self.fw_fault_abort().await;
+                    }
                     self.fetch_recv_bds(host).await
                 } else {
                     false
@@ -71,6 +98,9 @@ impl Fw {
             }
             5 => {
                 if peek_work(ctx, m.macrx_prod, m.recv_claim).await {
+                    if self.fw_fault_fires() {
+                        return self.fw_fault_abort().await;
+                    }
                     self.recv_frames().await
                 } else {
                     false
@@ -78,6 +108,9 @@ impl Fw {
             }
             6 => {
                 if peek_work(ctx, m.dmawr_done, m.dmawr_claim).await {
+                    if self.fw_fault_fires() {
+                        return self.fw_fault_abort().await;
+                    }
                     self.process_dmawr_completions(0, host).await
                 } else {
                     false
@@ -85,6 +118,9 @@ impl Fw {
             }
             7 => {
                 if peek_bit_pending(ctx, m.send_ready_bits, m.send_ready_commit).await {
+                    if self.fw_fault_fires() {
+                        return self.fw_fault_abort().await;
+                    }
                     self.commit_send_ready().await;
                     true
                 } else {
@@ -93,6 +129,9 @@ impl Fw {
             }
             8 => {
                 if peek_bit_pending(ctx, m.send_txdone_bits, m.send_txdone_commit).await {
+                    if self.fw_fault_fires() {
+                        return self.fw_fault_abort().await;
+                    }
                     self.commit_txdone(host).await;
                     true
                 } else {
@@ -101,6 +140,9 @@ impl Fw {
             }
             9 => {
                 if peek_bit_pending(ctx, m.recv_done_bits, m.recv_commit).await {
+                    if self.fw_fault_fires() {
+                        return self.fw_fault_abort().await;
+                    }
                     self.commit_recv(host).await;
                     true
                 } else {
@@ -115,6 +157,9 @@ impl Fw {
                 if (src - N_SOURCES).is_multiple_of(2) {
                     let d = *m.dmard(eng);
                     if peek_work(ctx, d.done, d.claim).await {
+                        if self.fw_fault_fires() {
+                            return self.fw_fault_abort().await;
+                        }
                         self.process_dmard_completions(eng).await
                     } else {
                         false
@@ -122,6 +167,9 @@ impl Fw {
                 } else {
                     let d = *m.dmawr(eng);
                     if peek_work(ctx, d.done, d.claim).await {
+                        if self.fw_fault_fires() {
+                            return self.fw_fault_abort().await;
+                        }
                         self.process_dmawr_completions(eng, host).await
                     } else {
                         false

@@ -253,6 +253,22 @@ pub struct Fw {
     /// exactly the same instruction sequence as a build without the
     /// fault plane, keeping fault-free runs bit-identical.
     pub fault_aware: bool,
+    /// Per-core instruction-fault site: when armed, each dispatched
+    /// handler may abort before running (the handler's state is rolled
+    /// back by simply not running it — work stays claimed-pending) and
+    /// the core pays an abort+restart penalty. `None` keeps the dispatch
+    /// loop's instruction stream identical to a fault-free build.
+    pub fw_faults: Option<std::rc::Rc<std::cell::RefCell<nicsim_fault::FwFaults>>>,
+}
+
+impl Fw {
+    /// Draw the per-core instruction-fault site, if armed. Draw-free
+    /// when unarmed or when the fire probability is zero.
+    pub fn fw_fault_fires(&self) -> bool {
+        self.fw_faults
+            .as_ref()
+            .is_some_and(|f| f.borrow_mut().fires())
+    }
 }
 
 impl std::fmt::Debug for Fw {

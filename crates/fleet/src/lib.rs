@@ -41,9 +41,9 @@
 //! before the epoch ends — an incast victim or a NIC with an exhausted
 //! schedule costs one wake computation per epoch, not a kernel entry.
 
-use nicsim::{NicConfig, NicSystem, RunStats};
+use nicsim::{ErrorStats, NicConfig, NicSystem, RunStats};
 use nicsim_net::workload::Workload;
-use nicsim_net::{Fabric, FabricConfig, FabricStats, PortStats};
+use nicsim_net::{Fabric, FabricConfig, FabricFaults, FabricStats, PortStats};
 use nicsim_obs::{FrameTracker, LatencySummary};
 use nicsim_sim::{EpochBarrier, Ps};
 
@@ -127,6 +127,28 @@ impl FleetStats {
     pub fn fabric_drops(&self) -> u64 {
         self.fabric.dropped
     }
+
+    /// Fleet-total error table: every NIC's [`ErrorStats`] merged
+    /// (including counters carried across crash/reset lifecycles).
+    /// `None` when the fleet ran without a fault plan.
+    pub fn errors_total(&self) -> Option<ErrorStats> {
+        let mut any = false;
+        let mut total = ErrorStats::default();
+        for s in &self.per_nic {
+            if let Some(e) = &s.errors {
+                any = true;
+                total.merge(e);
+            }
+        }
+        any.then_some(total)
+    }
+
+    /// Frames delivered exactly once to host memory, summed over every
+    /// NIC's receive side (reliable mode counts a deduplicated frame
+    /// once however many times it arrives).
+    pub fn delivered_frames(&self) -> u64 {
+        self.per_nic.iter().map(|s| s.rx_frames).sum()
+    }
 }
 
 /// The assembled fleet: `N` systems, the fabric, and the epoch clock.
@@ -136,10 +158,32 @@ pub struct Fleet {
     fabric: Fabric,
     /// Epoch length: the fabric's per-link latency.
     epoch: Ps,
+    /// Schedule horizon the workload was generated over; replacements
+    /// built by the crash/reset lifecycle regenerate their remaining
+    /// schedule from it.
+    horizon: Ps,
     /// NIC-epochs elided so far.
     skipped: u64,
     /// Guards against reusing a consumed fleet.
     ran: bool,
+    /// Whether the workload runs in reliable-delivery mode (the epoch
+    /// exchange then conveys acknowledgments between the NICs).
+    reliable: bool,
+    /// Per-NIC time of the next seeded whole-NIC crash; `Ps::MAX` when
+    /// crash injection is off. Crashes take effect at the first epoch
+    /// boundary at or after the drawn onset (coordinator-only state, so
+    /// the lifecycle is shard-invariant by construction).
+    crash_next: Vec<Ps>,
+    /// Per-NIC recovery time: `Ps::ZERO` means the NIC is up; anything
+    /// else means it is down (frozen — the run loops skip it) until the
+    /// fleet watchdog resets it at that boundary.
+    up_at: Vec<Ps>,
+    /// Fabric deliveries addressed to a NIC while it was down, folded
+    /// into `err_nic_reset_lost` when the watchdog resets it.
+    pending_lost: Vec<u64>,
+    /// Frame-lifecycle records inherited from dead NIC incarnations,
+    /// merged into the fleet latency summary at collection.
+    carry_probe: FrameTracker,
 }
 
 impl Fleet {
@@ -170,11 +214,8 @@ impl Fleet {
                 "offered-load pacing conflicts with the fleet schedule".into(),
             ));
         }
-        if cfg.nic.faults.is_some() {
-            return Err(FleetError("fault plans are per-NIC runs only".into()));
-        }
         cfg.workload.check(cfg.nics).map_err(FleetError)?;
-        let fabric = Fabric::new(cfg.nics, cfg.fabric);
+        let mut fabric = Fabric::new(cfg.nics, cfg.fabric);
         let epoch = cfg.fabric.link_latency;
         let period = nicsim_sim::Freq::from_mhz(cfg.nic.cpu_mhz).period();
         if epoch.0 < 2 * period.0 {
@@ -185,24 +226,59 @@ impl Fleet {
                 2 * period.0
             )));
         }
+        // The fault plane. Each NIC gets its own derived plan (same
+        // rates, decorrelated per-site streams) so faults don't strike
+        // every NIC in lockstep; the fabric's sites run off the fleet
+        // plan's own seed. An all-zeros plan arms nothing anywhere —
+        // the systems stay on their clean fast paths and the run is
+        // bit-identical to one with no plan at all (apart from the
+        // zeroed error tables in the results).
+        let plan = cfg.nic.faults.filter(|p| !p.is_noop());
+        if let Some(p) = &plan {
+            fabric.set_faults(FabricFaults::new(p, cfg.nics));
+        }
+        let crash_next: Vec<Ps> = (0..cfg.nics)
+            .map(|i| {
+                plan.as_ref()
+                    .and_then(|p| p.crash_onset(i as u64))
+                    .unwrap_or(Ps::MAX)
+            })
+            .collect();
         let mut systems = Vec::with_capacity(cfg.nics);
         for i in 0..cfg.nics {
-            let mut sys = NicSystem::build(cfg.nic)
+            let mut nic = cfg.nic;
+            nic.faults = cfg.nic.faults.map(|p| p.derive_nic(i as u64));
+            let mut sys = NicSystem::build(nic)
                 .probe(FrameTracker::new())
                 .finish()
                 .map_err(|e| FleetError(e.to_string()))?;
             let schedule = cfg.workload.schedule(i, cfg.nics, horizon);
             sys.enable_fleet(i as u16, schedule);
+            if cfg.workload.reliable {
+                sys.enable_reliable(Ps::from_us(cfg.workload.rto_us));
+            }
             systems.push(sys);
         }
         Ok(Fleet {
-            cfg,
             systems,
             fabric,
             epoch,
+            horizon,
             skipped: 0,
             ran: false,
+            reliable: cfg.workload.reliable,
+            crash_next,
+            up_at: vec![Ps::ZERO; cfg.nics],
+            pending_lost: vec![0; cfg.nics],
+            carry_probe: FrameTracker::new(),
+            cfg,
         })
+    }
+
+    /// Whether NIC `i` is currently down (crashed, awaiting the fleet
+    /// watchdog's reset).
+    fn is_down(&self, i: usize) -> bool {
+        self.up_at[i] != Ps::ZERO
     }
 
     /// The configuration this fleet was assembled from.
@@ -226,10 +302,26 @@ impl Fleet {
         }
 
         let final_end = Ps(total_epochs * self.epoch.0);
-        for sys in &mut self.systems {
-            sys.run_until(final_end);
+        for (i, sys) in self.systems.iter_mut().enumerate() {
+            if self.up_at[i] == Ps::ZERO {
+                sys.run_until(final_end);
+            }
+        }
+        // A NIC still down at the end of the run: its reset never
+        // completed, so fold the deliveries it missed into its error
+        // table directly (the reset itself is not counted — it never
+        // happened).
+        for i in 0..self.cfg.nics {
+            if self.is_down(i) && self.pending_lost[i] > 0 {
+                self.systems[i].carry_errors(ErrorStats {
+                    nic_reset_lost_frames: self.pending_lost[i],
+                    ..ErrorStats::default()
+                });
+                self.pending_lost[i] = 0;
+            }
         }
         let mut merged = FrameTracker::new();
+        merged.merge(&self.carry_probe);
         for sys in &self.systems {
             merged.merge(sys.probe());
         }
@@ -251,8 +343,11 @@ impl Fleet {
     fn run_epochs_sequential(&mut self, warm_epochs: u64, total_epochs: u64) {
         for k in 1..=total_epochs {
             let end = Ps(k * self.epoch.0);
-            for sys in &mut self.systems {
-                if sys.next_activity() <= end {
+            for (i, sys) in self.systems.iter_mut().enumerate() {
+                if self.up_at[i] != Ps::ZERO {
+                    // Crashed: frozen until the watchdog resets it.
+                    self.skipped += 1;
+                } else if sys.next_activity() <= end {
                     sys.run_until(end);
                 } else {
                     self.skipped += 1;
@@ -272,12 +367,16 @@ impl Fleet {
         let epoch = self.epoch;
         let mut worker_skipped = vec![0u64; shards];
 
-        /// One worker's view: a raw chunk of the systems vector plus
-        /// its skip counter. Dereferenced only while a generation is
-        /// open (see the disjointness argument at the spawn site).
+        /// One worker's view: a raw chunk of the systems vector, its
+        /// skip counter, and a read-only view of the fleet's down-state
+        /// vector (indexed by `base + chunk offset`). Dereferenced only
+        /// while a generation is open (see the disjointness argument at
+        /// the spawn site).
         struct Shard {
             systems: *mut [NicSystem<FrameTracker>],
             skipped: *mut u64,
+            up_at: *const [Ps],
+            base: usize,
         }
         // SAFETY: the pointers are dereferenced only between
         // `wait_open` and `finish`, when the coordinator touches
@@ -287,15 +386,20 @@ impl Fleet {
         // are reachable only through that system, and a system is only
         // ever touched by the one thread holding its chunk while a
         // generation is open — accesses hand over at the barrier's
-        // Release/Acquire edges, never overlap.
+        // Release/Acquire edges, never overlap. The down-state vector
+        // is written by the coordinator only between generations and
+        // only read by workers while one is open, under the same
+        // Release/Acquire edges.
         unsafe impl Send for Shard {}
 
+        let up_at_view: *const [Ps] = self.up_at.as_slice();
         let mut shards_vec = Vec::with_capacity(shards);
         {
             let mut rest: &mut [NicSystem<FrameTracker>] = &mut self.systems;
             let mut counters = worker_skipped.iter_mut();
             let base = rest.len() / shards;
             let extra = rest.len() % shards;
+            let mut start = 0;
             for w in 0..shards {
                 let take = base + usize::from(w < extra);
                 let (chunk, tail) = rest.split_at_mut(take);
@@ -303,7 +407,10 @@ impl Fleet {
                 shards_vec.push(Shard {
                     systems: chunk,
                     skipped: counters.next().expect("one counter per shard"),
+                    up_at: up_at_view,
+                    base: start,
                 });
+                start += take;
             }
         }
 
@@ -336,11 +443,17 @@ impl Fleet {
                             let end = Ps(g * epoch.0);
                             // SAFETY: generation `g` is open — the
                             // coordinator is blocked in wait_done and
-                            // the chunk is exclusively this worker's.
+                            // the chunk is exclusively this worker's;
+                            // the down-state vector is frozen for the
+                            // generation.
                             let systems = unsafe { &mut *shard.systems };
+                            let up_at = unsafe { &*shard.up_at };
                             let mut skipped = 0u64;
-                            for sys in systems.iter_mut() {
-                                if sys.next_activity() <= end {
+                            for (j, sys) in systems.iter_mut().enumerate() {
+                                if up_at[shard.base + j] != Ps::ZERO {
+                                    // Crashed: frozen until reset.
+                                    skipped += 1;
+                                } else if sys.next_activity() <= end {
                                     sys.run_until(end);
                                 } else {
                                     skipped += 1;
@@ -367,11 +480,26 @@ impl Fleet {
         self.skipped += worker_skipped.iter().sum::<u64>();
     }
 
-    /// The epoch-barrier frame exchange: drain every NIC's egress,
-    /// present the union to the fabric in canonical `(wire-done time,
-    /// source NIC)` order, inject the deliveries, and reset the
-    /// measurement window at the warmup boundary.
+    /// The epoch-barrier frame exchange: complete due NIC resets, drain
+    /// every NIC's egress, present the union to the fabric in canonical
+    /// `(wire-done time, source NIC)` order, inject the deliveries
+    /// (dropping those addressed to down NICs), convey reliable-mode
+    /// acknowledgments, take due crashes, and reset the measurement
+    /// window at the warmup boundary.
+    ///
+    /// Every crash/reset transition happens here, on the coordinator,
+    /// at an epoch boundary — never inside a worker's epoch — so the
+    /// whole lifecycle is shard-invariant by construction.
     fn exchange(&mut self, k: u64, warm_epochs: u64) {
+        let boundary = Ps(k * self.epoch.0);
+        // Resets due: the watchdog detected the crash and the recovery
+        // delay has elapsed — bring the NIC back as a fresh system.
+        for i in 0..self.cfg.nics {
+            if self.is_down(i) && boundary >= self.up_at[i] {
+                self.reset_nic(i, boundary);
+                self.up_at[i] = Ps::ZERO;
+            }
+        }
         let mut offers: Vec<(Ps, usize, Vec<u8>)> = Vec::new();
         for (src, sys) in self.systems.iter_mut().enumerate() {
             for (w, frame) in sys.take_egress() {
@@ -383,12 +511,58 @@ impl Fleet {
         offers.sort_unstable_by_key(|(w, src, _)| (w.0, *src));
         for (w, src, frame) in offers {
             if let Some(d) = self.fabric.offer(w, src, frame) {
-                self.systems[d.dst].inject_rx(d.at, d.frame);
+                if self.is_down(d.dst) {
+                    // The fabric delivered to a dead port: the frame is
+                    // lost with the NIC, accounted when it resets.
+                    self.pending_lost[d.dst] += 1;
+                } else {
+                    self.systems[d.dst].inject_rx(d.at, d.frame);
+                }
+            }
+        }
+        if self.reliable {
+            // Acknowledgments ride out of band but pay the wire's
+            // round-trip: a frame received at `t` is acknowledged to
+            // its source at `t + 2E` (receiver → switch → sender),
+            // which is strictly after this boundary — causal, so the
+            // conveyance is shard-invariant. Acks to a down NIC are
+            // lost with it (its unacked state died anyway).
+            let mut acks: Vec<(usize, u32, Ps)> = Vec::new();
+            for (i, sys) in self.systems.iter_mut().enumerate() {
+                if self.up_at[i] != Ps::ZERO {
+                    continue;
+                }
+                for (src, seq, t) in sys.take_acks() {
+                    acks.push((src as usize, seq, Ps(t.0 + 2 * self.epoch.0)));
+                }
+            }
+            for (src, seq, at) in acks {
+                if !self.is_down(src) {
+                    self.systems[src].deliver_ack(at, seq);
+                }
+            }
+        }
+        // Crashes due: the NIC hangs whole at this boundary (onset
+        // rounded up to the epoch grid). The watchdog's detection plus
+        // recovery takes `watchdog_us`, rounded up to whole epochs.
+        for i in 0..self.cfg.nics {
+            if !self.is_down(i) && boundary >= self.crash_next[i] {
+                let plan = self.cfg.nic.faults.expect("crash schedule implies a plan");
+                let down = Ps::from_us(plan.watchdog_us.max(1));
+                let down_epochs = down.0.div_ceil(self.epoch.0).max(1);
+                self.up_at[i] = Ps(boundary.0 + down_epochs * self.epoch.0);
+                self.crash_next[i] = Ps(self.crash_next[i]
+                    .0
+                    .saturating_add(Ps::from_us(plan.crash_period_us).0));
             }
         }
         if k == warm_epochs {
-            let boundary = Ps(k * self.epoch.0);
-            for sys in &mut self.systems {
+            for (i, sys) in self.systems.iter_mut().enumerate() {
+                if self.up_at[i] != Ps::ZERO {
+                    // Down NICs are frozen mid-crash; their replacement
+                    // opens its own window at reset time.
+                    continue;
+                }
                 // Quiet NICs may have skipped up to this boundary:
                 // bring every clock to it so all windows are equal
                 // (a provable no-op for the skipped ones).
@@ -397,6 +571,48 @@ impl Fleet {
             }
             self.fabric.reset_stats();
         }
+    }
+
+    /// Replace crashed NIC `i` with a fresh system at time `at` — the
+    /// crash/reset lifecycle's recovery half. The firmware re-boots
+    /// from scratch, the driver re-posts its rings and resumes the
+    /// remaining workload schedule under the predecessor's sequence
+    /// numbering (receivers see a gap, never a regression), and the
+    /// dead incarnation's error table — plus this reset and every frame
+    /// it lost — carries into the replacement so per-NIC accounting
+    /// survives.
+    fn reset_nic(&mut self, i: usize, at: Ps) {
+        let old = &self.systems[i];
+        // Frames that died with the NIC: driver-posted transmits not
+        // yet completed, arrivals still queued on the wire, and
+        // fabric deliveries dropped while it was down.
+        let lost = old.tx_in_flight() as u64
+            + old.pending_rx() as u64
+            + std::mem::take(&mut self.pending_lost[i]);
+        let mut carry = old.collect().errors.unwrap_or_default();
+        carry.nic_resets += 1;
+        carry.nic_reset_lost_frames += lost;
+        let posted = old.fleet_seq_next();
+
+        let mut nic = self.cfg.nic;
+        nic.faults = self.cfg.nic.faults.map(|p| p.derive_nic(i as u64));
+        let mut sys = NicSystem::build(nic)
+            .probe(FrameTracker::new())
+            .finish()
+            .expect("replacement NIC build (config already validated)");
+        sys.restart_at(at);
+        let full = self.cfg.workload.schedule(i, self.cfg.nics, self.horizon);
+        let remaining = full
+            .get(posted as usize..)
+            .map_or(Vec::new(), |s| s.to_vec());
+        sys.enable_fleet(i as u16, remaining);
+        sys.resume_fleet_seq(posted);
+        if self.reliable {
+            sys.enable_reliable(Ps::from_us(self.cfg.workload.rto_us));
+        }
+        sys.carry_errors(carry);
+        let old = std::mem::replace(&mut self.systems[i], sys);
+        self.carry_probe.merge(old.probe());
     }
 }
 
@@ -421,6 +637,7 @@ mod tests {
                 arrivals: Arrivals::Cbr,
                 fps: 50_000.0,
                 seed: 7,
+                ..Workload::default()
             },
         }
     }

@@ -37,6 +37,7 @@ fn base_cfg(dispatch: DispatchMode, shards: usize) -> FleetConfig {
             arrivals: Arrivals::Poisson,
             fps: 80_000.0,
             seed: 42,
+            ..Workload::default()
         },
     }
 }

@@ -18,7 +18,7 @@ use nicsim_net::frame::{build_udp_frame, set_endpoints, validate_frame};
 use nicsim_net::workload::TxPacket;
 use nicsim_obs::{Event, FaultUnit, NullProbe, Probe, RecoveryKind};
 use nicsim_sim::Ps;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Number of buffer descriptors in the send ring (two per frame).
 pub const SEND_BD_RING_ENTRIES: u32 = 1024;
@@ -153,6 +153,46 @@ pub struct DriverStats {
     pub rx_error_returns: u64,
     /// Transmit frames re-posted after the NIC aborted their DMA.
     pub tx_retries: u64,
+    /// Reliable mode: frames retransmitted on timeout.
+    pub tx_retransmits: u64,
+    /// Reliable mode: duplicate deliveries suppressed by the receiver.
+    pub rx_duplicates: u64,
+}
+
+/// Reliable-delivery state (fleet mode only): the sender half tracks
+/// unacked frames and retransmits on timeout with exponential backoff;
+/// the receiver half deduplicates and generates acknowledgements.
+///
+/// Acks travel out of band: the fleet engine drains
+/// [`Driver::take_acks`] at each epoch barrier and delivers them to the
+/// source driver via [`Driver::deliver_ack`] one fabric round-trip after
+/// the original delivery — the protocol costs latency, not bandwidth,
+/// and stays off the simulated wire (in-band ack frames would perturb
+/// the firmware and MAC models this crate is calibrated against).
+#[derive(Debug)]
+struct Reliable {
+    /// Retransmit timeout base; attempt `n` waits `rto << min(n, 6)`.
+    rto: Ps,
+    /// Sender: unacked frames by namespaced sequence. A `BTreeMap` so
+    /// the retransmit scan walks in deterministic sequence order.
+    unacked: BTreeMap<u32, Unacked>,
+    /// Receiver-generated acks awaiting the fleet engine:
+    /// `(source NIC of the data frame, seq, delivered_at)`.
+    acks_out: Vec<(u16, u32, Ps)>,
+    /// Sender: acks in flight toward this driver, `(arrival, seq)`.
+    acks_in: Vec<(Ps, u32)>,
+    /// Receiver: delivered sequence sets per source, for exactly-once
+    /// accounting under retransmission.
+    seen: HashMap<u16, HashSet<u32>>,
+}
+
+/// One unacked transmit frame (enough to rebuild it bit-identically).
+#[derive(Debug)]
+struct Unacked {
+    dst: u16,
+    udp_payload: usize,
+    last_sent: Ps,
+    attempts: u32,
 }
 
 /// Fleet-mode transmit state: a pre-computed schedule of addressed
@@ -174,6 +214,10 @@ pub struct Driver {
     cfg: DriverConfig,
     layout: HostLayout,
     tx_seq_next: u32,
+    /// Frames staged into the send rings (schedule posts plus reliable
+    /// retransmits). Equal to `tx_seq_next` outside reliable mode; ring
+    /// slots and the in-flight window run off this counter.
+    tx_slot_next: u32,
     tx_bd_prod: u32,
     rx_bd_prod: u32,
     rx_frames_returned: u32,
@@ -199,6 +243,8 @@ pub struct Driver {
     /// different sources interleave arbitrarily at the receiver, so
     /// ordering is only meaningful per source).
     rx_expected: HashMap<u16, u32>,
+    /// Reliable-delivery state, entered via [`Driver::set_reliable`].
+    reliable: Option<Reliable>,
 }
 
 impl Driver {
@@ -208,6 +254,7 @@ impl Driver {
             cfg,
             layout,
             tx_seq_next: 0,
+            tx_slot_next: 0,
             tx_bd_prod: 0,
             rx_bd_prod: 0,
             rx_frames_returned: 0,
@@ -223,6 +270,7 @@ impl Driver {
             window_start: Ps::ZERO,
             fleet: None,
             rx_expected: HashMap::new(),
+            reliable: None,
         }
     }
 
@@ -240,9 +288,71 @@ impl Driver {
         });
     }
 
+    /// Enter reliable-delivery mode (requires fleet mode): unacked
+    /// frames retransmit after `rto << attempts` (backoff capped at six
+    /// doublings), and the receive path deduplicates per source.
+    pub fn set_reliable(&mut self, rto: Ps) {
+        debug_assert!(self.fleet.is_some(), "reliable mode rides on fleet mode");
+        debug_assert!(rto > Ps::ZERO);
+        self.reliable = Some(Reliable {
+            rto,
+            unacked: BTreeMap::new(),
+            acks_out: Vec::new(),
+            acks_in: Vec::new(),
+            seen: HashMap::new(),
+        });
+    }
+
+    /// Deliver one acknowledgement to this (sending) driver: the frame
+    /// it posted as `seq` was delivered, and the ack arrives at `at`.
+    /// Applied at the first poll at or after `at`.
+    pub fn deliver_ack(&mut self, at: Ps, seq: u32) {
+        if let Some(r) = self.reliable.as_mut() {
+            r.acks_in.push((at, seq));
+        }
+    }
+
+    /// Drain receiver-generated acknowledgements:
+    /// `(source NIC of the acked frame, seq, delivered_at)`. The fleet
+    /// engine routes each to its source driver one fabric round-trip
+    /// after `delivered_at`.
+    pub fn take_acks(&mut self) -> Vec<(u16, u32, Ps)> {
+        self.reliable
+            .as_mut()
+            .map(|r| std::mem::take(&mut r.acks_out))
+            .unwrap_or_default()
+    }
+
+    /// Unacked frames currently tracked by the reliable sender.
+    pub fn unacked_frames(&self) -> usize {
+        self.reliable.as_ref().map_or(0, |r| r.unacked.len())
+    }
+
+    /// Fleet-schedule frames posted so far (the sequence counter), for
+    /// resuming a replacement driver after a NIC reset.
+    pub fn fleet_seq_next(&self) -> u32 {
+        self.tx_seq_next
+    }
+
+    /// Resume the fleet sequence counter at `n` (replacement driver
+    /// after a NIC reset): receivers see a sequence gap, never a
+    /// regression. The ring slot counter stays fresh — the replacement
+    /// NIC's rings are empty.
+    pub fn resume_fleet_seq(&mut self, n: u32) {
+        debug_assert_eq!(self.tx_slot_next, 0, "resume only on a fresh driver");
+        self.tx_seq_next = n;
+    }
+
+    /// Transmit frames staged into the NIC rings and not yet completed
+    /// (the in-flight window, counting retransmits).
+    pub fn tx_in_flight(&self) -> u32 {
+        self.tx_slot_next - self.stats.tx_completed as u32
+    }
+
     /// Whether the next invocation's behavior depends on `now` even
-    /// with unchanged host memory: offered-load pacing, or un-posted
-    /// fleet schedule entries. The event kernel must not elide polls
+    /// with unchanged host memory: offered-load pacing, un-posted
+    /// fleet schedule entries, or reliable-mode timers (pending acks
+    /// and retransmit deadlines). The event kernel must not elide polls
     /// while this holds.
     pub fn time_sensitive(&self) -> bool {
         self.cfg.offered_fps.is_some()
@@ -250,6 +360,10 @@ impl Driver {
                 .fleet
                 .as_ref()
                 .is_some_and(|f| f.next < f.schedule.len())
+            || self
+                .reliable
+                .as_ref()
+                .is_some_and(|r| !r.unacked.is_empty() || !r.acks_in.is_empty())
     }
 
     /// Fleet-schedule packets not yet posted.
@@ -310,7 +424,7 @@ impl Driver {
             });
         }
         self.stats.tx_completed = completed_frames as u64;
-        let in_flight = self.tx_seq_next - completed_frames;
+        let in_flight = self.tx_slot_next - completed_frames;
         let mut budget = (SEND_FRAME_WINDOW - in_flight).min(self.cfg.post_burst);
         if let Some(fps) = self.cfg.offered_fps {
             let allowed = (now.as_secs_f64() * fps) as u64;
@@ -341,6 +455,13 @@ impl Driver {
         }
         if self.fleet.is_some() {
             let mut posted = false;
+            // Reliable mode first applies due acks, then spends budget
+            // on overdue retransmits before new schedule entries —
+            // recovery traffic ahead of fresh offered load.
+            if self.reliable.is_some() {
+                self.apply_due_acks(now);
+                posted |= self.retransmit_due(now, mem, &mut budget, probe);
+            }
             while budget > 0 {
                 let fleet = self.fleet.as_ref().expect("fleet mode");
                 let (src, pkt) = match fleet.schedule.get(fleet.next) {
@@ -354,6 +475,18 @@ impl Driver {
                 let mut frame = build_udp_frame(seq, pkt.udp_payload);
                 set_endpoints(&mut frame, src, pkt.dst);
                 self.write_frame(now, mem, &frame, seq, probe);
+                self.tx_seq_next += 1;
+                if let Some(r) = self.reliable.as_mut() {
+                    r.unacked.insert(
+                        seq,
+                        Unacked {
+                            dst: pkt.dst,
+                            udp_payload: pkt.udp_payload,
+                            last_sent: now,
+                            attempts: 0,
+                        },
+                    );
+                }
                 self.fleet.as_mut().expect("fleet mode").next += 1;
                 budget -= 1;
                 posted = true;
@@ -370,6 +503,7 @@ impl Driver {
             let seq = self.tx_seq_next;
             let frame = build_udp_frame(seq, self.cfg.udp_payload);
             self.write_frame(now, mem, &frame, seq, probe);
+            self.tx_seq_next += 1;
         }
         self.mailbox.push(MailboxWrite {
             reg: Mailbox::SendBdProd,
@@ -378,9 +512,73 @@ impl Driver {
         true
     }
 
+    /// Apply acknowledgements that have arrived by `now`: each removes
+    /// its frame from the unacked map. Arrival order across senders is
+    /// irrelevant — removal from a set commutes — so the fleet engine
+    /// may append acks in any deterministic order.
+    fn apply_due_acks(&mut self, now: Ps) {
+        let r = self.reliable.as_mut().expect("reliable mode");
+        let mut i = 0;
+        while i < r.acks_in.len() {
+            if r.acks_in[i].0 <= now {
+                let (_, seq) = r.acks_in.swap_remove(i);
+                r.unacked.remove(&seq);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Retransmit frames whose timeout expired, oldest sequence first,
+    /// within `budget`. Attempt `n` waits `rto << min(n, 6)` after its
+    /// last transmission — exponential backoff with a bounded exponent
+    /// so a long-unreachable peer cannot overflow the shift.
+    fn retransmit_due<P: Probe>(
+        &mut self,
+        now: Ps,
+        mem: &mut HostMemory,
+        budget: &mut u32,
+        probe: &mut P,
+    ) -> bool {
+        let src = self.fleet.as_ref().expect("fleet mode").src;
+        let r = self.reliable.as_mut().expect("reliable mode");
+        let mut due: Vec<u32> = Vec::new();
+        for (seq, u) in r.unacked.iter() {
+            if due.len() as u32 >= *budget {
+                break;
+            }
+            if now >= u.last_sent + Ps(r.rto.0 << u.attempts.min(6)) {
+                due.push(*seq);
+            }
+        }
+        let sent = !due.is_empty();
+        for seq in due {
+            let r = self.reliable.as_mut().expect("reliable mode");
+            let u = r.unacked.get_mut(&seq).expect("due seq tracked");
+            u.last_sent = now;
+            u.attempts += 1;
+            let (dst, payload) = (u.dst, u.udp_payload);
+            let mut frame = build_udp_frame(seq, payload);
+            set_endpoints(&mut frame, src, dst);
+            self.write_frame(now, mem, &frame, seq, probe);
+            self.stats.tx_retransmits += 1;
+            *budget -= 1;
+            if P::ENABLED {
+                probe.emit(Event::Recovery {
+                    kind: RecoveryKind::Retransmit,
+                    unit: FaultUnit::Driver,
+                    info: seq,
+                    at: now,
+                });
+            }
+        }
+        sent
+    }
+
     /// Stage one frame into the send buffers and its two BDs into the
     /// ring; `seq` is the wire sequence (stored in the BDs for the
-    /// firmware to carry through to the transmit ring).
+    /// firmware to carry through to the transmit ring). The caller owns
+    /// the sequence counter; this advances only the ring slot.
     fn write_frame<P: Probe>(
         &mut self,
         now: Ps,
@@ -389,7 +587,7 @@ impl Driver {
         seq: u32,
         probe: &mut P,
     ) {
-        let slot = self.tx_seq_next % SEND_FRAME_WINDOW;
+        let slot = self.tx_slot_next % SEND_FRAME_WINDOW;
         let eth_len = (frame.len() - 4) as u32; // MAC appends the FCS
         let hdr_addr = self.layout.send_hdr_bufs + slot * 64 + 2;
         let pay_addr = self.layout.send_pay_bufs + slot * 2048;
@@ -408,7 +606,7 @@ impl Driver {
         mem.write_u32(bd1 + 8, BD_FLAG_LAST);
         mem.write_u32(bd1 + 12, seq);
         self.tx_bd_prod += 2;
-        self.tx_seq_next += 1;
+        self.tx_slot_next += 1;
         self.stats.tx_posted += 1;
         if P::ENABLED {
             probe.emit(Event::HostTxPost { seq, at: now });
@@ -468,6 +666,29 @@ impl Driver {
             }
             let frame = mem.read(addr, len).to_vec();
             match validate_frame(&frame) {
+                Ok(info) if self.reliable.is_some() => {
+                    // Reliable mode: deduplicate per source and ack
+                    // every delivery, duplicates included (the re-ack
+                    // covers a lost ack). Gap/regression accounting is
+                    // meaningless under retransmission and stays off.
+                    let src_nic = (info.seq >> 24) as u16;
+                    let r = self.reliable.as_mut().expect("reliable mode");
+                    let first = r.seen.entry(src_nic).or_default().insert(info.seq);
+                    r.acks_out.push((src_nic, info.seq, now));
+                    if first {
+                        self.stats.rx_frames += 1;
+                        self.stats.rx_udp_payload_bytes += info.udp_payload as u64;
+                        if P::ENABLED {
+                            probe.emit(Event::HostRxDeliver {
+                                seq: info.seq,
+                                udp_payload: info.udp_payload as u32,
+                                at: now,
+                            });
+                        }
+                    } else {
+                        self.stats.rx_duplicates += 1;
+                    }
+                }
                 Ok(info) => {
                     // In fleet mode ordering is tracked per source NIC
                     // (recovered from the sequence namespace); frames
@@ -797,6 +1018,96 @@ mod tests {
             "interleaving across sources is in-order"
         );
         assert_eq!(s.rx_dropped, 1, "source 2's gap is a drop");
+    }
+
+    #[test]
+    fn reliable_sender_retransmits_with_backoff_until_acked() {
+        let (mut d, mut mem) = setup();
+        d.set_fleet(
+            0,
+            vec![TxPacket {
+                at: Ps::ZERO,
+                dst: 1,
+                udp_payload: 256,
+            }],
+        );
+        d.set_reliable(Ps::from_us(10));
+        d.tick(Ps::ZERO, &mut mem);
+        assert_eq!(d.stats().tx_posted, 1);
+        assert_eq!(d.unacked_frames(), 1);
+        assert!(d.time_sensitive(), "unacked frames keep the driver hot");
+        // Before the timeout: no retransmit.
+        d.tick(Ps::from_us(9), &mut mem);
+        assert_eq!(d.stats().tx_retransmits, 0);
+        // At the timeout: one retransmit of the same seq into slot 1.
+        d.tick(Ps::from_us(10), &mut mem);
+        assert_eq!(d.stats().tx_retransmits, 1);
+        assert_eq!(mem.read_u32(d.layout().send_bd_ring + BD_BYTES * 2 + 12), 0);
+        // Backoff doubles: the next attempt waits 20 us, not 10.
+        d.tick(Ps::from_us(25), &mut mem);
+        assert_eq!(d.stats().tx_retransmits, 1);
+        d.tick(Ps::from_us(30), &mut mem);
+        assert_eq!(d.stats().tx_retransmits, 2);
+        // An ack in the past applies at the next poll and stops the
+        // retransmission.
+        d.deliver_ack(Ps::from_us(31), 0);
+        d.tick(Ps::from_us(32), &mut mem);
+        assert_eq!(d.unacked_frames(), 0);
+        assert!(!d.time_sensitive());
+        d.tick(Ps::from_us(200), &mut mem);
+        assert_eq!(d.stats().tx_retransmits, 2, "acked frames stay quiet");
+    }
+
+    #[test]
+    fn reliable_receiver_dedups_and_acks() {
+        let (mut d, mut mem) = setup();
+        d.set_fleet(0, Vec::new());
+        d.set_reliable(Ps::from_us(10));
+        d.tick(Ps::ZERO, &mut mem);
+        let l = d.layout();
+        // The same frame from source 1 returned twice (a retransmit
+        // racing its original), plus a distinct one.
+        let seqs = [1u32 << 24, 1 << 24, (1 << 24) + 1];
+        for (i, seq) in seqs.iter().enumerate() {
+            let frame = build_udp_frame(*seq, 100);
+            let addr = l.rx_bufs + (i as u32) * RX_BUF_BYTES + 2;
+            mem.write(addr, &frame);
+            let dsc = l.return_ring + i as u32 * BD_BYTES;
+            mem.write_u32(dsc, addr);
+            mem.write_u32(dsc + 4, frame.len() as u32);
+        }
+        mem.write_u32(l.status + 4, 3);
+        d.tick(Ps::from_us(1), &mut mem);
+        let s = d.stats();
+        assert_eq!(s.rx_frames, 2, "exactly-once delivery");
+        assert_eq!(s.rx_duplicates, 1);
+        assert_eq!(s.rx_dropped, 0, "no gap accounting in reliable mode");
+        // Every return was acked, duplicates included.
+        let acks = d.take_acks();
+        assert_eq!(acks.len(), 3);
+        assert!(acks
+            .iter()
+            .all(|(src, _, at)| *src == 1 && *at == Ps::from_us(1)));
+        assert!(d.take_acks().is_empty(), "acks drain once");
+    }
+
+    #[test]
+    fn resume_fleet_seq_leaves_a_gap_not_a_regression() {
+        let (mut d, mut mem) = setup();
+        d.set_fleet(
+            2,
+            vec![TxPacket {
+                at: Ps::ZERO,
+                dst: 1,
+                udp_payload: 64,
+            }],
+        );
+        d.resume_fleet_seq(7);
+        d.tick(Ps::ZERO, &mut mem);
+        assert_eq!(d.fleet_seq_next(), 8);
+        let seq = mem.read_u32(d.layout().send_bd_ring + 12);
+        assert_eq!(seq, (2 << 24) | 7);
+        assert_eq!(d.tx_in_flight(), 1);
     }
 
     #[test]

@@ -23,8 +23,9 @@
 //! runs can be compared for identical fabric behavior (order included)
 //! with a single `u64`.
 
-use crate::frame::{endpoints, CRC_BYTES, HEADER_BYTES};
+use crate::frame::{endpoints, write_fcs, CRC_BYTES, HEADER_BYTES};
 use crate::link::ETH_OVERHEAD_BYTES;
+use nicsim_fault::FabricFaults;
 use nicsim_sim::Ps;
 use std::collections::VecDeque;
 
@@ -85,9 +86,19 @@ pub struct FabricStats {
     pub delivered_bytes: u64,
     /// Dropped frame bytes.
     pub dropped_bytes: u64,
+    /// Frames bit-corrupted on a fabric link (fault plane; the frame is
+    /// still delivered and the receiver's CRC check catches it).
+    pub corrupted: u64,
+    /// Frames dropped because the source link was flapped down.
+    pub flap_drops: u64,
+    /// Frames dropped by a transient port-buffer squeeze that the full
+    /// buffer would have admitted.
+    pub squeeze_drops: u64,
     /// FNV-1a digest over every delivery and drop in processing order:
-    /// `(kind, src, dst, seq, time)`. Identical digests mean identical
-    /// fabric behavior, ordering included.
+    /// `(kind, src, dst, seq, time)` with kind 0 = delivery, 1 =
+    /// overflow drop, 2 = flap drop, 3 = squeeze drop, 4 = a corruption
+    /// marker folded before the delivery it taints. Identical digests
+    /// mean identical fabric behavior, ordering and faults included.
     pub digest: u64,
 }
 
@@ -121,6 +132,10 @@ pub struct Fabric {
     ps_per_byte: u64,
     ports: Vec<Port>,
     stats: FabricStats,
+    /// Fleet fault-plane policy (fabric link corruption, flaps, port
+    /// squeeze). `None` on clean runs: the offer path then never
+    /// branches on fault state beyond one `is_some` check.
+    faults: Option<FabricFaults>,
 }
 
 impl Fabric {
@@ -148,12 +163,20 @@ impl Fabric {
                 digest: FNV_OFFSET,
                 ..FabricStats::default()
             },
+            faults: None,
         }
     }
 
     /// The configuration the fabric was built with.
     pub fn config(&self) -> &FabricConfig {
         &self.cfg
+    }
+
+    /// Arm the fabric fault plane. When armed, every offered frame gets
+    /// a real FCS stamped before any fault decision, so receivers that
+    /// check CRC pass clean frames and catch the corrupted ones.
+    pub fn set_faults(&mut self, faults: FabricFaults) {
+        self.faults = Some(faults);
     }
 
     /// The minimum source-to-destination path latency: two hops plus
@@ -180,7 +203,7 @@ impl Fabric {
     ///
     /// Panics if the frame addresses a destination the fabric has no
     /// port for.
-    pub fn offer(&mut self, w: Ps, src: usize, frame: Vec<u8>) -> Option<Delivery> {
+    pub fn offer(&mut self, w: Ps, src: usize, mut frame: Vec<u8>) -> Option<Delivery> {
         let (_, dst) = endpoints(&frame);
         let dst = dst as usize;
         assert!(
@@ -192,19 +215,57 @@ impl Fabric {
         let seq = u32::from_be_bytes([frame[42], frame[43], frame[44], frame[45]]);
         self.stats.offered += 1;
         let t_in = w + self.cfg.link_latency;
+        // Fault plane, in a fixed order so the per-site streams advance
+        // identically for every shard count: the (draw-free, time-pure)
+        // flap check first — a down source link consumes no draws — then
+        // one corruption draw on the source's link stream, then one
+        // squeeze draw on the fabric-wide stream.
+        let mut squeezed = false;
+        if let Some(f) = self.faults.as_mut().filter(|f| f.armed()) {
+            write_fcs(&mut frame);
+            if f.link_down(src, w) {
+                let port = &mut self.ports[dst];
+                port.stats.dropped += 1;
+                port.stats.dropped_bytes += len;
+                self.stats.dropped += 1;
+                self.stats.dropped_bytes += len;
+                self.stats.flap_drops += 1;
+                self.stats.digest = fnv_fold(self.stats.digest, 2, src, dst, seq, t_in);
+                return None;
+            }
+            let body_bits = (frame.len() - CRC_BYTES) as u64 * 8;
+            if let Some(bit) = f.draw_corrupt(src, body_bits) {
+                frame[(bit / 8) as usize] ^= 1 << (bit % 8);
+                self.stats.corrupted += 1;
+                self.stats.digest = fnv_fold(self.stats.digest, 4, src, dst, seq, t_in);
+            }
+            squeezed = f.draw_squeeze();
+        }
         let serialization = self.serialization(len);
+        let cap = if squeezed {
+            self.cfg.port_buffer_bytes / 4
+        } else {
+            self.cfg.port_buffer_bytes
+        };
         let port = &mut self.ports[dst];
         // Drain frames that departed before this one arrived.
         while port.queued.front().is_some_and(|(dep, _)| *dep <= t_in) {
             let (_, gone) = port.queued.pop_front().expect("front checked");
             port.occupancy -= gone;
         }
-        if port.occupancy + len > self.cfg.port_buffer_bytes {
+        if port.occupancy + len > cap {
+            let squeeze_drop = squeezed && port.occupancy + len <= self.cfg.port_buffer_bytes;
             port.stats.dropped += 1;
             port.stats.dropped_bytes += len;
             self.stats.dropped += 1;
             self.stats.dropped_bytes += len;
-            self.stats.digest = fnv_fold(self.stats.digest, 1, src, dst, seq, t_in);
+            let kind = if squeeze_drop {
+                self.stats.squeeze_drops += 1;
+                3
+            } else {
+                1
+            };
+            self.stats.digest = fnv_fold(self.stats.digest, kind, src, dst, seq, t_in);
             return None;
         }
         let start = t_in.max(port.busy_until);
@@ -369,6 +430,101 @@ mod tests {
             fab.offer(Ps(49_000), src as usize, addressed(i, 256, src, 3));
         }
         assert_ne!(fab.stats().digest, run().digest);
+    }
+
+    #[test]
+    fn armed_fabric_stamps_fcs_and_corrupts_deterministically() {
+        use nicsim_fault::FaultPlan;
+        let plan = FaultPlan {
+            fabric_corrupt: 0.3,
+            ..FaultPlan::default()
+        };
+        let run = || {
+            let mut fab = Fabric::new(2, FabricConfig::default());
+            fab.set_faults(FabricFaults::new(&plan, 2));
+            let mut good = 0;
+            let mut bad = 0;
+            for i in 0..100u32 {
+                let d = fab
+                    .offer(Ps(i as u64 * 2_000_000), 0, addressed(i, 256, 0, 1))
+                    .unwrap();
+                if crate::frame::fcs_valid(&d.frame) {
+                    good += 1;
+                } else {
+                    bad += 1;
+                }
+            }
+            (good, bad, fab.stats())
+        };
+        let (good, bad, stats) = run();
+        assert!(good > 0 && bad > 0, "good={good} bad={bad}");
+        assert_eq!(bad as u64, stats.corrupted);
+        assert_eq!(run().2, stats, "faulted fabric must replay exactly");
+    }
+
+    #[test]
+    fn flapped_link_drops_into_the_digest() {
+        use nicsim_fault::FaultPlan;
+        let plan = FaultPlan {
+            flap_period_us: 50,
+            flap_down_us: 25,
+            ..FaultPlan::default()
+        };
+        let mut fab = Fabric::new(2, FabricConfig::default());
+        fab.set_faults(FabricFaults::new(&plan, 2));
+        let clean_digest = Fabric::new(2, FabricConfig::default()).stats().digest;
+        let mut dropped = 0;
+        for i in 0..100u32 {
+            if fab
+                .offer(Ps::from_us(i as u64), 0, addressed(i, 256, 0, 1))
+                .is_none()
+            {
+                dropped += 1;
+            }
+        }
+        let s = fab.stats();
+        assert_eq!(s.flap_drops, dropped);
+        // Half the time down, and every drop folded into the digest.
+        assert!((40..=60).contains(&dropped), "dropped = {dropped}");
+        assert_ne!(s.digest, clean_digest);
+    }
+
+    #[test]
+    fn squeeze_drops_frames_the_full_buffer_would_admit() {
+        use nicsim_fault::FaultPlan;
+        let cfg = FabricConfig {
+            port_buffer_bytes: 8000,
+            ..FabricConfig::default()
+        };
+        let plan = FaultPlan {
+            squeeze: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut fab = Fabric::new(3, cfg);
+        fab.set_faults(FabricFaults::new(&plan, 3));
+        // A squeezed admission sees 2000 bytes of capacity: the second
+        // back-to-back 1518-byte frame is a squeeze drop.
+        assert!(fab.offer(Ps::ZERO, 0, addressed(0, 1472, 0, 2)).is_some());
+        assert!(fab.offer(Ps::ZERO, 1, addressed(1, 1472, 1, 2)).is_none());
+        let s = fab.stats();
+        assert_eq!(s.squeeze_drops, 1);
+        assert_eq!(s.dropped, 1);
+    }
+
+    #[test]
+    fn unarmed_fault_state_changes_nothing() {
+        use nicsim_fault::FaultPlan;
+        let mut clean = Fabric::new(2, FabricConfig::default());
+        let mut armed = Fabric::new(2, FabricConfig::default());
+        // An all-zeros plan: armed() is false, so the offer path must
+        // not even stamp the FCS.
+        armed.set_faults(FabricFaults::new(&FaultPlan::default(), 2));
+        for i in 0..20u32 {
+            let a = clean.offer(Ps(i as u64 * 1000), 0, addressed(i, 256, 0, 1));
+            let b = armed.offer(Ps(i as u64 * 1000), 0, addressed(i, 256, 0, 1));
+            assert_eq!(a, b);
+        }
+        assert_eq!(clean.stats(), armed.stats());
     }
 
     #[test]

@@ -15,4 +15,5 @@ pub mod workload;
 pub use fabric::{Delivery, Fabric, FabricConfig, FabricStats, PortStats};
 pub use frame::{build_udp_frame, endpoints, set_endpoints, validate_frame, FrameError, FrameInfo};
 pub use link::{line_rate_fps, max_udp_throughput_gbps, wire_time, RxGenerator, TxMonitor};
+pub use nicsim_fault::FabricFaults;
 pub use workload::{Arrivals, Pattern, SizeMix, TxPacket, Workload};

@@ -98,6 +98,13 @@ pub struct Workload {
     pub fps: f64,
     /// Master seed; NIC `i` draws from site `i`.
     pub seed: u64,
+    /// Reliable delivery: the driver tracks per-flow unacked frames and
+    /// retransmits on timeout with exponential backoff, and receivers
+    /// deduplicate — goodput then counts delivered-exactly-once frames.
+    pub reliable: bool,
+    /// Retransmit timeout base, microseconds (attempt `n` waits
+    /// `rto_us << n`, capped). Only meaningful with `reliable`.
+    pub rto_us: u64,
 }
 
 impl Default for Workload {
@@ -109,6 +116,8 @@ impl Default for Workload {
             arrivals: Arrivals::Cbr,
             fps: 100_000.0,
             seed: 1,
+            reliable: false,
+            rto_us: 50,
         }
     }
 }
@@ -133,7 +142,9 @@ impl Workload {
     /// share, default 0.5), `size` (fixed payload bytes), `small` /
     /// `large` / `small_frac` (bimodal mix), `pareto_min` / `alpha`
     /// (bounded Pareto), `arrivals` (`cbr` | `poisson` | `bursty`),
-    /// `burst` (packets per burst, default 16), `fps`, `seed`.
+    /// `burst` (packets per burst, default 16), `fps`, `seed`,
+    /// `reliable` (`0` | `1`), `rto_us` (retransmit timeout base,
+    /// default 50).
     ///
     /// Example: `pattern=incast,target=0,fps=400000,size=1472,seed=7`.
     ///
@@ -233,6 +244,14 @@ impl Workload {
                 },
                 "fps" => w.fps = num(val)?,
                 "seed" => w.seed = val.parse().map_err(|_| bad(key, val))?,
+                "reliable" => {
+                    w.reliable = match val {
+                        "1" | "true" => true,
+                        "0" | "false" => false,
+                        _ => return Err(bad(key, val)),
+                    }
+                }
+                "rto_us" => w.rto_us = val.parse().map_err(|_| bad(key, val))?,
                 _ => return Err(format!("workload: unknown key '{key}'")),
             }
         }
@@ -284,6 +303,9 @@ impl Workload {
             if !(0.0..=1.0).contains(&fraction) {
                 return Err("workload: hotspot fraction must be in [0,1]".into());
             }
+        }
+        if self.reliable && self.rto_us == 0 {
+            return Err("workload: reliable mode needs rto_us >= 1".into());
         }
         Ok(())
     }
@@ -516,6 +538,19 @@ mod tests {
         assert!(Workload::parse("pattern=starlight").is_err());
         assert!(Workload::parse("shift=2").is_err());
         assert!(Workload::parse("nonsense").is_err());
+    }
+
+    #[test]
+    fn parse_reliable_mode_and_rto() {
+        let w = Workload::parse("reliable=1,rto_us=30").unwrap();
+        assert!(w.reliable);
+        assert_eq!(w.rto_us, 30);
+        let w = Workload::parse("reliable=0").unwrap();
+        assert!(!w.reliable);
+        assert_eq!(w.rto_us, 50, "default rto");
+        assert!(Workload::parse("reliable=maybe").is_err());
+        assert!(Workload::parse("reliable=1,rto_us=0").is_err());
+        assert!(Workload::parse("rto_us=bogus").is_err());
     }
 
     #[test]

@@ -280,6 +280,9 @@ fn unit_track(unit: crate::FaultUnit) -> Track {
         crate::FaultUnit::DmaWrite => Track::DmaWrite,
         crate::FaultUnit::FrameMemory => Track::FrameBus,
         crate::FaultUnit::Driver | crate::FaultUnit::System => Track::Driver,
+        // Fleet-level units have no dedicated track; fold them onto the
+        // driver track (where reset/retransmit consequences surface).
+        crate::FaultUnit::Fabric | crate::FaultUnit::Core => Track::Driver,
     }
 }
 

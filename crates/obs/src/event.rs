@@ -100,6 +100,10 @@ pub enum FaultUnit {
     Driver,
     /// System-level machinery (the watchdog).
     System,
+    /// The inter-NIC fabric (fleet runs).
+    Fabric,
+    /// A firmware core (instruction faults).
+    Core,
 }
 
 impl FaultUnit {
@@ -114,6 +118,8 @@ impl FaultUnit {
             FaultUnit::FrameMemory => "frame_memory",
             FaultUnit::Driver => "driver",
             FaultUnit::System => "system",
+            FaultUnit::Fabric => "fabric",
+            FaultUnit::Core => "core",
         }
     }
 }
@@ -135,6 +141,18 @@ pub enum FaultKind {
     AssistHang,
     /// A frame-bus read completion arrived without data (short read).
     ShortRead,
+    /// A bit flipped in a frame crossing a fabric link (fleet runs).
+    FabricCorrupt,
+    /// A fabric link flapped down; frames offered meanwhile are lost.
+    LinkFlap,
+    /// A transient port-buffer squeeze dropped an admission.
+    PortSqueeze,
+    /// A DMA write poisoned a payload byte as it landed in host memory.
+    HostPoison,
+    /// A firmware instruction fault aborted a handler before it ran.
+    FwInstrFault,
+    /// A whole NIC crashed (wedged until the fleet watchdog resets it).
+    NicCrash,
 }
 
 impl FaultKind {
@@ -148,6 +166,12 @@ impl FaultKind {
             FaultKind::EccSingleBit => "fault:ecc",
             FaultKind::AssistHang => "fault:hang",
             FaultKind::ShortRead => "fault:short_read",
+            FaultKind::FabricCorrupt => "fault:fabric_corrupt",
+            FaultKind::LinkFlap => "fault:link_flap",
+            FaultKind::PortSqueeze => "fault:port_squeeze",
+            FaultKind::HostPoison => "fault:host_poison",
+            FaultKind::FwInstrFault => "fault:fw_instr",
+            FaultKind::NicCrash => "fault:nic_crash",
         }
     }
 }
@@ -171,6 +195,12 @@ pub enum RecoveryKind {
     /// The driver accounted an aborted transmit frame and re-posted a
     /// replacement.
     TxRetry,
+    /// The reliable-mode driver retransmitted an unacked frame after a
+    /// timeout with exponential backoff.
+    Retransmit,
+    /// The fleet watchdog reset a crashed NIC (firmware re-init, rings
+    /// re-posted, in-flight frames accounted as lost).
+    NicReset,
 }
 
 impl RecoveryKind {
@@ -183,6 +213,8 @@ impl RecoveryKind {
             RecoveryKind::WatchdogReset => "recovery:watchdog_reset",
             RecoveryKind::RxErrorReturn => "recovery:rx_error_return",
             RecoveryKind::TxRetry => "recovery:tx_retry",
+            RecoveryKind::Retransmit => "recovery:retransmit",
+            RecoveryKind::NicReset => "recovery:nic_reset",
         }
     }
 }

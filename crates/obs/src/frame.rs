@@ -180,6 +180,13 @@ impl FrameTracker {
             if wd < w {
                 continue;
             }
+            if f < p || ws < f || wd < ws {
+                // A non-monotonic timeline: a retransmission re-posted
+                // the sequence after an earlier attempt's later stages
+                // were stamped (or a NIC reset spliced two incarnations'
+                // records). Not a completed lifecycle — skip it.
+                continue;
+            }
             tx_deltas[0].push((f - p).0);
             tx_deltas[1].push((ws - f).0);
             tx_deltas[2].push((wd - ws).0);
@@ -191,6 +198,11 @@ impl FrameTracker {
                 continue;
             };
             if dl < w {
+                continue;
+            }
+            if d < a || dl < d {
+                // Non-monotonic (a duplicate delivery's re-stamped
+                // arrival) — not a completed lifecycle.
                 continue;
             }
             rx_deltas[0].push((d - a).0);

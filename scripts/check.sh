@@ -76,16 +76,34 @@ echo "==> fleet smoke (sharded multi-NIC determinism + incast drops, ~2 s)"
 # fabric's order-sensitive delivery/drop digest, per-port counters and
 # skip decisions must be bit-identical at shard counts {1, 2, 4}, and
 # the incast section must actually overflow its shallow egress buffer.
-# A nonzero exit is the gate. The wall-clock scaling table it prints
+# Its faulted section re-checks shard-invariance under a live
+# all-classes fault plan and requires at least one completed NIC
+# crash/reset cycle. A nonzero exit is the gate. The wall-clock scaling table it prints
 # is informational here — the speedup floor only binds on a host with
 # at least 4 hardware threads running full windows.
 NICSIM_QUICK=1 NICSIM_RESULTS_DIR=target ./target/release/fleetbench
+
+echo "==> fleet fault plane (faulted shard-invariance, crash/reset, reliable delivery)"
+# The release re-run of the fleet fault suite guards the fault plane's
+# determinism contract against optimization-dependent divergence, the
+# same reason kernel_equivalence re-runs in release: a fully faulted
+# fleet (fabric corruption, flaps, squeezes, NIC crash/reset cycles,
+# reliable-mode retransmission) must be bit-identical across shard
+# counts {1, 2, 4} and both dispatch modes; crashed NICs must come
+# back and their lost frames be accounted; reliable mode must deliver
+# exactly-once under loss. The suite's zero-rate case is the fast-path
+# guard: an all-zeros plan must leave the run bit-identical to a
+# plan-free one (including the fabric digest), proving the armed-plan
+# hooks are free when every probability is zero.
+cargo test --release --quiet -p nicsim-fleet --test fault_determinism
 
 echo "==> fault smoke (injection + recovery + zero-fault bit-identity)"
 # The fault_sweep binary asserts its own contracts: the zero-rate armed
 # run must be bit-identical to the plan-free baseline, nonzero rates
 # must inject (and the goodput curve must not rise), and every run must
 # terminate cleanly — a hang here would trip the test harness timeout.
+# Its fleet_fault section sweeps fabric corruption over a reliable-mode
+# fleet: 100% delivery on the low rungs, monotone delivery throughout.
 NICSIM_QUICK=1 NICSIM_QUIET=1 NICSIM_RESULTS_DIR=target \
     ./target/release/fault_sweep >/dev/null
 rm -f target/fault_sweep.json
